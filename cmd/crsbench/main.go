@@ -1,0 +1,113 @@
+// Command crsbench regenerates Figure 5 of "Concurrent Data Representation
+// Synthesis" (PLDI 2012): throughput/scalability series for the twelve
+// named decompositions plus the hand-coded baseline, across the four
+// operation mixes, using the paper's methodology (k threads × N random
+// operations each over one shared graph relation).
+//
+// Usage:
+//
+//	crsbench [-mixes all|70-0-20-10,...] [-threads 1,2,4] [-ops 500000]
+//	         [-keyspace 512] [-variants all|Stick 1,...] [-format table|csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	crs "repro"
+	"repro/internal/cli"
+	"repro/internal/handcoded"
+)
+
+func main() {
+	mixesFlag := flag.String("mixes", "all", "comma-separated mixes (x-y-z-w) or 'all' for the four Figure 5 panels")
+	threadsFlag := flag.String("threads", defaultThreads(), "comma-separated thread counts")
+	ops := flag.Int("ops", 500_000, "operations per thread (the paper uses 5e5)")
+	keyspace := flag.Int64("keyspace", 512, "node id space")
+	variantsFlag := flag.String("variants", "all", "comma-separated variant names or 'all'")
+	format := flag.String("format", "table", "output format: table or csv")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	mixes, err := cli.ParseMixes(*mixesFlag)
+	if err != nil {
+		fatal(err)
+	}
+	threads, err := cli.ParseInts(*threadsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	variants, err := cli.ParseVariants(*variantsFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *format == "csv" {
+		fmt.Println("mix,variant,threads,ops,seconds,throughput_ops_per_sec")
+	}
+	for _, mix := range mixes {
+		if *format == "table" {
+			fmt.Printf("\nOperation Distribution: %s (GOMAXPROCS=%d)\n", mix, runtime.GOMAXPROCS(0))
+			fmt.Printf("%-14s", "variant")
+			for _, k := range threads {
+				fmt.Printf(" %12s", fmt.Sprintf("%d thr", k))
+			}
+			fmt.Println(" (ops/sec)")
+		}
+		for _, name := range variants {
+			row := make([]float64, 0, len(threads))
+			for _, k := range threads {
+				cfg := crs.BenchConfig{Threads: k, OpsPerThread: *ops, KeySpace: *keyspace, Seed: *seed, Mix: mix}
+				g, err := buildGraph(name)
+				if err != nil {
+					fatal(err)
+				}
+				res := crs.RunBench(g, cfg)
+				row = append(row, res.Throughput)
+				if *format == "csv" {
+					fmt.Printf("%s,%s,%d,%d,%.3f,%.0f\n", mix, name, k, res.Ops, res.Duration.Seconds(), res.Throughput)
+				}
+			}
+			if *format == "table" {
+				fmt.Printf("%-14s", name)
+				for _, v := range row {
+					fmt.Printf(" %12.0f", v)
+				}
+				fmt.Println()
+			}
+		}
+	}
+}
+
+func buildGraph(name string) (crs.GraphOps, error) {
+	if name == "Handcoded" {
+		return handcoded.New(), nil
+	}
+	v, err := crs.GraphVariantByName(name)
+	if err != nil {
+		return nil, err
+	}
+	r, err := v.Build()
+	if err != nil {
+		return nil, err
+	}
+	return crs.MustRelationGraph(r), nil
+}
+
+func defaultThreads() string {
+	max := runtime.GOMAXPROCS(0)
+	var ks []string
+	for k := 1; k <= max; k *= 2 {
+		ks = append(ks, strconv.Itoa(k))
+	}
+	return strings.Join(ks, ",")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "crsbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+// Command crsexplain dumps what the compiler synthesized for a named
+// representation: the decomposition (with node types A ▷ B), the lock
+// placement, and the query/mutation plans in the paper's let-notation
+// (Figure 4). With -dot it also emits Graphviz for the decomposition,
+// reproducing the diagrams of Figures 2 and 3.
+//
+// Usage:
+//
+//	crsexplain [-variant "Split 4"|dcache] [-dot] [-plans]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	crs "repro"
+)
+
+func main() {
+	variant := flag.String("variant", "Split 4", `variant name ("Stick 1".."Diamond 2", "Diamond Spec"), or "dcache" for the Figure 2 directory tree`)
+	dot := flag.Bool("dot", false, "emit Graphviz DOT for the decomposition")
+	instance := flag.Bool("instance", false, "populate sample data and emit the instance diagram (Figure 2(b) style)")
+	plans := flag.Bool("plans", true, "print the plans for the benchmark operations")
+	flag.Parse()
+
+	r, err := buildRelation(*variant)
+	if err != nil {
+		fatal(err)
+	}
+	d := r.Decomposition()
+	fmt.Printf("=== %s ===\n\n%s\n%s\n", *variant, d, r.Placement())
+	fmt.Println("lock order: topological node order, then instance key, then stripe:")
+	for _, n := range d.Nodes {
+		fmt.Printf("  %d: %s (stripes: %d)\n", n.Index, n.Name, r.Placement().StripeCount(n))
+	}
+
+	if *plans {
+		if *variant == "dcache" {
+			printPlan(r, "full iteration", nil, []string{"child", "name", "parent"})
+			printPlan(r, "path lookup (parent,name)", []string{"name", "parent"}, []string{"child"})
+			printPlan(r, "directory listing (parent)", []string{"parent"}, []string{"child", "name"})
+			printMutations(r, []string{"name", "parent"})
+		} else {
+			printPlan(r, "find successors", []string{"src"}, []string{"dst", "weight"})
+			printPlan(r, "find predecessors", []string{"dst"}, []string{"src", "weight"})
+			printMutations(r, []string{"dst", "src"})
+		}
+	}
+	if *dot {
+		fmt.Println("\n--- DOT ---")
+		fmt.Println(d.ToDOT(*variant))
+	}
+	if *instance {
+		if err := populateSample(r, *variant); err != nil {
+			fatal(err)
+		}
+		fmt.Println("\n--- instance diagram (cf. Figure 2(b)) ---")
+		fmt.Println(r.InstanceDOT(*variant + " instance"))
+	}
+}
+
+// populateSample inserts the paper's running-example data: the Figure 2(b)
+// directory entries for dcache, three §2-style edges otherwise.
+func populateSample(r *crs.Relation, variant string) error {
+	if variant == "dcache" {
+		for _, e := range []struct {
+			p int
+			n string
+			c int
+		}{{1, "a", 2}, {2, "b", 3}, {2, "c", 4}} {
+			if _, err := r.Insert(crs.T("parent", e.p, "name", e.n), crs.T("child", e.c)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, e := range [][3]int{{1, 2, 42}, {1, 3, 7}, {2, 3, 9}} {
+		if _, err := r.Insert(crs.T("src", e[0], "dst", e[1]), crs.T("weight", e[2])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printPlan(r *crs.Relation, title string, bound, out []string) {
+	s, err := r.ExplainQuery(bound, out)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("--- query plan: %s ---\n%s\n", title, s)
+}
+
+func printMutations(r *crs.Relation, key []string) {
+	if s, err := r.ExplainInsert(key); err == nil {
+		fmt.Printf("--- insert plan (key %v) ---\n%s\n", key, s)
+	}
+	if s, err := r.ExplainRemove(key); err == nil {
+		fmt.Printf("--- remove plan (key %v) ---\n%s\n", key, s)
+	}
+}
+
+func buildRelation(name string) (*crs.Relation, error) {
+	if name == "dcache" {
+		spec := crs.MustSpec([]string{"parent", "name", "child"},
+			crs.FD{From: []string{"parent", "name"}, To: []string{"child"}})
+		d, err := crs.NewBuilder(spec, "ρ").
+			Edge("ρx", "ρ", "x", []string{"parent"}, crs.TreeMap).
+			Edge("xy", "x", "y", []string{"name"}, crs.TreeMap).
+			Edge("ρy", "ρ", "y", []string{"parent", "name"}, crs.ConcurrentHashMap).
+			Edge("yz", "y", "z", []string{"child"}, crs.Cell).
+			Build()
+		if err != nil {
+			return nil, err
+		}
+		return crs.Synthesize(d, crs.FineGrainedPlacement(d))
+	}
+	v, err := crs.GraphVariantByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return v.Build()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "crsexplain:", err)
+	os.Exit(1)
+}

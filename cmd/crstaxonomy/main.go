@@ -1,0 +1,26 @@
+// Command crstaxonomy prints the container taxonomy of Figure 1: the
+// concurrency-safety and consistency properties of every container kind,
+// for the operation pairs lookup/lookup, lookup/write, scan/write,
+// write/write and lookup/scan, scan/scan.
+//
+// The safe cells of the table are verified empirically by the concurrent
+// stress tests in internal/container (run with `go test -race
+// ./internal/container`); the "no" cells are contract statements — the
+// synthesizer never exercises those pairs without a serializing lock.
+package main
+
+import (
+	"fmt"
+
+	crs "repro"
+)
+
+func main() {
+	fmt.Println("Figure 1: concurrency safety and consistency of containers")
+	fmt.Println()
+	fmt.Print(crs.FormatTaxonomy())
+	fmt.Println()
+	fmt.Println("L = lookup, S = scan, W = write.")
+	fmt.Println("yes = safe and linearizable; weak = safe, weakly consistent; no = unsafe.")
+	fmt.Println("Verify the safe cells: go test -race ./internal/container")
+}

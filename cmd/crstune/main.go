@@ -1,0 +1,72 @@
+// Command crstune runs the autotuner of §6.1: it enumerates legal
+// representations of the directed-graph relation (structure × placement ×
+// striping factor × containers), measures each on a training workload,
+// and prints the ranking.
+//
+// Usage:
+//
+//	crstune [-mix 35-35-20-10] [-threads 4] [-ops 20000] [-keyspace 512]
+//	        [-top 15] [-topstatic 64] [-family stick|split|diamond]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	crs "repro"
+	"repro/internal/cli"
+)
+
+func main() {
+	mixFlag := flag.String("mix", "35-35-20-10", "training mix x-y-z-w")
+	threads := flag.Int("threads", 4, "training threads")
+	ops := flag.Int("ops", 20_000, "training operations per thread")
+	keyspace := flag.Int64("keyspace", 512, "node id space")
+	top := flag.Int("top", 15, "print the top N results")
+	topStatic := flag.Int("topstatic", 0, "pre-filter to the N statically cheapest candidates (0 = measure all)")
+	family := flag.String("family", "", "restrict to one family: stick, split or diamond")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	mix, err := cli.ParseMix(*mixFlag)
+	if err != nil {
+		fatal(err)
+	}
+	cands := crs.EnumerateGraphCandidates()
+	if *family != "" {
+		var filtered []crs.TuneCandidate
+		for _, c := range cands {
+			if c.Family == *family {
+				filtered = append(filtered, c)
+			}
+		}
+		cands = filtered
+	}
+	fmt.Printf("autotuning %d candidates (mix %s, %d threads × %d ops, keyspace %d)\n",
+		len(cands), mix, *threads, *ops, *keyspace)
+	if *topStatic > 0 {
+		fmt.Printf("static pre-filter: measuring only the %d cheapest by plan cost\n", *topStatic)
+	}
+
+	cfg := crs.BenchConfig{Threads: *threads, OpsPerThread: *ops, KeySpace: *keyspace, Seed: *seed, Mix: mix}
+	scored, err := crs.Tune(cands, cfg, crs.TuneOptions{TopStatic: *topStatic})
+	if err != nil {
+		fatal(err)
+	}
+	n := *top
+	if n > len(scored) {
+		n = len(scored)
+	}
+	fmt.Printf("\n%-4s %-64s %14s %10s\n", "rank", "candidate", "ops/sec", "static")
+	for i := 0; i < n; i++ {
+		s := scored[i]
+		fmt.Printf("%-4d %-64s %14.0f %10.1f\n", i+1, s.Name, s.Result.Throughput, s.Static)
+	}
+	fmt.Printf("\nbest: %s (%s)\n", scored[0].Name, scored[0].Description)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "crstune:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,226 @@
+// Package crs — Concurrent Representation Synthesis — is a Go
+// implementation of "Concurrent Data Representation Synthesis" (Hawkins,
+// Aiken, Fisher, Rinard, Sagiv; PLDI 2012).
+//
+// Programs describe data as concurrent relations: a set of columns, a set
+// of functional dependencies, and four atomic operations (insert, remove,
+// query, plus construction). The library synthesizes the representation:
+// a decomposition of the relation into cooperating container data
+// structures (hash maps, red-black trees, concurrent hash maps, lazy
+// concurrent skip lists, copy-on-write maps, singleton cells), a lock
+// placement (coarse, fine, striped, or speculative) mapping every logical
+// lock onto physical locks, and query/mutation plans whose two-phase,
+// globally ordered lock acquisition makes every operation serializable
+// and deadlock-free by construction.
+//
+// # Quick start
+//
+//	spec := crs.MustSpec([]string{"src", "dst", "weight"},
+//	    crs.FD{From: []string{"src", "dst"}, To: []string{"weight"}})
+//	d, _ := crs.NewBuilder(spec, "ρ").
+//	    Edge("ρu", "ρ", "u", []string{"src"}, crs.ConcurrentHashMap).
+//	    Edge("uv", "u", "v", []string{"dst"}, crs.TreeMap).
+//	    Edge("vw", "v", "w", []string{"weight"}, crs.Cell).
+//	    Build()
+//	p := crs.NewPlacement(d)
+//	p.SetStripes(d.Root, 1024)
+//	p.Place(d.EdgeByName("ρu"), d.Root, "src")
+//	r, _ := crs.Synthesize(d, p)
+//	r.Insert(crs.T("src", 1, "dst", 2), crs.T("weight", 42))
+//	succs, _ := r.Query(crs.T("src", 1), "dst", "weight")
+//
+// Or let the autotuner pick the representation for your workload:
+//
+//	best, _ := crs.Tune(crs.EnumerateGraphCandidates(), cfg, crs.TuneOptions{TopStatic: 32})
+//
+// The packages under internal/ implement the paper's subsystems; this
+// package re-exports the stable public surface.
+package crs
+
+import (
+	"repro/internal/autotune"
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/graphreps"
+	"repro/internal/locks"
+	"repro/internal/rel"
+	"repro/internal/workload"
+)
+
+// Relational substrate (§2).
+type (
+	// Value is a dynamically typed relational value (bool, int, int64,
+	// uint64, float64 or string).
+	Value = rel.Value
+	// Tuple is an immutable column→value mapping.
+	Tuple = rel.Tuple
+	// Spec is a relational specification: columns plus functional
+	// dependencies.
+	Spec = rel.Spec
+	// FD is a functional dependency From → To.
+	FD = rel.FD
+)
+
+// T builds a tuple from alternating column/value pairs; it panics on
+// malformed input (use NewTuple for checked construction).
+func T(pairs ...any) Tuple { return rel.T(pairs...) }
+
+// NewTuple builds a tuple from alternating column/value pairs.
+func NewTuple(pairs ...any) (Tuple, error) { return rel.NewTuple(pairs...) }
+
+// NewSpec builds and validates a relational specification.
+func NewSpec(columns []string, fds ...FD) (Spec, error) { return rel.NewSpec(columns, fds...) }
+
+// MustSpec is NewSpec panicking on error.
+func MustSpec(columns []string, fds ...FD) Spec { return rel.MustSpec(columns, fds...) }
+
+// Containers (§3, Figure 1).
+type (
+	// ContainerKind identifies a container implementation.
+	ContainerKind = container.Kind
+	// ContainerProperties is a container's Figure 1 row.
+	ContainerProperties = container.Properties
+)
+
+// The container kinds (named after their JDK archetypes).
+const (
+	HashMap               = container.HashMap
+	TreeMap               = container.TreeMap
+	ConcurrentHashMap     = container.ConcurrentHashMap
+	ConcurrentSkipListMap = container.ConcurrentSkipListMap
+	CopyOnWriteMap        = container.CopyOnWriteMap
+	Cell                  = container.Cell
+)
+
+// ContainerPropertiesOf returns the concurrency-safety and consistency
+// properties of a container kind (the paper's Figure 1).
+func ContainerPropertiesOf(k ContainerKind) ContainerProperties { return container.PropertiesOf(k) }
+
+// FormatTaxonomy renders the Figure 1 table.
+func FormatTaxonomy() string { return container.FormatTaxonomy() }
+
+// Decompositions (§4.1).
+type (
+	// Decomposition is a rooted DAG describing a representation.
+	Decomposition = decomp.Decomposition
+	// DecompositionBuilder assembles decompositions edge by edge.
+	DecompositionBuilder = decomp.Builder
+	// Node is a decomposition vertex with type A ▷ B.
+	Node = decomp.Node
+	// Edge is a decomposition edge carrying key columns and a container.
+	Edge = decomp.Edge
+)
+
+// NewBuilder starts a decomposition for spec rooted at the named node.
+func NewBuilder(spec Spec, root string) *DecompositionBuilder { return decomp.NewBuilder(spec, root) }
+
+// StructureOptions bounds generic structure enumeration (§6.1).
+type StructureOptions = decomp.EnumOptions
+
+// EnumerateStructures returns adequate decomposition structures for spec
+// within the given bounds — the §6.1 autotuner's first phase. With
+// Share set, diamonds emerge from hash-consing shared suffixes.
+func EnumerateStructures(spec Spec, opts StructureOptions) ([]*Decomposition, error) {
+	return decomp.Enumerate(spec, opts)
+}
+
+// Lock placements (§4.3–4.5).
+type (
+	// Placement maps every edge's logical locks onto physical locks.
+	Placement = locks.Placement
+	// PlacementRule is one edge's rule.
+	PlacementRule = locks.Rule
+)
+
+// NewPlacement returns the fine-grain default placement (ψ2); customize
+// with Place / PlaceSpeculative / SetStripes.
+func NewPlacement(d *Decomposition) *Placement { return locks.NewPlacement(d) }
+
+// CoarsePlacement returns ψ1: a single root lock protects everything.
+func CoarsePlacement(d *Decomposition) *Placement { return locks.Coarse(d) }
+
+// FineGrainedPlacement returns ψ2: one lock per node instance.
+func FineGrainedPlacement(d *Decomposition) *Placement { return locks.FineGrained(d) }
+
+// Synthesis (§5).
+type (
+	// Relation is a synthesized concurrent relation.
+	Relation = core.Relation
+	// Reference is the executable sequential specification.
+	Reference = core.Reference
+)
+
+// Synthesize compiles a decomposition and lock placement into a concurrent
+// relation — the paper's compiler entry point.
+func Synthesize(d *Decomposition, p *Placement) (*Relation, error) { return core.Synthesize(d, p) }
+
+// NewReference returns the coarsely locked reference implementation of the
+// relational operations, for differential testing.
+func NewReference(spec Spec) *Reference { return core.NewReference(spec) }
+
+// Benchmarking (§6.2).
+type (
+	// Mix is an operation distribution (x-y-z-w in the paper).
+	Mix = workload.Mix
+	// BenchConfig parameterizes a benchmark run.
+	BenchConfig = workload.Config
+	// BenchResult reports aggregate throughput.
+	BenchResult = workload.Result
+	// GraphOps is the §6.2 benchmark operation interface.
+	GraphOps = workload.GraphOps
+	// RelationGraph adapts a synthesized graph relation to GraphOps.
+	RelationGraph = workload.RelationGraph
+)
+
+// Figure5Mixes lists the four operation distributions of Figure 5.
+func Figure5Mixes() []Mix { return workload.Figure5Mixes() }
+
+// NewRelationGraph prepares the four benchmark operations against a
+// synthesized graph relation.
+func NewRelationGraph(r *Relation) (*RelationGraph, error) { return workload.NewRelationGraph(r) }
+
+// MustRelationGraph is NewRelationGraph panicking on error.
+func MustRelationGraph(r *Relation) *RelationGraph { return workload.MustRelationGraph(r) }
+
+// RunBench executes one benchmark run.
+func RunBench(g GraphOps, cfg BenchConfig) BenchResult { return workload.Run(g, cfg) }
+
+// GraphSpec returns the directed-graph specification of §2.
+func GraphSpec() Spec { return workload.GraphSpec() }
+
+// Named representations (§4.3, §6.2).
+type GraphVariant = graphreps.Variant
+
+// Figure5Variants returns the twelve named decompositions of Figure 5.
+func Figure5Variants() []GraphVariant { return graphreps.Figure5Variants() }
+
+// GraphVariantByName returns a named Figure 5 variant (or "Diamond Spec").
+func GraphVariantByName(name string) (GraphVariant, error) { return graphreps.VariantByName(name) }
+
+// Autotuning (§6.1).
+type (
+	// TuneCandidate is one representation the autotuner can measure.
+	TuneCandidate = autotune.Candidate
+	// TuneOptions tunes the search.
+	TuneOptions = autotune.Options
+	// TuneScored is a candidate with its measurements.
+	TuneScored = autotune.Scored
+)
+
+// EnumerateGraphCandidates enumerates every legal representation of the
+// graph relation over the three Figure 3 structures.
+func EnumerateGraphCandidates() []TuneCandidate { return autotune.EnumerateGraph() }
+
+// EnumerateGenericCandidates runs the full §6.1 pipeline from a bare
+// specification: enumerate adequate structures, then placements, then
+// containers the placements permit.
+func EnumerateGenericCandidates(spec Spec, structLimit int) ([]TuneCandidate, error) {
+	return autotune.EnumerateGeneric(spec, structLimit)
+}
+
+// Tune measures candidates under a training workload and ranks them by
+// throughput.
+func Tune(cands []TuneCandidate, cfg BenchConfig, opts TuneOptions) ([]TuneScored, error) {
+	return autotune.Tune(cands, cfg, opts)
+}

@@ -1,0 +1,121 @@
+package crs_test
+
+import (
+	"fmt"
+	"testing"
+
+	crs "repro"
+)
+
+// TestPublicAPIRoundTrip exercises the full public surface end to end:
+// spec → decomposition → placement → synthesize → operate.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	spec := crs.MustSpec([]string{"src", "dst", "weight"},
+		crs.FD{From: []string{"src", "dst"}, To: []string{"weight"}})
+	d, err := crs.NewBuilder(spec, "ρ").
+		Edge("ρu", "ρ", "u", []string{"src"}, crs.ConcurrentHashMap).
+		Edge("uv", "u", "v", []string{"dst"}, crs.TreeMap).
+		Edge("vw", "v", "w", []string{"weight"}, crs.Cell).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := crs.NewPlacement(d)
+	p.SetStripes(d.Root, 64)
+	p.Place(d.EdgeByName("ρu"), d.Root, "src")
+	r, err := crs.Synthesize(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := r.Insert(crs.T("src", 1, "dst", 2), crs.T("weight", 42)); err != nil || !ok {
+		t.Fatalf("insert: %v %v", ok, err)
+	}
+	res, err := r.Query(crs.T("src", 1), "dst", "weight")
+	if err != nil || len(res) != 1 {
+		t.Fatalf("query: %v %v", res, err)
+	}
+	// Differential against the reference.
+	ref := crs.NewReference(spec)
+	ref.Insert(crs.T("src", 1, "dst", 2), crs.T("weight", 42))
+	want, _ := ref.Query(crs.T("src", 1), "dst", "weight")
+	if len(want) != 1 || !res[0].Equal(want[0]) {
+		t.Fatalf("reference disagrees: %v vs %v", res, want)
+	}
+	if ok, err := r.Remove(crs.T("src", 1, "dst", 2)); err != nil || !ok {
+		t.Fatalf("remove: %v %v", ok, err)
+	}
+}
+
+func TestPublicTaxonomy(t *testing.T) {
+	if crs.FormatTaxonomy() == "" {
+		t.Fatal("empty taxonomy")
+	}
+	if crs.ContainerPropertiesOf(crs.ConcurrentHashMap).ConcurrencySafe() != true {
+		t.Fatal("taxonomy wrong")
+	}
+	if crs.ContainerPropertiesOf(crs.HashMap).ConcurrencySafe() {
+		t.Fatal("taxonomy wrong for HashMap")
+	}
+}
+
+func TestPublicVariantsAndBench(t *testing.T) {
+	v, err := crs.GraphVariantByName("Split 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := v.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := crs.RunBench(crs.MustRelationGraph(r), crs.BenchConfig{
+		Threads: 2, OpsPerThread: 200, KeySpace: 16, Seed: 1, Mix: crs.Figure5Mixes()[0]})
+	if res.Ops != 400 {
+		t.Fatalf("bench ops = %d", res.Ops)
+	}
+}
+
+func TestPublicTuneTiny(t *testing.T) {
+	cands := crs.EnumerateGraphCandidates()
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	scored, err := crs.Tune(cands[:3], crs.BenchConfig{
+		Threads: 1, OpsPerThread: 100, KeySpace: 8, Seed: 1, Mix: crs.Figure5Mixes()[0]}, crs.TuneOptions{})
+	if err != nil || len(scored) != 3 {
+		t.Fatalf("tune: %v (%d results)", err, len(scored))
+	}
+}
+
+func ExampleT() {
+	fmt.Println(crs.T("src", 1, "dst", 2))
+	// Output: ⟨dst: 2, src: 1⟩
+}
+
+func TestPublicStructureEnumeration(t *testing.T) {
+	ds, err := crs.EnumerateStructures(crs.GraphSpec(), crs.StructureOptions{Share: true, Limit: 20})
+	if err != nil || len(ds) == 0 {
+		t.Fatalf("EnumerateStructures: %v (%d)", err, len(ds))
+	}
+	cands, err := crs.EnumerateGenericCandidates(crs.GraphSpec(), 4)
+	if err != nil || len(cands) == 0 {
+		t.Fatalf("EnumerateGenericCandidates: %v (%d)", err, len(cands))
+	}
+}
+
+// ExampleNewBuilder synthesizes the paper's Figure 2(a) directory-tree
+// representation and runs a path lookup.
+func ExampleNewBuilder() {
+	spec := crs.MustSpec([]string{"parent", "name", "child"},
+		crs.FD{From: []string{"parent", "name"}, To: []string{"child"}})
+	d, _ := crs.NewBuilder(spec, "ρ").
+		Edge("ρx", "ρ", "x", []string{"parent"}, crs.TreeMap).
+		Edge("xy", "x", "y", []string{"name"}, crs.TreeMap).
+		Edge("ρy", "ρ", "y", []string{"parent", "name"}, crs.ConcurrentHashMap).
+		Edge("yz", "y", "z", []string{"child"}, crs.Cell).
+		Build()
+	dcache, _ := crs.Synthesize(d, crs.FineGrainedPlacement(d))
+	dcache.Insert(crs.T("parent", 1, "name", "a"), crs.T("child", 2))
+	child, _ := dcache.Query(crs.T("parent", 1, "name", "a"), "child")
+	fmt.Println(child[0])
+	// Output: ⟨child: 2⟩
+}

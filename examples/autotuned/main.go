@@ -1,0 +1,58 @@
+// autotuned: the §6.1 workflow end to end — train the autotuner on your
+// workload, take the winning representation, and use it.
+//
+// The example tunes two very different mixes (successor-only vs
+// predecessor-heavy) on a reduced candidate set and shows that the best
+// representation changes with the workload — the paper's headline
+// observation ("the best data representation varies with the workload").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	crs "repro"
+)
+
+func main() {
+	cands := crs.EnumerateGraphCandidates()
+	fmt.Printf("search space: %d legal representations (structure × placement × striping × containers)\n", len(cands))
+
+	mixes := []crs.Mix{
+		{Successors: 70, Predecessors: 0, Inserts: 20, Removes: 10},
+		{Successors: 45, Predecessors: 45, Inserts: 9, Removes: 1},
+	}
+	for _, mix := range mixes {
+		cfg := crs.BenchConfig{
+			Threads:      2,
+			OpsPerThread: 4_000,
+			KeySpace:     256,
+			Seed:         7,
+			Mix:          mix,
+		}
+		// Static pre-filter: rank all candidates by the §5.2 plan-cost
+		// model, measure only the 24 cheapest — the static+dynamic search
+		// the paper sketches in §8.
+		scored, err := crs.Tune(cands, cfg, crs.TuneOptions{TopStatic: 24})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nmix %s — top 5 of %d measured:\n", mix, len(scored))
+		for i := 0; i < 5 && i < len(scored); i++ {
+			fmt.Printf("  %d. %-62s %10.0f ops/s\n", i+1, scored[i].Name, scored[i].Result.Throughput)
+		}
+
+		// Deploy the winner.
+		best := scored[0]
+		r, err := best.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		g := crs.MustRelationGraph(r)
+		for i := int64(0); i < 100; i++ {
+			g.InsertEdge(i%10, i%7, i)
+		}
+		fmt.Printf("  deployed %q: node 3 has %d successors, %d predecessors\n",
+			best.Name, g.FindSuccessors(3), g.FindPredecessors(3))
+	}
+}

@@ -1,0 +1,144 @@
+// scheduler: an OS process-scheduler relation — the motivating example of
+// the RelC line of work (Hawkins et al., PLDI 2011) — made concurrent.
+//
+// The scheduler tracks {pid, state, cpu | pid → state, cpu}: every process
+// has a unique pid, a run state and a cpu assignment. Hot queries:
+//
+//   - dispatch: the runnable processes on a given cpu  (state, cpu bound)
+//   - ps: everything about one pid                     (pid bound)
+//   - load balancing: all processes on a cpu           (cpu bound)
+//
+// The decomposition indexes the relation twice: a ConcurrentHashMap from
+// pid (point lookups), and a two-level state → cpu → pid index whose inner
+// containers are TreeMaps (sorted dispatch order). Scheduler ticks from
+// several goroutines migrate processes between states and cpus while
+// dispatchers query runnable sets — all serializable by construction.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	crs "repro"
+)
+
+const (
+	stateRunnable = "runnable"
+	stateRunning  = "running"
+	stateBlocked  = "blocked"
+)
+
+func buildScheduler() *crs.Relation {
+	spec := crs.MustSpec([]string{"pid", "state", "cpu"},
+		crs.FD{From: []string{"pid"}, To: []string{"state", "cpu"}})
+	// Two indexes:
+	//   ρa: pid → (state, cpu)            — ConcurrentHashMap + Cell
+	//   ρb: state → cpu → pid set         — HashMap of TreeMap of TreeMap
+	d, err := crs.NewBuilder(spec, "ρ").
+		Edge("ρa", "ρ", "a", []string{"pid"}, crs.ConcurrentHashMap).
+		Edge("ab", "a", "b", []string{"cpu", "state"}, crs.Cell).
+		Edge("ρc", "ρ", "c", []string{"state"}, crs.HashMap).
+		Edge("cd", "c", "d", []string{"cpu"}, crs.TreeMap).
+		Edge("de", "d", "b", []string{"pid"}, crs.TreeMap).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := crs.NewPlacement(d)
+	// Stripe the pid index across 64 root locks; the state index keeps a
+	// single root-stripe lock (few states, coarse is right there), the
+	// per-state and per-cpu levels get their own instance locks.
+	p.SetStripes(d.Root, 64)
+	p.Place(d.EdgeByName("ρa"), d.Root, "pid")
+	p.Place(d.EdgeByName("ρc"), d.Root)
+	r, err := crs.Synthesize(d, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}
+
+func main() {
+	sched := buildScheduler()
+
+	// Spawn 64 processes, runnable, round-robin across 4 cpus.
+	for pid := 0; pid < 64; pid++ {
+		ok, err := sched.Insert(crs.T("pid", pid), crs.T("state", stateRunnable, "cpu", pid%4))
+		if err != nil || !ok {
+			log.Fatalf("spawn %d: %v %v", pid, ok, err)
+		}
+	}
+
+	// ps 17.
+	ps, _ := sched.Query(crs.T("pid", 17), "state", "cpu")
+	fmt.Println("ps 17:", ps)
+
+	// Dispatch queue for cpu 2.
+	runnable, _ := sched.Query(crs.T("state", stateRunnable, "cpu", 2), "pid")
+	fmt.Printf("cpu 2 runnable: %d processes\n", len(runnable))
+
+	// migrate changes a process's state/cpu: relationally, remove + insert
+	// under put-if-absent (pid is the key, so this is atomic per step and
+	// the FD pid → state,cpu can never break).
+	migrate := func(pid int, state string, cpu int) {
+		if ok, err := sched.Remove(crs.T("pid", pid)); err != nil || !ok {
+			return
+		}
+		if _, err := sched.Insert(crs.T("pid", pid), crs.T("state", state, "cpu", cpu)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Concurrent scheduler ticks: per-cpu dispatchers picking runnable
+	// processes and running them, a load balancer moving processes across
+	// cpus, and an I/O goroutine blocking/unblocking processes.
+	var wg sync.WaitGroup
+	for cpu := 0; cpu < 4; cpu++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			for tick := 0; tick < 200; tick++ {
+				q, _ := sched.Query(crs.T("state", stateRunnable, "cpu", cpu), "pid")
+				if len(q) > 0 {
+					pid := q[tick%len(q)].MustGet("pid").(int)
+					migrate(pid, stateRunning, cpu)
+					migrate(pid, stateRunnable, cpu)
+				}
+			}
+		}(cpu)
+	}
+	wg.Add(2)
+	go func() { // load balancer
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			migrate(i%64, stateRunnable, (i*7)%4)
+		}
+	}()
+	go func() { // I/O: block and wake processes
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			pid := (i * 13) % 64
+			migrate(pid, stateBlocked, pid%4)
+			migrate(pid, stateRunnable, pid%4)
+		}
+	}()
+	wg.Wait()
+
+	// Invariants after the storm: exactly 64 processes, pid unique.
+	snap, _ := sched.Snapshot()
+	pids := map[int]bool{}
+	for _, t := range snap {
+		pids[t.MustGet("pid").(int)] = true
+	}
+	fmt.Printf("after concurrent scheduling: %d processes, %d distinct pids\n", len(snap), len(pids))
+	perState := map[string]int{}
+	for _, t := range snap {
+		perState[t.MustGet("state").(string)]++
+	}
+	fmt.Println("by state:", perState)
+
+	plan, _ := sched.ExplainQuery([]string{"cpu", "state"}, []string{"pid"})
+	fmt.Println("\ndispatch-queue plan:")
+	fmt.Print(plan)
+}

@@ -1,0 +1,312 @@
+// Package autotune implements the autotuner of §6.1: given a concurrent
+// benchmark (a training workload), it enumerates legal representations —
+// decomposition structure × lock placement × striping factor × container
+// selection, with container choices constrained by the placement exactly
+// as the paper prescribes ("if the chosen lock placement serializes access
+// to an edge, the autotuner picks a non-concurrent container, whereas if
+// concurrent access … is permitted … it chooses a concurrency-safe
+// container") — and ranks them by measured throughput.
+//
+// Enumeration is per index side: the stick has one side, the split and the
+// diamond have a src side and a dst side that may be configured
+// independently (§6.2's Split 2 mixes a striped concurrent side with a
+// coarse side). Each side chooses a placement scheme — coarse (one root
+// lock), fine (per-node locks), striped with factor 1 or 1024, and for
+// the diamond speculative targets — and the container pair the scheme
+// permits.
+package autotune
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/graphreps"
+	"repro/internal/locks"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// Candidate is one representation the autotuner can measure.
+type Candidate struct {
+	Name        string
+	Family      string
+	Description string
+	Build       func() (*core.Relation, error)
+}
+
+// sideScheme is a per-side placement choice.
+type sideScheme int
+
+const (
+	sideCoarse sideScheme = iota
+	sideFine
+	sideStriped1
+	sideStriped1024
+	sideSpeculative
+)
+
+func (s sideScheme) String() string {
+	switch s {
+	case sideCoarse:
+		return "coarse"
+	case sideFine:
+		return "fine"
+	case sideStriped1:
+		return "striped(1)"
+	case sideStriped1024:
+		return "striped(1024)"
+	default:
+		return "speculative"
+	}
+}
+
+// sideChoice pairs a scheme with the container kinds it permits.
+type sideChoice struct {
+	scheme   sideScheme
+	top, mid container.Kind
+}
+
+var nonConcurrent = []container.Kind{container.HashMap, container.TreeMap}
+var concurrent = []container.Kind{container.ConcurrentHashMap, container.ConcurrentSkipListMap}
+
+// sideChoices enumerates the legal (scheme, top, mid) triples for one
+// side. Mid-level containers sit under a single per-instance lock in
+// every scheme, so they are always non-concurrent; top-level containers
+// must be concurrency-safe exactly when the scheme admits concurrent
+// access to them (striped with k>1, speculative).
+func sideChoices(allowSpec bool) []sideChoice {
+	var out []sideChoice
+	add := func(s sideScheme, tops []container.Kind) {
+		for _, top := range tops {
+			for _, mid := range nonConcurrent {
+				out = append(out, sideChoice{scheme: s, top: top, mid: mid})
+			}
+		}
+	}
+	add(sideCoarse, nonConcurrent)
+	add(sideFine, nonConcurrent)
+	add(sideStriped1, nonConcurrent)
+	add(sideStriped1024, concurrent)
+	if allowSpec {
+		add(sideSpeculative, concurrent)
+	}
+	return out
+}
+
+func (c sideChoice) String() string {
+	return fmt.Sprintf("%s/%s-of-%s", c.scheme, c.top, c.mid)
+}
+
+// applySide configures placement rules for one side's edges: top is the
+// root out-edge, rest are the descendant edges of that side (excluding any
+// shared cell, handled by the caller).
+func applySide(p *locks.Placement, d *decomp.Decomposition, top *decomp.Edge, rest []*decomp.Edge, c sideChoice) {
+	switch c.scheme {
+	case sideCoarse:
+		p.Place(top, d.Root)
+		for _, e := range rest {
+			p.Place(e, d.Root)
+		}
+	case sideFine:
+		// NewPlacement default: at source.
+	case sideStriped1:
+		// Striping factor 1: a single root lock serializes the top
+		// container (stripe 0 of the shared root array, whatever its
+		// size); lower edges stay fine. Distinct from sideCoarse, which
+		// also moves the lower edges under the root lock.
+		p.Place(top, d.Root)
+	case sideStriped1024:
+		if graphreps.StripeFactor > p.StripeCount(d.Root) {
+			p.SetStripes(d.Root, graphreps.StripeFactor)
+		}
+		p.Place(top, d.Root, top.Cols...)
+		// rest stay fine.
+	case sideSpeculative:
+		if graphreps.StripeFactor > p.StripeCount(d.Root) {
+			p.SetStripes(d.Root, graphreps.StripeFactor)
+		}
+		p.PlaceSpeculative(top, d.Root, top.Cols...)
+	}
+}
+
+// EnumerateGraph enumerates every legal representation of the directed
+// graph relation over the three Figure 3 structures. The paper's run
+// produced 448 variants; our per-side enumeration (which additionally
+// allows asymmetric speculative diamonds) produces a slightly larger
+// space — EnumerateGraph's exact count is asserted in tests and recorded
+// in EXPERIMENTS.md.
+func EnumerateGraph() []Candidate {
+	var out []Candidate
+
+	// Stick: one side.
+	for _, c := range sideChoices(false) {
+		c := c
+		out = append(out, Candidate{
+			Name:        fmt.Sprintf("stick[%s]", c),
+			Family:      "stick",
+			Description: c.String(),
+			Build: func() (*core.Relation, error) {
+				d, err := graphreps.Stick(c.top, c.mid)
+				if err != nil {
+					return nil, err
+				}
+				p := locks.NewPlacement(d)
+				applySide(p, d, d.EdgeByName("ρu"), []*decomp.Edge{d.EdgeByName("uv"), d.EdgeByName("vw")}, c)
+				if err := p.Validate(); err != nil {
+					return nil, err
+				}
+				return core.Synthesize(d, p)
+			},
+		})
+	}
+
+	// Split: two independent sides.
+	for _, l := range sideChoices(false) {
+		for _, r := range sideChoices(false) {
+			l, r := l, r
+			out = append(out, Candidate{
+				Name:        fmt.Sprintf("split[%s|%s]", l, r),
+				Family:      "split",
+				Description: fmt.Sprintf("src side %s, dst side %s", l, r),
+				Build: func() (*core.Relation, error) {
+					d, err := graphreps.Split(l.top, l.mid, r.top, r.mid)
+					if err != nil {
+						return nil, err
+					}
+					p := locks.NewPlacement(d)
+					applySide(p, d, d.EdgeByName("ρu"), []*decomp.Edge{d.EdgeByName("uw"), d.EdgeByName("wx")}, l)
+					applySide(p, d, d.EdgeByName("ρv"), []*decomp.Edge{d.EdgeByName("vy"), d.EdgeByName("yz")}, r)
+					if err := p.Validate(); err != nil {
+						return nil, err
+					}
+					return core.Synthesize(d, p)
+				},
+			})
+		}
+	}
+
+	// Diamond: two sides sharing the per-edge node; speculative allowed.
+	for _, l := range sideChoices(true) {
+		for _, r := range sideChoices(true) {
+			l, r := l, r
+			out = append(out, Candidate{
+				Name:        fmt.Sprintf("diamond[%s|%s]", l, r),
+				Family:      "diamond",
+				Description: fmt.Sprintf("src side %s, dst side %s", l, r),
+				Build: func() (*core.Relation, error) {
+					d, err := graphreps.Diamond(l.top, l.mid, r.top, r.mid)
+					if err != nil {
+						return nil, err
+					}
+					p := locks.NewPlacement(d)
+					applySide(p, d, d.EdgeByName("ρx"), []*decomp.Edge{d.EdgeByName("xz")}, l)
+					applySide(p, d, d.EdgeByName("ρy"), []*decomp.Edge{d.EdgeByName("yz")}, r)
+					// The shared weight cell: at the shared node unless
+					// both sides are coarse (then everything sits under
+					// the root lock, the pure ψ1 of Figure 3(a)).
+					if l.scheme == sideCoarse && r.scheme == sideCoarse {
+						p.Place(d.EdgeByName("zw"), d.Root)
+					}
+					if err := p.Validate(); err != nil {
+						return nil, err
+					}
+					return core.Synthesize(d, p)
+				},
+			})
+		}
+	}
+	return out
+}
+
+// Scored is a candidate with its tuning measurements.
+type Scored struct {
+	Candidate
+	// Static is the planner's cost estimate for the training mix (lower
+	// is better); NaN when not computed.
+	Static float64
+	// Result is the measured training run (zero when only statically
+	// ranked).
+	Result workload.Result
+}
+
+// StaticCost estimates a mix-weighted plan cost for a built relation: the
+// §5.2 cost model applied to the four benchmark operations, weighted by
+// the mix. It is the "static" half of the paper's static + dynamic search
+// (§8).
+func StaticCost(r *core.Relation, mix workload.Mix) (float64, error) {
+	pl := query.NewPlanner(r.Decomposition(), r.Placement())
+	succ, err := pl.PlanQuery([]string{"src"}, []string{"dst", "weight"})
+	if err != nil {
+		return 0, err
+	}
+	pred, err := pl.PlanQuery([]string{"dst"}, []string{"src", "weight"})
+	if err != nil {
+		return 0, err
+	}
+	ins, err := pl.PlanMutation(query.OpInsert, []string{"dst", "src"})
+	if err != nil {
+		return 0, err
+	}
+	rem, err := pl.PlanMutation(query.OpRemove, []string{"dst", "src"})
+	if err != nil {
+		return 0, err
+	}
+	// The insert also runs its existence query.
+	insCost := ins.Cost
+	exist, err := pl.PlanQuery([]string{"dst", "src"}, r.Spec().Columns)
+	if err == nil {
+		insCost += exist.Cost
+	}
+	total := float64(mix.Successors)*succ.Cost +
+		float64(mix.Predecessors)*pred.Cost +
+		float64(mix.Inserts)*insCost +
+		float64(mix.Removes)*rem.Cost
+	return total / 100, nil
+}
+
+// Options tunes the search.
+type Options struct {
+	// TopStatic, when positive, statically ranks all candidates with the
+	// cost model first and only measures the cheapest TopStatic of them —
+	// the static/dynamic split of §8.
+	TopStatic int
+}
+
+// Tune measures every candidate under the training configuration and
+// returns them sorted by descending throughput. Candidates that fail to
+// build (illegal combinations) are skipped.
+func Tune(cands []Candidate, cfg workload.Config, opts Options) ([]Scored, error) {
+	scored := make([]Scored, 0, len(cands))
+	for _, c := range cands {
+		r, err := c.Build()
+		if err != nil {
+			continue
+		}
+		s := Scored{Candidate: c}
+		if sc, err := StaticCost(r, cfg.Mix); err == nil {
+			s.Static = sc
+		}
+		scored = append(scored, s)
+	}
+	if len(scored) == 0 {
+		return nil, fmt.Errorf("autotune: no buildable candidates")
+	}
+	if opts.TopStatic > 0 && opts.TopStatic < len(scored) {
+		sort.Slice(scored, func(i, j int) bool { return scored[i].Static < scored[j].Static })
+		scored = scored[:opts.TopStatic]
+	}
+	for i := range scored {
+		r, err := scored[i].Build()
+		if err != nil {
+			return nil, err
+		}
+		scored[i].Result = workload.Run(workload.MustRelationGraph(r), cfg)
+	}
+	sort.Slice(scored, func(i, j int) bool {
+		return scored[i].Result.Throughput > scored[j].Result.Throughput
+	})
+	return scored, nil
+}

@@ -1,0 +1,90 @@
+package autotune
+
+import (
+	"fmt"
+
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/graphreps"
+	"repro/internal/locks"
+	"repro/internal/rel"
+)
+
+// EnumerateGeneric generates candidates from *generically enumerated*
+// structures (internal/decomp.Enumerate) rather than the hand-built
+// Figure 3 families: the full §6.1 pipeline — choose an adequate
+// structure, choose a well-formed placement, then choose containers the
+// placement permits. Structure enumeration includes sharing, so diamonds
+// appear alongside sticks and splits.
+//
+// For every structure three placements are attempted: coarse (ψ1), fine
+// (ψ2), and striped (ψ3: root out-edges striped by their own columns
+// across graphreps.StripeFactor root locks, with the top containers
+// re-assigned to ConcurrentHashMap). Illegal combinations are skipped.
+func EnumerateGeneric(spec rel.Spec, structLimit int) ([]Candidate, error) {
+	if structLimit <= 0 {
+		structLimit = 64
+	}
+	var structures []*decomp.Decomposition
+	for _, share := range []bool{false, true} {
+		ds, err := decomp.Enumerate(spec, decomp.EnumOptions{Share: share, Limit: structLimit})
+		if err != nil {
+			return nil, err
+		}
+		structures = append(structures, ds...)
+	}
+	var out []Candidate
+	for i, d := range structures {
+		d := d
+		name := fmt.Sprintf("gen%03d", i)
+		out = append(out,
+			Candidate{
+				Name:        name + "/coarse",
+				Family:      "generic",
+				Description: "enumerated structure, coarse placement",
+				Build: func() (*core.Relation, error) {
+					return core.Synthesize(d, locks.Coarse(d))
+				},
+			},
+			Candidate{
+				Name:        name + "/fine",
+				Family:      "generic",
+				Description: "enumerated structure, fine placement",
+				Build: func() (*core.Relation, error) {
+					return core.Synthesize(d, locks.FineGrained(d))
+				},
+			},
+			Candidate{
+				Name:        name + "/striped",
+				Family:      "generic",
+				Description: "enumerated structure, striped root, concurrent top containers",
+				Build: func() (*core.Relation, error) {
+					dd, err := d.WithContainers(func(e *decomp.Edge) container.Kind {
+						if e.Src == d.Root && e.Container != container.Cell {
+							return container.ConcurrentHashMap
+						}
+						return e.Container
+					})
+					if err != nil {
+						return nil, err
+					}
+					p := locks.NewPlacement(dd)
+					p.SetStripes(dd.Root, graphreps.StripeFactor)
+					for _, e := range dd.Root.Out {
+						if e.Container == container.Cell {
+							p.Place(e, dd.Root)
+							continue
+						}
+						p.Place(e, dd.Root, e.Cols...)
+					}
+					if err := p.Validate(); err != nil {
+						return nil, err
+					}
+					return core.Synthesize(dd, p)
+				},
+			},
+		)
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package autotune
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rel"
+	"repro/internal/workload"
+)
+
+func TestEnumerateGenericBuildsAndBehaves(t *testing.T) {
+	cands, err := EnumerateGeneric(workload.GraphSpec(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no generic candidates")
+	}
+	built := 0
+	for _, c := range cands {
+		r, err := c.Build()
+		if err != nil {
+			continue // some placement/container combos are legally skipped
+		}
+		built++
+		// Differential smoke against the reference.
+		ref := core.NewReference(workload.GraphSpec())
+		steps := []struct {
+			s, t rel.Tuple
+		}{
+			{rel.T("src", 1, "dst", 2), rel.T("weight", 10)},
+			{rel.T("src", 1, "dst", 3), rel.T("weight", 11)},
+			{rel.T("src", 2, "dst", 3), rel.T("weight", 12)},
+			{rel.T("src", 1, "dst", 2), rel.T("weight", 99)}, // dup
+		}
+		for _, st := range steps {
+			got, err := r.Insert(st.s, st.t)
+			if err != nil {
+				t.Fatalf("%s: insert: %v", c.Name, err)
+			}
+			want, _ := ref.Insert(st.s, st.t)
+			if got != want {
+				t.Fatalf("%s: insert %v: got %v want %v", c.Name, st.s, got, want)
+			}
+		}
+		for _, q := range []rel.Tuple{rel.T("src", 1), rel.T("dst", 3), rel.T("src", 2, "dst", 3)} {
+			got, err := r.Query(q, "dst", "src", "weight")
+			if err != nil {
+				t.Fatalf("%s: query: %v", c.Name, err)
+			}
+			want, _ := ref.Query(q, "dst", "src", "weight")
+			if len(got) != len(want) {
+				t.Fatalf("%s: query %v: got %d results want %d", c.Name, q, len(got), len(want))
+			}
+		}
+		if ok, err := r.Remove(rel.T("src", 1, "dst", 2)); err != nil || !ok {
+			t.Fatalf("%s: remove: %v %v", c.Name, ok, err)
+		}
+		if _, err := r.VerifyWellFormed(); err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+	}
+	if built < len(cands)/2 {
+		t.Fatalf("only %d/%d generic candidates built", built, len(cands))
+	}
+	t.Logf("generic candidates: %d enumerated, %d legal", len(cands), built)
+}
+
+func TestGenericCandidatesTunable(t *testing.T) {
+	cands, err := EnumerateGeneric(workload.GraphSpec(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.Config{Threads: 1, OpsPerThread: 150, KeySpace: 16, Seed: 2,
+		Mix: workload.Figure5Mixes()[1]}
+	scored, err := Tune(cands, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scored) == 0 {
+		t.Fatal("nothing tuned")
+	}
+}

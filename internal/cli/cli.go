@@ -1,0 +1,95 @@
+// Package cli holds the small parsing helpers shared by the command-line
+// tools (cmd/crsbench, cmd/crstune): operation-mix strings in the paper's
+// x-y-z-w notation, comma-separated integer lists, and variant-name lists.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/graphreps"
+	"repro/internal/workload"
+)
+
+// ParseMix parses "x-y-z-w" into an operation mix and validates that the
+// percentages sum to 100.
+func ParseMix(s string) (workload.Mix, error) {
+	parts := strings.Split(s, "-")
+	if len(parts) != 4 {
+		return workload.Mix{}, fmt.Errorf("cli: bad mix %q (want x-y-z-w)", s)
+	}
+	var nums [4]int
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 0 {
+			return workload.Mix{}, fmt.Errorf("cli: bad mix component %q in %q", p, s)
+		}
+		nums[i] = n
+	}
+	m := workload.Mix{Successors: nums[0], Predecessors: nums[1], Inserts: nums[2], Removes: nums[3]}
+	if nums[0]+nums[1]+nums[2]+nums[3] != 100 {
+		return workload.Mix{}, fmt.Errorf("cli: mix %q does not sum to 100", s)
+	}
+	return m, nil
+}
+
+// ParseMixes parses a comma-separated mix list; "all" yields the four
+// Figure 5 panels.
+func ParseMixes(s string) ([]workload.Mix, error) {
+	if s == "all" {
+		return workload.Figure5Mixes(), nil
+	}
+	var out []workload.Mix
+	for _, part := range strings.Split(s, ",") {
+		m, err := ParseMix(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// ParseInts parses a comma-separated list of positive integers.
+func ParseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("cli: bad positive integer %q", p)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cli: empty integer list")
+	}
+	return out, nil
+}
+
+// ParseVariants parses a comma-separated list of Figure 5 variant names
+// ("Handcoded" included); "all" yields the twelve named decompositions
+// plus the hand-coded baseline.
+func ParseVariants(s string) ([]string, error) {
+	if s == "all" {
+		var names []string
+		for _, v := range graphreps.Figure5Variants() {
+			names = append(names, v.Name)
+		}
+		return append(names, "Handcoded"), nil
+	}
+	var names []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "Handcoded" {
+			if _, err := graphreps.VariantByName(part); err != nil {
+				return nil, err
+			}
+		}
+		names = append(names, part)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("cli: empty variant list")
+	}
+	return names, nil
+}

@@ -1,0 +1,69 @@
+package cli
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("70-0-20-10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := workload.Mix{Successors: 70, Predecessors: 0, Inserts: 20, Removes: 10}
+	if m != want {
+		t.Fatalf("ParseMix = %+v", m)
+	}
+	for _, bad := range []string{"70-0-20", "70-0-20-11", "a-b-c-d", "70-0-20-10-0", "-10-50-40-20"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseMixes(t *testing.T) {
+	ms, err := ParseMixes("all")
+	if err != nil || len(ms) != 4 {
+		t.Fatalf("all: %v %d", err, len(ms))
+	}
+	ms, err = ParseMixes("50-30-15-5, 0-0-50-50")
+	if err != nil || len(ms) != 2 {
+		t.Fatalf("list: %v %d", err, len(ms))
+	}
+	if ms[1].Inserts != 50 {
+		t.Fatalf("second mix wrong: %+v", ms[1])
+	}
+	if _, err := ParseMixes("50-30-15-5,bogus"); err == nil {
+		t.Error("bad element should fail")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	ns, err := ParseInts("1, 2,4")
+	if err != nil || len(ns) != 3 || ns[2] != 4 {
+		t.Fatalf("%v %v", ns, err)
+	}
+	for _, bad := range []string{"0", "-1", "x", "1,,2"} {
+		if _, err := ParseInts(bad); err == nil {
+			t.Errorf("ParseInts(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseVariants(t *testing.T) {
+	vs, err := ParseVariants("all")
+	if err != nil || len(vs) != 13 {
+		t.Fatalf("all: %v %d", err, len(vs))
+	}
+	if vs[12] != "Handcoded" {
+		t.Fatalf("last = %s", vs[12])
+	}
+	vs, err = ParseVariants("Split 4, Handcoded")
+	if err != nil || len(vs) != 2 {
+		t.Fatalf("list: %v %v", vs, err)
+	}
+	if _, err := ParseVariants("Nope 7"); err == nil {
+		t.Error("unknown variant should fail")
+	}
+}

@@ -1,0 +1,59 @@
+package container
+
+import (
+	"sync/atomic"
+
+	"repro/internal/rel"
+)
+
+// cell is the singleton-tuple container backing the dotted edges of
+// Figures 2 and 3: a decomposition edge whose source node functionally
+// determines the edge columns holds at most one entry, so the "container"
+// is a single atomically published (key, value) pair. All operation pairs
+// are safe and linearizable.
+type cell struct {
+	p atomic.Pointer[cowEntry]
+}
+
+// NewCell returns an empty singleton container.
+func NewCell() Map {
+	return &cell{}
+}
+
+// Lookup returns the value if the cell holds exactly key k.
+func (c *cell) Lookup(k rel.Key) (any, bool) {
+	if e := c.p.Load(); e != nil && e.key.Equal(k) {
+		return e.val, true
+	}
+	return nil, false
+}
+
+// Write stores the single entry (v != nil) or clears the cell if it holds
+// key k (v == nil). Storing a second distinct key replaces the first; the
+// synthesizer only ever stores one key per cell because the source node's
+// key columns functionally determine the edge columns.
+func (c *cell) Write(k rel.Key, v any) {
+	if v == nil {
+		if e := c.p.Load(); e != nil && e.key.Equal(k) {
+			c.p.CompareAndSwap(e, nil)
+		}
+		return
+	}
+	c.p.Store(&cowEntry{key: k, val: v})
+}
+
+// Scan yields the single entry, if present (trivially sorted and a
+// snapshot).
+func (c *cell) Scan(f func(k rel.Key, v any) bool) {
+	if e := c.p.Load(); e != nil {
+		f(e.key, e.val)
+	}
+}
+
+// Len returns 0 or 1.
+func (c *cell) Len() int {
+	if c.p.Load() != nil {
+		return 1
+	}
+	return 0
+}

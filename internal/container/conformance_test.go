@@ -1,0 +1,492 @@
+package container
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/rel"
+)
+
+// modelMap is the executable specification a container must refine: a Go
+// map keyed by the unambiguous string rendering of the key.
+type modelMap struct {
+	entries map[string]modelEntry
+}
+
+type modelEntry struct {
+	key rel.Key
+	val any
+}
+
+func newModel() *modelMap { return &modelMap{entries: map[string]modelEntry{}} }
+
+func (m *modelMap) write(k rel.Key, v any) {
+	if v == nil {
+		delete(m.entries, k.String())
+		return
+	}
+	m.entries[k.String()] = modelEntry{key: k, val: v}
+}
+
+func (m *modelMap) lookup(k rel.Key) (any, bool) {
+	e, ok := m.entries[k.String()]
+	return e.val, ok
+}
+
+func (m *modelMap) sortedKeys() []rel.Key {
+	keys := make([]rel.Key, 0, len(m.entries))
+	for _, e := range m.entries {
+		keys = append(keys, e.key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return rel.CompareKeys(keys[i], keys[j]) < 0 })
+	return keys
+}
+
+// mapKinds are the kinds with general map semantics (Cell is singleton-only
+// and is tested separately).
+var mapKinds = []Kind{HashMap, TreeMap, ConcurrentHashMap, ConcurrentSkipListMap, CopyOnWriteMap}
+
+func forEachMapKind(t *testing.T, f func(t *testing.T, kind Kind)) {
+	t.Helper()
+	for _, k := range mapKinds {
+		t.Run(k.String(), func(t *testing.T) { f(t, k) })
+	}
+}
+
+func TestEmptyContainer(t *testing.T) {
+	forEachMapKind(t, func(t *testing.T, kind Kind) {
+		m := New(kind)
+		if m.Len() != 0 {
+			t.Fatalf("empty Len = %d", m.Len())
+		}
+		if _, ok := m.Lookup(rel.NewKey(1)); ok {
+			t.Fatal("lookup in empty container succeeded")
+		}
+		count := 0
+		m.Scan(func(rel.Key, any) bool { count++; return true })
+		if count != 0 {
+			t.Fatalf("scan of empty container yielded %d entries", count)
+		}
+		// Removing an absent key is a no-op.
+		m.Write(rel.NewKey(1), nil)
+		if m.Len() != 0 {
+			t.Fatal("removing absent key changed Len")
+		}
+	})
+}
+
+func TestInsertLookupRemove(t *testing.T) {
+	forEachMapKind(t, func(t *testing.T, kind Kind) {
+		m := New(kind)
+		k1, k2 := rel.NewKey(1, "a"), rel.NewKey(2, "b")
+		m.Write(k1, "v1")
+		m.Write(k2, "v2")
+		if m.Len() != 2 {
+			t.Fatalf("Len = %d, want 2", m.Len())
+		}
+		if v, ok := m.Lookup(k1); !ok || v != "v1" {
+			t.Fatalf("Lookup(k1) = %v, %v", v, ok)
+		}
+		// Update in place.
+		m.Write(k1, "v1b")
+		if v, _ := m.Lookup(k1); v != "v1b" {
+			t.Fatalf("update failed: %v", v)
+		}
+		if m.Len() != 2 {
+			t.Fatalf("update changed Len to %d", m.Len())
+		}
+		// Remove.
+		m.Write(k1, nil)
+		if _, ok := m.Lookup(k1); ok {
+			t.Fatal("removed key still present")
+		}
+		if v, ok := m.Lookup(k2); !ok || v != "v2" {
+			t.Fatalf("unrelated key disturbed: %v, %v", v, ok)
+		}
+		if m.Len() != 1 {
+			t.Fatalf("Len = %d, want 1", m.Len())
+		}
+	})
+}
+
+func TestRandomOpsAgainstModel(t *testing.T) {
+	forEachMapKind(t, func(t *testing.T, kind Kind) {
+		r := rand.New(rand.NewSource(42))
+		m := New(kind)
+		model := newModel()
+		for i := 0; i < 5000; i++ {
+			k := rel.NewKey(r.Intn(200))
+			switch r.Intn(10) {
+			case 0, 1, 2, 3: // insert/update
+				v := r.Intn(1 << 30)
+				m.Write(k, v)
+				model.write(k, v)
+			case 4, 5: // remove
+				m.Write(k, nil)
+				model.write(k, nil)
+			default: // lookup
+				got, gok := m.Lookup(k)
+				want, wok := model.lookup(k)
+				if gok != wok || (gok && got != want) {
+					t.Fatalf("step %d: Lookup(%v) = %v,%v want %v,%v", i, k, got, gok, want, wok)
+				}
+			}
+			if m.Len() != len(model.entries) {
+				t.Fatalf("step %d: Len = %d, model %d", i, m.Len(), len(model.entries))
+			}
+		}
+		// Final full-scan equivalence.
+		seen := map[string]any{}
+		m.Scan(func(k rel.Key, v any) bool {
+			if _, dup := seen[k.String()]; dup {
+				t.Fatalf("scan yielded duplicate key %v", k)
+			}
+			seen[k.String()] = v
+			return true
+		})
+		if len(seen) != len(model.entries) {
+			t.Fatalf("scan yielded %d entries, model has %d", len(seen), len(model.entries))
+		}
+		for ks, e := range model.entries {
+			if seen[ks] != e.val {
+				t.Fatalf("scan value mismatch for %s: %v vs %v", ks, seen[ks], e.val)
+			}
+		}
+	})
+}
+
+func TestSortedScanOrder(t *testing.T) {
+	for _, kind := range mapKinds {
+		if !PropertiesOf(kind).SortedScan {
+			continue
+		}
+		t.Run(kind.String(), func(t *testing.T) {
+			r := rand.New(rand.NewSource(7))
+			m := New(kind)
+			model := newModel()
+			for i := 0; i < 2000; i++ {
+				k := rel.NewKey(r.Intn(500), r.Intn(3))
+				if r.Intn(3) == 0 {
+					m.Write(k, nil)
+					model.write(k, nil)
+				} else {
+					m.Write(k, i)
+					model.write(k, i)
+				}
+			}
+			var got []rel.Key
+			m.Scan(func(k rel.Key, v any) bool { got = append(got, k); return true })
+			want := model.sortedKeys()
+			if len(got) != len(want) {
+				t.Fatalf("scan length %d, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("position %d: got %v, want %v", i, got[i], want[i])
+				}
+				if i > 0 && rel.CompareKeys(got[i-1], got[i]) >= 0 {
+					t.Fatalf("scan not strictly ascending at %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	forEachMapKind(t, func(t *testing.T, kind Kind) {
+		m := New(kind)
+		for i := 0; i < 100; i++ {
+			m.Write(rel.NewKey(i), i)
+		}
+		count := 0
+		m.Scan(func(rel.Key, any) bool {
+			count++
+			return count < 10
+		})
+		if count != 10 {
+			t.Fatalf("early stop visited %d entries, want 10", count)
+		}
+	})
+}
+
+func TestGrowthAndShrink(t *testing.T) {
+	forEachMapKind(t, func(t *testing.T, kind Kind) {
+		m := New(kind)
+		const n = 3000
+		for i := 0; i < n; i++ {
+			m.Write(rel.NewKey(i), i*2)
+		}
+		if m.Len() != n {
+			t.Fatalf("Len = %d, want %d", m.Len(), n)
+		}
+		for i := 0; i < n; i++ {
+			v, ok := m.Lookup(rel.NewKey(i))
+			if !ok || v != i*2 {
+				t.Fatalf("Lookup(%d) = %v, %v", i, v, ok)
+			}
+		}
+		for i := 0; i < n; i += 2 {
+			m.Write(rel.NewKey(i), nil)
+		}
+		if m.Len() != n/2 {
+			t.Fatalf("after removals Len = %d, want %d", m.Len(), n/2)
+		}
+		for i := 0; i < n; i++ {
+			_, ok := m.Lookup(rel.NewKey(i))
+			if want := i%2 == 1; ok != want {
+				t.Fatalf("Lookup(%d) present=%v, want %v", i, ok, want)
+			}
+		}
+	})
+}
+
+func TestHeterogeneousKeys(t *testing.T) {
+	forEachMapKind(t, func(t *testing.T, kind Kind) {
+		m := New(kind)
+		keys := []rel.Key{
+			rel.NewKey("alpha"), rel.NewKey(1), rel.NewKey(int64(2)),
+			rel.NewKey(3.5), rel.NewKey(true), rel.NewKey("beta", 7),
+		}
+		for i, k := range keys {
+			m.Write(k, i)
+		}
+		for i, k := range keys {
+			if v, ok := m.Lookup(k); !ok || v != i {
+				t.Fatalf("Lookup(%v) = %v, %v", k, v, ok)
+			}
+		}
+		// int and int64 keys with equal value must collide.
+		m.Write(rel.NewKey(int64(1)), "replaced")
+		if v, _ := m.Lookup(rel.NewKey(1)); v != "replaced" {
+			t.Fatalf("int/int64 key identity broken: %v", v)
+		}
+	})
+}
+
+func TestTreeMapDeleteStress(t *testing.T) {
+	// Dedicated LLRB torture: interleaved inserts and deletes in several
+	// adversarial orders, checking sorted-scan integrity throughout.
+	orders := []string{"ascending", "descending", "shuffled"}
+	for _, order := range orders {
+		t.Run(order, func(t *testing.T) {
+			m := New(TreeMap)
+			const n = 512
+			keys := make([]int, n)
+			for i := range keys {
+				keys[i] = i
+			}
+			switch order {
+			case "descending":
+				for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+					keys[i], keys[j] = keys[j], keys[i]
+				}
+			case "shuffled":
+				r := rand.New(rand.NewSource(3))
+				r.Shuffle(n, func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+			}
+			for _, k := range keys {
+				m.Write(rel.NewKey(k), k)
+			}
+			for i, k := range keys {
+				m.Write(rel.NewKey(k), nil)
+				if m.Len() != n-i-1 {
+					t.Fatalf("Len after %d deletes = %d", i+1, m.Len())
+				}
+				last := -1
+				m.Scan(func(key rel.Key, v any) bool {
+					cur := key.At(0).(int)
+					if cur <= last {
+						t.Fatalf("order violated: %d after %d", cur, last)
+					}
+					last = cur
+					return true
+				})
+			}
+		})
+	}
+}
+
+func TestLLRBInvariants(t *testing.T) {
+	// Red-black invariants: no red right links, no two reds in a row,
+	// equal black height on all paths.
+	m := NewTreeMap().(*treeMap)
+	r := rand.New(rand.NewSource(11))
+	check := func() {
+		if m.root == nil {
+			return
+		}
+		if m.root.red {
+			t.Fatal("root is red")
+		}
+		var verify func(h *llrb) int
+		verify = func(h *llrb) int {
+			if h == nil {
+				return 1
+			}
+			if isRed(h.right) {
+				t.Fatal("red right link")
+			}
+			if isRed(h) && isRed(h.left) {
+				t.Fatal("two reds in a row")
+			}
+			lh := verify(h.left)
+			rh := verify(h.right)
+			if lh != rh {
+				t.Fatalf("black height mismatch: %d vs %d", lh, rh)
+			}
+			if !isRed(h) {
+				lh++
+			}
+			return lh
+		}
+		verify(m.root)
+	}
+	for i := 0; i < 4000; i++ {
+		k := rel.NewKey(r.Intn(300))
+		if r.Intn(3) == 0 {
+			m.Write(k, nil)
+		} else {
+			m.Write(k, i)
+		}
+		if i%64 == 0 {
+			check()
+		}
+	}
+	check()
+}
+
+func TestCellSemantics(t *testing.T) {
+	c := New(Cell)
+	k := rel.NewKey(42)
+	if c.Len() != 0 {
+		t.Fatal("new cell not empty")
+	}
+	c.Write(k, "x")
+	if v, ok := c.Lookup(k); !ok || v != "x" {
+		t.Fatalf("Lookup = %v, %v", v, ok)
+	}
+	if _, ok := c.Lookup(rel.NewKey(43)); ok {
+		t.Fatal("cell matched wrong key")
+	}
+	if c.Len() != 1 {
+		t.Fatal("Len != 1")
+	}
+	got := 0
+	c.Scan(func(sk rel.Key, v any) bool {
+		if !sk.Equal(k) || v != "x" {
+			t.Fatalf("scan saw %v -> %v", sk, v)
+		}
+		got++
+		return true
+	})
+	if got != 1 {
+		t.Fatalf("scan yielded %d entries", got)
+	}
+	// Removing a different key is a no-op; removing the held key clears.
+	c.Write(rel.NewKey(43), nil)
+	if c.Len() != 1 {
+		t.Fatal("mismatched remove cleared cell")
+	}
+	c.Write(k, nil)
+	if c.Len() != 0 {
+		t.Fatal("cell not cleared")
+	}
+}
+
+func TestTaxonomyTable(t *testing.T) {
+	table := FormatTaxonomy()
+	for _, k := range Kinds() {
+		if !contains(table, k.String()) {
+			t.Errorf("taxonomy table missing %s:\n%s", k, table)
+		}
+	}
+	// Figure 1 spot checks.
+	if PropertiesOf(HashMap).ConcurrencySafe() {
+		t.Error("HashMap must not be concurrency-safe")
+	}
+	if !PropertiesOf(ConcurrentHashMap).ConcurrencySafe() {
+		t.Error("ConcurrentHashMap must be concurrency-safe")
+	}
+	if PropertiesOf(ConcurrentHashMap).SnapshotScan {
+		t.Error("ConcurrentHashMap iteration must be weakly consistent, not snapshot")
+	}
+	if !PropertiesOf(CopyOnWriteMap).SnapshotScan {
+		t.Error("CopyOnWriteMap iteration must be snapshot")
+	}
+	if !PropertiesOf(TreeMap).SortedScan || PropertiesOf(HashMap).SortedScan {
+		t.Error("sorted-scan flags wrong")
+	}
+	if !PropertiesOf(ConcurrentSkipListMap).LinearizableReads() {
+		t.Error("skip list lookups must be linearizable (needed for speculative locking)")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+func TestKindString(t *testing.T) {
+	if HashMap.String() != "HashMap" || Kind(99).String() == "" {
+		t.Fatal("Kind.String broken")
+	}
+	if Unsafe.String() != "no" || Weak.String() != "weak" || Linearizable.String() != "yes" {
+		t.Fatal("Safety.String broken")
+	}
+}
+
+func TestNewUnknownKindPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(Kind(99)) },
+		func() { PropertiesOf(Kind(99)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestScanSnapshotVsWeak(t *testing.T) {
+	// A CopyOnWriteMap scan must not observe a write that happens after
+	// the scan began (single-threaded check of the snapshot property).
+	m := New(CopyOnWriteMap)
+	for i := 0; i < 10; i++ {
+		m.Write(rel.NewKey(i), i)
+	}
+	seen := 0
+	m.Scan(func(k rel.Key, v any) bool {
+		if seen == 0 {
+			m.Write(rel.NewKey(999), 999) // mutate mid-scan
+		}
+		if k.Equal(rel.NewKey(999)) {
+			t.Fatal("snapshot scan observed concurrent write")
+		}
+		seen++
+		return true
+	})
+	if seen != 10 {
+		t.Fatalf("scan saw %d entries, want 10", seen)
+	}
+	if m.Len() != 11 {
+		t.Fatal("write during scan lost")
+	}
+}
+
+func ExampleFormatTaxonomy() {
+	table := FormatTaxonomy()
+	fmt.Println(table[:14])
+	// Output: Data Structure
+}

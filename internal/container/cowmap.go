@@ -1,0 +1,91 @@
+package container
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rel"
+)
+
+// cowMap is a copy-on-write sorted array map, the analog of
+// java.util.concurrent.CopyOnWriteArrayList used as an associative
+// container: every mutation copies the backing array under a mutex and
+// publishes it atomically, so reads and scans operate on immutable
+// snapshots. All operation pairs are safe and linearizable, and iteration
+// is snapshot iteration (§3.1) — at the cost of O(n) writes.
+type cowMap struct {
+	mu   sync.Mutex
+	data atomic.Pointer[[]cowEntry]
+}
+
+type cowEntry struct {
+	key rel.Key
+	val any
+}
+
+// NewCopyOnWriteMap returns an empty snapshot-iteration map.
+func NewCopyOnWriteMap() Map {
+	m := &cowMap{}
+	empty := make([]cowEntry, 0)
+	m.data.Store(&empty)
+	return m
+}
+
+func cowSearch(data []cowEntry, k rel.Key) (int, bool) {
+	i := sort.Search(len(data), func(i int) bool {
+		return rel.CompareKeys(data[i].key, k) >= 0
+	})
+	return i, i < len(data) && data[i].key.Equal(k)
+}
+
+// Lookup returns the value for k from the current snapshot.
+func (m *cowMap) Lookup(k rel.Key) (any, bool) {
+	data := *m.data.Load()
+	if i, ok := cowSearch(data, k); ok {
+		return data[i].val, true
+	}
+	return nil, false
+}
+
+// Write inserts, updates, or (v == nil) removes the entry for k by
+// publishing a fresh copy of the array.
+func (m *cowMap) Write(k rel.Key, v any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data := *m.data.Load()
+	i, found := cowSearch(data, k)
+	switch {
+	case v == nil && !found:
+		return
+	case v == nil:
+		next := make([]cowEntry, 0, len(data)-1)
+		next = append(next, data[:i]...)
+		next = append(next, data[i+1:]...)
+		m.data.Store(&next)
+	case found:
+		next := make([]cowEntry, len(data))
+		copy(next, data)
+		next[i].val = v
+		m.data.Store(&next)
+	default:
+		next := make([]cowEntry, 0, len(data)+1)
+		next = append(next, data[:i]...)
+		next = append(next, cowEntry{key: k, val: v})
+		next = append(next, data[i:]...)
+		m.data.Store(&next)
+	}
+}
+
+// Scan iterates a snapshot in ascending key order; snapshot iteration is
+// linearizable (§3.1).
+func (m *cowMap) Scan(f func(k rel.Key, v any) bool) {
+	for _, e := range *m.data.Load() {
+		if !f(e.key, e.val) {
+			return
+		}
+	}
+}
+
+// Len returns the entry count of the current snapshot.
+func (m *cowMap) Len() int { return len(*m.data.Load()) }

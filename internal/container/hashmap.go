@@ -1,0 +1,95 @@
+package container
+
+import "repro/internal/rel"
+
+// hashMap is a from-scratch chained hash table, the analog of
+// java.util.HashMap: safe for parallel lookups and scans, unsafe under any
+// concurrent write. Buckets double when the load factor exceeds 1.
+type hashMap struct {
+	buckets []*hentry
+	size    int
+}
+
+type hentry struct {
+	key  rel.Key
+	hash uint64
+	val  any
+	next *hentry
+}
+
+const hashMapInitialBuckets = 8
+
+// NewHashMap returns an empty non-concurrent chained hash map.
+func NewHashMap() Map {
+	return &hashMap{buckets: make([]*hentry, hashMapInitialBuckets)}
+}
+
+func (m *hashMap) bucketFor(h uint64) int {
+	return int(h & uint64(len(m.buckets)-1))
+}
+
+// Lookup returns the value associated with k, if present.
+func (m *hashMap) Lookup(k rel.Key) (any, bool) {
+	h := k.Hash()
+	for e := m.buckets[m.bucketFor(h)]; e != nil; e = e.next {
+		if e.hash == h && e.key.Equal(k) {
+			return e.val, true
+		}
+	}
+	return nil, false
+}
+
+// Write inserts, updates, or (v == nil) removes the entry for k.
+func (m *hashMap) Write(k rel.Key, v any) {
+	h := k.Hash()
+	b := m.bucketFor(h)
+	if v == nil {
+		for p, e := (**hentry)(&m.buckets[b]), m.buckets[b]; e != nil; p, e = &e.next, e.next {
+			if e.hash == h && e.key.Equal(k) {
+				*p = e.next
+				m.size--
+				return
+			}
+		}
+		return
+	}
+	for e := m.buckets[b]; e != nil; e = e.next {
+		if e.hash == h && e.key.Equal(k) {
+			e.val = v
+			return
+		}
+	}
+	m.buckets[b] = &hentry{key: k, hash: h, val: v, next: m.buckets[b]}
+	m.size++
+	if m.size > len(m.buckets) {
+		m.grow()
+	}
+}
+
+func (m *hashMap) grow() {
+	old := m.buckets
+	m.buckets = make([]*hentry, 2*len(old))
+	for _, e := range old {
+		for e != nil {
+			next := e.next
+			b := m.bucketFor(e.hash)
+			e.next = m.buckets[b]
+			m.buckets[b] = e
+			e = next
+		}
+	}
+}
+
+// Scan iterates over the entries in bucket order (unsorted).
+func (m *hashMap) Scan(f func(k rel.Key, v any) bool) {
+	for _, e := range m.buckets {
+		for ; e != nil; e = e.next {
+			if !f(e.key, e.val) {
+				return
+			}
+		}
+	}
+}
+
+// Len returns the number of entries.
+func (m *hashMap) Len() int { return m.size }

@@ -1,0 +1,26 @@
+package container
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatTaxonomy renders the Figure 1 table: the concurrency-safety and
+// consistency properties of every container kind, for the operation pairs
+// lookup/lookup, lookup/write, scan/write, write/write and lookup/scan,
+// scan/scan.
+func FormatTaxonomy() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %-5s %-5s %-5s %-5s %-6s %-7s %-9s\n",
+		"Data Structure", "L/L", "L/W", "S/W", "W/W", "L/S,S/S", "sorted", "snapshot")
+	for _, k := range Kinds() {
+		p := PropertiesOf(k)
+		ls := p.LS.String()
+		if p.LS != p.SS {
+			ls = p.LS.String() + "/" + p.SS.String()
+		}
+		fmt.Fprintf(&b, "%-22s %-5s %-5s %-5s %-5s %-6s %-7v %-9v\n",
+			k.String(), p.LL, p.LW, p.SW, p.WW, ls, p.SortedScan, p.SnapshotScan)
+	}
+	return b.String()
+}

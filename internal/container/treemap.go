@@ -1,0 +1,202 @@
+package container
+
+import "repro/internal/rel"
+
+// treeMap is a from-scratch left-leaning red-black tree (Sedgewick's LLRB
+// 2-3 variant), the analog of java.util.TreeMap: sorted iteration, O(log n)
+// lookup and update, safe for parallel reads, unsafe under concurrent
+// writes.
+type treeMap struct {
+	root *llrb
+	size int
+}
+
+type llrb struct {
+	key         rel.Key
+	val         any
+	left, right *llrb
+	red         bool
+}
+
+// NewTreeMap returns an empty non-concurrent sorted map.
+func NewTreeMap() Map {
+	return &treeMap{}
+}
+
+func isRed(h *llrb) bool { return h != nil && h.red }
+
+func rotateLeft(h *llrb) *llrb {
+	x := h.right
+	h.right = x.left
+	x.left = h
+	x.red = h.red
+	h.red = true
+	return x
+}
+
+func rotateRight(h *llrb) *llrb {
+	x := h.left
+	h.left = x.right
+	x.right = h
+	x.red = h.red
+	h.red = true
+	return x
+}
+
+func flipColors(h *llrb) {
+	h.red = !h.red
+	h.left.red = !h.left.red
+	h.right.red = !h.right.red
+}
+
+func fixUp(h *llrb) *llrb {
+	if isRed(h.right) && !isRed(h.left) {
+		h = rotateLeft(h)
+	}
+	if isRed(h.left) && isRed(h.left.left) {
+		h = rotateRight(h)
+	}
+	if isRed(h.left) && isRed(h.right) {
+		flipColors(h)
+	}
+	return h
+}
+
+// Lookup returns the value associated with k, if present.
+func (m *treeMap) Lookup(k rel.Key) (any, bool) {
+	h := m.root
+	for h != nil {
+		switch c := rel.CompareKeys(k, h.key); {
+		case c < 0:
+			h = h.left
+		case c > 0:
+			h = h.right
+		default:
+			return h.val, true
+		}
+	}
+	return nil, false
+}
+
+// Write inserts, updates, or (v == nil) removes the entry for k.
+func (m *treeMap) Write(k rel.Key, v any) {
+	if v == nil {
+		if _, ok := m.Lookup(k); !ok {
+			return
+		}
+		m.root = llrbDelete(m.root, k)
+		if m.root != nil {
+			m.root.red = false
+		}
+		m.size--
+		return
+	}
+	var inserted bool
+	m.root, inserted = llrbInsert(m.root, k, v)
+	m.root.red = false
+	if inserted {
+		m.size++
+	}
+}
+
+func llrbInsert(h *llrb, k rel.Key, v any) (*llrb, bool) {
+	if h == nil {
+		return &llrb{key: k, val: v, red: true}, true
+	}
+	var inserted bool
+	switch c := rel.CompareKeys(k, h.key); {
+	case c < 0:
+		h.left, inserted = llrbInsert(h.left, k, v)
+	case c > 0:
+		h.right, inserted = llrbInsert(h.right, k, v)
+	default:
+		h.val = v
+	}
+	return fixUp(h), inserted
+}
+
+func moveRedLeft(h *llrb) *llrb {
+	flipColors(h)
+	if isRed(h.right.left) {
+		h.right = rotateRight(h.right)
+		h = rotateLeft(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func moveRedRight(h *llrb) *llrb {
+	flipColors(h)
+	if isRed(h.left.left) {
+		h = rotateRight(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func llrbMin(h *llrb) *llrb {
+	for h.left != nil {
+		h = h.left
+	}
+	return h
+}
+
+func llrbDeleteMin(h *llrb) *llrb {
+	if h.left == nil {
+		return nil
+	}
+	if !isRed(h.left) && !isRed(h.left.left) {
+		h = moveRedLeft(h)
+	}
+	h.left = llrbDeleteMin(h.left)
+	return fixUp(h)
+}
+
+// llrbDelete removes k from the subtree; the key must be present.
+func llrbDelete(h *llrb, k rel.Key) *llrb {
+	if rel.CompareKeys(k, h.key) < 0 {
+		if !isRed(h.left) && !isRed(h.left.left) {
+			h = moveRedLeft(h)
+		}
+		h.left = llrbDelete(h.left, k)
+	} else {
+		if isRed(h.left) {
+			h = rotateRight(h)
+		}
+		if rel.CompareKeys(k, h.key) == 0 && h.right == nil {
+			return nil
+		}
+		if !isRed(h.right) && !isRed(h.right.left) {
+			h = moveRedRight(h)
+		}
+		if rel.CompareKeys(k, h.key) == 0 {
+			min := llrbMin(h.right)
+			h.key, h.val = min.key, min.val
+			h.right = llrbDeleteMin(h.right)
+		} else {
+			h.right = llrbDelete(h.right, k)
+		}
+	}
+	return fixUp(h)
+}
+
+// Scan iterates over entries in ascending key order.
+func (m *treeMap) Scan(f func(k rel.Key, v any) bool) {
+	scanLLRB(m.root, f)
+}
+
+func scanLLRB(h *llrb, f func(k rel.Key, v any) bool) bool {
+	if h == nil {
+		return true
+	}
+	if !scanLLRB(h.left, f) {
+		return false
+	}
+	if !f(h.key, h.val) {
+		return false
+	}
+	return scanLLRB(h.right, f)
+}
+
+// Len returns the number of entries.
+func (m *treeMap) Len() int { return m.size }

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/decomp"
+	"repro/internal/locks"
+	"repro/internal/rel"
+)
+
+// The well-lockedness auditor turns the logical-lock protocol of §4.2 into
+// executable assertions: when enabled, every container access the executor
+// performs is checked against the lock placement — the transaction must
+// hold the physical lock(s) that imply the logical lock of the touched
+// edge instances. A violation panics with a diagnostic; the test suites
+// run with auditing on, so a planner or executor bug that under-locks
+// cannot pass silently even if no race happens to materialize.
+//
+// The rules mirror §4.3–4.5:
+//
+//   - non-speculative edge: the lock lives on the placement node's
+//     instance; if the operation tuple binds the stripe selector, that
+//     stripe must be held, otherwise every stripe must be held (the
+//     "conservatively take all k locks" case);
+//   - speculative edge, present entry: the target instance's lock;
+//   - speculative edge, absent entry or whole-container access: the
+//     fallback stripes;
+//   - instances created by the running operation are private until its
+//     locks are released, so accesses to them need no locks.
+
+var auditEnabled atomic.Bool
+
+// SetAudit globally enables or disables well-lockedness auditing. Intended
+// for tests; auditing costs one placement resolution per container access.
+func SetAudit(on bool) { auditEnabled.Store(on) }
+
+// AuditEnabled reports whether auditing is on.
+func AuditEnabled() bool { return auditEnabled.Load() }
+
+// auditAccess asserts lock coverage for an access to edge e. insts maps
+// node index → located instance (a query state's instances or a
+// mutation's xinst array); s is the operation's bound tuple (the stripe
+// source); target is the present speculative target, nil otherwise;
+// fresh marks instances created by this operation.
+// whole marks whole-container observations (emptiness and Len reads),
+// which rely on every entry's logical lock: a single stripe then only
+// suffices when the selector is constant per container (⊆ the source
+// node's bound columns). Per-entry and filtered accesses accept a single
+// stripe whenever the tuple binds the selector (the predicate-lock
+// argument of §4.4: all entries the access relies on share that stripe).
+func (r *Relation) auditAccess(txn *locks.Txn, e *decomp.Edge, insts []*Instance, s rel.Tuple, target *Instance, fresh map[*Instance]bool, whole bool) {
+	if !auditEnabled.Load() {
+		return
+	}
+	src := insts[e.Src.Index]
+	if src == nil || fresh[src] {
+		return // private or unlocated: nothing observable
+	}
+	rule := r.placement.RuleFor(e)
+	if rule.Speculative {
+		if target != nil {
+			if fresh[target] {
+				return
+			}
+			if !txn.Holds(target.lock(0)) {
+				panic(fmt.Sprintf("core: audit: speculative access to %s without target lock %v", e.Name, target.lock(0).ID()))
+			}
+			return
+		}
+		r.auditStripes(txn, e, insts[rule.FallbackAt.Index], rule.FallbackAt, rule.FallbackStripeBy, s, whole)
+		return
+	}
+	at := insts[rule.At.Index]
+	if at == nil {
+		panic(fmt.Sprintf("core: audit: access to %s before locating placement node %s", e.Name, rule.At.Name))
+	}
+	if fresh[at] {
+		return
+	}
+	r.auditStripes(txn, e, at, rule.At, rule.StripeBy, s, whole)
+}
+
+// auditStripes asserts the stripe-coverage rule on one placement instance.
+func (r *Relation) auditStripes(txn *locks.Txn, e *decomp.Edge, inst *Instance, at *decomp.Node, stripeBy []string, s rel.Tuple, whole bool) {
+	if inst == nil {
+		panic(fmt.Sprintf("core: audit: access to %s before locating fallback/placement node %s", e.Name, at.Name))
+	}
+	k := r.placement.StripeCount(at)
+	single := false
+	if whole {
+		single = rel.ColsSubset(stripeBy, e.Src.A)
+	} else {
+		single = s.HasAll(stripeBy)
+	}
+	if single {
+		if idx, ok := r.placement.StripeIndex(at, stripeBy, s); ok {
+			if !txn.Holds(inst.lock(idx)) {
+				panic(fmt.Sprintf("core: audit: access to %s without stripe %d of %s (selector %v over %v)",
+					e.Name, idx, at.Name, stripeBy, s))
+			}
+			return
+		}
+	}
+	for i := 0; i < k; i++ {
+		if !txn.Holds(inst.lock(i)) {
+			panic(fmt.Sprintf("core: audit: unselective access to %s missing stripe %d of %s (whole=%v)", e.Name, i, at.Name, whole))
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rel"
+)
+
+// TestConcurrentStress drives every representation variant with several
+// goroutines issuing the four graph operations of §6.2 concurrently, then
+// checks quiescent invariants: the synthesizer's claim is that any legal
+// (decomposition, placement) pair yields serializable, deadlock-free
+// operations, so none of this may race (run under -race), deadlock, or
+// corrupt the instance graph.
+func TestConcurrentStress(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, r *Relation) {
+		const workers = 8
+		const opsPerWorker = 400
+		const keys = 10
+		done := make(chan struct{})
+		go func() {
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < opsPerWorker; i++ {
+						src, dst := rng.Intn(keys), rng.Intn(keys)
+						switch rng.Intn(10) {
+						case 0, 1, 2, 3:
+							if _, err := r.Insert(rel.T("src", src, "dst", dst), rel.T("weight", rng.Intn(100))); err != nil {
+								t.Errorf("insert: %v", err)
+								return
+							}
+						case 4, 5:
+							if _, err := r.Remove(rel.T("src", src, "dst", dst)); err != nil {
+								t.Errorf("remove: %v", err)
+								return
+							}
+						case 6, 7:
+							if _, err := r.Query(rel.T("src", src), "dst", "weight"); err != nil {
+								t.Errorf("query succ: %v", err)
+								return
+							}
+						case 8:
+							if _, err := r.Query(rel.T("dst", dst), "src", "weight"); err != nil {
+								t.Errorf("query pred: %v", err)
+								return
+							}
+						default:
+							if _, err := r.Snapshot(); err != nil {
+								t.Errorf("snapshot: %v", err)
+								return
+							}
+						}
+					}
+				}(int64(w * 7919))
+			}
+			wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(60 * time.Second):
+			t.Fatal("deadlock: concurrent stress did not finish")
+		}
+		// Quiescent coherence: the instance graph is well formed and the
+		// snapshot agrees with the abstraction function.
+		wf, err := r.VerifyWellFormed()
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := r.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tuplesEqual(wf, snap) {
+			t.Fatalf("abstraction %v != snapshot %v", wf, snap)
+		}
+		// Functional dependency preserved: src,dst unique.
+		seen := map[string]bool{}
+		for _, tu := range snap {
+			k := tu.Project([]string{"src", "dst"}).String()
+			if seen[k] {
+				t.Fatalf("FD violated: duplicate %s", k)
+			}
+			seen[k] = true
+		}
+	})
+}
+
+// TestConcurrentDisjointInserts checks that inserts to disjoint keys all
+// survive — a lost-update probe across every variant.
+func TestConcurrentDisjointInserts(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, r *Relation) {
+		const workers = 8
+		const perWorker = 50
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					src := w*perWorker + i
+					if ok, err := r.Insert(rel.T("src", src, "dst", src+1), rel.T("weight", w)); err != nil || !ok {
+						t.Errorf("insert %d: %v %v", src, ok, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		snap, err := r.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(snap) != workers*perWorker {
+			t.Fatalf("lost updates: %d tuples, want %d", len(snap), workers*perWorker)
+		}
+	})
+}
+
+// TestConcurrentPutIfAbsentRace has all workers race to insert the same
+// key with distinct weights: exactly one must win, and the surviving
+// weight must correspond to a winner that reported true.
+func TestConcurrentPutIfAbsentRace(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, r *Relation) {
+		for round := 0; round < 20; round++ {
+			const workers = 8
+			wins := make([]bool, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					ok, err := r.Insert(rel.T("src", round, "dst", round), rel.T("weight", w))
+					if err != nil {
+						t.Errorf("insert: %v", err)
+						return
+					}
+					wins[w] = ok
+				}(w)
+			}
+			wg.Wait()
+			winners := 0
+			winner := -1
+			for w, ok := range wins {
+				if ok {
+					winners++
+					winner = w
+				}
+			}
+			if winners != 1 {
+				t.Fatalf("round %d: %d winners, want exactly 1", round, winners)
+			}
+			got, err := r.Query(rel.T("src", round, "dst", round), "weight")
+			if err != nil || len(got) != 1 {
+				t.Fatalf("round %d: query = %v, %v", round, got, err)
+			}
+			if !got[0].Equal(rel.T("weight", winner)) {
+				t.Fatalf("round %d: stored weight %v but winner was %d", round, got[0], winner)
+			}
+		}
+	})
+}
+
+// TestConcurrentInsertRemoveSameKey hammers one key with inserts and
+// removes; afterwards presence must be coherent across query paths.
+func TestConcurrentInsertRemoveSameKey(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, r *Relation) {
+		var wg sync.WaitGroup
+		for w := 0; w < 6; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 300; i++ {
+					if w%2 == 0 {
+						r.Insert(rel.T("src", 1, "dst", 2), rel.T("weight", w*1000+i))
+					} else {
+						r.Remove(rel.T("src", 1, "dst", 2))
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		bySucc, _ := r.Query(rel.T("src", 1), "dst")
+		byPred, _ := r.Query(rel.T("dst", 2), "src")
+		byPoint, _ := r.Query(rel.T("src", 1, "dst", 2), "weight")
+		if len(bySucc) != len(byPred) || len(bySucc) != len(byPoint) {
+			t.Fatalf("incoherent views: succ=%d pred=%d point=%d", len(bySucc), len(byPred), len(byPoint))
+		}
+		if _, err := r.VerifyWellFormed(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/decomp"
+	"repro/internal/locks"
+	"repro/internal/query"
+	"repro/internal/rel"
+)
+
+// This file interprets compiled plans against a decomposition instance.
+// The executor is the runtime half of the paper's code generator: plans
+// fix the access path, the lock steps and their order at synthesis time;
+// the executor evaluates them over query states (§5.2), sorting lock
+// batches into the global order (eliding the sort when the plan proved the
+// states pre-sorted) and running the speculative acquire/validate/retry
+// protocol of §4.5.
+
+// specRetryLimit bounds the §4.5 validate/retry loop; exceeding it
+// indicates a livelock bug rather than contention, so the executor panics.
+const specRetryLimit = 1 << 20
+
+// runQuery executes a compiled query plan under a fresh transaction and
+// returns the out-projection of every matching tuple.
+func (r *Relation) runQuery(plan *query.Plan, s rel.Tuple, out []string) []rel.Tuple {
+	txn := locks.NewTxn()
+	defer txn.ReleaseAll()
+	states := []*qstate{r.rootState(s)}
+	for i := range plan.Steps {
+		states = r.execStep(txn, &plan.Steps[i], states, s)
+		if len(states) == 0 {
+			break
+		}
+	}
+	results := make([]rel.Tuple, 0, len(states))
+	for _, st := range states {
+		results = append(results, st.tuple.Project(out))
+	}
+	return results
+}
+
+// execStep dispatches one plan step over the current states.
+func (r *Relation) execStep(txn *locks.Txn, step *query.Step, states []*qstate, s rel.Tuple) []*qstate {
+	switch step.Kind {
+	case query.StepLock:
+		r.execLock(txn, step, states, s)
+		return states
+	case query.StepLookup:
+		return r.execLookup(txn, step.Edge, states)
+	case query.StepScan:
+		if r.placement.RuleFor(step.Edge).Speculative {
+			return r.execScanSpec(txn, step, states)
+		}
+		return r.execScan(txn, step.Edge, states)
+	case query.StepSpecLookup:
+		return r.execSpecLookup(txn, step.Edge, states, step.Mode)
+	default:
+		panic(fmt.Sprintf("core: unknown step kind %d", step.Kind))
+	}
+}
+
+// execLock acquires the physical locks the step requires on the instances
+// of its node present in states. Stripe selection follows §4.4: a bound
+// selector hashes the operation tuple; anything else takes every stripe.
+func (r *Relation) execLock(txn *locks.Txn, step *query.Step, states []*qstate, s rel.Tuple) {
+	n := step.Node
+	if len(states) == 1 {
+		if inst := states[0].insts[n.Index]; inst != nil {
+			var buf [1]*Instance
+			buf[0] = inst
+			r.execLockInsts(txn, step, buf[:], s)
+		}
+		return
+	}
+	seen := make(map[*Instance]bool, len(states))
+	insts := make([]*Instance, 0, len(states))
+	for _, st := range states {
+		inst := st.insts[n.Index]
+		if inst == nil || seen[inst] {
+			continue
+		}
+		seen[inst] = true
+		insts = append(insts, inst)
+	}
+	r.execLockInsts(txn, step, insts, s)
+}
+
+// execLockInsts acquires the step's locks over a deduplicated instance
+// list.
+func (r *Relation) execLockInsts(txn *locks.Txn, step *query.Step, insts []*Instance, s rel.Tuple) {
+	n := step.Node
+	k := r.placement.StripeCount(n)
+	var bbuf [4]*locks.Lock
+	batch := bbuf[:0]
+	singlePerInstance := true
+	for _, inst := range insts {
+		all := false
+		var sbuf [4]int
+		stripes := sbuf[:0]
+		for _, sel := range step.Selectors {
+			if sel.All {
+				all = true
+				break
+			}
+			idx, ok := r.placement.StripeIndex(n, sel.Cols, s)
+			if !ok {
+				all = true
+				break
+			}
+			stripes = append(stripes, idx)
+		}
+		if all {
+			singlePerInstance = false
+			for i := 0; i < k; i++ {
+				batch = append(batch, inst.lock(i))
+			}
+			continue
+		}
+		sort.Ints(stripes)
+		prev := -1
+		cnt := 0
+		for _, idx := range stripes {
+			if idx == prev {
+				continue
+			}
+			prev = idx
+			batch = append(batch, inst.lock(idx))
+			cnt++
+		}
+		if cnt != 1 {
+			singlePerInstance = false
+		}
+	}
+	preSorted := step.PreSorted && k == 1 && singlePerInstance
+	txn.Acquire(batch, step.Mode, preSorted)
+}
+
+// execLookup advances each state across edge e by key lookup. States whose
+// entry is absent are dropped: the transaction observed the absence under
+// the logical lock its earlier lock steps imply.
+func (r *Relation) execLookup(txn *locks.Txn, e *decomp.Edge, states []*qstate) []*qstate {
+	out := states[:0]
+	for _, st := range states {
+		src := st.insts[e.Src.Index]
+		if src == nil {
+			continue
+		}
+		r.auditAccess(txn, e, st.insts, st.tuple, nil, nil, false)
+		v, ok := src.containerFor(e).Lookup(st.tuple.Key(e.Cols))
+		if !ok {
+			continue
+		}
+		st.insts[e.Dst.Index] = v.(*Instance)
+		out = append(out, st)
+	}
+	return out
+}
+
+// execScan advances states across edge e by iterating the source
+// containers, joining each entry's key valuation with the state tuple and
+// filtering entries that disagree on shared columns. The join is a linear
+// merge over the edge's precomputed sorted column order.
+func (r *Relation) execScan(txn *locks.Txn, e *decomp.Edge, states []*qstate) []*qstate {
+	var out []*qstate
+	// Filter positions: edge columns also bound in the state tuple.
+	for _, st := range states {
+		src := st.insts[e.Src.Index]
+		if src == nil {
+			continue
+		}
+		var filterIdx []int
+		var filterVal []rel.Value
+		for i, c := range e.Cols {
+			if v, ok := st.tuple.Get(c); ok {
+				filterIdx = append(filterIdx, i)
+				filterVal = append(filterVal, v)
+			}
+		}
+		r.auditAccess(txn, e, st.insts, st.tuple, nil, nil, len(filterIdx) == 0)
+		src.containerFor(e).Scan(func(k rel.Key, v any) bool {
+			for fi, idx := range filterIdx {
+				if !rel.Equal(k.At(idx), filterVal[fi]) {
+					return true
+				}
+			}
+			vals := make([]rel.Value, len(e.SortPerm))
+			for i, p := range e.SortPerm {
+				vals[i] = k.At(p)
+			}
+			out = append(out, st.extend(st.tuple.MergeSorted(e.SortedCols, vals), e.Dst, v.(*Instance)))
+			return true
+		})
+	}
+	return out
+}
+
+// execSpecLookup advances states across a speculatively placed edge
+// (§4.5). The plan has already taken the fallback stripe covering the
+// absent case, so:
+//
+//   - an unlocked read that misses is final (the absence is protected by
+//     the held fallback lock) and the state dies;
+//   - a hit guesses the target instance, acquires its lock, and validates
+//     the read under the lock; if the entry moved to a different instance
+//     the guess is abandoned and retried, which is safe because the
+//     abandoned lock was the most recently acquired.
+//
+// Requests are processed in target-key order so acquisitions respect the
+// global lock order across states.
+func (r *Relation) execSpecLookup(txn *locks.Txn, e *decomp.Edge, states []*qstate, mode locks.Mode) []*qstate {
+	type req struct {
+		st     *qstate
+		target rel.Key
+	}
+	reqs := make([]req, 0, len(states))
+	for _, st := range states {
+		if st.insts[e.Src.Index] == nil {
+			continue
+		}
+		reqs = append(reqs, req{st: st, target: st.tuple.Key(e.Dst.A)})
+	}
+	sort.Slice(reqs, func(i, j int) bool { return rel.CompareKeys(reqs[i].target, reqs[j].target) < 0 })
+	var out []*qstate
+	for _, rq := range reqs {
+		st := rq.st
+		src := st.insts[e.Src.Index]
+		if inst, ok := r.specLocate(txn, e, src, st.tuple, mode); ok {
+			st.insts[e.Dst.Index] = inst
+			out = append(out, st)
+		} else {
+			// Absence is covered by the held fallback stripe; audit it.
+			r.auditAccess(txn, e, st.insts, st.tuple, nil, nil, false)
+		}
+	}
+	return out
+}
+
+// specLocate runs the speculative protocol for a single bound key and
+// returns the locked target instance, or ok=false if the edge instance is
+// absent (covered by the held fallback stripe).
+func (r *Relation) specLocate(txn *locks.Txn, e *decomp.Edge, src *Instance, t rel.Tuple, mode locks.Mode) (*Instance, bool) {
+	c := src.containerFor(e)
+	key := t.Key(e.Cols)
+	for attempt := 0; ; attempt++ {
+		if attempt > specRetryLimit {
+			panic(fmt.Sprintf("core: speculative retry livelock on edge %s", e.Name))
+		}
+		v, ok := c.Lookup(key) // unlocked read: container has linearizable lookups
+		if !ok {
+			return nil, false
+		}
+		guess := v.(*Instance)
+		l := guess.lock(0)
+		if txn.Holds(l) {
+			// Already locked (e.g. located earlier via another in-edge or
+			// an earlier state): the mapping is stable, trust a re-read.
+			v2, ok2 := c.Lookup(key)
+			if !ok2 {
+				return nil, false
+			}
+			if v2.(*Instance) == guess {
+				return guess, true
+			}
+			continue
+		}
+		txn.AcquireSpeculative(l, mode)
+		v2, ok2 := c.Lookup(key)
+		if ok2 && v2.(*Instance) == guess {
+			return guess, true // guessed right: read was stable
+		}
+		txn.Abandon(l)
+		if !ok2 {
+			return nil, false
+		}
+		// The entry moved to a different instance; retry with the new one.
+	}
+}
+
+// execScanSpec scans a speculatively placed edge: the plan took every
+// fallback stripe (covering all absent entries, and thereby freezing the
+// container's membership), so each discovered entry only needs its target
+// lock validated. Candidates are locked in target-key order.
+func (r *Relation) execScanSpec(txn *locks.Txn, step *query.Step, states []*qstate) []*qstate {
+	e := step.Edge
+	type cand struct {
+		st     *qstate
+		kt     rel.Tuple
+		target rel.Key
+	}
+	var cands []cand
+	for _, st := range states {
+		src := st.insts[e.Src.Index]
+		if src == nil {
+			continue
+		}
+		r.auditAccess(txn, e, st.insts, st.tuple, nil, nil, true)
+		src.containerFor(e).Scan(func(k rel.Key, v any) bool {
+			kt := k.Tuple(e.Cols)
+			if !kt.Matches(st.tuple) {
+				return true
+			}
+			cands = append(cands, cand{st: st, kt: kt, target: st.tuple.MustUnion(kt).Key(e.Dst.A)})
+			return true
+		})
+	}
+	sort.Slice(cands, func(i, j int) bool { return rel.CompareKeys(cands[i].target, cands[j].target) < 0 })
+	var out []*qstate
+	for _, c := range cands {
+		src := c.st.insts[e.Src.Index]
+		tuple := c.st.tuple.MustUnion(c.kt)
+		if inst, ok := r.specLocate(txn, e, src, tuple, step.Mode); ok {
+			out = append(out, c.st.extend(tuple, e.Dst, inst))
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+// Package core ties the substrates together into the paper's headline
+// artifact: Synthesize compiles a relational specification, a concurrent
+// decomposition (§4.1) and a lock placement (§4.3–4.5) into a Relation
+// whose operations (§2) are planned once (internal/query) and executed
+// under two-phase, globally ordered locking — serializable and
+// deadlock-free by construction (§5).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/container"
+	"repro/internal/decomp"
+	"repro/internal/locks"
+	"repro/internal/rel"
+)
+
+// Instance is the runtime counterpart of a decomposition node (§4.1): one
+// object per distinct valuation of the node's bound columns A. It owns one
+// container per outgoing edge and the stripe array of physical locks the
+// placement assigns to the node.
+type Instance struct {
+	node *decomp.Node
+	// key is the valuation of node.A in sorted column order; it is the
+	// instance component of the lock IDs (§5.1).
+	key rel.Key
+	// containers holds one container per outgoing edge, indexed by the
+	// edge's position in node.Out. Values stored in a container are
+	// always *Instance.
+	containers []container.Map
+	// lockArr is the stripe array of physical locks (§4.4).
+	lockArr []locks.Lock
+}
+
+// newInstance allocates the instance of node n for the valuation carried
+// by tuple t (which must bind all of n.A).
+func (r *Relation) newInstance(n *decomp.Node, t rel.Tuple) *Instance {
+	key := t.Key(n.A)
+	inst := &Instance{
+		node:       n,
+		key:        key,
+		containers: make([]container.Map, len(n.Out)),
+		lockArr:    locks.NewArray(n.Index, key, r.placement.StripeCount(n)),
+	}
+	for i, e := range n.Out {
+		inst.containers[i] = container.New(e.Container)
+	}
+	return inst
+}
+
+// containerFor returns the container implementing edge e on this instance.
+// e must be an out-edge of the instance's node.
+func (inst *Instance) containerFor(e *decomp.Edge) container.Map {
+	for i, oe := range inst.node.Out {
+		if oe == e {
+			return inst.containers[i]
+		}
+	}
+	panic(fmt.Sprintf("core: edge %s is not an out-edge of node %s", e.Name, inst.node.Name))
+}
+
+// lock returns the i'th physical lock of the instance.
+func (inst *Instance) lock(i int) *locks.Lock { return &inst.lockArr[i] }
+
+// qstate is a query state (§5.2): a tuple binding a subset of the
+// relation's columns plus the node instances located so far, indexed by
+// node topological index.
+type qstate struct {
+	tuple rel.Tuple
+	insts []*Instance
+}
+
+// rootState returns the initial query state holding only the root
+// instance and the operation's input tuple.
+func (r *Relation) rootState(t rel.Tuple) *qstate {
+	insts := make([]*Instance, len(r.decomp.Nodes))
+	insts[r.decomp.Root.Index] = r.root
+	return &qstate{tuple: t, insts: insts}
+}
+
+// extend returns a copy of the state with an additional bound tuple part
+// and a located instance.
+func (st *qstate) extend(t rel.Tuple, n *decomp.Node, inst *Instance) *qstate {
+	insts := make([]*Instance, len(st.insts))
+	copy(insts, st.insts)
+	insts[n.Index] = inst
+	return &qstate{tuple: t, insts: insts}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/container"
+	"repro/internal/decomp"
+	"repro/internal/locks"
+	"repro/internal/rel"
+)
+
+// TestInstanceDOTFigure2b reproduces Figure 2(b): the directory-tree
+// instance holding {⟨1,'a',2⟩, ⟨2,'b',3⟩, ⟨2,'c',4⟩} rendered as a graph
+// with per-entry edges.
+func TestInstanceDOTFigure2b(t *testing.T) {
+	d, err := decomp.NewBuilder(dirSpec(), "ρ").
+		Edge("ρx", "ρ", "x", []string{"parent"}, container.TreeMap).
+		Edge("xy", "x", "y", []string{"name"}, container.TreeMap).
+		Edge("ρy", "ρ", "y", []string{"parent", "name"}, container.ConcurrentHashMap).
+		Edge("yz", "y", "z", []string{"child"}, container.Cell).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Synthesize(d, locks.FineGrained(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []struct {
+		p int
+		n string
+		c int
+	}{{1, "a", 2}, {2, "b", 3}, {2, "c", 4}} {
+		if ok, err := r.Insert(rel.T("parent", e.p, "name", e.n), rel.T("child", e.c)); err != nil || !ok {
+			t.Fatalf("insert: %v %v", ok, err)
+		}
+	}
+	dot := r.InstanceDOT("fig2b")
+	// Figure 2(b): two x instances (parents 1 and 2), three y instances,
+	// three z instances.
+	for _, want := range []string{"x1", "x2", "y1", "y2", "y3", "z1", "z2", "z3"} {
+		if !strings.Contains(dot, "\""+want+"\"") {
+			t.Errorf("instance diagram missing %s:\n%s", want, dot)
+		}
+	}
+	if strings.Contains(dot, "\"x3\"") || strings.Contains(dot, "\"y4\"") {
+		t.Errorf("too many instances:\n%s", dot)
+	}
+	// The hashtable edges carry composite keys like (2, "c").
+	if !strings.Contains(dot, `(2, \"c\")`) && !strings.Contains(dot, `(2, "c")`) {
+		t.Errorf("composite hashtable key missing:\n%s", dot)
+	}
+	// Styling: dotted singleton edges, dashed concurrent hashtable edges,
+	// solid TreeMap edges.
+	for _, want := range []string{"style=dotted", "style=dashed", "style=solid"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("missing %s:\n%s", want, dot)
+		}
+	}
+	// Deterministic output.
+	if dot != r.InstanceDOT("fig2b") {
+		t.Error("instance DOT not deterministic")
+	}
+}
+
+func TestInstanceDOTSharedNodes(t *testing.T) {
+	// Diamond: the z instance must appear once with two in-edges.
+	r := diamondRel(t, false)
+	if ok, err := r.Insert(rel.T("src", 7, "dst", 8), rel.T("weight", 9)); err != nil || !ok {
+		t.Fatal(err)
+	}
+	dot := r.InstanceDOT("diamond")
+	if strings.Count(dot, `[label="z1`) != 1 {
+		t.Fatalf("z instance should render once:\n%s", dot)
+	}
+	if strings.Count(dot, "-> \"z1\"") != 2 {
+		t.Fatalf("z instance should have exactly two in-edges:\n%s", dot)
+	}
+}

@@ -1,0 +1,17 @@
+package core
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain enables the §4.2 well-lockedness auditor for the whole core
+// suite: every differential, stress and linearizability test then also
+// asserts, on every container access, that the executor holds the physical
+// locks the placement requires.
+func TestMain(m *testing.M) {
+	SetAudit(true)
+	code := m.Run()
+	SetAudit(false)
+	os.Exit(code)
+}

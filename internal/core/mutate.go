@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/locks"
+	"repro/internal/query"
+	"repro/internal/rel"
+)
+
+// This file executes mutation plans. Both mutations share the same growing
+// phase skeleton: one pass over the decomposition nodes in topological
+// order, acquiring each node's locks exclusively (so lock acquisition
+// follows the global order of §5.1), locating the instances the operation
+// touches, and — interleaved at the right node positions — advancing the
+// embedded existence/locate query states. Writes and deletes then run
+// entirely under the held locks, and the transaction releases everything
+// at the end: trivially two-phase (§4.2).
+
+// runInsert implements insert r s t (§2): insert x = s ∪ t unless some
+// existing tuple matches s.
+func (r *Relation) runInsert(plan *insertPlan, s, x rel.Tuple) bool {
+	txn := getTxn()
+	defer func() {
+		txn.ReleaseAll()
+		putTxn(txn)
+	}()
+
+	nNodes := len(r.decomp.Nodes)
+	xinst := make([]*Instance, nNodes)
+	xinst[r.decomp.Root.Index] = r.root
+	estates := []*qstate{r.rootState(s)}
+
+	for i := range plan.mut.PerNode {
+		nd := &plan.mut.PerNode[i]
+		v := nd.Node
+		if v != r.decomp.Root {
+			r.locateX(txn, nd, xinst, x)
+			// Advance the put-if-absent existence states if the exist
+			// plan's path passes through this node.
+			if step := plan.existAt[v.Index]; step != nil {
+				estates = r.execStep(txn, step, estates, s)
+			}
+		}
+		r.lockDirective(txn, nd, xinst[v.Index], estates, s)
+	}
+
+	// Existence: any surviving state traversed the whole existence path,
+	// i.e. some tuple matches s — the insert must not happen.
+	if len(estates) > 0 {
+		return false
+	}
+
+	// Write phase: create the missing instances under the held locks.
+	// A located instance implies all its in-edge entries exist (the
+	// entry/instance existence invariant), so only missing instances need
+	// writes — and they need an entry on every in-edge.
+	var fresh map[*Instance]bool
+	if AuditEnabled() {
+		fresh = map[*Instance]bool{}
+	}
+	for _, n := range r.decomp.Nodes {
+		if n == r.decomp.Root || xinst[n.Index] != nil {
+			continue
+		}
+		inst := r.newInstance(n, x)
+		xinst[n.Index] = inst
+		if fresh != nil {
+			fresh[inst] = true
+		}
+		for _, e := range n.In {
+			src := xinst[e.Src.Index]
+			if src == nil {
+				panic(fmt.Sprintf("core: insert write phase reached %s before its source %s", n.Name, e.Src.Name))
+			}
+			r.auditAccess(txn, e, xinst, x, nil, fresh, false)
+			src.containerFor(e).Write(x.Key(e.Cols), inst)
+		}
+	}
+	return true
+}
+
+// runRemove implements remove r s (§2) for a key tuple s: locate the
+// matching tuple (if any), then remove its edge entries bottom-up with
+// cascading cleanup of dead instances.
+func (r *Relation) runRemove(plan *removePlan, s rel.Tuple) bool {
+	txn := getTxn()
+	defer func() {
+		txn.ReleaseAll()
+		putTxn(txn)
+	}()
+
+	states := []*qstate{r.rootState(s)}
+	for i := range plan.mut.PerNode {
+		nd := &plan.mut.PerNode[i]
+		v := nd.Node
+		if v != r.decomp.Root {
+			states = r.advanceStates(txn, nd, states)
+		}
+		r.lockDirective(txn, nd, nil, states, s)
+	}
+	// Survivors hold complete tuples extending s; with s a key there is at
+	// most one (more only if the client violated the FDs, in which case we
+	// remove them all — remove r s removes every tuple extending s).
+	removed := false
+	for _, st := range states {
+		if !rel.ColsEqual(st.tuple.Dom(), r.spec.Columns) {
+			continue
+		}
+		r.deleteTuple(txn, st)
+		removed = true
+	}
+	return removed
+}
+
+// locateX locates node nd.Node's instance for the fully bound tuple x
+// during an insert, via the speculative in-edges (running the §4.5
+// protocol, which leaves the target instance locked) or the planned access
+// edge. Absent instances leave xinst nil; their creation happens in the
+// write phase.
+func (r *Relation) locateX(txn *locks.Txn, nd *query.NodeDirective, xinst []*Instance, x rel.Tuple) {
+	v := nd.Node
+	var found *Instance
+	for _, e := range nd.SpecIns {
+		src := xinst[e.Src.Index]
+		if src == nil {
+			continue
+		}
+		inst, ok := r.specLocate(txn, e, src, x, locks.Exclusive)
+		if !ok {
+			continue
+		}
+		if found != nil && found != inst {
+			panic(fmt.Sprintf("core: inconsistent instances of %s via speculative in-edges", v.Name))
+		}
+		found = inst
+	}
+	if found == nil && nd.AccessIn != nil {
+		if src := xinst[nd.AccessIn.Src.Index]; src != nil {
+			r.auditAccess(txn, nd.AccessIn, xinst, x, nil, nil, false)
+			if val, ok := src.containerFor(nd.AccessIn).Lookup(x.Key(nd.AccessIn.Cols)); ok {
+				found = val.(*Instance)
+			}
+		}
+	}
+	xinst[v.Index] = found
+}
+
+// advanceStates moves the remove operation's query states across node
+// nd.Node using the planned access route: the first speculative in-edge
+// (whose key columns are always bound for mutations) or the planned
+// access edge as a lookup or filtered scan.
+func (r *Relation) advanceStates(txn *locks.Txn, nd *query.NodeDirective, states []*qstate) []*qstate {
+	if len(nd.SpecIns) > 0 {
+		return r.execSpecLookup(txn, nd.SpecIns[0], states, locks.Exclusive)
+	}
+	e := nd.AccessIn
+	if e == nil {
+		return nil
+	}
+	if nd.AccessScan {
+		return r.execScan(txn, e, states)
+	}
+	return r.execLookup(txn, e, states)
+}
+
+// lockDirective acquires the node's lock step for a mutation: the union of
+// the directive's selectors over the x instance (if any) and every state's
+// instance at this node, all exclusive.
+func (r *Relation) lockDirective(txn *locks.Txn, nd *query.NodeDirective, x *Instance, states []*qstate, s rel.Tuple) {
+	if len(nd.Selectors) == 0 {
+		return
+	}
+	var buf [4]*Instance
+	insts := buf[:0]
+	if x != nil {
+		insts = append(insts, x)
+	}
+	for _, st := range states {
+		if inst := st.insts[nd.Node.Index]; inst != nil && inst != x {
+			insts = append(insts, inst)
+		}
+	}
+	step := query.Step{Kind: query.StepLock, Node: nd.Node, Mode: locks.Exclusive, Selectors: nd.Selectors}
+	r.execLockInsts(txn, &step, insts, s)
+}
+
+// deleteTuple removes tuple st.tuple (fully bound) from every edge, in
+// reverse topological order with cascading cleanup (§4.1's instances stay
+// adequate): an instance is dead once all its containers are empty — unit
+// instances always are — and a dead instance's in-edge entries are
+// removed, which may empty its parents' containers in turn.
+func (r *Relation) deleteTuple(txn *locks.Txn, st *qstate) {
+	x := st.tuple
+	for i := len(r.decomp.Nodes) - 1; i >= 0; i-- {
+		n := r.decomp.Nodes[i]
+		if n == r.decomp.Root {
+			continue
+		}
+		inst := st.insts[n.Index]
+		if inst == nil {
+			panic(fmt.Sprintf("core: delete phase missing instance of %s for %v", n.Name, x))
+		}
+		dead := true
+		for ci, c := range inst.containers {
+			// Emptiness is a whole-container observation.
+			r.auditAccess(txn, n.Out[ci], st.insts, x, nil, nil, true)
+			if c.Len() > 0 {
+				dead = false
+				break
+			}
+		}
+		if !dead {
+			continue
+		}
+		for _, e := range n.In {
+			src := st.insts[e.Src.Index]
+			if src == nil {
+				panic(fmt.Sprintf("core: delete phase missing source %s of edge %s", e.Src.Name, e.Name))
+			}
+			// Removal flips present→absent: both the present-entry lock
+			// (the speculative target, when applicable) and the absent
+			// lock (fallback stripe / placement lock) must be held.
+			r.auditAccess(txn, e, st.insts, x, inst, nil, false)
+			r.auditAccess(txn, e, st.insts, x, nil, nil, false)
+			src.containerFor(e).Write(x.Key(e.Cols), nil)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/locks"
+	"repro/internal/query"
+	"repro/internal/rel"
+)
+
+// Prepared operations are the library analog of the paper's static
+// compilation: the Scala plugin compiled each syntactic relational
+// operation once; here a client prepares an operation signature once and
+// executes it many times with no per-call plan-cache lookups or
+// validation. The §6.2 benchmark adapter uses these.
+
+// txnPool recycles transaction objects (and their held-lock buffers)
+// across operations.
+var txnPool = sync.Pool{New: func() any { return locks.NewTxn() }}
+
+func getTxn() *locks.Txn {
+	t := txnPool.Get().(*locks.Txn)
+	t.Reset()
+	return t
+}
+
+func putTxn(t *locks.Txn) {
+	txnPool.Put(t)
+}
+
+// PreparedQuery is a compiled query handle for one (bound columns, output
+// columns) signature.
+type PreparedQuery struct {
+	r    *Relation
+	plan *query.Plan
+	// countPlan is the count-pushdown plan (internal/query/count.go),
+	// compiled lazily-eagerly here since preparation is one-time.
+	countPlan *query.Plan
+	out       []string
+}
+
+// PrepareQuery compiles the query signature once. The tuple passed to
+// Exec/Count must bind exactly the prepared bound columns.
+func (r *Relation) PrepareQuery(bound, out []string) (*PreparedQuery, error) {
+	if err := r.checkCols(bound); err != nil {
+		return nil, err
+	}
+	if err := r.checkCols(out); err != nil {
+		return nil, err
+	}
+	plan, err := r.queryPlanFor(bound, out)
+	if err != nil {
+		return nil, err
+	}
+	countPlan, err := r.planner.PlanCount(bound)
+	if err != nil {
+		countPlan = plan // fall back to the full plan
+	}
+	return &PreparedQuery{r: r, plan: plan, countPlan: countPlan, out: append([]string(nil), out...)}, nil
+}
+
+// Exec runs the prepared query for the bound tuple s.
+func (q *PreparedQuery) Exec(s rel.Tuple) ([]rel.Tuple, error) {
+	return q.r.runQueryPooled(q.plan, s, q.out), nil
+}
+
+// Count returns the number of tuples extending s, using the count-
+// pushdown plan: once the bound columns are consumed, subtrees whose
+// entries are keyed tuples are counted by container size under the
+// already-required locks instead of being traversed.
+func (q *PreparedQuery) Count(s rel.Tuple) (int, error) {
+	txn := getTxn()
+	defer func() {
+		txn.ReleaseAll()
+		putTxn(txn)
+	}()
+	states := []*qstate{q.r.rootState(s)}
+	for i := range q.countPlan.Steps {
+		step := &q.countPlan.Steps[i]
+		if step.Kind == query.StepCount {
+			total := 0
+			for _, st := range states {
+				if inst := st.insts[step.Edge.Src.Index]; inst != nil {
+					q.r.auditAccess(txn, step.Edge, st.insts, st.tuple, nil, nil, true)
+					total += inst.containerFor(step.Edge).Len()
+				}
+			}
+			return total, nil
+		}
+		states = q.r.execStep(txn, step, states, s)
+		if len(states) == 0 {
+			return 0, nil
+		}
+	}
+	return len(states), nil
+}
+
+// runQueryPooled is runQuery with a pooled transaction.
+func (r *Relation) runQueryPooled(plan *query.Plan, s rel.Tuple, out []string) []rel.Tuple {
+	txn := getTxn()
+	defer func() {
+		txn.ReleaseAll()
+		putTxn(txn)
+	}()
+	states := []*qstate{r.rootState(s)}
+	for i := range plan.Steps {
+		states = r.execStep(txn, &plan.Steps[i], states, s)
+		if len(states) == 0 {
+			break
+		}
+	}
+	results := make([]rel.Tuple, 0, len(states))
+	for _, st := range states {
+		results = append(results, st.tuple.Project(out))
+	}
+	return results
+}
+
+// PreparedInsert is a compiled insert handle for one key-column split.
+type PreparedInsert struct {
+	r    *Relation
+	plan *insertPlan
+}
+
+// PrepareInsert compiles insert r s t for dom(s) = sCols.
+func (r *Relation) PrepareInsert(sCols []string) (*PreparedInsert, error) {
+	plan, err := r.insertPlanFor(sCols)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedInsert{r: r, plan: plan}, nil
+}
+
+// Exec runs the prepared insert; s must bind the prepared key columns and
+// s ∪ t must bind every column (unchecked in this fast path — use
+// Relation.Insert for validated inserts).
+func (p *PreparedInsert) Exec(s, t rel.Tuple) (bool, error) {
+	x, err := s.Union(t)
+	if err != nil {
+		return false, err
+	}
+	return p.r.runInsert(p.plan, s, x), nil
+}
+
+// PreparedRemove is a compiled remove handle for one key signature.
+type PreparedRemove struct {
+	r    *Relation
+	plan *removePlan
+}
+
+// PrepareRemove compiles remove r s for dom(s) = sCols (a key).
+func (r *Relation) PrepareRemove(sCols []string) (*PreparedRemove, error) {
+	plan, err := r.removePlanFor(sCols)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedRemove{r: r, plan: plan}, nil
+}
+
+// Exec runs the prepared remove; s must bind the prepared key columns.
+func (p *PreparedRemove) Exec(s rel.Tuple) (bool, error) {
+	return p.r.runRemove(p.plan, s), nil
+}

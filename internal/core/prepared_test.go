@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/rel"
+)
+
+// TestPreparedMatchesUnprepared checks that the prepared fast paths return
+// exactly what the validated slow paths return.
+func TestPreparedMatchesUnprepared(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, r *Relation) {
+		ins, err := r.PrepareInsert([]string{"dst", "src"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rem, err := r.PrepareRemove([]string{"dst", "src"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		succ, err := r.PrepareQuery([]string{"src"}, []string{"dst", "weight"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(31))
+		ref := NewReference(graphSpec())
+		for i := 0; i < 600; i++ {
+			s, d := rng.Intn(8), rng.Intn(8)
+			key := rel.T("src", s, "dst", d)
+			switch rng.Intn(5) {
+			case 0, 1:
+				got, err := ins.Exec(key, rel.T("weight", i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, _ := ref.Insert(key, rel.T("weight", i))
+				if got != want {
+					t.Fatalf("prepared insert diverged at %d", i)
+				}
+			case 2:
+				got, err := rem.Exec(key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, _ := ref.Remove(key)
+				if got != want {
+					t.Fatalf("prepared remove diverged at %d", i)
+				}
+			default:
+				got, err := succ.Exec(rel.T("src", s))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, _ := ref.Query(rel.T("src", s), "dst", "weight")
+				if !tuplesEqual(got, want) {
+					t.Fatalf("prepared query diverged at %d: %v vs %v", i, got, want)
+				}
+			}
+		}
+	})
+}
+
+// TestCountMatchesQueryLen is the count-pushdown correctness check: for
+// every variant and every bound-column pattern, Count(s) equals the
+// length of the full query result, across random relation states.
+func TestCountMatchesQueryLen(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, r *Relation) {
+		rng := rand.New(rand.NewSource(77))
+		for i := 0; i < 300; i++ {
+			s, d := rng.Intn(6), rng.Intn(6)
+			if rng.Intn(3) != 0 {
+				r.Insert(rel.T("src", s, "dst", d), rel.T("weight", i))
+			} else {
+				r.Remove(rel.T("src", s, "dst", d))
+			}
+		}
+		patterns := []struct {
+			bound rel.Tuple
+			out   []string
+		}{
+			{rel.T("src", 2), []string{"dst", "weight"}},
+			{rel.T("dst", 3), []string{"src", "weight"}},
+			{rel.T("src", 1, "dst", 4), []string{"weight"}},
+			{rel.T(), []string{"dst", "src", "weight"}},
+			{rel.T("weight", 5), []string{"dst", "src"}},
+		}
+		for _, p := range patterns {
+			q, err := r.PrepareQuery(p.bound.Dom(), p.out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for probe := 0; probe < 6; probe++ {
+				full, err := q.Exec(p.bound)
+				if err != nil {
+					t.Fatal(err)
+				}
+				n, err := q.Count(p.bound)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n != len(full) {
+					t.Fatalf("Count(%v) = %d but query returned %d tuples", p.bound, n, len(full))
+				}
+			}
+		}
+	})
+}
+
+// TestCountConcurrentCoherence hammers Count against concurrent mutations;
+// the counted value must always be a linearizable cardinality (between the
+// minimum and maximum possible given the surrounding operations, checked
+// here as: never negative, never exceeding the keyspace product).
+func TestCountConcurrentCoherence(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, r *Relation) {
+		succ, err := r.PrepareQuery([]string{"src"}, []string{"dst", "weight"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w)))
+				for i := 0; i < 400; i++ {
+					s, d := rng.Intn(4), rng.Intn(8)
+					switch rng.Intn(3) {
+					case 0:
+						r.Insert(rel.T("src", s, "dst", d), rel.T("weight", i))
+					case 1:
+						r.Remove(rel.T("src", s, "dst", d))
+					default:
+						n, err := succ.Count(rel.T("src", s))
+						if err != nil {
+							t.Errorf("count: %v", err)
+							return
+						}
+						if n < 0 || n > 8 {
+							t.Errorf("impossible count %d", n)
+							return
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		// Quiescent: Count equals the real cardinality per source.
+		for s := 0; s < 4; s++ {
+			n, _ := succ.Count(rel.T("src", s))
+			full, _ := succ.Exec(rel.T("src", s))
+			if n != len(full) {
+				t.Fatalf("quiescent count %d != %d", n, len(full))
+			}
+		}
+	})
+}

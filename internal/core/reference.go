@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/rel"
+)
+
+// Reference is the executable specification of §2: a relation represented
+// directly as a coarsely locked set of tuples, with the four operations
+// implemented by their defining equations
+//
+//	empty  ()      = ref ∅
+//	remove r s     = r ← !r \ {t ∈ !r | t ⊇ s}
+//	query  r s C   = π_C {t ∈ !r | t ⊇ s}
+//	insert r s t   = if ∄u. u ∈ !r ∧ s ⊆ u then r ← !r ∪ {s ∪ t}
+//
+// Synthesized relations are differentially tested against a Reference, and
+// the linearizability checker uses it as the sequential specification.
+type Reference struct {
+	spec   rel.Spec
+	mu     sync.Mutex
+	tuples []rel.Tuple
+}
+
+// NewReference returns an empty reference relation over spec.
+func NewReference(spec rel.Spec) *Reference {
+	return &Reference{spec: spec}
+}
+
+// Spec returns the relational specification.
+func (r *Reference) Spec() rel.Spec { return r.spec }
+
+// Insert adds s ∪ t if no existing tuple extends s, reporting whether the
+// insertion happened.
+func (r *Reference) Insert(s, t rel.Tuple) (bool, error) {
+	x, err := s.Union(t)
+	if err != nil {
+		return false, err
+	}
+	if !rel.ColsEqual(x.Dom(), r.spec.Columns) {
+		return false, fmt.Errorf("core: insert tuple binds %v, want all of %v", x.Dom(), r.spec.Columns)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, u := range r.tuples {
+		if u.Extends(s) {
+			return false, nil
+		}
+	}
+	r.tuples = append(r.tuples, x)
+	return true, nil
+}
+
+// Remove deletes every tuple extending s, reporting whether any was
+// removed. Unlike the synthesized implementation, the reference accepts
+// any s, not just keys.
+func (r *Reference) Remove(s rel.Tuple) (bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	kept := r.tuples[:0]
+	removed := false
+	for _, u := range r.tuples {
+		if u.Extends(s) {
+			removed = true
+			continue
+		}
+		kept = append(kept, u)
+	}
+	r.tuples = kept
+	return removed, nil
+}
+
+// Query returns π_out of every tuple extending s.
+func (r *Reference) Query(s rel.Tuple, out ...string) ([]rel.Tuple, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var res []rel.Tuple
+	for _, u := range r.tuples {
+		if u.Extends(s) {
+			res = append(res, u.Project(out))
+		}
+	}
+	return res, nil
+}
+
+// Snapshot returns every tuple, sorted for deterministic comparison.
+func (r *Reference) Snapshot() ([]rel.Tuple, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]rel.Tuple(nil), r.tuples...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out, nil
+}
+
+// Len returns the number of tuples.
+func (r *Reference) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.tuples)
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/decomp"
+	"repro/internal/locks"
+	"repro/internal/query"
+	"repro/internal/rel"
+)
+
+// Relation is a synthesized concurrent relation (§2): a set of tuples over
+// the specification's columns, represented by a decomposition instance and
+// manipulated through the four atomic operations empty / insert / remove /
+// query. All operations are linearizable (serializable) and deadlock-free
+// by construction (§4–§5). A Relation is safe for concurrent use by any
+// number of goroutines.
+type Relation struct {
+	spec      rel.Spec
+	decomp    *decomp.Decomposition
+	placement *locks.Placement
+	planner   *query.Planner
+	root      *Instance
+
+	// Plan caches: the paper compiles each syntactic operation once; the
+	// library equivalent compiles per operation signature on first use.
+	mu          sync.RWMutex
+	queryPlans  map[string]*query.Plan
+	insertPlans map[string]*insertPlan
+	removePlans map[string]*removePlan
+}
+
+// insertPlan bundles the growing-phase directives with the embedded
+// put-if-absent existence query (§2's insert semantics).
+type insertPlan struct {
+	mut *query.MutationPlan
+	// exist is the query plan whose access steps implement the existence
+	// check for tuples matching s; its access step for node index i is
+	// existAt[i].
+	exist   *query.Plan
+	existAt []*query.Step
+}
+
+type removePlan struct {
+	mut *query.MutationPlan
+	// locateAt[i] is the access step locating node i's instances, derived
+	// from the mutation directives.
+	full []string
+}
+
+// Synthesize compiles a validated decomposition and lock placement into a
+// concurrent relation. It is the paper's compiler entry point.
+func Synthesize(d *decomp.Decomposition, p *locks.Placement) (*Relation, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if p.D != d {
+		return nil, fmt.Errorf("core: placement was built for a different decomposition")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Relation{
+		spec:        d.Spec,
+		decomp:      d,
+		placement:   p,
+		planner:     query.NewPlanner(d, p),
+		queryPlans:  map[string]*query.Plan{},
+		insertPlans: map[string]*insertPlan{},
+		removePlans: map[string]*removePlan{},
+	}
+	r.root = r.newInstance(d.Root, rel.T())
+	return r, nil
+}
+
+// Spec returns the relational specification this relation implements.
+func (r *Relation) Spec() rel.Spec { return r.spec }
+
+// Decomposition returns the static decomposition backing the relation.
+func (r *Relation) Decomposition() *decomp.Decomposition { return r.decomp }
+
+// Placement returns the lock placement backing the relation.
+func (r *Relation) Placement() *locks.Placement { return r.placement }
+
+func planKey(bound, out []string) string {
+	return strings.Join(bound, ",") + "|" + strings.Join(out, ",")
+}
+
+// queryPlanFor returns (compiling and caching on first use) the plan for a
+// query binding the given columns and returning out.
+func (r *Relation) queryPlanFor(bound, out []string) (*query.Plan, error) {
+	k := planKey(bound, out)
+	r.mu.RLock()
+	p, ok := r.queryPlans[k]
+	r.mu.RUnlock()
+	if ok {
+		return p, nil
+	}
+	p, err := r.planner.PlanQuery(bound, out)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.queryPlans[k] = p
+	r.mu.Unlock()
+	return p, nil
+}
+
+func (r *Relation) insertPlanFor(sCols []string) (*insertPlan, error) {
+	k := planKey(sCols, nil)
+	r.mu.RLock()
+	p, ok := r.insertPlans[k]
+	r.mu.RUnlock()
+	if ok {
+		return p, nil
+	}
+	mut, err := r.planner.PlanMutation(query.OpInsert, sCols)
+	if err != nil {
+		return nil, err
+	}
+	exist, err := r.planner.PlanQuery(sCols, r.spec.Columns)
+	if err != nil {
+		return nil, err
+	}
+	ip := &insertPlan{mut: mut, exist: exist, existAt: make([]*query.Step, len(r.decomp.Nodes))}
+	for i := range exist.Steps {
+		s := &exist.Steps[i]
+		if s.Kind != query.StepLock {
+			ip.existAt[s.Edge.Dst.Index] = s
+		}
+	}
+	r.mu.Lock()
+	r.insertPlans[k] = ip
+	r.mu.Unlock()
+	return ip, nil
+}
+
+func (r *Relation) removePlanFor(sCols []string) (*removePlan, error) {
+	k := planKey(sCols, nil)
+	r.mu.RLock()
+	p, ok := r.removePlans[k]
+	r.mu.RUnlock()
+	if ok {
+		return p, nil
+	}
+	mut, err := r.planner.PlanMutation(query.OpRemove, sCols)
+	if err != nil {
+		return nil, err
+	}
+	rp := &removePlan{mut: mut}
+	r.mu.Lock()
+	r.removePlans[k] = rp
+	r.mu.Unlock()
+	return rp, nil
+}
+
+// Query implements query r s C (§2): it returns the projection onto out of
+// every tuple in the relation extending s. The result order is
+// unspecified.
+func (r *Relation) Query(s rel.Tuple, out ...string) ([]rel.Tuple, error) {
+	if err := r.checkCols(s.Dom()); err != nil {
+		return nil, err
+	}
+	if err := r.checkCols(out); err != nil {
+		return nil, err
+	}
+	plan, err := r.queryPlanFor(s.Dom(), out)
+	if err != nil {
+		return nil, err
+	}
+	return r.runQuery(plan, s, out), nil
+}
+
+// Insert implements insert r s t (§2): it inserts the tuple s ∪ t provided
+// no existing tuple matches s, reporting whether the insertion happened.
+// The domains of s and t must partition the relation's columns; this
+// generalizes put-if-absent (§2). Maintaining the specification's
+// functional dependencies is the client's obligation, which the s/t split
+// makes checkable: bind the FD's left-hand side in s.
+func (r *Relation) Insert(s, t rel.Tuple) (bool, error) {
+	x, err := s.Union(t)
+	if err != nil {
+		return false, err
+	}
+	if len(rel.ColsIntersect(s.Dom(), t.Dom())) > 0 {
+		return false, fmt.Errorf("core: insert requires disjoint s and t, both bind %v", rel.ColsIntersect(s.Dom(), t.Dom()))
+	}
+	if !rel.ColsEqual(x.Dom(), r.spec.Columns) {
+		return false, fmt.Errorf("core: insert tuple binds %v, want all of %v", x.Dom(), r.spec.Columns)
+	}
+	plan, err := r.insertPlanFor(s.Dom())
+	if err != nil {
+		return false, err
+	}
+	return r.runInsert(plan, s, x), nil
+}
+
+// Remove implements remove r s (§2): it removes every tuple extending s
+// and reports whether any tuple was removed. As in the paper's
+// implementation, s must be a key for the relation.
+func (r *Relation) Remove(s rel.Tuple) (bool, error) {
+	if err := r.checkCols(s.Dom()); err != nil {
+		return false, err
+	}
+	plan, err := r.removePlanFor(s.Dom())
+	if err != nil {
+		return false, err
+	}
+	return r.runRemove(plan, s), nil
+}
+
+// Snapshot returns every tuple currently in the relation (a full query).
+// Intended for tests and tools; it takes whole-relation locks.
+func (r *Relation) Snapshot() ([]rel.Tuple, error) {
+	return r.Query(rel.T(), r.spec.Columns...)
+}
+
+// ExplainQuery renders the chosen plan for a query signature in the
+// paper's let-notation (Figure 4 / §5.2).
+func (r *Relation) ExplainQuery(bound []string, out []string) (string, error) {
+	plan, err := r.queryPlanFor(bound, out)
+	if err != nil {
+		return "", err
+	}
+	return plan.String(), nil
+}
+
+// ExplainInsert renders the growing-phase directives for an insert keyed
+// by sCols.
+func (r *Relation) ExplainInsert(sCols []string) (string, error) {
+	p, err := r.insertPlanFor(sCols)
+	if err != nil {
+		return "", err
+	}
+	return p.mut.String() + "existence check:\n" + p.exist.String(), nil
+}
+
+// ExplainRemove renders the growing-phase directives for a remove keyed by
+// sCols.
+func (r *Relation) ExplainRemove(sCols []string) (string, error) {
+	p, err := r.removePlanFor(sCols)
+	if err != nil {
+		return "", err
+	}
+	return p.mut.String(), nil
+}
+
+func (r *Relation) checkCols(cols []string) error {
+	for _, c := range cols {
+		if !r.spec.HasColumn(c) {
+			return fmt.Errorf("core: unknown column %q (spec %s)", c, r.spec)
+		}
+	}
+	return nil
+}
+
+// VerifyWellFormed walks the decomposition instance and checks the
+// structural invariants the executor relies on, returning the represented
+// relation. It takes no locks and must only be called on a quiescent
+// relation (tests and tools):
+//
+//   - every non-root, non-unit instance has at least one entry in every
+//     container (cascade cleanup held);
+//   - a node instance reached along multiple in-edges is the same object;
+//   - unit-edge containers hold at most one entry;
+//   - the tuples read along every root-to-leaf path agree (abstraction
+//     function is well defined).
+func (r *Relation) VerifyWellFormed() ([]rel.Tuple, error) {
+	var tuples []rel.Tuple
+	seen := map[*Instance]rel.Tuple{}
+	var walk func(inst *Instance, bound rel.Tuple) error
+	walk = func(inst *Instance, bound rel.Tuple) error {
+		if prev, ok := seen[inst]; ok {
+			// The bound columns along any path to an instance are exactly
+			// its node's A columns, so all paths must agree.
+			if !prev.Equal(bound) {
+				return fmt.Errorf("core: instance of %s reached with %v and %v", inst.node.Name, prev, bound)
+			}
+			return nil // already verified below this instance
+		}
+		seen[inst] = bound
+		if inst.node.IsUnit() {
+			tuples = append(tuples, bound)
+			return nil
+		}
+		for i, e := range inst.node.Out {
+			c := inst.containers[i]
+			if c.Len() == 0 && inst.node != r.decomp.Root {
+				return fmt.Errorf("core: empty container for %s on live instance of %s (cleanup invariant)", e.Name, inst.node.Name)
+			}
+			if e.IsUnitEdge() && c.Len() > 1 {
+				return fmt.Errorf("core: unit edge %s has %d entries", e.Name, c.Len())
+			}
+			var err error
+			c.Scan(func(k rel.Key, v any) bool {
+				child := v.(*Instance)
+				kt := k.Tuple(e.Cols)
+				if !kt.Matches(bound) {
+					err = fmt.Errorf("core: edge %s entry %v conflicts with path %v", e.Name, kt, bound)
+					return false
+				}
+				err = walk(child, bound.MustUnion(kt))
+				return err == nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(r.root, rel.T()); err != nil {
+		return nil, err
+	}
+	// The abstraction function yields a set: decompositions with multiple
+	// disjoint subtrees (e.g. the split of Figure 3(b)) represent each
+	// tuple once per subtree.
+	sort.Slice(tuples, func(i, j int) bool { return tuples[i].Compare(tuples[j]) < 0 })
+	dedup := tuples[:0]
+	for i, t := range tuples {
+		if i == 0 || !t.Equal(tuples[i-1]) {
+			dedup = append(dedup, t)
+		}
+	}
+	return dedup, nil
+}

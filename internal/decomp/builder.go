@@ -1,0 +1,181 @@
+package decomp
+
+import (
+	"fmt"
+
+	"repro/internal/container"
+	"repro/internal/rel"
+)
+
+// Builder assembles a Decomposition edge by edge. Node types (A ▷ B) are
+// inferred by propagation from the root, mirroring the let-binding
+// notation of the paper: the builder is the programmatic equivalent of the
+// graphical decomposition language of Figure 2(a).
+//
+//	b := decomp.NewBuilder(spec, "ρ")
+//	b.Edge("ρx", "ρ", "x", []string{"parent"}, container.TreeMap)
+//	b.Edge("xy", "x", "y", []string{"name"}, container.TreeMap)
+//	b.Edge("ρy", "ρ", "y", []string{"parent", "name"}, container.ConcurrentHashMap)
+//	b.Edge("yz", "y", "z", []string{"child"}, container.Cell)
+//	d, err := b.Build()
+type Builder struct {
+	spec  rel.Spec
+	root  string
+	edges []builderEdge
+	err   error
+}
+
+type builderEdge struct {
+	name      string
+	src, dst  string
+	cols      []string
+	container container.Kind
+}
+
+// NewBuilder starts a decomposition for spec with the given root node
+// name (conventionally "ρ").
+func NewBuilder(spec rel.Spec, root string) *Builder {
+	return &Builder{spec: spec, root: root}
+}
+
+// Edge adds an edge from src to dst over the given ordered key columns,
+// implemented by the given container kind. Nodes are created on first
+// mention. Returns the builder for chaining.
+func (b *Builder) Edge(name, src, dst string, cols []string, kind container.Kind) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if name == "" {
+		name = src + dst
+	}
+	b.edges = append(b.edges, builderEdge{name: name, src: src, dst: dst, cols: cols, container: kind})
+	return b
+}
+
+// Build infers node types, fixes a topological order, and validates the
+// resulting decomposition.
+func (b *Builder) Build() (*Decomposition, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	nodes := map[string]*Node{}
+	get := func(name string) *Node {
+		if n, ok := nodes[name]; ok {
+			return n
+		}
+		n := &Node{Name: name}
+		nodes[name] = n
+		return n
+	}
+	root := get(b.root)
+	root.A = nil
+	root.B = sortCols(b.spec.Columns)
+	typed := map[string]bool{b.root: true}
+
+	edges := make([]*Edge, 0, len(b.edges))
+	for _, be := range b.edges {
+		e := &Edge{
+			Name:      be.name,
+			Src:       get(be.src),
+			Dst:       get(be.dst),
+			Cols:      append([]string(nil), be.cols...),
+			Container: be.container,
+		}
+		edges = append(edges, e)
+		e.Src.Out = append(e.Src.Out, e)
+		e.Dst.In = append(e.Dst.In, e)
+	}
+
+	// Propagate types from the root; every node must be reached.
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			if !typed[e.Src.Name] {
+				continue
+			}
+			wantA := rel.ColsUnion(e.Src.A, e.Cols)
+			wantB := rel.ColsMinus(e.Src.B, e.Cols)
+			if !typed[e.Dst.Name] {
+				e.Dst.A = wantA
+				e.Dst.B = wantB
+				typed[e.Dst.Name] = true
+				changed = true
+			} else if !rel.ColsEqual(e.Dst.A, wantA) || !rel.ColsEqual(e.Dst.B, wantB) {
+				return nil, fmt.Errorf("decomp: node %s reached with conflicting types: {%v ▷ %v} vs {%v ▷ %v} via edge %s",
+					e.Dst.Name, e.Dst.A, e.Dst.B, wantA, wantB, e.Name)
+			}
+		}
+	}
+	for name := range nodes {
+		if !typed[name] {
+			return nil, fmt.Errorf("decomp: node %s unreachable from root %s", name, b.root)
+		}
+	}
+
+	d := &Decomposition{Spec: b.spec, Root: root}
+	d.Nodes = topoSort(root, nodes)
+	for i, n := range d.Nodes {
+		n.Index = i
+	}
+	for i, e := range edges {
+		e.Index = i
+		e.computeSortOrder()
+	}
+	d.Edges = edges
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// MustBuild is Build panicking on error, for literals in examples/tests.
+func (b *Builder) MustBuild() *Decomposition {
+	d, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// topoSort returns the nodes in a deterministic topological order: by
+// Kahn's algorithm, breaking ties by node name so that rebuilding the same
+// decomposition always yields the same lock order (§5.1 fixes "a
+// topological sort of the decomposition nodes").
+func topoSort(root *Node, nodes map[string]*Node) []*Node {
+	indeg := map[*Node]int{}
+	for _, n := range nodes {
+		for _, e := range n.Out {
+			indeg[e.Dst]++
+		}
+	}
+	var frontier []*Node
+	for _, n := range nodes {
+		if indeg[n] == 0 {
+			frontier = append(frontier, n)
+		}
+	}
+	var order []*Node
+	for len(frontier) > 0 {
+		// Deterministic tie-break: smallest name first, root always first.
+		best := 0
+		for i := 1; i < len(frontier); i++ {
+			if frontier[i] == root {
+				best = i
+				break
+			}
+			if frontier[best] != root && frontier[i].Name < frontier[best].Name {
+				best = i
+			}
+		}
+		n := frontier[best]
+		frontier = append(frontier[:best], frontier[best+1:]...)
+		order = append(order, n)
+		for _, e := range n.Out {
+			indeg[e.Dst]--
+			if indeg[e.Dst] == 0 {
+				frontier = append(frontier, e.Dst)
+			}
+		}
+	}
+	return order
+}

@@ -1,0 +1,338 @@
+// Package decomp implements the concurrent decomposition language of §4 of
+// "Concurrent Data Representation Synthesis" (PLDI 2012): rooted directed
+// acyclic graphs whose nodes carry types A ▷ B (A = columns bound by the
+// path from the root, B = residual columns) and whose edges carry a set of
+// key columns and a container choice. A decomposition is a static
+// description of the heap, similar to a type; its runtime counterpart (the
+// decomposition instance) lives in internal/core.
+package decomp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/container"
+	"repro/internal/rel"
+)
+
+// Node is a decomposition vertex with type A ▷ B (written v: A.B in the
+// paper): A is the set of columns bound by any path from the root to this
+// node, B the residual columns represented by the subgraph below it.
+type Node struct {
+	Name string
+	// A is the sorted set of columns whose valuation identifies an
+	// instance of this node.
+	A []string
+	// B is the sorted residual column set represented below this node.
+	B []string
+	// Index is the node's position in a fixed topological order of the
+	// decomposition; it is the most significant component of the physical
+	// lock order (§5.1).
+	Index int
+	// Out and In list the edges leaving and entering the node.
+	Out []*Edge
+	In  []*Edge
+}
+
+// IsUnit reports whether the node is a unit node (B = ∅): a leaf that
+// represents the single empty tuple.
+func (n *Node) IsUnit() bool { return len(n.B) == 0 }
+
+// String renders the node as "x: {a} ▷ {b, c}".
+func (n *Node) String() string {
+	return fmt.Sprintf("%s: {%s} ▷ {%s}", n.Name, strings.Join(n.A, ", "), strings.Join(n.B, ", "))
+}
+
+// Edge is a decomposition edge: at runtime, each instance of Src owns one
+// container of kind Container mapping valuations of Cols to instances of
+// Dst.
+type Edge struct {
+	// Name is a human-readable label such as "ρx".
+	Name     string
+	Src, Dst *Node
+	// Cols is the ordered list of key columns of the edge's containers.
+	// The order fixes the container key layout (and, for sorted
+	// containers, the iteration order).
+	Cols []string
+	// Container is the container kind implementing the edge.
+	Container container.Kind
+	// Index is the edge's position in Decomposition.Edges.
+	Index int
+	// SortedCols is Cols in ascending order and SortPerm the permutation
+	// with SortedCols[i] == Cols[SortPerm[i]]; precomputed by the builder
+	// for the executor's allocation-lean scan joins.
+	SortedCols []string
+	SortPerm   []int
+}
+
+// computeSortOrder fills SortedCols and SortPerm.
+func (e *Edge) computeSortOrder() {
+	n := len(e.Cols)
+	e.SortPerm = make([]int, n)
+	for i := range e.SortPerm {
+		e.SortPerm[i] = i
+	}
+	sort.Slice(e.SortPerm, func(a, b int) bool { return e.Cols[e.SortPerm[a]] < e.Cols[e.SortPerm[b]] })
+	e.SortedCols = make([]string, n)
+	for i, p := range e.SortPerm {
+		e.SortedCols[i] = e.Cols[p]
+	}
+}
+
+// IsUnitEdge reports whether the edge targets a unit node whose columns
+// are functionally determined by the source — the "dotted" singleton edges
+// of Figures 2 and 3, implemented by container.Cell.
+func (e *Edge) IsUnitEdge() bool { return e.Container == container.Cell }
+
+// String renders the edge as "ρx: ρ→x {src} TreeMap".
+func (e *Edge) String() string {
+	return fmt.Sprintf("%s: %s→%s {%s} %s", e.Name, e.Src.Name, e.Dst.Name,
+		strings.Join(e.Cols, ", "), e.Container)
+}
+
+// KeyOf projects a tuple onto the edge's key columns in edge order.
+func (e *Edge) KeyOf(t rel.Tuple) rel.Key { return t.Key(e.Cols) }
+
+// Decomposition is a rooted DAG describing how to represent a relation as
+// cooperating containers (§4.1). Construct one with Builder and validate
+// with Validate before use.
+type Decomposition struct {
+	Spec rel.Spec
+	Root *Node
+	// Nodes in topological order (root first); Nodes[i].Index == i.
+	Nodes []*Node
+	Edges []*Edge
+}
+
+// NodeByName returns the named node, or nil.
+func (d *Decomposition) NodeByName(name string) *Node {
+	for _, n := range d.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// EdgeByName returns the named edge, or nil.
+func (d *Decomposition) EdgeByName(name string) *Edge {
+	for _, e := range d.Edges {
+		if e.Name == name {
+			return e
+		}
+	}
+	return nil
+}
+
+// EdgeBetween returns the edge from src to dst, or nil.
+func (d *Decomposition) EdgeBetween(src, dst string) *Edge {
+	for _, e := range d.Edges {
+		if e.Src.Name == src && e.Dst.Name == dst {
+			return e
+		}
+	}
+	return nil
+}
+
+// Validate checks that the decomposition is a well-formed, adequate
+// description of the relational specification (§4.1):
+//
+//  1. the graph is a rooted DAG, every vertex reachable from the unique
+//     source;
+//  2. node types compose: for every edge uv, A_v = A_u ∪ cols(uv) and
+//     B_v = B_u \ cols(uv), with cols(uv) a non-empty subset of B_u
+//     (adequacy requires C ⊇ A ∪ cols(uv));
+//  3. shared nodes (DAG joins) receive the same type along every path;
+//  4. every non-unit node has at least one outgoing edge, and the residual
+//     columns of each node are covered by each of its outgoing edges'
+//     subtrees, so every relation tuple is represented along every path;
+//  5. unit (Cell) edges are only used where the source's bound columns
+//     functionally determine the edge columns under the spec's FDs, so the
+//     container really holds at most one entry;
+//  6. the root has type ∅ ▷ C where C is the full column set.
+func (d *Decomposition) Validate() error {
+	if d.Root == nil || len(d.Nodes) == 0 {
+		return fmt.Errorf("decomp: empty decomposition")
+	}
+	if err := d.Spec.Validate(); err != nil {
+		return err
+	}
+	// Root type.
+	if len(d.Root.A) != 0 {
+		return fmt.Errorf("decomp: root %s must have A = ∅", d.Root.Name)
+	}
+	if !rel.ColsEqual(d.Root.B, d.Spec.Columns) {
+		return fmt.Errorf("decomp: root %s must have B = %v, got %v", d.Root.Name, d.Spec.Columns, d.Root.B)
+	}
+	// Topological order sanity and reachability.
+	seen := map[*Node]bool{}
+	for i, n := range d.Nodes {
+		if n.Index != i {
+			return fmt.Errorf("decomp: node %s has index %d at position %d", n.Name, n.Index, i)
+		}
+		seen[n] = true
+	}
+	if !seen[d.Root] {
+		return fmt.Errorf("decomp: root not among nodes")
+	}
+	names := map[string]bool{}
+	for _, n := range d.Nodes {
+		if names[n.Name] {
+			return fmt.Errorf("decomp: duplicate node name %q", n.Name)
+		}
+		names[n.Name] = true
+	}
+	for _, e := range d.Edges {
+		if !seen[e.Src] || !seen[e.Dst] {
+			return fmt.Errorf("decomp: edge %s references unknown node", e.Name)
+		}
+		if e.Src.Index >= e.Dst.Index {
+			return fmt.Errorf("decomp: edge %s violates topological order", e.Name)
+		}
+		if len(e.Cols) == 0 {
+			return fmt.Errorf("decomp: edge %s has no columns", e.Name)
+		}
+		for _, c := range e.Cols {
+			if !d.Spec.HasColumn(c) {
+				return fmt.Errorf("decomp: edge %s uses undeclared column %q", e.Name, c)
+			}
+		}
+		colSet := map[string]bool{}
+		for _, c := range e.Cols {
+			if colSet[c] {
+				return fmt.Errorf("decomp: edge %s repeats column %q", e.Name, c)
+			}
+			colSet[c] = true
+		}
+		// Type composition.
+		if !rel.ColsSubset(e.Cols, e.Src.B) {
+			return fmt.Errorf("decomp: edge %s columns %v not within source residual %v", e.Name, e.Cols, e.Src.B)
+		}
+		wantA := rel.ColsUnion(e.Src.A, e.Cols)
+		wantB := rel.ColsMinus(e.Src.B, e.Cols)
+		if !rel.ColsEqual(e.Dst.A, wantA) {
+			return fmt.Errorf("decomp: edge %s: target %s has A=%v, want %v (join paths must agree)", e.Name, e.Dst.Name, e.Dst.A, wantA)
+		}
+		if !rel.ColsEqual(e.Dst.B, wantB) {
+			return fmt.Errorf("decomp: edge %s: target %s has B=%v, want %v", e.Name, e.Dst.Name, e.Dst.B, wantB)
+		}
+		// Unit-edge FD obligation.
+		if e.IsUnitEdge() && !d.Spec.Determines(e.Src.A, e.Cols) {
+			return fmt.Errorf("decomp: Cell edge %s requires FD %v → %v, not implied by spec %v",
+				e.Name, e.Src.A, e.Cols, d.Spec)
+		}
+	}
+	// Reachability from root and non-unit coverage.
+	reach := map[*Node]bool{d.Root: true}
+	for _, n := range d.Nodes { // topo order ⇒ single pass suffices
+		if !reach[n] {
+			continue
+		}
+		for _, e := range n.Out {
+			reach[e.Dst] = true
+		}
+	}
+	for _, n := range d.Nodes {
+		if !reach[n] {
+			return fmt.Errorf("decomp: node %s unreachable from root", n.Name)
+		}
+		if !n.IsUnit() && len(n.Out) == 0 {
+			return fmt.Errorf("decomp: node %s has residual columns %v but no outgoing edges", n.Name, n.B)
+		}
+	}
+	// In/Out slices must be consistent with Edges.
+	for _, e := range d.Edges {
+		if !edgeIn(e, e.Src.Out) || !edgeIn(e, e.Dst.In) {
+			return fmt.Errorf("decomp: edge %s not linked into adjacency lists", e.Name)
+		}
+	}
+	return nil
+}
+
+func edgeIn(e *Edge, es []*Edge) bool {
+	for _, x := range es {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+// AllColumnsOnPaths returns, for each node, the union A ∪ B — a sanity
+// helper used in tests: it must equal the spec's column set for all nodes.
+func (d *Decomposition) AllColumnsOnPaths() map[string][]string {
+	out := make(map[string][]string, len(d.Nodes))
+	for _, n := range d.Nodes {
+		out[n.Name] = rel.ColsUnion(n.A, n.B)
+	}
+	return out
+}
+
+// Dominates reports whether node a dominates node b: every path from the
+// root to b passes through a. Used by lock-placement well-formedness
+// (§4.3). A node dominates itself.
+func (d *Decomposition) Dominates(a, b *Node) bool {
+	if a == b {
+		return true
+	}
+	if b == d.Root {
+		return false
+	}
+	// b is unreachable from root when a is removed ⇒ a dominates b.
+	blocked := map[*Node]bool{a: true}
+	reach := map[*Node]bool{}
+	if d.Root != a {
+		reach[d.Root] = true
+	}
+	for _, n := range d.Nodes {
+		if !reach[n] || blocked[n] {
+			continue
+		}
+		for _, e := range n.Out {
+			if !blocked[e.Dst] {
+				reach[e.Dst] = true
+			}
+		}
+	}
+	return !reach[b]
+}
+
+// PathsBetween returns every directed path (as edge slices) from a to b.
+// Decompositions are tiny (≤ ~10 nodes), so exhaustive enumeration is
+// fine; the planner and placement validator both use this.
+func (d *Decomposition) PathsBetween(a, b *Node) [][]*Edge {
+	var paths [][]*Edge
+	var walk func(n *Node, acc []*Edge)
+	walk = func(n *Node, acc []*Edge) {
+		if n == b {
+			paths = append(paths, append([]*Edge(nil), acc...))
+			return
+		}
+		for _, e := range n.Out {
+			walk(e.Dst, append(acc, e))
+		}
+	}
+	walk(a, nil)
+	return paths
+}
+
+// String renders a compact multi-line description of the decomposition.
+func (d *Decomposition) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "decomposition of %s\n", d.Spec)
+	for _, n := range d.Nodes {
+		fmt.Fprintf(&b, "  %s\n", n)
+		for _, e := range n.Out {
+			fmt.Fprintf(&b, "    %s\n", e)
+		}
+	}
+	return b.String()
+}
+
+// sortCols returns a sorted copy of cols.
+func sortCols(cols []string) []string {
+	out := append([]string(nil), cols...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,231 @@
+package decomp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/container"
+	"repro/internal/rel"
+)
+
+func graphSpec() rel.Spec {
+	return rel.MustSpec([]string{"src", "dst", "weight"},
+		rel.FD{From: []string{"src", "dst"}, To: []string{"weight"}})
+}
+
+func dirSpec() rel.Spec {
+	return rel.MustSpec([]string{"parent", "name", "child"},
+		rel.FD{From: []string{"parent", "name"}, To: []string{"child"}})
+}
+
+// buildDirTree constructs the Figure 2(a) decomposition: a TreeMap from
+// parent, a TreeMap from name, a global ConcurrentHashMap over
+// (parent, name), and a singleton child edge.
+func buildDirTree(t *testing.T) *Decomposition {
+	t.Helper()
+	d, err := NewBuilder(dirSpec(), "ρ").
+		Edge("ρx", "ρ", "x", []string{"parent"}, container.TreeMap).
+		Edge("xy", "x", "y", []string{"name"}, container.TreeMap).
+		Edge("ρy", "ρ", "y", []string{"parent", "name"}, container.ConcurrentHashMap).
+		Edge("yz", "y", "z", []string{"child"}, container.Cell).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFigure2Decomposition(t *testing.T) {
+	d := buildDirTree(t)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x := d.NodeByName("x")
+	if x == nil || !rel.ColsEqual(x.A, []string{"parent"}) || !rel.ColsEqual(x.B, []string{"child", "name"}) {
+		t.Fatalf("x type wrong: %v", x)
+	}
+	y := d.NodeByName("y")
+	if y == nil || !rel.ColsEqual(y.A, []string{"name", "parent"}) || !rel.ColsEqual(y.B, []string{"child"}) {
+		t.Fatalf("y type wrong: %v", y)
+	}
+	z := d.NodeByName("z")
+	if z == nil || !z.IsUnit() {
+		t.Fatalf("z should be a unit node: %v", z)
+	}
+	if len(y.In) != 2 {
+		t.Fatalf("y should have 2 in-edges (diamond), got %d", len(y.In))
+	}
+	// Topological order: root first, indexes match positions.
+	if d.Nodes[0] != d.Root {
+		t.Fatal("root must be first in topo order")
+	}
+	for _, e := range d.Edges {
+		if e.Src.Index >= e.Dst.Index {
+			t.Fatalf("edge %s violates topo order", e.Name)
+		}
+	}
+}
+
+func TestBuilderConflictingJoinTypes(t *testing.T) {
+	// y reached with different column sets along two paths must fail.
+	_, err := NewBuilder(dirSpec(), "ρ").
+		Edge("ρx", "ρ", "x", []string{"parent"}, container.TreeMap).
+		Edge("xy", "x", "y", []string{"name"}, container.TreeMap).
+		Edge("ρy", "ρ", "y", []string{"parent"}, container.HashMap). // wrong cols
+		Edge("yz", "y", "z", []string{"child"}, container.Cell).
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "conflicting types") {
+		t.Fatalf("want conflicting-types error, got %v", err)
+	}
+}
+
+func TestBuilderUnreachableNode(t *testing.T) {
+	_, err := NewBuilder(graphSpec(), "ρ").
+		Edge("uv", "u", "v", []string{"src"}, container.HashMap). // u never reached
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("want unreachable error, got %v", err)
+	}
+}
+
+func TestValidateRejectsBadUnitEdge(t *testing.T) {
+	// Cell edge over a column not functionally determined must fail:
+	// src alone does not determine dst.
+	_, err := NewBuilder(graphSpec(), "ρ").
+		Edge("ρu", "ρ", "u", []string{"src"}, container.HashMap).
+		Edge("uv", "u", "v", []string{"dst"}, container.Cell). // src does not determine dst
+		Edge("vw", "v", "w", []string{"weight"}, container.Cell).
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "FD") {
+		t.Fatalf("want FD violation error, got %v", err)
+	}
+}
+
+func TestValidateAcceptsProperUnitEdge(t *testing.T) {
+	// weight is determined by src,dst → Cell edge is legal there.
+	d, err := NewBuilder(graphSpec(), "ρ").
+		Edge("ρu", "ρ", "u", []string{"src"}, container.HashMap).
+		Edge("uv", "u", "v", []string{"dst"}, container.TreeMap).
+		Edge("vw", "v", "w", []string{"weight"}, container.Cell).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.EdgeByName("vw").IsUnitEdge() {
+		t.Fatal("vw should be a unit edge")
+	}
+}
+
+func TestValidateRejectsDanglingResidual(t *testing.T) {
+	// Node with residual columns but no outgoing edges.
+	_, err := NewBuilder(graphSpec(), "ρ").
+		Edge("ρu", "ρ", "u", []string{"src"}, container.HashMap).
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "no outgoing edges") {
+		t.Fatalf("want coverage error, got %v", err)
+	}
+}
+
+func TestValidateRejectsUndeclaredColumn(t *testing.T) {
+	_, err := NewBuilder(graphSpec(), "ρ").
+		Edge("ρu", "ρ", "u", []string{"nope"}, container.HashMap).
+		Build()
+	if err == nil {
+		t.Fatal("want undeclared column error")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	d := buildDirTree(t)
+	ρ, x, y, z := d.Root, d.NodeByName("x"), d.NodeByName("y"), d.NodeByName("z")
+	cases := []struct {
+		a, b *Node
+		want bool
+	}{
+		{ρ, x, true}, {ρ, y, true}, {ρ, z, true}, {ρ, ρ, true},
+		{x, y, false}, // y also reachable via ρy
+		{x, z, false},
+		{y, z, true}, // all paths to z go through y
+		{x, ρ, false}, {y, x, false}, {z, z, true},
+	}
+	for _, c := range cases {
+		if got := d.Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%s, %s) = %v, want %v", c.a.Name, c.b.Name, got, c.want)
+		}
+	}
+}
+
+func TestPathsBetween(t *testing.T) {
+	d := buildDirTree(t)
+	paths := d.PathsBetween(d.Root, d.NodeByName("y"))
+	if len(paths) != 2 {
+		t.Fatalf("want 2 paths ρ→y, got %d", len(paths))
+	}
+	paths = d.PathsBetween(d.Root, d.NodeByName("z"))
+	if len(paths) != 2 {
+		t.Fatalf("want 2 paths ρ→z, got %d", len(paths))
+	}
+	paths = d.PathsBetween(d.NodeByName("y"), d.NodeByName("z"))
+	if len(paths) != 1 {
+		t.Fatalf("want 1 path y→z, got %d", len(paths))
+	}
+}
+
+func TestAllColumnsOnPaths(t *testing.T) {
+	d := buildDirTree(t)
+	for name, cols := range d.AllColumnsOnPaths() {
+		if !rel.ColsEqual(cols, d.Spec.Columns) {
+			t.Errorf("node %s: A∪B = %v, want all columns", name, cols)
+		}
+	}
+}
+
+func TestLookupHelpers(t *testing.T) {
+	d := buildDirTree(t)
+	if d.NodeByName("nope") != nil || d.EdgeByName("nope") != nil {
+		t.Fatal("lookup of missing name should be nil")
+	}
+	if d.EdgeBetween("ρ", "x") == nil || d.EdgeBetween("x", "ρ") != nil {
+		t.Fatal("EdgeBetween broken")
+	}
+}
+
+func TestKeyOf(t *testing.T) {
+	d := buildDirTree(t)
+	e := d.EdgeByName("ρy")
+	tu := rel.T("parent", 2, "name", "b", "child", 3)
+	k := e.KeyOf(tu)
+	if k.Len() != 2 || !rel.Equal(k.At(0), 2) || !rel.Equal(k.At(1), "b") {
+		t.Fatalf("KeyOf = %v", k)
+	}
+}
+
+func TestToDOT(t *testing.T) {
+	d := buildDirTree(t)
+	dot := d.ToDOT("dcache")
+	for _, want := range []string{"digraph", "ρ", "style=dotted", "style=dashed", "style=solid", "TreeMap"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	d := buildDirTree(t)
+	s := d.String()
+	if !strings.Contains(s, "ρx") || !strings.Contains(s, "▷") {
+		t.Fatalf("String() missing content:\n%s", s)
+	}
+}
+
+func TestDeterministicTopoOrder(t *testing.T) {
+	// Rebuilding the same decomposition must give identical node indexes
+	// (the lock order depends on it).
+	a := buildDirTree(t)
+	b := buildDirTree(t)
+	for i := range a.Nodes {
+		if a.Nodes[i].Name != b.Nodes[i].Name {
+			t.Fatalf("topo order not deterministic: %s vs %s at %d", a.Nodes[i].Name, b.Nodes[i].Name, i)
+		}
+	}
+}

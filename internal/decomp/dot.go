@@ -1,0 +1,40 @@
+package decomp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/container"
+)
+
+// ToDOT renders the decomposition in Graphviz DOT syntax using the visual
+// conventions of Figures 2 and 3: solid edges for TreeMap, dashed for the
+// concurrent maps, dotted for singleton (Cell) edges. Each edge is
+// labelled with its column set; each node with its name and type.
+func (d *Decomposition) ToDOT(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=TB;\n  node [shape=circle];\n")
+	for _, n := range d.Nodes {
+		fmt.Fprintf(&b, "  %q [label=\"%s\\n{%s}▷{%s}\"];\n",
+			n.Name, n.Name, strings.Join(n.A, ","), strings.Join(n.B, ","))
+	}
+	for _, e := range d.Edges {
+		style := edgeStyle(e.Container)
+		fmt.Fprintf(&b, "  %q -> %q [label=\"{%s}\\n%s\", style=%s];\n",
+			e.Src.Name, e.Dst.Name, strings.Join(e.Cols, ","), e.Container, style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func edgeStyle(k container.Kind) string {
+	switch k {
+	case container.Cell:
+		return "dotted"
+	case container.ConcurrentHashMap, container.ConcurrentSkipListMap, container.CopyOnWriteMap:
+		return "dashed"
+	default:
+		return "solid"
+	}
+}

@@ -1,0 +1,264 @@
+package decomp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/container"
+	"repro/internal/rel"
+)
+
+// This file implements the structure-enumeration half of the autotuner
+// (§6.1): "To enumerate decompositions, the autotuner first chooses an
+// adequate decomposition structure, exactly as for the non-concurrent
+// case [12]."
+//
+// Enumeration works on the observation (enforced by Validate) that for a
+// node of type A ▷ B, every outgoing edge with columns X ⊆ B leads to a
+// sub-decomposition of type (A ∪ X) ▷ (B \ X); since A ∪ B is always the
+// full column set, a node's type is determined by A alone. Structures are
+// therefore trees of column-set choices, and hash-consing nodes by A turns
+// shared suffixes into DAG joins — which is exactly how the diamond of
+// Figure 3(c) arises from the split of Figure 3(b).
+
+// EnumOptions bounds structure enumeration.
+type EnumOptions struct {
+	// MaxFanout is the maximum number of outgoing edges per node
+	// (secondary indexes of the same subrelation). Default 2.
+	MaxFanout int
+	// MaxEdgeCols caps how many columns one edge may consume. Default 2.
+	MaxEdgeCols int
+	// Limit caps the number of decompositions returned. Default 512.
+	Limit int
+	// Share hash-conses nodes with equal bound-column sets, producing
+	// DAGs (diamonds) instead of trees where subtrees coincide.
+	Share bool
+	// MapContainer is assigned to ordinary edges (default TreeMap); unit
+	// edges (source functionally determines the edge columns) always get
+	// container.Cell. The concurrent autotuner re-assigns containers per
+	// placement afterwards.
+	MapContainer container.Kind
+}
+
+func (o EnumOptions) withDefaults() EnumOptions {
+	if o.MaxFanout == 0 {
+		o.MaxFanout = 2
+	}
+	if o.MaxEdgeCols == 0 {
+		o.MaxEdgeCols = 2
+	}
+	if o.Limit == 0 {
+		o.Limit = 512
+	}
+	if o.MapContainer == 0 {
+		o.MapContainer = container.TreeMap
+	}
+	return o
+}
+
+// shape is an enumerated structure: a tree of column-set choices. Sharing
+// is applied at materialization time.
+type shape struct {
+	edges []shapeEdge
+}
+
+type shapeEdge struct {
+	cols []string
+	sub  *shape
+}
+
+// canon returns a canonical string for deduplication; edge order is
+// irrelevant, so edges are sorted by their rendering.
+func (s *shape) canon() string {
+	if s == nil || len(s.edges) == 0 {
+		return "·"
+	}
+	parts := make([]string, len(s.edges))
+	for i, e := range s.edges {
+		parts[i] = strings.Join(e.cols, ",") + "→" + e.sub.canon()
+	}
+	sort.Strings(parts)
+	return "(" + strings.Join(parts, " | ") + ")"
+}
+
+// Enumerate returns adequate decompositions of spec within the given
+// bounds, built with deterministic node names ("n" + sorted bound
+// columns) so repeated runs agree. All results pass Validate.
+func Enumerate(spec rel.Spec, opts EnumOptions) ([]*Decomposition, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+
+	memo := map[string][]*shape{}
+	var enum func(a, b []string) []*shape
+	enum = func(a, b []string) []*shape {
+		key := strings.Join(a, ",") + "|" + strings.Join(b, ",")
+		if got, ok := memo[key]; ok {
+			return got
+		}
+		if len(b) == 0 {
+			leaf := &shape{}
+			memo[key] = []*shape{leaf}
+			return memo[key]
+		}
+		// Single-edge alternatives for this node.
+		var singles []shapeEdge
+		for _, x := range subsets(b, opts.MaxEdgeCols) {
+			for _, sub := range enum(rel.ColsUnion(a, x), rel.ColsMinus(b, x)) {
+				singles = append(singles, shapeEdge{cols: x, sub: sub})
+			}
+		}
+		var shapes []*shape
+		seen := map[string]bool{}
+		add := func(s *shape) {
+			c := s.canon()
+			if !seen[c] {
+				seen[c] = true
+				shapes = append(shapes, s)
+			}
+		}
+		for _, e := range singles {
+			add(&shape{edges: []shapeEdge{e}})
+		}
+		if opts.MaxFanout >= 2 {
+			for i := 0; i < len(singles); i++ {
+				for j := i + 1; j < len(singles); j++ {
+					// Two alternative indexes only make sense when they
+					// start with different column sets.
+					if rel.ColsEqual(singles[i].cols, singles[j].cols) {
+						continue
+					}
+					add(&shape{edges: []shapeEdge{singles[i], singles[j]}})
+				}
+			}
+		}
+		memo[key] = shapes
+		return shapes
+	}
+
+	shapes := enum(nil, spec.Columns)
+	out := make([]*Decomposition, 0, len(shapes))
+	seen := map[string]bool{}
+	for _, s := range shapes {
+		if len(out) >= opts.Limit {
+			break
+		}
+		d, err := materialize(spec, s, opts)
+		if err != nil {
+			return nil, fmt.Errorf("decomp: enumerated shape failed to materialize: %w", err)
+		}
+		// Sharing can collapse distinct shapes onto one DAG (the second
+		// subtree under a shared node is dropped); deduplicate by
+		// structural signature.
+		sig := signature(d)
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// WithContainers rebuilds the decomposition with per-edge container kinds
+// chosen by f (given each edge of the original). Unit edges should remain
+// container.Cell; Validate enforces the FD obligation either way. The
+// concurrent autotuner uses this to re-assign containers after choosing a
+// lock placement (§6.1).
+func (d *Decomposition) WithContainers(f func(*Edge) container.Kind) (*Decomposition, error) {
+	b := NewBuilder(d.Spec, d.Root.Name)
+	for _, e := range d.Edges {
+		b.Edge(e.Name, e.Src.Name, e.Dst.Name, e.Cols, f(e))
+	}
+	return b.Build()
+}
+
+// signature canonically renders a decomposition's structure: edges as
+// (source bound columns) → (edge columns, container), sorted.
+func signature(d *Decomposition) string {
+	parts := make([]string, 0, len(d.Edges))
+	for _, e := range d.Edges {
+		parts = append(parts, fmt.Sprintf("{%s}-%s:%s->{%s}",
+			strings.Join(e.Src.A, ","), strings.Join(e.Cols, ","), e.Container, strings.Join(e.Dst.A, ",")))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ";")
+}
+
+// subsets returns the nonempty subsets of cols with at most maxSize
+// elements, each sorted.
+func subsets(cols []string, maxSize int) [][]string {
+	var out [][]string
+	n := len(cols)
+	for mask := 1; mask < 1<<n; mask++ {
+		var s []string
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				s = append(s, cols[i])
+			}
+		}
+		if len(s) <= maxSize {
+			sort.Strings(s)
+			out = append(out, s)
+		}
+	}
+	// Deterministic order: by size then lexicographic.
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return strings.Join(out[i], ",") < strings.Join(out[j], ",")
+	})
+	return out
+}
+
+// materialize turns a shape into a validated Decomposition via Builder,
+// hash-consing node names by bound columns when sharing is enabled.
+func materialize(spec rel.Spec, s *shape, opts EnumOptions) (*Decomposition, error) {
+	b := NewBuilder(spec, "ρ")
+	names := map[string]string{} // bound-column key → node name
+	fresh := 0
+	nodeName := func(a []string) string {
+		key := strings.Join(a, ",")
+		if opts.Share {
+			if n, ok := names[key]; ok {
+				return n
+			}
+		} else {
+			key = fmt.Sprintf("%s#%d", key, fresh)
+		}
+		fresh++
+		n := fmt.Sprintf("n%d", fresh)
+		names[key] = n
+		return n
+	}
+	visited := map[string]bool{} // emitted node names (sharing: emit once)
+	edgeID := 0
+	var emit func(srcName string, a []string, s *shape) error
+	emit = func(srcName string, a []string, s *shape) error {
+		if visited[srcName] {
+			return nil
+		}
+		visited[srcName] = true
+		for _, e := range s.edges {
+			dstA := rel.ColsUnion(a, e.cols)
+			dstName := nodeName(dstA)
+			kind := opts.MapContainer
+			if spec.Determines(a, e.cols) {
+				kind = container.Cell
+			}
+			edgeID++
+			b.Edge(fmt.Sprintf("e%d", edgeID), srcName, dstName, e.cols, kind)
+			if err := emit(dstName, dstA, e.sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := emit("ρ", nil, s); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}

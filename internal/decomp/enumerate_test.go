@@ -1,0 +1,210 @@
+package decomp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/container"
+	"repro/internal/rel"
+)
+
+func enumGraphSpec() rel.Spec {
+	return rel.MustSpec([]string{"src", "dst", "weight"},
+		rel.FD{From: []string{"src", "dst"}, To: []string{"weight"}})
+}
+
+func TestEnumerateAllValidate(t *testing.T) {
+	for _, share := range []bool{false, true} {
+		ds, err := Enumerate(enumGraphSpec(), EnumOptions{Share: share, Limit: 2000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ds) == 0 {
+			t.Fatal("no decompositions enumerated")
+		}
+		for _, d := range ds {
+			if err := d.Validate(); err != nil {
+				t.Fatalf("share=%v: invalid decomposition:\n%s\n%v", share, d, err)
+			}
+		}
+		t.Logf("share=%v: %d structures", share, len(ds))
+	}
+}
+
+// TestEnumerateFindsFigure3Structures checks that the generic enumerator
+// discovers all three hand-drawn structures of Figure 3: the stick, the
+// split (two independent indexes) and — with sharing — the diamond.
+func TestEnumerateFindsFigure3Structures(t *testing.T) {
+	match := func(ds []*Decomposition, want func(*Decomposition) bool) bool {
+		for _, d := range ds {
+			if want(d) {
+				return true
+			}
+		}
+		return false
+	}
+	isStick := func(d *Decomposition) bool {
+		// ρ-{src}→·-{dst}→·-{weight}→·, single chain.
+		if len(d.Edges) != 3 || len(d.Root.Out) != 1 {
+			return false
+		}
+		e0 := d.Root.Out[0]
+		if !rel.ColsEqual(e0.Cols, []string{"src"}) || len(e0.Dst.Out) != 1 {
+			return false
+		}
+		e1 := e0.Dst.Out[0]
+		return rel.ColsEqual(e1.Cols, []string{"dst"}) && len(e1.Dst.Out) == 1 &&
+			rel.ColsEqual(e1.Dst.Out[0].Cols, []string{"weight"})
+	}
+	isSplit := func(d *Decomposition) bool {
+		// Root fans out {src} and {dst}; six edges, no shared nodes.
+		if len(d.Root.Out) != 2 || len(d.Edges) != 6 {
+			return false
+		}
+		cols := map[string]bool{}
+		for _, e := range d.Root.Out {
+			cols[strings.Join(e.Cols, ",")] = true
+		}
+		return cols["src"] && cols["dst"]
+	}
+	isDiamond := func(d *Decomposition) bool {
+		// Root fans out {src} and {dst}, and some node has two parents.
+		if len(d.Root.Out) != 2 {
+			return false
+		}
+		cols := map[string]bool{}
+		for _, e := range d.Root.Out {
+			cols[strings.Join(e.Cols, ",")] = true
+		}
+		if !cols["src"] || !cols["dst"] {
+			return false
+		}
+		for _, n := range d.Nodes {
+			if len(n.In) >= 2 {
+				return true
+			}
+		}
+		return false
+	}
+
+	noShare, err := Enumerate(enumGraphSpec(), EnumOptions{Share: false, Limit: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !match(noShare, isStick) {
+		t.Error("stick structure not enumerated")
+	}
+	if !match(noShare, isSplit) {
+		t.Error("split structure not enumerated")
+	}
+	shared, err := Enumerate(enumGraphSpec(), EnumOptions{Share: true, Limit: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !match(shared, isDiamond) {
+		t.Error("diamond structure not enumerated with sharing")
+	}
+}
+
+func TestEnumerateAssignsCells(t *testing.T) {
+	ds, err := Enumerate(enumGraphSpec(), EnumOptions{Limit: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every edge over {weight} out of a node binding {src,dst} must be a
+	// Cell (the FD determines it); weight edges out of lesser nodes must
+	// not be.
+	checked := 0
+	for _, d := range ds {
+		for _, e := range d.Edges {
+			if rel.ColsEqual(e.Cols, []string{"weight"}) {
+				determined := enumGraphSpec().Determines(e.Src.A, e.Cols)
+				if determined != (e.Container == container.Cell) {
+					t.Fatalf("edge %s: determined=%v but container=%v in\n%s", e.Name, determined, e.Container, d)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no weight edges checked")
+	}
+}
+
+func TestEnumerateRespectsLimit(t *testing.T) {
+	ds, err := Enumerate(enumGraphSpec(), EnumOptions{Limit: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 7 {
+		t.Fatalf("limit ignored: %d", len(ds))
+	}
+}
+
+func TestEnumerateDeterministic(t *testing.T) {
+	a, err := Enumerate(enumGraphSpec(), EnumOptions{Limit: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Enumerate(enumGraphSpec(), EnumOptions{Limit: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic count")
+	}
+	for i := range a {
+		if signature(a[i]) != signature(b[i]) {
+			t.Fatalf("order differs at %d", i)
+		}
+	}
+}
+
+func TestEnumerateDcacheSpec(t *testing.T) {
+	spec := rel.MustSpec([]string{"parent", "name", "child"},
+		rel.FD{From: []string{"parent", "name"}, To: []string{"child"}})
+	ds, err := Enumerate(spec, EnumOptions{Share: true, Limit: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Figure 2(a) structure must appear: root edges {parent} and
+	// {parent,name}, sharing the (parent,name)-bound node.
+	found := false
+	for _, d := range ds {
+		if len(d.Root.Out) != 2 {
+			continue
+		}
+		var one, two *Edge
+		for _, e := range d.Root.Out {
+			switch len(e.Cols) {
+			case 1:
+				one = e
+			case 2:
+				two = e
+			}
+		}
+		if one == nil || two == nil {
+			continue
+		}
+		if rel.ColsEqual(one.Cols, []string{"parent"}) &&
+			rel.ColsEqual(two.Cols, []string{"name", "parent"}) &&
+			len(two.Dst.In) == 2 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("Figure 2(a) structure not found among enumerated dcache decompositions")
+	}
+}
+
+func TestSubsets(t *testing.T) {
+	ss := subsets([]string{"a", "b", "c"}, 2)
+	if len(ss) != 6 { // 3 singletons + 3 pairs
+		t.Fatalf("subsets = %v", ss)
+	}
+	ss3 := subsets([]string{"a", "b", "c"}, 3)
+	if len(ss3) != 7 {
+		t.Fatalf("subsets(3) = %v", ss3)
+	}
+}

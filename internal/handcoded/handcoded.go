@@ -1,0 +1,143 @@
+// Package handcoded is the hand-written comparator of §6.2: a concurrent
+// directed graph written the way a careful Go programmer would write it
+// by hand, without the synthesizer. Structurally it is "essentially Split
+// 4" (the paper's words about its own hand-written Java version): two
+// sharded indexes — forward (src → successors) and backward (dst →
+// predecessors) — with per-shard read/write locks acquired in a fixed
+// global order (all forward shards before all backward shards) so
+// cross-index operations cannot deadlock.
+package handcoded
+
+import "sync"
+
+const shardCount = 64
+
+type shard struct {
+	mu sync.RWMutex
+	// adj maps a node to its neighbor→weight map.
+	adj map[int64]map[int64]int64
+}
+
+// Graph is a hand-written concurrent directed graph with put-if-absent
+// edge insertion, keyed edge removal, and successor/predecessor queries.
+// The zero value is not usable; call New.
+type Graph struct {
+	fwd [shardCount]shard
+	bwd [shardCount]shard
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	g := &Graph{}
+	for i := range g.fwd {
+		g.fwd[i].adj = make(map[int64]map[int64]int64)
+		g.bwd[i].adj = make(map[int64]map[int64]int64)
+	}
+	return g
+}
+
+func shardOf(node int64) int {
+	// Fibonacci hashing spreads sequential ids across shards.
+	return int((uint64(node) * 0x9e3779b97f4a7c15) >> 58 % shardCount)
+}
+
+// FindSuccessors returns the number of outgoing edges of src.
+func (g *Graph) FindSuccessors(src int64) int {
+	s := &g.fwd[shardOf(src)]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.adj[src])
+}
+
+// FindPredecessors returns the number of incoming edges of dst.
+func (g *Graph) FindPredecessors(dst int64) int {
+	s := &g.bwd[shardOf(dst)]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.adj[dst])
+}
+
+// InsertEdge inserts (src, dst, weight) unless an edge with the same src
+// and dst already exists, reporting whether the insertion happened. Both
+// indexes are updated atomically under the two shard locks, always
+// acquired forward-index first.
+func (g *Graph) InsertEdge(src, dst, weight int64) bool {
+	fs := &g.fwd[shardOf(src)]
+	bs := &g.bwd[shardOf(dst)]
+	fs.mu.Lock()
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	defer fs.mu.Unlock()
+	if _, dup := fs.adj[src][dst]; dup {
+		return false
+	}
+	if fs.adj[src] == nil {
+		fs.adj[src] = make(map[int64]int64)
+	}
+	fs.adj[src][dst] = weight
+	if bs.adj[dst] == nil {
+		bs.adj[dst] = make(map[int64]int64)
+	}
+	bs.adj[dst][src] = weight
+	return true
+}
+
+// RemoveEdge removes the edge (src, dst) from both indexes, reporting
+// whether it existed.
+func (g *Graph) RemoveEdge(src, dst int64) bool {
+	fs := &g.fwd[shardOf(src)]
+	bs := &g.bwd[shardOf(dst)]
+	fs.mu.Lock()
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.adj[src][dst]; !ok {
+		return false
+	}
+	delete(fs.adj[src], dst)
+	if len(fs.adj[src]) == 0 {
+		delete(fs.adj, src)
+	}
+	delete(bs.adj[dst], src)
+	if len(bs.adj[dst]) == 0 {
+		delete(bs.adj, dst)
+	}
+	return true
+}
+
+// Successors returns a copy of src's successor map (used by tests).
+func (g *Graph) Successors(src int64) map[int64]int64 {
+	s := &g.fwd[shardOf(src)]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[int64]int64, len(s.adj[src]))
+	for d, w := range s.adj[src] {
+		out[d] = w
+	}
+	return out
+}
+
+// Predecessors returns a copy of dst's predecessor map (used by tests).
+func (g *Graph) Predecessors(dst int64) map[int64]int64 {
+	s := &g.bwd[shardOf(dst)]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[int64]int64, len(s.adj[dst]))
+	for sNode, w := range s.adj[dst] {
+		out[sNode] = w
+	}
+	return out
+}
+
+// Len returns the total number of edges (forward index).
+func (g *Graph) Len() int {
+	n := 0
+	for i := range g.fwd {
+		g.fwd[i].mu.RLock()
+		for _, m := range g.fwd[i].adj {
+			n += len(m)
+		}
+		g.fwd[i].mu.RUnlock()
+	}
+	return n
+}

@@ -1,0 +1,122 @@
+package handcoded
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	g := New()
+	if !g.InsertEdge(1, 2, 42) {
+		t.Fatal("insert failed")
+	}
+	if g.InsertEdge(1, 2, 99) {
+		t.Fatal("duplicate insert accepted")
+	}
+	if g.FindSuccessors(1) != 1 || g.FindPredecessors(2) != 1 {
+		t.Fatal("counts wrong")
+	}
+	if w := g.Successors(1)[2]; w != 42 {
+		t.Fatalf("weight = %d", w)
+	}
+	if w := g.Predecessors(2)[1]; w != 42 {
+		t.Fatalf("pred weight = %d", w)
+	}
+	if !g.RemoveEdge(1, 2) {
+		t.Fatal("remove failed")
+	}
+	if g.RemoveEdge(1, 2) {
+		t.Fatal("double remove succeeded")
+	}
+	if g.Len() != 0 {
+		t.Fatal("graph not empty")
+	}
+}
+
+func TestIndexesStayInSync(t *testing.T) {
+	g := New()
+	r := rand.New(rand.NewSource(5))
+	type edge struct{ s, d int64 }
+	model := map[edge]int64{}
+	for i := 0; i < 5000; i++ {
+		s, d := int64(r.Intn(50)), int64(r.Intn(50))
+		if r.Intn(2) == 0 {
+			w := int64(r.Intn(1000))
+			ins := g.InsertEdge(s, d, w)
+			_, had := model[edge{s, d}]
+			if ins == had {
+				t.Fatalf("step %d: insert=%v but model had=%v", i, ins, had)
+			}
+			if ins {
+				model[edge{s, d}] = w
+			}
+		} else {
+			rm := g.RemoveEdge(s, d)
+			_, had := model[edge{s, d}]
+			if rm != had {
+				t.Fatalf("step %d: remove=%v but model had=%v", i, rm, had)
+			}
+			delete(model, edge{s, d})
+		}
+	}
+	if g.Len() != len(model) {
+		t.Fatalf("Len=%d model=%d", g.Len(), len(model))
+	}
+	// Forward and backward agree with the model.
+	for e, w := range model {
+		if g.Successors(e.s)[e.d] != w {
+			t.Fatalf("fwd missing %v", e)
+		}
+		if g.Predecessors(e.d)[e.s] != w {
+			t.Fatalf("bwd missing %v", e)
+		}
+	}
+}
+
+func TestConcurrentNoDeadlockAndCoherent(t *testing.T) {
+	g := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 3000; i++ {
+				s, d := int64(r.Intn(20)), int64(r.Intn(20))
+				switch r.Intn(4) {
+				case 0:
+					g.InsertEdge(s, d, int64(i))
+				case 1:
+					g.RemoveEdge(s, d)
+				case 2:
+					g.FindSuccessors(s)
+				default:
+					g.FindPredecessors(d)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	// Quiescent: forward and backward indexes agree edge for edge.
+	fwd := map[[2]int64]int64{}
+	for s := int64(0); s < 20; s++ {
+		for d, w := range g.Successors(s) {
+			fwd[[2]int64{s, d}] = w
+		}
+	}
+	bwd := map[[2]int64]int64{}
+	for d := int64(0); d < 20; d++ {
+		for s, w := range g.Predecessors(d) {
+			bwd[[2]int64{s, d}] = w
+		}
+	}
+	if len(fwd) != len(bwd) {
+		t.Fatalf("index sizes diverge: %d vs %d", len(fwd), len(bwd))
+	}
+	for e, w := range fwd {
+		if bwd[e] != w {
+			t.Fatalf("edge %v weight fwd=%d bwd=%d", e, w, bwd[e])
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Package linearize implements a Wing–Gong style linearizability checker.
+// The paper's compiler guarantees that relational operations are
+// linearizable (§2, [15]); this package checks that claim on concrete
+// concurrent histories recorded against synthesized relations: a history
+// is linearizable iff there is a total order of the operations, consistent
+// with their real-time invocation/response intervals, under which every
+// operation returns what the sequential specification dictates.
+package linearize
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"repro/internal/rel"
+)
+
+// Operation is one completed operation in a concurrent history.
+type Operation struct {
+	// Client identifies the issuing thread (diagnostic only).
+	Client int
+	// Kind names the operation ("insert", "remove", "query", …).
+	Kind string
+	// Args are the operation inputs, interpreted by the Model.
+	Args []any
+	// Ret is the observed return value.
+	Ret any
+	// Start and End are the invocation and response timestamps; any
+	// monotonic clock works as long as all operations share it.
+	Start, End int64
+}
+
+// String renders the operation compactly for diagnostics.
+func (o Operation) String() string {
+	return fmt.Sprintf("[c%d %s%v -> %v @%d..%d]", o.Client, o.Kind, o.Args, o.Ret, o.Start, o.End)
+}
+
+// Model is a sequential specification: a functional state machine with
+// canonical state fingerprints (used to memoize the search).
+type Model struct {
+	// Init returns the initial state.
+	Init func() any
+	// Step applies op's inputs to the state, returning the successor
+	// state and the return value the sequential specification expects.
+	// Step must not mutate its input state.
+	Step func(state any, op Operation) (next any, ret any)
+	// Fingerprint canonicalizes a state for memoization.
+	Fingerprint func(state any) string
+	// RetEqual compares an expected return value with an observed one.
+	RetEqual func(expected, observed any) bool
+}
+
+// Check reports whether the history is linearizable with respect to the
+// model. Histories are limited to 64 operations (the search uses a
+// bitmask); recorded test histories are far smaller.
+func Check(m Model, history []Operation) bool {
+	n := len(history)
+	if n == 0 {
+		return true
+	}
+	if n > 64 {
+		panic("linearize: history longer than 64 operations")
+	}
+	ops := append([]Operation(nil), history...)
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Start < ops[j].Start })
+
+	full := uint64(1)<<n - 1
+	memo := map[string]bool{}
+	var dfs func(remaining uint64, state any) bool
+	dfs = func(remaining uint64, state any) bool {
+		if remaining == 0 {
+			return true
+		}
+		key := fmt.Sprintf("%x|%s", remaining, m.Fingerprint(state))
+		if seen, ok := memo[key]; ok {
+			return seen
+		}
+		// An operation may linearize first only if no other remaining
+		// operation completed before it began.
+		minEnd := int64(1<<63 - 1)
+		for r := remaining; r != 0; r &= r - 1 {
+			i := bits.TrailingZeros64(r)
+			if ops[i].End < minEnd {
+				minEnd = ops[i].End
+			}
+		}
+		ok := false
+		for r := remaining; r != 0; r &= r - 1 {
+			i := bits.TrailingZeros64(r)
+			if ops[i].Start > minEnd {
+				continue
+			}
+			next, expected := m.Step(state, ops[i])
+			if !m.RetEqual(expected, ops[i].Ret) {
+				continue
+			}
+			if dfs(remaining&^(1<<i), next) {
+				ok = true
+				break
+			}
+		}
+		memo[key] = ok
+		return ok
+	}
+	return dfs(full, m.Init())
+}
+
+// relState is the canonical relation state used by RelationModel: a sorted
+// tuple slice treated immutably.
+type relState []rel.Tuple
+
+func (s relState) clone() relState {
+	return append(relState(nil), s...)
+}
+
+func (s relState) fingerprint() string {
+	var b strings.Builder
+	for _, t := range s {
+		b.WriteString(t.String())
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// RelationModel returns the sequential specification of a concurrent
+// relation (§2) for use with Check. Operations:
+//
+//	{Kind: "insert", Args: []any{s, t rel.Tuple}, Ret: bool}
+//	{Kind: "remove", Args: []any{s rel.Tuple}, Ret: bool}
+//	{Kind: "query",  Args: []any{s rel.Tuple, out []string}, Ret: []rel.Tuple}
+//
+// Query results are compared as multisets (order independent).
+func RelationModel() Model {
+	return Model{
+		Init: func() any { return relState(nil) },
+		Step: func(state any, op Operation) (any, any) {
+			s := state.(relState)
+			switch op.Kind {
+			case "insert":
+				key := op.Args[0].(rel.Tuple)
+				val := op.Args[1].(rel.Tuple)
+				for _, t := range s {
+					if t.Extends(key) {
+						return s, false
+					}
+				}
+				next := s.clone()
+				next = append(next, key.MustUnion(val))
+				sort.Slice(next, func(i, j int) bool { return next[i].Compare(next[j]) < 0 })
+				return next, true
+			case "remove":
+				key := op.Args[0].(rel.Tuple)
+				next := relState(nil)
+				removed := false
+				for _, t := range s {
+					if t.Extends(key) {
+						removed = true
+						continue
+					}
+					next = append(next, t)
+				}
+				if !removed {
+					return s, false
+				}
+				return next, true
+			case "query":
+				key := op.Args[0].(rel.Tuple)
+				out := op.Args[1].([]string)
+				var res []rel.Tuple
+				for _, t := range s {
+					if t.Extends(key) {
+						res = append(res, t.Project(out))
+					}
+				}
+				sort.Slice(res, func(i, j int) bool { return res[i].Compare(res[j]) < 0 })
+				return s, res
+			default:
+				panic("linearize: unknown operation " + op.Kind)
+			}
+		},
+		Fingerprint: func(state any) string { return state.(relState).fingerprint() },
+		RetEqual: func(expected, observed any) bool {
+			switch e := expected.(type) {
+			case bool:
+				o, ok := observed.(bool)
+				return ok && e == o
+			case []rel.Tuple:
+				o, ok := observed.([]rel.Tuple)
+				if !ok || len(e) != len(o) {
+					return false
+				}
+				os := append([]rel.Tuple(nil), o...)
+				sort.Slice(os, func(i, j int) bool { return os[i].Compare(os[j]) < 0 })
+				for i := range e {
+					if !e[i].Equal(os[i]) {
+						return false
+					}
+				}
+				return true
+			default:
+				return false
+			}
+		},
+	}
+}

@@ -1,0 +1,163 @@
+package linearize
+
+import (
+	"testing"
+
+	"repro/internal/rel"
+)
+
+func ins(c int, s, t rel.Tuple, ret bool, start, end int64) Operation {
+	return Operation{Client: c, Kind: "insert", Args: []any{s, t}, Ret: ret, Start: start, End: end}
+}
+
+func rem(c int, s rel.Tuple, ret bool, start, end int64) Operation {
+	return Operation{Client: c, Kind: "remove", Args: []any{s}, Ret: ret, Start: start, End: end}
+}
+
+func qry(c int, s rel.Tuple, out []string, ret []rel.Tuple, start, end int64) Operation {
+	return Operation{Client: c, Kind: "query", Args: []any{s, out}, Ret: ret, Start: start, End: end}
+}
+
+func key(src, dst int) rel.Tuple         { return rel.T("src", src, "dst", dst) }
+func wgt(w int) rel.Tuple                { return rel.T("weight", w) }
+func full(s, d, w int) rel.Tuple         { return rel.T("src", s, "dst", d, "weight", w) }
+func outAll() []string                   { return []string{"dst", "src", "weight"} }
+func tuples(ts ...rel.Tuple) []rel.Tuple { return ts }
+
+func TestEmptyHistory(t *testing.T) {
+	if !Check(RelationModel(), nil) {
+		t.Fatal("empty history must be linearizable")
+	}
+}
+
+func TestSequentialHistoryLinearizable(t *testing.T) {
+	h := []Operation{
+		ins(0, key(1, 2), wgt(5), true, 0, 1),
+		qry(0, rel.T("src", 1), outAll(), tuples(full(1, 2, 5)), 2, 3),
+		rem(0, key(1, 2), true, 4, 5),
+		qry(0, rel.T("src", 1), outAll(), nil, 6, 7),
+	}
+	if !Check(RelationModel(), h) {
+		t.Fatal("sequential history must be linearizable")
+	}
+}
+
+func TestDuplicateInsertRejected(t *testing.T) {
+	h := []Operation{
+		ins(0, key(1, 2), wgt(5), true, 0, 1),
+		ins(0, key(1, 2), wgt(9), false, 2, 3),
+	}
+	if !Check(RelationModel(), h) {
+		t.Fatal("put-if-absent semantics should check out")
+	}
+	// Claiming the second insert succeeded is NOT linearizable.
+	h[1].Ret = true
+	if Check(RelationModel(), h) {
+		t.Fatal("double-success must not be linearizable")
+	}
+}
+
+func TestConcurrentOverlapAllowsEitherOrder(t *testing.T) {
+	// Two overlapping inserts of the same key: exactly one may win, in
+	// either order.
+	winnerFirst := []Operation{
+		ins(0, key(1, 1), wgt(1), true, 0, 10),
+		ins(1, key(1, 1), wgt(2), false, 1, 9),
+	}
+	if !Check(RelationModel(), winnerFirst) {
+		t.Fatal("overlapping inserts, first wins: linearizable")
+	}
+	winnerSecond := []Operation{
+		ins(0, key(1, 1), wgt(1), false, 0, 10),
+		ins(1, key(1, 1), wgt(2), true, 1, 9),
+	}
+	if !Check(RelationModel(), winnerSecond) {
+		t.Fatal("overlapping inserts, second wins: linearizable")
+	}
+	bothWin := []Operation{
+		ins(0, key(1, 1), wgt(1), true, 0, 10),
+		ins(1, key(1, 1), wgt(2), true, 1, 9),
+	}
+	if Check(RelationModel(), bothWin) {
+		t.Fatal("both winning must not be linearizable")
+	}
+}
+
+func TestRealTimeOrderRespected(t *testing.T) {
+	// Insert completes strictly before a query begins: the query MUST see
+	// the tuple.
+	h := []Operation{
+		ins(0, key(1, 2), wgt(5), true, 0, 1),
+		qry(1, rel.T("src", 1), outAll(), nil, 5, 6), // claims empty
+	}
+	if Check(RelationModel(), h) {
+		t.Fatal("stale read after completed insert must not be linearizable")
+	}
+	// But if they overlap, the empty read is allowed.
+	h[1].Start, h[1].End = 0, 6
+	if !Check(RelationModel(), h) {
+		t.Fatal("overlapping read may miss the insert")
+	}
+}
+
+func TestQueryMultisetComparison(t *testing.T) {
+	h := []Operation{
+		ins(0, key(1, 2), wgt(5), true, 0, 1),
+		ins(0, key(1, 3), wgt(6), true, 2, 3),
+		// Result listed in the "wrong" order must still check out.
+		qry(1, rel.T("src", 1), []string{"dst"}, tuples(rel.T("dst", 3), rel.T("dst", 2)), 4, 5),
+	}
+	if !Check(RelationModel(), h) {
+		t.Fatal("query result order must not matter")
+	}
+}
+
+func TestRemoveObservedConcurrently(t *testing.T) {
+	// insert ─ complete; then remove and query overlap: query may see the
+	// tuple or not, but remove must report true.
+	base := []Operation{ins(0, key(7, 8), wgt(1), true, 0, 1)}
+	sawIt := append(base,
+		rem(0, key(7, 8), true, 10, 20),
+		qry(1, rel.T("src", 7), []string{"dst"}, tuples(rel.T("dst", 8)), 11, 19))
+	if !Check(RelationModel(), sawIt) {
+		t.Fatal("query ordered before remove: linearizable")
+	}
+	missedIt := append(base,
+		rem(0, key(7, 8), true, 10, 20),
+		qry(1, rel.T("src", 7), []string{"dst"}, nil, 11, 19))
+	if !Check(RelationModel(), missedIt) {
+		t.Fatal("query ordered after remove: linearizable")
+	}
+	// A remove reporting false while the tuple provably exists is not.
+	badRemove := append(base, rem(0, key(7, 8), false, 10, 20))
+	if Check(RelationModel(), badRemove) {
+		t.Fatal("remove of existing tuple must not report false")
+	}
+}
+
+func TestThreeWayInterleaving(t *testing.T) {
+	// A classic ABA-ish shape: insert, concurrent remove+insert, final
+	// query sees the second weight.
+	h := []Operation{
+		ins(0, key(1, 1), wgt(1), true, 0, 1),
+		rem(1, key(1, 1), true, 2, 8),
+		ins(2, key(1, 1), wgt(2), true, 3, 9),
+		qry(0, rel.T("src", 1, "dst", 1), []string{"weight"}, tuples(rel.T("weight", 2)), 10, 11),
+	}
+	if !Check(RelationModel(), h) {
+		t.Fatal("remove-then-reinsert interleaving must be linearizable")
+	}
+	// Seeing weight 1 at the end is impossible: the re-insert can only
+	// succeed after the remove, both complete before the query.
+	h[3] = qry(0, rel.T("src", 1, "dst", 1), []string{"weight"}, tuples(rel.T("weight", 1)), 10, 11)
+	if Check(RelationModel(), h) {
+		t.Fatal("stale weight must not be linearizable")
+	}
+}
+
+func TestCheckerStringer(t *testing.T) {
+	op := ins(3, key(1, 2), wgt(5), true, 7, 9)
+	if op.String() == "" {
+		t.Fatal("empty op string")
+	}
+}

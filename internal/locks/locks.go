@@ -1,0 +1,273 @@
+// Package locks implements the locking substrate of §§4.2–4.5 and §5.1 of
+// "Concurrent Data Representation Synthesis" (PLDI 2012): physical
+// shared/exclusive locks attached to decomposition node instances, a global
+// total lock order guaranteeing deadlock freedom, a two-phase-locking
+// transaction tracker, and lock placements (including striped and
+// speculative placements) mapping the logical lock of every decomposition
+// edge instance onto a physical lock.
+package locks
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/rel"
+)
+
+// Mode is the access mode of a lock: Shared for transactions that observe
+// the state of protected edges, Exclusive for transactions that change it
+// (§4.2).
+type Mode int
+
+const (
+	// Shared access permits concurrent holders.
+	Shared Mode = iota
+	// Exclusive access excludes all other holders.
+	Exclusive
+)
+
+// String renders the mode as "shared" or "exclusive".
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "exclusive"
+	}
+	return "shared"
+}
+
+// ID identifies a physical lock and defines the global total order of
+// §5.1: first a topological sort of the decomposition nodes the locks
+// belong to, then the lexicographic order of the node-instance key, then
+// the stripe number.
+type ID struct {
+	// Node is the topological index of the decomposition node.
+	Node int
+	// Inst is the node-instance key: the valuation of the node's bound
+	// columns A in sorted column order (empty for the root).
+	Inst rel.Key
+	// Stripe is the index of the physical lock within the instance's
+	// stripe array (§4.4).
+	Stripe int
+}
+
+// CompareIDs orders lock IDs by (Node, Inst, Stripe).
+func CompareIDs(a, b ID) int {
+	switch {
+	case a.Node != b.Node:
+		if a.Node < b.Node {
+			return -1
+		}
+		return 1
+	}
+	if c := rel.CompareKeys(a.Inst, b.Inst); c != 0 {
+		return c
+	}
+	switch {
+	case a.Stripe < b.Stripe:
+		return -1
+	case a.Stripe > b.Stripe:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders the ID as "node3(1, "a")#0".
+func (id ID) String() string {
+	return fmt.Sprintf("node%d%s#%d", id.Node, id.Inst, id.Stripe)
+}
+
+// Lock is a physical lock: a shared/exclusive mutex plus its identity in
+// the global order. Locks are embedded in node instances and must not be
+// copied after first use.
+type Lock struct {
+	mu sync.RWMutex
+	id ID
+}
+
+// NewArray allocates the stripe array of physical locks for one node
+// instance: n locks ordered consecutively at (nodeIndex, inst, 0..n-1).
+func NewArray(nodeIndex int, inst rel.Key, n int) []Lock {
+	ls := make([]Lock, n)
+	for i := range ls {
+		ls[i].id = ID{Node: nodeIndex, Inst: inst, Stripe: i}
+	}
+	return ls
+}
+
+// ID returns the lock's identity.
+func (l *Lock) ID() ID { return l.id }
+
+func (l *Lock) lock(m Mode) {
+	if m == Exclusive {
+		l.mu.Lock()
+	} else {
+		l.mu.RLock()
+	}
+}
+
+func (l *Lock) unlock(m Mode) {
+	if m == Exclusive {
+		l.mu.Unlock()
+	} else {
+		l.mu.RUnlock()
+	}
+}
+
+// Txn tracks the physical locks held by one transaction and enforces the
+// protocol that makes transactions serializable and deadlock-free by
+// construction:
+//
+//   - two-phase (§4.2): all acquisitions precede all releases; acquiring
+//     after ReleaseAll panics (it is a compiler bug, not a user error);
+//   - ordered (§5.1): every acquisition must be for a lock strictly after
+//     every currently held lock in the global ID order, except for
+//     re-acquisition of an already-held lock, which is deduplicated;
+//   - speculative acquisitions (§4.5) may be individually abandoned
+//     (released) before being relied upon, which is the one permitted
+//     departure from physical two-phasedness; the paper shows the
+//     transaction is still logically two-phase.
+type Txn struct {
+	// held is sorted ascending by lock ID (ordered acquisition maintains
+	// this), so membership tests are binary searches and no auxiliary set
+	// is needed.
+	held      []heldLock
+	shrinking bool
+}
+
+type heldLock struct {
+	l    *Lock
+	mode Mode
+}
+
+// NewTxn returns an empty transaction.
+func NewTxn() *Txn {
+	return &Txn{}
+}
+
+// Reset returns the transaction to its initial state (retaining the held
+// buffer) so it can be pooled. All locks must have been released.
+func (t *Txn) Reset() {
+	if len(t.held) != 0 {
+		panic("locks: Reset with locks still held")
+	}
+	t.shrinking = false
+}
+
+// maxHeldID returns the largest held lock ID, if any.
+func (t *Txn) maxHeldID() (ID, bool) {
+	if len(t.held) == 0 {
+		return ID{}, false
+	}
+	return t.held[len(t.held)-1].l.id, true
+}
+
+// findHeld binary-searches the sorted held list for a lock with l's ID,
+// returning its index and whether the same lock object is held.
+func (t *Txn) findHeld(l *Lock) (int, bool) {
+	lo, hi := 0, len(t.held)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if CompareIDs(t.held[mid].l.id, l.id) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(t.held) && t.held[lo].l == l
+}
+
+// Holds reports whether the transaction currently holds l (in any mode).
+func (t *Txn) Holds(l *Lock) bool {
+	_, ok := t.findHeld(l)
+	return ok
+}
+
+// HeldCount returns the number of distinct physical locks held.
+func (t *Txn) HeldCount() int { return len(t.held) }
+
+// Acquire takes every lock in batch in mode m, honoring the global order.
+// The batch is sorted by ID unless preSorted is true (the §5.2
+// sort-elision optimization for scans over sorted containers; the order is
+// still verified). Locks already held are skipped; requesting Exclusive on
+// a lock held Shared panics, because upgrades can deadlock and the planner
+// must have requested the stronger mode up front.
+func (t *Txn) Acquire(batch []*Lock, m Mode, preSorted bool) {
+	if t.shrinking {
+		panic("locks: acquire after release violates two-phase locking")
+	}
+	if len(batch) == 0 {
+		return
+	}
+	if len(batch) > 1 {
+		if !preSorted {
+			sort.Slice(batch, func(i, j int) bool { return CompareIDs(batch[i].id, batch[j].id) < 0 })
+		} else {
+			for i := 1; i < len(batch); i++ {
+				if CompareIDs(batch[i-1].id, batch[i].id) > 0 {
+					panic(fmt.Sprintf("locks: batch marked pre-sorted but %v > %v", batch[i-1].id, batch[i].id))
+				}
+			}
+		}
+	}
+	for i, l := range batch {
+		if i > 0 && batch[i-1] == l {
+			continue // duplicate within batch
+		}
+		if max, ok := t.maxHeldID(); ok && CompareIDs(l.id, max) <= 0 {
+			if idx, held := t.findHeld(l); held {
+				if m == Exclusive && t.held[idx].mode == Shared {
+					panic(fmt.Sprintf("locks: upgrade from shared to exclusive on %v; planner must request exclusive up front", l.id))
+				}
+				continue
+			}
+			panic(fmt.Sprintf("locks: acquisition of %v violates lock order (max held %v)", l.id, max))
+		}
+		l.lock(m)
+		t.held = append(t.held, heldLock{l: l, mode: m})
+	}
+}
+
+// AcquireSpeculative takes a single lock under the speculative protocol of
+// §4.5: the order constraint is checked exactly as in Acquire, but the
+// caller may subsequently Abandon the lock (if its guess about the heap
+// proved wrong) without ending the growing phase. The lock must not be
+// already held.
+func (t *Txn) AcquireSpeculative(l *Lock, m Mode) {
+	if t.shrinking {
+		panic("locks: speculative acquire after release violates two-phase locking")
+	}
+	if t.Holds(l) {
+		panic(fmt.Sprintf("locks: speculative acquire of already-held lock %v", l.id))
+	}
+	if max, ok := t.maxHeldID(); ok && CompareIDs(l.id, max) <= 0 {
+		panic(fmt.Sprintf("locks: speculative acquisition of %v violates lock order (max held %v)", l.id, max))
+	}
+	l.lock(m)
+	t.held = append(t.held, heldLock{l: l, mode: m})
+}
+
+// Abandon releases a speculatively acquired lock whose guess failed. Only
+// the most recently acquired lock may be abandoned (the speculative retry
+// loop acquires and validates one lock at a time), which keeps the held
+// list sorted.
+func (t *Txn) Abandon(l *Lock) {
+	n := len(t.held)
+	if n == 0 || t.held[n-1].l != l {
+		panic("locks: Abandon must release the most recently acquired lock")
+	}
+	l.unlock(t.held[n-1].mode)
+	t.held = t.held[:n-1]
+}
+
+// ReleaseAll releases every held lock in reverse acquisition order and
+// moves the transaction to the shrinking phase; any later acquisition
+// panics.
+func (t *Txn) ReleaseAll() {
+	for i := len(t.held) - 1; i >= 0; i-- {
+		h := t.held[i]
+		h.l.unlock(h.mode)
+	}
+	t.held = t.held[:0]
+	t.shrinking = true
+}

@@ -1,0 +1,261 @@
+package locks
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/container"
+	"repro/internal/decomp"
+	"repro/internal/rel"
+)
+
+func graphSpec() rel.Spec {
+	return rel.MustSpec([]string{"src", "dst", "weight"},
+		rel.FD{From: []string{"src", "dst"}, To: []string{"weight"}})
+}
+
+// stick builds the Figure 3(a) decomposition: ρ→u {src} → v {dst} → w {weight}.
+func stick(kinds ...container.Kind) (*decomp.Decomposition, error) {
+	k := func(i int, def container.Kind) container.Kind {
+		if i < len(kinds) {
+			return kinds[i]
+		}
+		return def
+	}
+	return decomp.NewBuilder(graphSpec(), "ρ").
+		Edge("ρu", "ρ", "u", []string{"src"}, k(0, container.TreeMap)).
+		Edge("uv", "u", "v", []string{"dst"}, k(1, container.TreeMap)).
+		Edge("vw", "v", "w", []string{"weight"}, container.Cell).
+		Build()
+}
+
+// diamond builds the Figure 3(c) decomposition.
+func diamond(top container.Kind) (*decomp.Decomposition, error) {
+	return decomp.NewBuilder(graphSpec(), "ρ").
+		Edge("ρx", "ρ", "x", []string{"src"}, top).
+		Edge("ρy", "ρ", "y", []string{"dst"}, top).
+		Edge("xz", "x", "z", []string{"dst"}, container.TreeMap).
+		Edge("yz", "y", "z", []string{"src"}, container.TreeMap).
+		Edge("zw", "z", "w", []string{"weight"}, container.Cell).
+		Build()
+}
+
+func TestCoarsePlacementValid(t *testing.T) {
+	d, err := stick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Coarse(d)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range d.Edges {
+		if p.RuleFor(e).At != d.Root {
+			t.Fatalf("coarse rule for %s not at root", e.Name)
+		}
+	}
+}
+
+func TestFineGrainedValidOnStick(t *testing.T) {
+	d, err := stick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FineGrained(d).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFineGrainedValidOnDiamond(t *testing.T) {
+	d, err := diamond(container.ConcurrentHashMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ψ2 on the diamond: every edge locked at its source. z has two
+	// parents but edges xz and yz are placed at x and y respectively,
+	// which trivially dominate themselves.
+	if err := FineGrained(d).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStripedPlacementψ3(t *testing.T) {
+	// Figure 3(b)-style striping: k locks at the root, edges ρu striped
+	// by src. The top-level container must be concurrency-safe for
+	// entry-level striping.
+	d, err := stick(container.ConcurrentHashMap, container.TreeMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlacement(d)
+	p.SetStripes(d.Root, 8)
+	p.Place(d.EdgeByName("ρu"), d.Root, "src")
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Stripe selection: bound tuple picks one stripe, unbound takes all.
+	idx, ok := p.StripeIndex(d.Root, []string{"src"}, rel.T("src", 42))
+	if !ok || idx < 0 || idx >= 8 {
+		t.Fatalf("StripeIndex = %d, %v", idx, ok)
+	}
+	if _, ok := p.StripeIndex(d.Root, []string{"src"}, rel.T("dst", 1)); ok {
+		t.Fatal("unbound stripe selector must report !ok")
+	}
+	// Same tuple always picks the same stripe.
+	idx2, _ := p.StripeIndex(d.Root, []string{"src"}, rel.T("src", 42))
+	if idx2 != idx {
+		t.Fatal("stripe selection not deterministic")
+	}
+}
+
+func TestEntryStripingRejectedForUnsafeContainer(t *testing.T) {
+	// Striping the entries of a TreeMap (non-concurrent) across locks
+	// must be rejected (Figure 1: TreeMap W/W unsafe).
+	d, err := stick(container.TreeMap, container.TreeMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlacement(d)
+	p.SetStripes(d.Root, 8)
+	p.Place(d.EdgeByName("ρu"), d.Root, "src")
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "concurrency-safe") {
+		t.Fatalf("want taxonomy rejection, got %v", err)
+	}
+}
+
+func TestContainerStripingAllowedForUnsafeContainerBySourceKey(t *testing.T) {
+	// Striping by the *source* key serializes each container instance even
+	// with k > 1, so it is legal for non-concurrent containers: edge uv
+	// placed at ρ striped by src (⊆ A_u) — every entry of one u-container
+	// shares a stripe.
+	d, err := stick(container.ConcurrentHashMap, container.TreeMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlacement(d)
+	p.SetStripes(d.Root, 8)
+	p.Place(d.EdgeByName("ρu"), d.Root, "src")
+	p.Place(d.EdgeByName("uv"), d.Root, "src") // src ⊆ A_u for edge uv
+	p.Place(d.EdgeByName("vw"), d.Root, "src")
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlacementDominationRejected(t *testing.T) {
+	d, err := diamond(container.ConcurrentHashMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Placing edge zw's lock at x is invalid: x does not dominate z (z is
+	// reachable via y too).
+	p := NewPlacement(d)
+	p.Place(d.EdgeByName("zw"), d.NodeByName("x"))
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "dominate") {
+		t.Fatalf("want domination error, got %v", err)
+	}
+}
+
+func TestPathSharingRejected(t *testing.T) {
+	// Edge uv placed at ρ but edge ρu placed at u's source... construct a
+	// violation: uv at ρ while ρu is at ρ is fine; instead place uv at ρ
+	// and ρu at itself? ρu's rule At=ρ (source). Make ρu fine-grained at
+	// ρ (same) — need a real violation: place vw at ρ but uv at u.
+	d, err := stick(container.ConcurrentHashMap, container.TreeMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlacement(d) // ρu@ρ, uv@u, vw@v
+	p.Place(d.EdgeByName("vw"), d.Root)
+	// Path ρ→v passes through edges ρu (placed at ρ, ok) and uv (placed
+	// at u ≠ ρ): violation.
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "share the placement") {
+		t.Fatalf("want path-sharing error, got %v", err)
+	}
+}
+
+func TestSpeculativePlacementψ4(t *testing.T) {
+	d, err := diamond(container.ConcurrentHashMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlacement(d)
+	p.SetStripes(d.Root, 16)
+	p.PlaceSpeculative(d.EdgeByName("ρx"), d.Root, "src")
+	p.PlaceSpeculative(d.EdgeByName("ρy"), d.Root, "dst")
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := p.RuleFor(d.EdgeByName("ρx"))
+	if !r.Speculative || r.At != d.NodeByName("x") || r.FallbackAt != d.Root {
+		t.Fatalf("speculative rule wrong: %+v", r)
+	}
+}
+
+func TestSpeculativeRejectedForUnsafeContainer(t *testing.T) {
+	d, err := diamond(container.HashMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlacement(d)
+	p.PlaceSpeculative(d.EdgeByName("ρx"), d.Root, "src")
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "linearizable") {
+		t.Fatalf("want linearizable-reads rejection, got %v", err)
+	}
+}
+
+func TestSpeculativeTargetMustHaveOneLock(t *testing.T) {
+	d, err := diamond(container.ConcurrentHashMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlacement(d)
+	p.PlaceSpeculative(d.EdgeByName("ρx"), d.Root, "src")
+	p.SetStripes(d.NodeByName("x"), 4)
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "exactly one lock") {
+		t.Fatalf("want single-lock rejection, got %v", err)
+	}
+}
+
+func TestStripeCountValidation(t *testing.T) {
+	d, err := stick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlacement(d)
+	p.Stripes[0] = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("want stripe-count error")
+	}
+}
+
+func TestStripeSelectorUnavailableColumns(t *testing.T) {
+	d, err := stick(container.ConcurrentHashMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlacement(d)
+	p.SetStripes(d.Root, 4)
+	// ρu is keyed by src; striping it by weight is not computable at
+	// access time.
+	p.Place(d.EdgeByName("ρu"), d.Root, "weight")
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "not available") {
+		t.Fatalf("want availability error, got %v", err)
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	d, err := diamond(container.ConcurrentHashMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlacement(d)
+	p.SetStripes(d.Root, 16)
+	p.PlaceSpeculative(d.EdgeByName("ρx"), d.Root, "src")
+	s := p.String()
+	for _, want := range []string{"ψ(ρx)", "speculative", "stripes(ρ) = 16"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("placement string missing %q:\n%s", want, s)
+		}
+	}
+}

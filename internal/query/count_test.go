@@ -1,0 +1,145 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/container"
+	"repro/internal/decomp"
+	"repro/internal/locks"
+)
+
+func hasCountStep(p *Plan) (*Step, bool) {
+	for i := range p.Steps {
+		if p.Steps[i].Kind == StepCount {
+			return &p.Steps[i], true
+		}
+	}
+	return nil, false
+}
+
+func TestPlanCountUsesKeyedEdge(t *testing.T) {
+	d := stick(t)
+	pl := NewPlanner(d, locks.FineGrained(d))
+	// Successors by src: stop at u, count the uv container (its target
+	// binds {src,dst}, a key).
+	p, err := pl.PlanCount([]string{"src"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, ok := hasCountStep(p)
+	if !ok {
+		t.Fatalf("no count step:\n%+v", p.Steps)
+	}
+	if step.Edge.Name != "uv" {
+		t.Fatalf("count edge = %s, want uv", step.Edge.Name)
+	}
+	// The plan must not traverse uv or vw.
+	for _, e := range p.AccessEdges() {
+		if e.Name == "vw" {
+			t.Fatal("count plan should not reach the weight cell")
+		}
+	}
+	// The counting edge's placement (node u) must be locked by the plan.
+	lockedU := false
+	for _, s := range p.Steps {
+		if s.Kind == StepLock && s.Node.Name == "u" {
+			lockedU = true
+		}
+	}
+	if !lockedU {
+		t.Fatalf("count plan must lock the counting edge's placement:\n%+v", p.Steps)
+	}
+}
+
+func TestPlanCountFullKeyStopsAtUnit(t *testing.T) {
+	d := stick(t)
+	pl := NewPlanner(d, locks.FineGrained(d))
+	// Bound by the full column set: the frontier is the unit node and the
+	// plan counts surviving states (no StepCount needed).
+	p, err := pl.PlanCount([]string{"dst", "src", "weight"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := hasCountStep(p); ok {
+		t.Fatalf("full-key count should not need a count step:\n%+v", p.Steps)
+	}
+}
+
+func TestPlanCountEmptyBoundDescends(t *testing.T) {
+	d := stick(t)
+	pl := NewPlanner(d, locks.FineGrained(d))
+	// Counting the whole relation: the root has no keyed counting edge
+	// (its out-edge targets bind only {src}), so the plan must descend
+	// one level and count uv containers across a top-level scan.
+	p, err := pl.PlanCount(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, ok := hasCountStep(p)
+	if !ok {
+		t.Fatalf("expected count step:\n%+v", p.Steps)
+	}
+	if step.Edge.Name != "uv" {
+		t.Fatalf("count edge = %s, want uv", step.Edge.Name)
+	}
+	edges := p.AccessEdges()
+	if len(edges) == 0 || edges[0].Name != "ρu" {
+		t.Fatalf("whole-relation count should scan ρu first: %v", edges)
+	}
+}
+
+func TestPlanCountStripedLenTakesAllStripes(t *testing.T) {
+	// Entry-level striping on the counting edge: a Len read observes
+	// every entry, so the lock step must carry an All selector.
+	d, err := decomp.NewBuilder(graphSpec(), "ρ").
+		Edge("ρu", "ρ", "u", []string{"src"}, container.ConcurrentHashMap).
+		Edge("uv", "u", "v", []string{"dst"}, container.ConcurrentHashMap).
+		Edge("vw", "v", "w", []string{"weight"}, container.Cell).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := locks.NewPlacement(d)
+	p.SetStripes(d.NodeByName("u"), 8)
+	p.Place(d.EdgeByName("uv"), d.NodeByName("u"), "dst")
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pl := NewPlanner(d, p)
+	plan, err := pl.PlanCount([]string{"src"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, ok := hasCountStep(plan)
+	if !ok || step.Edge.Name != "uv" {
+		t.Fatalf("count step missing: %+v", plan.Steps)
+	}
+	// Find the lock step that precedes the count step at node u.
+	var sel *Selector
+	for i := range plan.Steps {
+		s := &plan.Steps[i]
+		if s.Kind == StepLock && s.Node.Name == "u" {
+			sel = &s.Selectors[len(s.Selectors)-1]
+		}
+	}
+	if sel == nil || !sel.All {
+		t.Fatalf("Len read over entry-striped edge must take all stripes: %+v", plan.Steps)
+	}
+}
+
+func TestPlanCountSkipsSpeculativeCountingEdge(t *testing.T) {
+	// With a speculative rule on the would-be counting edge there is no
+	// single lock covering the Len read; the planner must descend or fall
+	// back rather than emit a StepCount on it.
+	d, p := diamondSpec(t)
+	pl := NewPlanner(d, p)
+	plan, err := pl.PlanCount([]string{"src"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step, ok := hasCountStep(plan); ok {
+		if pl.P.RuleFor(step.Edge).Speculative {
+			t.Fatalf("count step over speculative edge %s", step.Edge.Name)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package rel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FD is a functional dependency C1 → C2: any two tuples equal on the
+// columns From are equal on the columns To (§2).
+type FD struct {
+	From []string
+	To   []string
+}
+
+// String renders the dependency as "a, b → c".
+func (fd FD) String() string {
+	return strings.Join(fd.From, ", ") + " → " + strings.Join(fd.To, ", ")
+}
+
+// Spec is a relational specification: a set of column names together with a
+// set of functional dependencies ∆ (§2). A Spec is the contract between the
+// client and the synthesized representation.
+type Spec struct {
+	Columns []string
+	FDs     []FD
+}
+
+// NewSpec builds and validates a specification. Column names must be
+// unique and non-empty; every FD column must be declared.
+func NewSpec(columns []string, fds ...FD) (Spec, error) {
+	s := Spec{Columns: append([]string(nil), columns...), FDs: append([]FD(nil), fds...)}
+	sort.Strings(s.Columns)
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// MustSpec is NewSpec panicking on error, for literals in examples/tests.
+func MustSpec(columns []string, fds ...FD) Spec {
+	s, err := NewSpec(columns, fds...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Validate checks structural well-formedness of the specification.
+func (s Spec) Validate() error {
+	if len(s.Columns) == 0 {
+		return fmt.Errorf("rel: specification has no columns")
+	}
+	seen := make(map[string]bool, len(s.Columns))
+	for _, c := range s.Columns {
+		if c == "" {
+			return fmt.Errorf("rel: empty column name")
+		}
+		if seen[c] {
+			return fmt.Errorf("rel: duplicate column %q", c)
+		}
+		seen[c] = true
+	}
+	for _, fd := range s.FDs {
+		if len(fd.From) == 0 {
+			return fmt.Errorf("rel: functional dependency %v has empty left-hand side", fd)
+		}
+		for _, c := range append(append([]string(nil), fd.From...), fd.To...) {
+			if !seen[c] {
+				return fmt.Errorf("rel: functional dependency %v uses undeclared column %q", fd, c)
+			}
+		}
+	}
+	return nil
+}
+
+// HasColumn reports whether c is a declared column.
+func (s Spec) HasColumn(c string) bool {
+	for _, x := range s.Columns {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Closure computes the attribute closure of cols under the spec's
+// functional dependencies (the standard fixed-point algorithm). The result
+// is sorted.
+func (s Spec) Closure(cols []string) []string {
+	in := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		in[c] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range s.FDs {
+			all := true
+			for _, c := range fd.From {
+				if !in[c] {
+					all = false
+					break
+				}
+			}
+			if !all {
+				continue
+			}
+			for _, c := range fd.To {
+				if !in[c] {
+					in[c] = true
+					changed = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(in))
+	for c := range in {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Determines reports whether ∆ ⊢ from → to, i.e. the columns `to` are in
+// the closure of `from`.
+func (s Spec) Determines(from, to []string) bool {
+	cl := s.Closure(from)
+	for _, c := range to {
+		if !containsString(cl, c) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsKey reports whether cols functionally determine every column of the
+// relation — whether a tuple over cols is a key in the sense of §2.
+func (s Spec) IsKey(cols []string) bool {
+	return s.Determines(cols, s.Columns)
+}
+
+// String renders the spec as "{a, b, c | a, b → c}".
+func (s Spec) String() string {
+	var b strings.Builder
+	b.WriteString("{")
+	b.WriteString(strings.Join(s.Columns, ", "))
+	if len(s.FDs) > 0 {
+		b.WriteString(" | ")
+		for i, fd := range s.FDs {
+			if i > 0 {
+				b.WriteString("; ")
+			}
+			b.WriteString(fd.String())
+		}
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// containsString reports membership in a sorted string slice.
+func containsString(sorted []string, c string) bool {
+	i := sort.SearchStrings(sorted, c)
+	return i < len(sorted) && sorted[i] == c
+}
+
+// ColsUnion returns the sorted union of two column sets.
+func ColsUnion(a, b []string) []string {
+	m := make(map[string]bool, len(a)+len(b))
+	for _, c := range a {
+		m[c] = true
+	}
+	for _, c := range b {
+		m[c] = true
+	}
+	out := make([]string, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ColsMinus returns the sorted difference a \ b.
+func ColsMinus(a, b []string) []string {
+	m := make(map[string]bool, len(b))
+	for _, c := range b {
+		m[c] = true
+	}
+	out := make([]string, 0, len(a))
+	for _, c := range a {
+		if !m[c] {
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ColsSubset reports whether every element of a is in b.
+func ColsSubset(a, b []string) bool {
+	m := make(map[string]bool, len(b))
+	for _, c := range b {
+		m[c] = true
+	}
+	for _, c := range a {
+		if !m[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// ColsEqual reports set equality of two column sets.
+func ColsEqual(a, b []string) bool {
+	return ColsSubset(a, b) && ColsSubset(b, a)
+}
+
+// ColsIntersect returns the sorted intersection of two column sets.
+func ColsIntersect(a, b []string) []string {
+	m := make(map[string]bool, len(b))
+	for _, c := range b {
+		m[c] = true
+	}
+	out := make([]string, 0, len(a))
+	for _, c := range a {
+		if m[c] {
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

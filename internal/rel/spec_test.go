@@ -1,0 +1,106 @@
+package rel
+
+import "testing"
+
+func graphSpec(t *testing.T) Spec {
+	t.Helper()
+	s, err := NewSpec([]string{"src", "dst", "weight"}, FD{From: []string{"src", "dst"}, To: []string{"weight"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSpecValidate(t *testing.T) {
+	if _, err := NewSpec(nil); err == nil {
+		t.Error("empty spec should fail")
+	}
+	if _, err := NewSpec([]string{"a", "a"}); err == nil {
+		t.Error("duplicate column should fail")
+	}
+	if _, err := NewSpec([]string{""}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := NewSpec([]string{"a"}, FD{From: []string{"b"}, To: []string{"a"}}); err == nil {
+		t.Error("undeclared FD column should fail")
+	}
+	if _, err := NewSpec([]string{"a"}, FD{To: []string{"a"}}); err == nil {
+		t.Error("empty FD LHS should fail")
+	}
+}
+
+func TestClosure(t *testing.T) {
+	s := graphSpec(t)
+	cl := s.Closure([]string{"src", "dst"})
+	if !ColsEqual(cl, []string{"dst", "src", "weight"}) {
+		t.Fatalf("closure = %v", cl)
+	}
+	cl2 := s.Closure([]string{"src"})
+	if !ColsEqual(cl2, []string{"src"}) {
+		t.Fatalf("closure(src) = %v", cl2)
+	}
+}
+
+func TestClosureChained(t *testing.T) {
+	s := MustSpec([]string{"a", "b", "c", "d"},
+		FD{From: []string{"a"}, To: []string{"b"}},
+		FD{From: []string{"b"}, To: []string{"c"}},
+		FD{From: []string{"c"}, To: []string{"d"}})
+	if !ColsEqual(s.Closure([]string{"a"}), []string{"a", "b", "c", "d"}) {
+		t.Fatal("transitive closure broken")
+	}
+	if !s.IsKey([]string{"a"}) {
+		t.Fatal("a should be a key")
+	}
+	if s.IsKey([]string{"b"}) && s.Determines([]string{"b"}, []string{"a"}) {
+		t.Fatal("b should not determine a")
+	}
+}
+
+func TestIsKeyGraph(t *testing.T) {
+	s := graphSpec(t)
+	if !s.IsKey([]string{"src", "dst"}) {
+		t.Error("src,dst should be a key")
+	}
+	if s.IsKey([]string{"src"}) {
+		t.Error("src alone should not be a key")
+	}
+	if !s.Determines([]string{"src", "dst"}, []string{"weight"}) {
+		t.Error("src,dst should determine weight")
+	}
+}
+
+func TestColsHelpers(t *testing.T) {
+	a := []string{"x", "y"}
+	b := []string{"y", "z"}
+	if !ColsEqual(ColsUnion(a, b), []string{"x", "y", "z"}) {
+		t.Error("union broken")
+	}
+	if !ColsEqual(ColsMinus(a, b), []string{"x"}) {
+		t.Error("minus broken")
+	}
+	if !ColsEqual(ColsIntersect(a, b), []string{"y"}) {
+		t.Error("intersect broken")
+	}
+	if !ColsSubset([]string{"x"}, a) || ColsSubset(a, []string{"x"}) {
+		t.Error("subset broken")
+	}
+	if !ColsEqual(nil, nil) || ColsEqual(a, b) {
+		t.Error("equal broken")
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s := graphSpec(t)
+	want := "{dst, src, weight | src, dst → weight}"
+	if s.String() != want {
+		t.Fatalf("String = %s, want %s", s.String(), want)
+	}
+}
+
+func TestHasColumn(t *testing.T) {
+	s := graphSpec(t)
+	if !s.HasColumn("src") || s.HasColumn("nope") {
+		t.Fatal("HasColumn broken")
+	}
+}

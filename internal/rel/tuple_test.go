@@ -1,0 +1,211 @@
+package rel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleBasics(t *testing.T) {
+	tu := T("src", 1, "dst", 2, "weight", 42)
+	if tu.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tu.Len())
+	}
+	if got := tu.Dom(); len(got) != 3 || got[0] != "dst" || got[1] != "src" || got[2] != "weight" {
+		t.Fatalf("Dom = %v, want sorted [dst src weight]", got)
+	}
+	v, ok := tu.Get("src")
+	if !ok || !Equal(v, 1) {
+		t.Fatalf("Get(src) = %v, %v", v, ok)
+	}
+	if _, ok := tu.Get("missing"); ok {
+		t.Fatal("Get(missing) should be absent")
+	}
+	if !tu.Has("weight") || tu.Has("nope") {
+		t.Fatal("Has misbehaves")
+	}
+	if !tu.HasAll([]string{"src", "dst"}) || tu.HasAll([]string{"src", "nope"}) {
+		t.Fatal("HasAll misbehaves")
+	}
+}
+
+func TestNewTupleErrors(t *testing.T) {
+	if _, err := NewTuple("a"); err == nil {
+		t.Error("odd arity should fail")
+	}
+	if _, err := NewTuple(1, 2); err == nil {
+		t.Error("non-string column should fail")
+	}
+	if _, err := NewTuple("a", 1, "a", 2); err == nil {
+		t.Error("duplicate column should fail")
+	}
+	if _, err := NewTuple("a", []int{1}); err == nil {
+		t.Error("unsupported value should fail")
+	}
+}
+
+func TestTupleProject(t *testing.T) {
+	tu := T("a", 1, "b", 2, "c", 3)
+	p := tu.Project([]string{"c", "a", "zz"})
+	if p.Len() != 2 {
+		t.Fatalf("projection len = %d, want 2", p.Len())
+	}
+	if !p.Equal(T("a", 1, "c", 3)) {
+		t.Fatalf("projection = %v", p)
+	}
+}
+
+func TestTupleUnion(t *testing.T) {
+	a := T("x", 1)
+	b := T("y", 2)
+	u, err := a.Union(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Equal(T("x", 1, "y", 2)) {
+		t.Fatalf("union = %v", u)
+	}
+	// Overlap with agreement is fine.
+	c := T("x", 1, "z", 3)
+	u2, err := a.Union(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u2.Equal(T("x", 1, "z", 3)) {
+		t.Fatalf("union = %v", u2)
+	}
+	// Conflicting overlap errors.
+	if _, err := a.Union(T("x", 99)); err == nil {
+		t.Fatal("conflicting union should fail")
+	}
+}
+
+func TestTupleExtendsMatches(t *testing.T) {
+	full := T("src", 1, "dst", 2, "weight", 42)
+	if !full.Extends(T("src", 1)) {
+		t.Error("full should extend ⟨src:1⟩")
+	}
+	if full.Extends(T("src", 2)) {
+		t.Error("full should not extend ⟨src:2⟩")
+	}
+	if !full.Extends(T()) {
+		t.Error("any tuple extends the empty tuple")
+	}
+	// Matches: agree on common columns only.
+	if !full.Matches(T("src", 1, "other", 9)) {
+		t.Error("should match on disjoint extra column")
+	}
+	if full.Matches(T("dst", 3)) {
+		t.Error("should not match differing dst")
+	}
+}
+
+func TestTupleCompareEqualHash(t *testing.T) {
+	a := T("p", 1, "q", "x")
+	b := T("q", "x", "p", 1) // same content, different build order
+	if !a.Equal(b) || a.Compare(b) != 0 || a.Hash() != b.Hash() {
+		t.Fatal("order of construction should not matter")
+	}
+	c := T("p", 1, "q", "y")
+	if a.Equal(c) || a.Compare(c) == 0 {
+		t.Fatal("different tuples compare equal")
+	}
+	if a.Compare(c) != -c.Compare(a) {
+		t.Fatal("Compare not antisymmetric")
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	s := T("name", "a", "parent", 1).String()
+	want := `⟨name: "a", parent: 1⟩`
+	if s != want {
+		t.Fatalf("String = %s, want %s", s, want)
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	tu := T("src", 7, "dst", 8, "weight", 9)
+	k := tu.Key([]string{"dst", "src"}) // note: explicit edge order
+	if k.Len() != 2 || !Equal(k.At(0), 8) || !Equal(k.At(1), 7) {
+		t.Fatalf("key = %v", k)
+	}
+	back := k.Tuple([]string{"dst", "src"})
+	if !back.Equal(T("src", 7, "dst", 8)) {
+		t.Fatalf("round trip = %v", back)
+	}
+}
+
+func TestKeyMissingColumnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	T("a", 1).Key([]string{"b"})
+}
+
+func TestCompareKeys(t *testing.T) {
+	a := NewKey(1, "x")
+	b := NewKey(1, "y")
+	c := NewKey(2, "a")
+	if CompareKeys(a, b) >= 0 || CompareKeys(b, c) >= 0 || CompareKeys(a, c) >= 0 {
+		t.Fatal("lexicographic order broken")
+	}
+	if CompareKeys(a, a) != 0 || !a.Equal(NewKey(1, "x")) {
+		t.Fatal("equality broken")
+	}
+	if CompareKeys(NewKey(1), NewKey(1, 0)) >= 0 {
+		t.Fatal("shorter key should order first")
+	}
+}
+
+func TestKeyHashEquality(t *testing.T) {
+	a := NewKey(int64(3), "s")
+	b := NewKey(3, "s")
+	if a.Hash() != b.Hash() {
+		t.Fatal("equal keys must hash alike")
+	}
+}
+
+// Property: Project(t, Dom(t)) == t, and union with empty is identity.
+func TestTupleAlgebraProperties(t *testing.T) {
+	gen := func(r *rand.Rand) Tuple {
+		n := r.Intn(4)
+		pairs := make([]any, 0, 2*n)
+		cols := []string{"a", "b", "c", "d"}
+		r.Shuffle(len(cols), func(i, j int) { cols[i], cols[j] = cols[j], cols[i] })
+		for i := 0; i < n; i++ {
+			pairs = append(pairs, cols[i], r.Intn(100))
+		}
+		return T(pairs...)
+	}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		tu := gen(r)
+		if !tu.Project(tu.Dom()).Equal(tu) {
+			t.Fatalf("Project identity fails for %v", tu)
+		}
+		u, err := tu.Union(T())
+		if err != nil || !u.Equal(tu) {
+			t.Fatalf("Union identity fails for %v", tu)
+		}
+		if !tu.Extends(tu) || !tu.Matches(tu) {
+			t.Fatalf("reflexivity fails for %v", tu)
+		}
+	}
+}
+
+func TestKeyCompareProperty(t *testing.T) {
+	f := func(a1, a2, b1, b2 int16) bool {
+		ka := NewKey(int64(a1), int64(a2))
+		kb := NewKey(int64(b1), int64(b2))
+		c := CompareKeys(ka, kb)
+		if c == 0 {
+			return ka.Hash() == kb.Hash()
+		}
+		return c == -CompareKeys(kb, ka)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package rel implements the relational substrate of the paper
+// "Concurrent Data Representation Synthesis" (Hawkins et al., PLDI 2012):
+// untyped values, tuples, relational specifications (columns plus
+// functional dependencies), and the relational-algebra helpers used by the
+// decomposition compiler.
+//
+// Values are dynamically typed. A single total order and a single hash
+// function over values (Compare and Hash) back every container
+// implementation and the global physical-lock order of §5.1, so the whole
+// system agrees on ordering.
+package rel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Value is a dynamically typed relational value, drawn from the universe V
+// of §2. Supported dynamic types are bool, int, int64, uint64, float64 and
+// string. Other types panic in Compare and Hash; the public API validates
+// inputs before they reach this package.
+type Value any
+
+// typeRank gives the cross-type component of the total order on values.
+// Values of different dynamic types compare by rank, so the order is total
+// even for heterogeneous columns.
+func typeRank(v Value) int {
+	switch v.(type) {
+	case nil:
+		return 0
+	case bool:
+		return 1
+	case int, int64, uint64:
+		return 2
+	case float64:
+		return 3
+	case string:
+		return 4
+	default:
+		panic(fmt.Sprintf("rel: unsupported value type %T", v))
+	}
+}
+
+// asInt normalizes the integer kinds onto int64 plus an overflow flag for
+// uint64 values above MaxInt64.
+func asInt(v Value) (int64, bool) {
+	switch x := v.(type) {
+	case int:
+		return int64(x), false
+	case int64:
+		return x, false
+	case uint64:
+		if x > math.MaxInt64 {
+			return int64(x - math.MaxInt64 - 1), true
+		}
+		return int64(x), false
+	}
+	panic(fmt.Sprintf("rel: not an integer value: %T", v))
+}
+
+// Compare returns -1, 0 or +1 ordering a before, equal to, or after b.
+// The order is total over all supported values: first by type rank, then by
+// the natural order within the type. It is the single ordering used by the
+// sorted containers and by the lock order of §5.1.
+func Compare(a, b Value) int {
+	ra, rb := typeRank(a), typeRank(b)
+	if ra != rb {
+		return cmpInt(int64(ra), int64(rb))
+	}
+	switch ra {
+	case 0: // both nil
+		return 0
+	case 1:
+		x, y := a.(bool), b.(bool)
+		switch {
+		case x == y:
+			return 0
+		case !x:
+			return -1
+		default:
+			return 1
+		}
+	case 2:
+		xa, oa := asInt(a)
+		xb, ob := asInt(b)
+		if oa != ob {
+			// Exactly one operand exceeds MaxInt64.
+			if ob {
+				return -1
+			}
+			return 1
+		}
+		return cmpInt(xa, xb)
+	case 3:
+		x, y := a.(float64), b.(float64)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		default:
+			return 0
+		}
+	default:
+		x, y := a.(string), b.(string)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		default:
+			return 0
+		}
+	}
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// fnv-1a constants, 64 bit.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func hashBytes(h uint64, p []byte) uint64 {
+	for _, c := range p {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+func hashUint64(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime
+		x >>= 8
+	}
+	return h
+}
+
+// Hash returns a 64-bit hash of v, consistent with Compare-equality for
+// values of the same dynamic type class (all integer kinds hash alike).
+func Hash(v Value) uint64 {
+	return hashValue(fnvOffset, v)
+}
+
+func hashValue(h uint64, v Value) uint64 {
+	switch x := v.(type) {
+	case nil:
+		return hashUint64(h, 0xdead)
+	case bool:
+		if x {
+			return hashUint64(h, 1)
+		}
+		return hashUint64(h, 2)
+	case int:
+		return hashUint64(h, uint64(int64(x)))
+	case int64:
+		return hashUint64(h, uint64(x))
+	case uint64:
+		return hashUint64(h, x)
+	case float64:
+		return hashUint64(h, math.Float64bits(x))
+	case string:
+		return hashBytes(h, []byte(x))
+	default:
+		panic(fmt.Sprintf("rel: unsupported value type %T", v))
+	}
+}
+
+// Equal reports whether two values are equal under Compare.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// ValidValue reports whether v has one of the supported dynamic types.
+func ValidValue(v Value) bool {
+	switch v.(type) {
+	case nil, bool, int, int64, uint64, float64, string:
+		return true
+	default:
+		return false
+	}
+}
+
+// FormatValue renders a value the way tuples print: strings quoted,
+// numbers bare.
+func FormatValue(v Value) string {
+	if s, ok := v.(string); ok {
+		return fmt.Sprintf("%q", s)
+	}
+	return fmt.Sprint(v)
+}

@@ -1,0 +1,130 @@
+package rel
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareTotalOrderWithinType(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{1, 2, -1},
+		{2, 1, 1},
+		{7, 7, 0},
+		{int64(5), 5, 0},
+		{uint64(5), int64(5), 0},
+		{uint64(math.MaxUint64), int64(math.MaxInt64), 1},
+		{int64(-1), uint64(math.MaxUint64), -1},
+		{"a", "b", -1},
+		{"b", "a", 1},
+		{"same", "same", 0},
+		{1.5, 2.5, -1},
+		{2.5, 2.5, 0},
+		{false, true, -1},
+		{true, true, 0},
+		{nil, nil, 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareCrossTypeRank(t *testing.T) {
+	// nil < bool < integers < float64 < string
+	ordered := []Value{nil, false, true, -3, int64(0), uint64(9), 1.5, "a"}
+	for i := range ordered {
+		for j := range ordered {
+			got := Compare(ordered[i], ordered[j])
+			switch {
+			case i < j && got >= 0 && !(sameClass(ordered[i], ordered[j]) && got == 0):
+				t.Errorf("Compare(%v, %v) = %d, want < 0", ordered[i], ordered[j], got)
+			case i > j && got <= 0 && !(sameClass(ordered[i], ordered[j]) && got == 0):
+				t.Errorf("Compare(%v, %v) = %d, want > 0", ordered[i], ordered[j], got)
+			}
+		}
+	}
+}
+
+func sameClass(a, b Value) bool { return typeRank(a) == typeRank(b) }
+
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareTransitiveProperty(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		vals := []Value{a, b, c}
+		sort.Slice(vals, func(i, j int) bool { return Compare(vals[i], vals[j]) < 0 })
+		return Compare(vals[0], vals[1]) <= 0 && Compare(vals[1], vals[2]) <= 0 && Compare(vals[0], vals[2]) <= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashConsistentWithEquality(t *testing.T) {
+	pairs := [][2]Value{
+		{1, int64(1)},
+		{int64(42), uint64(42)},
+		{uint64(7), 7},
+	}
+	for _, p := range pairs {
+		if Hash(p[0]) != Hash(p[1]) {
+			t.Errorf("Hash(%v) != Hash(%v) for equal values", p[0], p[1])
+		}
+	}
+}
+
+func TestHashSpreads(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		h := Hash(i)
+		if seen[h] {
+			t.Fatalf("hash collision at %d", i)
+		}
+		seen[h] = true
+	}
+}
+
+func TestValidValue(t *testing.T) {
+	for _, v := range []Value{nil, true, 1, int64(1), uint64(1), 1.5, "x"} {
+		if !ValidValue(v) {
+			t.Errorf("ValidValue(%v) = false, want true", v)
+		}
+	}
+	if ValidValue([]int{1}) {
+		t.Error("ValidValue(slice) = true, want false")
+	}
+	if ValidValue(int32(1)) {
+		t.Error("ValidValue(int32) = true, want false")
+	}
+}
+
+func TestCompareUnsupportedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unsupported type")
+		}
+	}()
+	Compare([]int{1}, 2)
+}
+
+func TestFormatValue(t *testing.T) {
+	if got := FormatValue("hi"); got != `"hi"` {
+		t.Errorf("FormatValue(hi) = %s", got)
+	}
+	if got := FormatValue(42); got != "42" {
+		t.Errorf("FormatValue(42) = %s", got)
+	}
+}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rel"
+)
+
+// RelationGraph adapts a synthesized relation over the directed-graph
+// specification to the benchmark's GraphOps interface. Operations are
+// prepared once at construction — the library analog of the paper's
+// statically compiled operations. Errors from the relation indicate a
+// mis-specified benchmark setup, so they panic.
+type RelationGraph struct {
+	R    *core.Relation
+	succ *core.PreparedQuery
+	pred *core.PreparedQuery
+	ins  *core.PreparedInsert
+	rem  *core.PreparedRemove
+}
+
+// GraphSpec is the relational specification of §2's running example:
+// {src, dst, weight} with src,dst → weight.
+func GraphSpec() rel.Spec {
+	return rel.MustSpec([]string{"src", "dst", "weight"},
+		rel.FD{From: []string{"src", "dst"}, To: []string{"weight"}})
+}
+
+// NewRelationGraph prepares the four benchmark operations against r.
+func NewRelationGraph(r *core.Relation) (*RelationGraph, error) {
+	succ, err := r.PrepareQuery([]string{"src"}, []string{"dst", "weight"})
+	if err != nil {
+		return nil, err
+	}
+	pred, err := r.PrepareQuery([]string{"dst"}, []string{"src", "weight"})
+	if err != nil {
+		return nil, err
+	}
+	ins, err := r.PrepareInsert([]string{"dst", "src"})
+	if err != nil {
+		return nil, err
+	}
+	rem, err := r.PrepareRemove([]string{"dst", "src"})
+	if err != nil {
+		return nil, err
+	}
+	return &RelationGraph{R: r, succ: succ, pred: pred, ins: ins, rem: rem}, nil
+}
+
+// MustRelationGraph is NewRelationGraph panicking on error.
+func MustRelationGraph(r *core.Relation) *RelationGraph {
+	g, err := NewRelationGraph(r)
+	if err != nil {
+		panic(fmt.Sprintf("workload: %v", err))
+	}
+	return g
+}
+
+// FindSuccessors counts (dst, weight) pairs for src.
+func (g *RelationGraph) FindSuccessors(src int64) int {
+	n, err := g.succ.Count(rel.T("src", src))
+	if err != nil {
+		panic(fmt.Sprintf("workload: successors: %v", err))
+	}
+	return n
+}
+
+// FindPredecessors counts (src, weight) pairs for dst.
+func (g *RelationGraph) FindPredecessors(dst int64) int {
+	n, err := g.pred.Count(rel.T("dst", dst))
+	if err != nil {
+		panic(fmt.Sprintf("workload: predecessors: %v", err))
+	}
+	return n
+}
+
+// InsertEdge inserts via put-if-absent on (src, dst).
+func (g *RelationGraph) InsertEdge(src, dst, weight int64) bool {
+	ok, err := g.ins.Exec(rel.T("src", src, "dst", dst), rel.T("weight", weight))
+	if err != nil {
+		panic(fmt.Sprintf("workload: insert: %v", err))
+	}
+	return ok
+}
+
+// RemoveEdge removes by the (src, dst) key.
+func (g *RelationGraph) RemoveEdge(src, dst int64) bool {
+	ok, err := g.rem.Exec(rel.T("src", src, "dst", dst))
+	if err != nil {
+		panic(fmt.Sprintf("workload: remove: %v", err))
+	}
+	return ok
+}
