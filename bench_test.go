@@ -317,6 +317,80 @@ func BenchmarkAblationContainers(b *testing.B) {
 	}
 }
 
+// BenchmarkPreparedRowVsTuple isolates the schema-compiled row pipeline
+// against the tuple boundary on the same prepared operations: the delta
+// is the cost of per-call column-name resolution and tuple assembly that
+// the row path eliminates.
+func BenchmarkPreparedRowVsTuple(b *testing.B) {
+	build := func(b *testing.B) *crs.Relation {
+		v, err := crs.GraphVariantByName("Stick 1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := v.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := crs.MustRelationGraph(r)
+		seed := uint64(7)
+		for i := 0; i < 2048; i++ {
+			x := splitmix(&seed)
+			g.InsertEdge(int64(x%benchKeySpace), int64((x>>32)%benchKeySpace), int64(x>>48))
+		}
+		return r
+	}
+	b.Run("count/row", func(b *testing.B) {
+		r := build(b)
+		q, err := r.PrepareQuery([]string{"src"}, []string{"dst", "weight"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		iSrc := r.Schema().MustIndex("src")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var buf [3]crs.Value
+			row := crs.RowOver(buf[:], 0)
+			row.Set(iSrc, int64(i)%benchKeySpace)
+			if _, err := q.CountRow(row); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("count/tuple", func(b *testing.B) {
+		r := build(b)
+		q, err := r.PrepareQuery([]string{"src"}, []string{"dst", "weight"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := q.Count(crs.T("src", int64(i)%benchKeySpace)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("insert+remove/row", func(b *testing.B) {
+		r := build(b)
+		g := crs.MustRelationGraph(r)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src, dst := int64(i)%benchKeySpace, int64(i>>9)%benchKeySpace
+			g.InsertEdge(src, dst, int64(i))
+			g.RemoveEdge(src, dst)
+		}
+	})
+	b.Run("insert+remove/tuple", func(b *testing.B) {
+		r := build(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src, dst := int64(i)%benchKeySpace, int64(i>>9)%benchKeySpace
+			s := crs.T("src", src, "dst", dst)
+			r.Insert(s, crs.T("weight", int64(i)))
+			r.Remove(s)
+		}
+	})
+}
+
 // BenchmarkHandcodedVsSplit4 is the §6.2 head-to-head: the hand-written
 // graph against its synthesized twin.
 func BenchmarkHandcodedVsSplit4(b *testing.B) {

@@ -7,10 +7,15 @@
 // Usage:
 //
 //	crsbench [-mixes all|70-0-20-10,...] [-threads 1,2,4] [-ops 500000]
-//	         [-keyspace 512] [-variants all|Stick 1,...] [-format table|csv]
+//	         [-keyspace 512] [-variants all|Stick 1,...] [-format table|csv|json]
+//
+// The json format emits one machine-readable document (configuration plus
+// one record per mix/variant/thread-count with ops/s) so successive runs
+// can be archived — e.g. as BENCH_<date>.json — and compared across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,15 +28,43 @@ import (
 	"repro/internal/handcoded"
 )
 
+// jsonDoc is the -format json output document.
+type jsonDoc struct {
+	Config  jsonConfig   `json:"config"`
+	Results []jsonResult `json:"results"`
+}
+
+type jsonConfig struct {
+	OpsPerThread int    `json:"ops_per_thread"`
+	KeySpace     int64  `json:"keyspace"`
+	Seed         uint64 `json:"seed"`
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	GoVersion    string `json:"go_version"`
+}
+
+type jsonResult struct {
+	Mix       string  `json:"mix"`
+	Variant   string  `json:"variant"`
+	Threads   int     `json:"threads"`
+	Ops       int     `json:"ops"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Checksum  uint64  `json:"checksum"`
+}
+
 func main() {
 	mixesFlag := flag.String("mixes", "all", "comma-separated mixes (x-y-z-w) or 'all' for the four Figure 5 panels")
 	threadsFlag := flag.String("threads", defaultThreads(), "comma-separated thread counts")
 	ops := flag.Int("ops", 500_000, "operations per thread (the paper uses 5e5)")
 	keyspace := flag.Int64("keyspace", 512, "node id space")
 	variantsFlag := flag.String("variants", "all", "comma-separated variant names or 'all'")
-	format := flag.String("format", "table", "output format: table or csv")
+	format := flag.String("format", "table", "output format: table, csv or json")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	flag.Parse()
+
+	if *format != "table" && *format != "csv" && *format != "json" {
+		fatal(fmt.Errorf("unknown format %q (want table, csv or json)", *format))
+	}
 
 	mixes, err := cli.ParseMixes(*mixesFlag)
 	if err != nil {
@@ -49,6 +82,13 @@ func main() {
 	if *format == "csv" {
 		fmt.Println("mix,variant,threads,ops,seconds,throughput_ops_per_sec")
 	}
+	doc := jsonDoc{Config: jsonConfig{
+		OpsPerThread: *ops,
+		KeySpace:     *keyspace,
+		Seed:         *seed,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		GoVersion:    runtime.Version(),
+	}}
 	for _, mix := range mixes {
 		if *format == "table" {
 			fmt.Printf("\nOperation Distribution: %s (GOMAXPROCS=%d)\n", mix, runtime.GOMAXPROCS(0))
@@ -68,8 +108,19 @@ func main() {
 				}
 				res := crs.RunBench(g, cfg)
 				row = append(row, res.Throughput)
-				if *format == "csv" {
+				switch *format {
+				case "csv":
 					fmt.Printf("%s,%s,%d,%d,%.3f,%.0f\n", mix, name, k, res.Ops, res.Duration.Seconds(), res.Throughput)
+				case "json":
+					doc.Results = append(doc.Results, jsonResult{
+						Mix:       mix.String(),
+						Variant:   name,
+						Threads:   k,
+						Ops:       res.Ops,
+						Seconds:   res.Duration.Seconds(),
+						OpsPerSec: res.Throughput,
+						Checksum:  res.Checksum,
+					})
 				}
 			}
 			if *format == "table" {
@@ -79,6 +130,13 @@ func main() {
 				}
 				fmt.Println()
 			}
+		}
+	}
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal(err)
 		}
 	}
 }

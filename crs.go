@@ -29,6 +29,23 @@
 //	r.Insert(crs.T("src", 1, "dst", 2), crs.T("weight", 42))
 //	succs, _ := r.Query(crs.T("src", 1), "dst", "weight")
 //
+// # Prepared row execution
+//
+// Synthesize assigns every column a dense index (a Schema) and compiles
+// all plans down to integer offsets. The Tuple API above converts at the
+// boundary; hot paths can skip even that by preparing an operation once
+// and executing it over schema-indexed Row values — no column names are
+// touched at run time:
+//
+//	q, _ := r.PrepareQuery([]string{"src"}, []string{"dst", "weight"})
+//	row := r.Schema().NewRow()
+//	row.Set(r.Schema().MustIndex("src"), int64(1))
+//	n, _ := q.CountRow(row)
+//
+// PreparedInsert.ExecRow and PreparedRemove.ExecRow are the mutation
+// analogs; PreparedQuery.ExecRows streams result rows under the query's
+// locks. The §6.2 benchmark adapters run on this path.
+//
 // Or let the autotuner pick the representation for your workload:
 //
 //	best, _ := crs.Tune(crs.EnumerateGraphCandidates(), cfg, crs.TuneOptions{TopStatic: 32})
@@ -60,7 +77,17 @@ type (
 	Spec = rel.Spec
 	// FD is a functional dependency From → To.
 	FD = rel.FD
+	// Schema assigns every spec column a dense index, fixed at
+	// Synthesize time; see Relation.Schema.
+	Schema = rel.Schema
+	// Row is a dense tuple: one value slot per schema column plus a
+	// bitmask of bound columns — the prepared-execution input type.
+	Row = rel.Row
 )
+
+// RowOver wraps a value slice (one slot per schema column) and bound mask
+// as a Row without copying.
+func RowOver(vals []Value, mask uint64) Row { return rel.RowOver(vals, mask) }
 
 // T builds a tuple from alternating column/value pairs; it panics on
 // malformed input (use NewTuple for checked construction).
@@ -149,6 +176,12 @@ type (
 	Relation = core.Relation
 	// Reference is the executable sequential specification.
 	Reference = core.Reference
+	// PreparedQuery, PreparedInsert and PreparedRemove are compiled
+	// operation handles: prepare once, execute many times over tuples or
+	// schema-indexed rows with zero per-call plan work.
+	PreparedQuery  = core.PreparedQuery
+	PreparedInsert = core.PreparedInsert
+	PreparedRemove = core.PreparedRemove
 )
 
 // Synthesize compiles a decomposition and lock placement into a concurrent

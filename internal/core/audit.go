@@ -40,16 +40,16 @@ func AuditEnabled() bool { return auditEnabled.Load() }
 
 // auditAccess asserts lock coverage for an access to edge e. insts maps
 // node index → located instance (a query state's instances or a
-// mutation's xinst array); s is the operation's bound tuple (the stripe
+// mutation's xinst array); row is the access's bound row (the stripe
 // source); target is the present speculative target, nil otherwise;
 // fresh marks instances created by this operation.
 // whole marks whole-container observations (emptiness and Len reads),
 // which rely on every entry's logical lock: a single stripe then only
 // suffices when the selector is constant per container (⊆ the source
 // node's bound columns). Per-entry and filtered accesses accept a single
-// stripe whenever the tuple binds the selector (the predicate-lock
+// stripe whenever the row binds the selector (the predicate-lock
 // argument of §4.4: all entries the access relies on share that stripe).
-func (r *Relation) auditAccess(txn *locks.Txn, e *decomp.Edge, insts []*Instance, s rel.Tuple, target *Instance, fresh map[*Instance]bool, whole bool) {
+func (r *Relation) auditAccess(txn *locks.Txn, e *decomp.Edge, insts []*Instance, row rel.Row, target *Instance, fresh map[*Instance]bool, whole bool) {
 	if !auditEnabled.Load() {
 		return
 	}
@@ -68,7 +68,7 @@ func (r *Relation) auditAccess(txn *locks.Txn, e *decomp.Edge, insts []*Instance
 			}
 			return
 		}
-		r.auditStripes(txn, e, insts[rule.FallbackAt.Index], rule.FallbackAt, rule.FallbackStripeBy, s, whole)
+		r.auditStripes(txn, e, insts[rule.FallbackAt.Index], rule.FallbackAt, rule.FallbackStripeBy, row, whole)
 		return
 	}
 	at := insts[rule.At.Index]
@@ -78,26 +78,39 @@ func (r *Relation) auditAccess(txn *locks.Txn, e *decomp.Edge, insts []*Instance
 	if fresh[at] {
 		return
 	}
-	r.auditStripes(txn, e, at, rule.At, rule.StripeBy, s, whole)
+	r.auditStripes(txn, e, at, rule.At, rule.StripeBy, row, whole)
 }
 
 // auditStripes asserts the stripe-coverage rule on one placement instance.
-func (r *Relation) auditStripes(txn *locks.Txn, e *decomp.Edge, inst *Instance, at *decomp.Node, stripeBy []string, s rel.Tuple, whole bool) {
+// Stripe selection mirrors Placement.StripeIndex, computed over the row
+// through the schema (the auditor is test-only, so the per-access name
+// resolution here is acceptable).
+func (r *Relation) auditStripes(txn *locks.Txn, e *decomp.Edge, inst *Instance, at *decomp.Node, stripeBy []string, row rel.Row, whole bool) {
 	if inst == nil {
 		panic(fmt.Sprintf("core: audit: access to %s before locating fallback/placement node %s", e.Name, at.Name))
 	}
 	k := r.placement.StripeCount(at)
+	selMask := r.schema.Mask(stripeBy)
 	single := false
 	if whole {
 		single = rel.ColsSubset(stripeBy, e.Src.A)
 	} else {
-		single = s.HasAll(stripeBy)
+		single = row.BindsAll(selMask)
 	}
 	if single {
-		if idx, ok := r.placement.StripeIndex(at, stripeBy, s); ok {
+		idx, ok := 0, true
+		switch {
+		case k == 1 || len(stripeBy) == 0:
+			// stripe 0
+		case row.BindsAll(selMask):
+			idx = int(row.HashAt(r.schema.Indices(stripeBy)) % uint64(k))
+		default:
+			ok = false
+		}
+		if ok {
 			if !txn.Holds(inst.lock(idx)) {
-				panic(fmt.Sprintf("core: audit: access to %s without stripe %d of %s (selector %v over %v)",
-					e.Name, idx, at.Name, stripeBy, s))
+				panic(fmt.Sprintf("core: audit: access to %s without stripe %d of %s (selector %v)",
+					e.Name, idx, at.Name, stripeBy))
 			}
 			return
 		}

@@ -27,15 +27,16 @@ func TestAuditCatchesUnlockedAccess(t *testing.T) {
 			t.Fatalf("unexpected panic: %v", msg)
 		}
 	}()
-	txn := getTxn()
-	defer func() {
-		txn.ReleaseAll()
-		putTxn(txn)
-	}()
-	st := r.rootState(rel.T("src", 1))
+	b := r.getBuf()
+	defer r.putBuf(b)
+	row, err := r.schema.RowFromTuple(rel.T("src", 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := b.rootState(r, row, row.Mask())
 	e := r.decomp.EdgeByName("ρu")
 	// No lock step has run: the lookup must panic in the auditor.
-	r.execLookup(txn, e, []*qstate{st})
+	r.execLookup(b, e, r.edgeCols[e.Index], []*qstate{st})
 }
 
 // TestAuditCatchesWrongStripe locks one stripe of the striped root but
@@ -69,13 +70,17 @@ func TestAuditCatchesWrongStripe(t *testing.T) {
 			t.Fatal("wrong-stripe access passed the audit")
 		}
 	}()
-	txn := locks.NewTxn()
-	defer txn.ReleaseAll()
+	b := r.getBuf()
+	defer r.putBuf(b)
 	idxOther, _ := r.placement.StripeIndex(rule.At, rule.StripeBy, rel.T("src", other))
-	txn.Acquire([]*locks.Lock{r.root.lock(idxOther)}, locks.Shared, false)
+	b.txn.Acquire([]*locks.Lock{r.root.lock(idxOther)}, locks.Shared, false)
 	// Holding the wrong stripe: accessing src=1 must fail the audit.
-	st := r.rootState(rel.T("src", 1))
-	r.execLookup(txn, e, []*qstate{st})
+	row, err := r.schema.RowFromTuple(rel.T("src", 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := b.rootState(r, row, row.Mask())
+	r.execLookup(b, e, r.edgeCols[e.Index], []*qstate{st})
 }
 
 // TestAuditAcceptsProperOperations is the positive control: the public

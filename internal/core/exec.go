@@ -12,50 +12,47 @@ import (
 
 // This file interprets compiled plans against a decomposition instance.
 // The executor is the runtime half of the paper's code generator: plans
-// fix the access path, the lock steps and their order at synthesis time;
-// the executor evaluates them over query states (§5.2), sorting lock
-// batches into the global order (eliding the sort when the plan proved the
-// states pre-sorted) and running the speculative acquire/validate/retry
-// protocol of §4.5.
+// fix the access path, the lock steps, their order, and — since the
+// schema-compilation pass — every column offset at synthesis time; the
+// executor evaluates them over dense row states (§5.2) with no string
+// comparisons, sorting lock batches into the global order (eliding the
+// sort when the plan proved the states pre-sorted) and running the
+// speculative acquire/validate/retry protocol of §4.5.
 
 // specRetryLimit bounds the §4.5 validate/retry loop; exceeding it
 // indicates a livelock bug rather than contention, so the executor panics.
 const specRetryLimit = 1 << 20
 
-// runQuery executes a compiled query plan under a fresh transaction and
-// returns the out-projection of every matching tuple.
-func (r *Relation) runQuery(plan *query.Plan, s rel.Tuple, out []string) []rel.Tuple {
-	txn := locks.NewTxn()
-	defer txn.ReleaseAll()
-	states := []*qstate{r.rootState(s)}
-	for i := range plan.Steps {
-		states = r.execStep(txn, &plan.Steps[i], states, s)
+// runSteps executes a step list from the root state: the shared skeleton
+// of queries, counts and the mutation-embedded existence checks. Callers
+// must pass the final state list to b.recycle once consumed.
+func (r *Relation) runSteps(b *opBuf, steps []query.Step, op rel.Row, mask uint64) []*qstate {
+	states := append(b.pipe[:0], b.rootState(r, op, mask))
+	b.pipe = states
+	for i := range steps {
+		states = r.execStep(b, &steps[i], states, op)
 		if len(states) == 0 {
 			break
 		}
 	}
-	results := make([]rel.Tuple, 0, len(states))
-	for _, st := range states {
-		results = append(results, st.tuple.Project(out))
-	}
-	return results
+	return states
 }
 
 // execStep dispatches one plan step over the current states.
-func (r *Relation) execStep(txn *locks.Txn, step *query.Step, states []*qstate, s rel.Tuple) []*qstate {
+func (r *Relation) execStep(b *opBuf, step *query.Step, states []*qstate, op rel.Row) []*qstate {
 	switch step.Kind {
 	case query.StepLock:
-		r.execLock(txn, step, states, s)
+		r.execLock(b, step, states, op)
 		return states
 	case query.StepLookup:
-		return r.execLookup(txn, step.Edge, states)
+		return r.execLookup(b, step.Edge, step.ColIdx, states)
 	case query.StepScan:
 		if r.placement.RuleFor(step.Edge).Speculative {
-			return r.execScanSpec(txn, step, states)
+			return r.execScanSpec(b, step, states)
 		}
-		return r.execScan(txn, step.Edge, states)
+		return r.execScan(b, step.Edge, step.ColIdx, step.FilterPos, step.FilterIdx, states)
 	case query.StepSpecLookup:
-		return r.execSpecLookup(txn, step.Edge, states, step.Mode)
+		return r.execSpecLookup(b, step.Edge, step.ColIdx, step.TargetIdx, states, step.Mode)
 	default:
 		panic(fmt.Sprintf("core: unknown step kind %d", step.Kind))
 	}
@@ -63,92 +60,115 @@ func (r *Relation) execStep(txn *locks.Txn, step *query.Step, states []*qstate, 
 
 // execLock acquires the physical locks the step requires on the instances
 // of its node present in states. Stripe selection follows §4.4: a bound
-// selector hashes the operation tuple; anything else takes every stripe.
-func (r *Relation) execLock(txn *locks.Txn, step *query.Step, states []*qstate, s rel.Tuple) {
+// selector hashes the operation row through its compiled indices;
+// anything else takes every stripe.
+func (r *Relation) execLock(b *opBuf, step *query.Step, states []*qstate, op rel.Row) {
 	n := step.Node
-	if len(states) == 1 {
-		if inst := states[0].insts[n.Index]; inst != nil {
-			var buf [1]*Instance
-			buf[0] = inst
-			r.execLockInsts(txn, step, buf[:], s)
+	// Deduplicate instances: linear for small batches, map beyond.
+	insts := b.instScratch[:0]
+	if len(states) <= 64 {
+		for _, st := range states {
+			inst := st.insts[n.Index]
+			if inst == nil {
+				continue
+			}
+			dup := false
+			for _, seen := range insts {
+				if seen == inst {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				insts = append(insts, inst)
+			}
 		}
-		return
-	}
-	seen := make(map[*Instance]bool, len(states))
-	insts := make([]*Instance, 0, len(states))
-	for _, st := range states {
-		inst := st.insts[n.Index]
-		if inst == nil || seen[inst] {
-			continue
+	} else {
+		if b.seen == nil {
+			b.seen = make(map[*Instance]bool, len(states))
 		}
-		seen[inst] = true
-		insts = append(insts, inst)
+		for _, st := range states {
+			inst := st.insts[n.Index]
+			if inst == nil || b.seen[inst] {
+				continue
+			}
+			b.seen[inst] = true
+			insts = append(insts, inst)
+		}
+		clear(b.seen)
 	}
-	r.execLockInsts(txn, step, insts, s)
+	b.instScratch = insts[:0]
+	r.execLockInsts(b, step, insts, op)
 }
 
 // execLockInsts acquires the step's locks over a deduplicated instance
-// list.
-func (r *Relation) execLockInsts(txn *locks.Txn, step *query.Step, insts []*Instance, s rel.Tuple) {
+// list. The stripe set depends only on the operation row, so it is
+// computed once and applied per instance.
+func (r *Relation) execLockInsts(b *opBuf, step *query.Step, insts []*Instance, op rel.Row) {
 	n := step.Node
 	k := r.placement.StripeCount(n)
-	var bbuf [4]*locks.Lock
-	batch := bbuf[:0]
-	singlePerInstance := true
-	for _, inst := range insts {
-		all := false
-		var sbuf [4]int
-		stripes := sbuf[:0]
-		for _, sel := range step.Selectors {
-			if sel.All {
-				all = true
-				break
-			}
-			idx, ok := r.placement.StripeIndex(n, sel.Cols, s)
-			if !ok {
-				all = true
-				break
-			}
-			stripes = append(stripes, idx)
+	all := false
+	var sbuf [4]int
+	stripes := sbuf[:0]
+	for i := range step.Selectors {
+		sel := &step.Selectors[i]
+		if sel.All {
+			all = true
+			break
 		}
+		if k == 1 || len(sel.Idx) == 0 {
+			stripes = append(stripes, 0)
+			continue
+		}
+		if !op.BindsAll(sel.Mask) {
+			all = true
+			break
+		}
+		stripes = append(stripes, int(op.HashAt(sel.Idx)%uint64(k)))
+	}
+	distinct := 0
+	if !all {
+		sort.Ints(stripes)
+		w := 0
+		for i, idx := range stripes {
+			if i == 0 || idx != stripes[w-1] {
+				stripes[w] = idx
+				w++
+			}
+		}
+		stripes = stripes[:w]
+		distinct = w
+	}
+	batch := b.lockBatch[:0]
+	for _, inst := range insts {
 		if all {
-			singlePerInstance = false
 			for i := 0; i < k; i++ {
 				batch = append(batch, inst.lock(i))
 			}
 			continue
 		}
-		sort.Ints(stripes)
-		prev := -1
-		cnt := 0
 		for _, idx := range stripes {
-			if idx == prev {
-				continue
-			}
-			prev = idx
 			batch = append(batch, inst.lock(idx))
-			cnt++
-		}
-		if cnt != 1 {
-			singlePerInstance = false
 		}
 	}
-	preSorted := step.PreSorted && k == 1 && singlePerInstance
-	txn.Acquire(batch, step.Mode, preSorted)
+	preSorted := step.PreSorted && k == 1 && !all && distinct == 1
+	b.txn.Acquire(batch, step.Mode, preSorted)
+	b.lockBatch = batch[:0]
 }
 
-// execLookup advances each state across edge e by key lookup. States whose
-// entry is absent are dropped: the transaction observed the absence under
-// the logical lock its earlier lock steps imply.
-func (r *Relation) execLookup(txn *locks.Txn, e *decomp.Edge, states []*qstate) []*qstate {
+// execLookup advances each state across edge e by key lookup, gathering
+// the container key straight from the row through the compiled indices.
+// States whose entry is absent are dropped: the transaction observed the
+// absence under the logical lock its earlier lock steps imply.
+func (r *Relation) execLookup(b *opBuf, e *decomp.Edge, colIdx []int, states []*qstate) []*qstate {
 	out := states[:0]
 	for _, st := range states {
 		src := st.insts[e.Src.Index]
 		if src == nil {
 			continue
 		}
-		r.auditAccess(txn, e, st.insts, st.tuple, nil, nil, false)
-		v, ok := src.containerFor(e).Lookup(st.tuple.Key(e.Cols))
+		r.auditAccess(b.txn, e, st.insts, st.row, nil, nil, false)
+		v, ok := r.container(src, e).Lookup(b.keyOf(st.row, colIdx))
 		if !ok {
 			continue
 		}
@@ -159,40 +179,35 @@ func (r *Relation) execLookup(txn *locks.Txn, e *decomp.Edge, states []*qstate) 
 }
 
 // execScan advances states across edge e by iterating the source
-// containers, joining each entry's key valuation with the state tuple and
-// filtering entries that disagree on shared columns. The join is a linear
-// merge over the edge's precomputed sorted column order.
-func (r *Relation) execScan(txn *locks.Txn, e *decomp.Edge, states []*qstate) []*qstate {
-	var out []*qstate
-	// Filter positions: edge columns also bound in the state tuple.
+// containers. Each surviving entry's key values are scattered directly
+// into a cloned row through the compiled indices — the dense-row analog
+// of the tuple join, with no merge and no allocation beyond the pooled
+// state. Filter positions compare entry values against row slots bound by
+// the operation.
+func (r *Relation) execScan(b *opBuf, e *decomp.Edge, colIdx, filterPos, filterIdx []int, states []*qstate) []*qstate {
+	out := b.spare[:0]
 	for _, st := range states {
 		src := st.insts[e.Src.Index]
 		if src == nil {
 			continue
 		}
-		var filterIdx []int
-		var filterVal []rel.Value
-		for i, c := range e.Cols {
-			if v, ok := st.tuple.Get(c); ok {
-				filterIdx = append(filterIdx, i)
-				filterVal = append(filterVal, v)
-			}
-		}
-		r.auditAccess(txn, e, st.insts, st.tuple, nil, nil, len(filterIdx) == 0)
-		src.containerFor(e).Scan(func(k rel.Key, v any) bool {
-			for fi, idx := range filterIdx {
-				if !rel.Equal(k.At(idx), filterVal[fi]) {
+		r.auditAccess(b.txn, e, st.insts, st.row, nil, nil, len(filterPos) == 0)
+		r.container(src, e).Scan(func(k rel.Key, v any) bool {
+			for fi, p := range filterPos {
+				if !rel.Equal(k.At(p), st.row.At(filterIdx[fi])) {
 					return true
 				}
 			}
-			vals := make([]rel.Value, len(e.SortPerm))
-			for i, p := range e.SortPerm {
-				vals[i] = k.At(p)
+			ns := b.clone(r, st)
+			for p, ci := range colIdx {
+				ns.row.Set(ci, k.At(p))
 			}
-			out = append(out, st.extend(st.tuple.MergeSorted(e.SortedCols, vals), e.Dst, v.(*Instance)))
+			ns.insts[e.Dst.Index] = v.(*Instance)
+			out = append(out, ns)
 			return true
 		})
 	}
+	b.spare = states[:0]
 	return out
 }
 
@@ -209,40 +224,38 @@ func (r *Relation) execScan(txn *locks.Txn, e *decomp.Edge, states []*qstate) []
 //
 // Requests are processed in target-key order so acquisitions respect the
 // global lock order across states.
-func (r *Relation) execSpecLookup(txn *locks.Txn, e *decomp.Edge, states []*qstate, mode locks.Mode) []*qstate {
-	type req struct {
-		st     *qstate
-		target rel.Key
-	}
-	reqs := make([]req, 0, len(states))
+func (r *Relation) execSpecLookup(b *opBuf, e *decomp.Edge, colIdx, targetIdx []int, states []*qstate, mode locks.Mode) []*qstate {
+	reqs := b.reqs[:0]
 	for _, st := range states {
 		if st.insts[e.Src.Index] == nil {
 			continue
 		}
-		reqs = append(reqs, req{st: st, target: st.tuple.Key(e.Dst.A)})
+		reqs = append(reqs, specReq{st: st, target: b.keyOf(st.row, targetIdx)})
 	}
 	sort.Slice(reqs, func(i, j int) bool { return rel.CompareKeys(reqs[i].target, reqs[j].target) < 0 })
-	var out []*qstate
-	for _, rq := range reqs {
-		st := rq.st
+	out := b.spare[:0]
+	for i := range reqs {
+		st := reqs[i].st
 		src := st.insts[e.Src.Index]
-		if inst, ok := r.specLocate(txn, e, src, st.tuple, mode); ok {
+		if inst, ok := r.specLocate(b, e, colIdx, src, st.row, mode); ok {
 			st.insts[e.Dst.Index] = inst
 			out = append(out, st)
 		} else {
 			// Absence is covered by the held fallback stripe; audit it.
-			r.auditAccess(txn, e, st.insts, st.tuple, nil, nil, false)
+			r.auditAccess(b.txn, e, st.insts, st.row, nil, nil, false)
 		}
 	}
+	b.reqs = reqs[:0]
+	b.spare = states[:0]
 	return out
 }
 
 // specLocate runs the speculative protocol for a single bound key and
 // returns the locked target instance, or ok=false if the edge instance is
 // absent (covered by the held fallback stripe).
-func (r *Relation) specLocate(txn *locks.Txn, e *decomp.Edge, src *Instance, t rel.Tuple, mode locks.Mode) (*Instance, bool) {
-	c := src.containerFor(e)
-	key := t.Key(e.Cols)
+func (r *Relation) specLocate(b *opBuf, e *decomp.Edge, colIdx []int, src *Instance, row rel.Row, mode locks.Mode) (*Instance, bool) {
+	c := r.container(src, e)
+	key := b.keyOf(row, colIdx)
 	for attempt := 0; ; attempt++ {
 		if attempt > specRetryLimit {
 			panic(fmt.Sprintf("core: speculative retry livelock on edge %s", e.Name))
@@ -253,7 +266,7 @@ func (r *Relation) specLocate(txn *locks.Txn, e *decomp.Edge, src *Instance, t r
 		}
 		guess := v.(*Instance)
 		l := guess.lock(0)
-		if txn.Holds(l) {
+		if b.txn.Holds(l) {
 			// Already locked (e.g. located earlier via another in-edge or
 			// an earlier state): the mapping is stable, trust a re-read.
 			v2, ok2 := c.Lookup(key)
@@ -265,12 +278,12 @@ func (r *Relation) specLocate(txn *locks.Txn, e *decomp.Edge, src *Instance, t r
 			}
 			continue
 		}
-		txn.AcquireSpeculative(l, mode)
+		b.txn.AcquireSpeculative(l, mode)
 		v2, ok2 := c.Lookup(key)
 		if ok2 && v2.(*Instance) == guess {
 			return guess, true // guessed right: read was stable
 		}
-		txn.Abandon(l)
+		b.txn.Abandon(l)
 		if !ok2 {
 			return nil, false
 		}
@@ -282,37 +295,40 @@ func (r *Relation) specLocate(txn *locks.Txn, e *decomp.Edge, src *Instance, t r
 // fallback stripe (covering all absent entries, and thereby freezing the
 // container's membership), so each discovered entry only needs its target
 // lock validated. Candidates are locked in target-key order.
-func (r *Relation) execScanSpec(txn *locks.Txn, step *query.Step, states []*qstate) []*qstate {
+func (r *Relation) execScanSpec(b *opBuf, step *query.Step, states []*qstate) []*qstate {
 	e := step.Edge
-	type cand struct {
-		st     *qstate
-		kt     rel.Tuple
-		target rel.Key
-	}
-	var cands []cand
+	cands := b.reqs[:0]
 	for _, st := range states {
 		src := st.insts[e.Src.Index]
 		if src == nil {
 			continue
 		}
-		r.auditAccess(txn, e, st.insts, st.tuple, nil, nil, true)
-		src.containerFor(e).Scan(func(k rel.Key, v any) bool {
-			kt := k.Tuple(e.Cols)
-			if !kt.Matches(st.tuple) {
-				return true
+		r.auditAccess(b.txn, e, st.insts, st.row, nil, nil, true)
+		r.container(src, e).Scan(func(k rel.Key, v any) bool {
+			for fi, p := range step.FilterPos {
+				if !rel.Equal(k.At(p), st.row.At(step.FilterIdx[fi])) {
+					return true
+				}
 			}
-			cands = append(cands, cand{st: st, kt: kt, target: st.tuple.MustUnion(kt).Key(e.Dst.A)})
+			ns := b.clone(r, st)
+			for p, ci := range step.ColIdx {
+				ns.row.Set(ci, k.At(p))
+			}
+			cands = append(cands, specReq{st: ns, target: b.keyOf(ns.row, step.TargetIdx)})
 			return true
 		})
 	}
 	sort.Slice(cands, func(i, j int) bool { return rel.CompareKeys(cands[i].target, cands[j].target) < 0 })
-	var out []*qstate
-	for _, c := range cands {
-		src := c.st.insts[e.Src.Index]
-		tuple := c.st.tuple.MustUnion(c.kt)
-		if inst, ok := r.specLocate(txn, e, src, tuple, step.Mode); ok {
-			out = append(out, c.st.extend(tuple, e.Dst, inst))
+	out := b.spare[:0]
+	for i := range cands {
+		ns := cands[i].st
+		src := ns.insts[e.Src.Index]
+		if inst, ok := r.specLocate(b, e, step.ColIdx, src, ns.row, step.Mode); ok {
+			ns.insts[e.Dst.Index] = inst
+			out = append(out, ns)
 		}
 	}
+	b.reqs = cands[:0]
+	b.spare = states[:0]
 	return out
 }

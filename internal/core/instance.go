@@ -7,8 +7,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/container"
 	"repro/internal/decomp"
 	"repro/internal/locks"
@@ -33,9 +31,10 @@ type Instance struct {
 }
 
 // newInstance allocates the instance of node n for the valuation carried
-// by tuple t (which must bind all of n.A).
-func (r *Relation) newInstance(n *decomp.Node, t rel.Tuple) *Instance {
-	key := t.Key(n.A)
+// by row (which must bind all of n.A). The instance key is gathered
+// through the relation's precomputed schema indices for n.A.
+func (r *Relation) newInstance(n *decomp.Node, row rel.Row) *Instance {
+	key := row.KeyAt(r.nodeKey[n.Index])
 	inst := &Instance{
 		node:       n,
 		key:        key,
@@ -48,41 +47,22 @@ func (r *Relation) newInstance(n *decomp.Node, t rel.Tuple) *Instance {
 	return inst
 }
 
-// containerFor returns the container implementing edge e on this instance.
-// e must be an out-edge of the instance's node.
-func (inst *Instance) containerFor(e *decomp.Edge) container.Map {
-	for i, oe := range inst.node.Out {
-		if oe == e {
-			return inst.containers[i]
-		}
-	}
-	panic(fmt.Sprintf("core: edge %s is not an out-edge of node %s", e.Name, inst.node.Name))
+// container returns the container implementing edge e on inst, via the
+// relation's precomputed edge→slot table (no adjacency-list search).
+// e must be an out-edge of inst's node.
+func (r *Relation) container(inst *Instance, e *decomp.Edge) container.Map {
+	return inst.containers[r.edgeSlot[e.Index]]
 }
 
 // lock returns the i'th physical lock of the instance.
 func (inst *Instance) lock(i int) *locks.Lock { return &inst.lockArr[i] }
 
-// qstate is a query state (§5.2): a tuple binding a subset of the
+// qstate is a query state (§5.2): a dense row binding a subset of the
 // relation's columns plus the node instances located so far, indexed by
-// node topological index.
+// node topological index. States are pooled per operation (see opBuf);
+// both backing arrays have fixed width, so states are recycled with no
+// allocation on the hot path.
 type qstate struct {
-	tuple rel.Tuple
+	row   rel.Row
 	insts []*Instance
-}
-
-// rootState returns the initial query state holding only the root
-// instance and the operation's input tuple.
-func (r *Relation) rootState(t rel.Tuple) *qstate {
-	insts := make([]*Instance, len(r.decomp.Nodes))
-	insts[r.decomp.Root.Index] = r.root
-	return &qstate{tuple: t, insts: insts}
-}
-
-// extend returns a copy of the state with an additional bound tuple part
-// and a located instance.
-func (st *qstate) extend(t rel.Tuple, n *decomp.Node, inst *Instance) *qstate {
-	insts := make([]*Instance, len(st.insts))
-	copy(insts, st.insts)
-	insts[n.Index] = inst
-	return &qstate{tuple: t, insts: insts}
 }

@@ -15,46 +15,54 @@ import (
 // touches, and — interleaved at the right node positions — advancing the
 // embedded existence/locate query states. Writes and deletes then run
 // entirely under the held locks, and the transaction releases everything
-// at the end: trivially two-phase (§4.2).
+// at the end: trivially two-phase (§4.2). Operations run on dense rows:
+// x is the fully bound tuple as a row, and the key-column subset s is just
+// x narrowed to the plan's bound mask.
 
 // runInsert implements insert r s t (§2): insert x = s ∪ t unless some
-// existing tuple matches s.
-func (r *Relation) runInsert(plan *insertPlan, s, x rel.Tuple) bool {
-	txn := getTxn()
-	defer func() {
-		txn.ReleaseAll()
-		putTxn(txn)
-	}()
+// existing tuple matches s. x must bind every schema column.
+func (r *Relation) runInsert(plan *insertPlan, x rel.Row) bool {
+	b := r.getBuf()
+	defer r.putBuf(b)
 
 	nNodes := len(r.decomp.Nodes)
-	xinst := make([]*Instance, nNodes)
+	if cap(b.xinst) < nNodes {
+		b.xinst = make([]*Instance, nNodes)
+	}
+	xinst := b.xinst[:nNodes]
+	clear(xinst)
 	xinst[r.decomp.Root.Index] = r.root
-	estates := []*qstate{r.rootState(s)}
+	estates := append(b.pipe[:0], b.rootState(r, x, plan.mut.BoundMask))
+	b.pipe = estates
 
 	for i := range plan.mut.PerNode {
 		nd := &plan.mut.PerNode[i]
 		v := nd.Node
 		if v != r.decomp.Root {
-			r.locateX(txn, nd, xinst, x)
+			r.locateX(b, nd, xinst, x)
 			// Advance the put-if-absent existence states if the exist
 			// plan's path passes through this node.
 			if step := plan.existAt[v.Index]; step != nil {
-				estates = r.execStep(txn, step, estates, s)
+				estates = r.execStep(b, step, estates, x)
 			}
 		}
-		r.lockDirective(txn, nd, xinst[v.Index], estates, s)
+		r.lockDirective(b, nd, xinst[v.Index], estates, x)
 	}
 
 	// Existence: any surviving state traversed the whole existence path,
 	// i.e. some tuple matches s — the insert must not happen.
 	if len(estates) > 0 {
+		b.recycle(estates)
 		return false
 	}
+	b.recycle(estates)
 
 	// Write phase: create the missing instances under the held locks.
 	// A located instance implies all its in-edge entries exist (the
 	// entry/instance existence invariant), so only missing instances need
-	// writes — and they need an entry on every in-edge.
+	// writes — and they need an entry on every in-edge. Written keys are
+	// gathered fresh (containers retain them); everything else reuses the
+	// operation buffer.
 	var fresh map[*Instance]bool
 	if AuditEnabled() {
 		fresh = map[*Instance]bool{}
@@ -73,60 +81,58 @@ func (r *Relation) runInsert(plan *insertPlan, s, x rel.Tuple) bool {
 			if src == nil {
 				panic(fmt.Sprintf("core: insert write phase reached %s before its source %s", n.Name, e.Src.Name))
 			}
-			r.auditAccess(txn, e, xinst, x, nil, fresh, false)
-			src.containerFor(e).Write(x.Key(e.Cols), inst)
+			r.auditAccess(b.txn, e, xinst, x, nil, fresh, false)
+			r.container(src, e).Write(x.KeyAt(r.edgeCols[e.Index]), inst)
 		}
 	}
 	return true
 }
 
-// runRemove implements remove r s (§2) for a key tuple s: locate the
+// runRemove implements remove r s (§2) for a key row s: locate the
 // matching tuple (if any), then remove its edge entries bottom-up with
 // cascading cleanup of dead instances.
-func (r *Relation) runRemove(plan *removePlan, s rel.Tuple) bool {
-	txn := getTxn()
-	defer func() {
-		txn.ReleaseAll()
-		putTxn(txn)
-	}()
+func (r *Relation) runRemove(plan *removePlan, s rel.Row) bool {
+	b := r.getBuf()
+	defer r.putBuf(b)
 
-	states := []*qstate{r.rootState(s)}
+	states := append(b.pipe[:0], b.rootState(r, s, plan.mut.BoundMask))
+	b.pipe = states
 	for i := range plan.mut.PerNode {
 		nd := &plan.mut.PerNode[i]
-		v := nd.Node
-		if v != r.decomp.Root {
-			states = r.advanceStates(txn, nd, states)
+		if nd.Node != r.decomp.Root {
+			states = r.advanceStates(b, nd, states)
 		}
-		r.lockDirective(txn, nd, nil, states, s)
+		r.lockDirective(b, nd, nil, states, s)
 	}
-	// Survivors hold complete tuples extending s; with s a key there is at
+	// Survivors hold complete rows extending s; with s a key there is at
 	// most one (more only if the client violated the FDs, in which case we
 	// remove them all — remove r s removes every tuple extending s).
 	removed := false
 	for _, st := range states {
-		if !rel.ColsEqual(st.tuple.Dom(), r.spec.Columns) {
+		if st.row.Mask() != r.fullMask {
 			continue
 		}
-		r.deleteTuple(txn, st)
+		r.deleteTuple(b, st)
 		removed = true
 	}
+	b.recycle(states)
 	return removed
 }
 
-// locateX locates node nd.Node's instance for the fully bound tuple x
+// locateX locates node nd.Node's instance for the fully bound row x
 // during an insert, via the speculative in-edges (running the §4.5
 // protocol, which leaves the target instance locked) or the planned access
 // edge. Absent instances leave xinst nil; their creation happens in the
 // write phase.
-func (r *Relation) locateX(txn *locks.Txn, nd *query.NodeDirective, xinst []*Instance, x rel.Tuple) {
+func (r *Relation) locateX(b *opBuf, nd *query.NodeDirective, xinst []*Instance, x rel.Row) {
 	v := nd.Node
 	var found *Instance
-	for _, e := range nd.SpecIns {
+	for i, e := range nd.SpecIns {
 		src := xinst[e.Src.Index]
 		if src == nil {
 			continue
 		}
-		inst, ok := r.specLocate(txn, e, src, x, locks.Exclusive)
+		inst, ok := r.specLocate(b, e, nd.SpecColIdx[i], src, x, locks.Exclusive)
 		if !ok {
 			continue
 		}
@@ -137,8 +143,8 @@ func (r *Relation) locateX(txn *locks.Txn, nd *query.NodeDirective, xinst []*Ins
 	}
 	if found == nil && nd.AccessIn != nil {
 		if src := xinst[nd.AccessIn.Src.Index]; src != nil {
-			r.auditAccess(txn, nd.AccessIn, xinst, x, nil, nil, false)
-			if val, ok := src.containerFor(nd.AccessIn).Lookup(x.Key(nd.AccessIn.Cols)); ok {
+			r.auditAccess(b.txn, nd.AccessIn, xinst, x, nil, nil, false)
+			if val, ok := r.container(src, nd.AccessIn).Lookup(b.keyOf(x, nd.ColIdx)); ok {
 				found = val.(*Instance)
 			}
 		}
@@ -150,29 +156,28 @@ func (r *Relation) locateX(txn *locks.Txn, nd *query.NodeDirective, xinst []*Ins
 // nd.Node using the planned access route: the first speculative in-edge
 // (whose key columns are always bound for mutations) or the planned
 // access edge as a lookup or filtered scan.
-func (r *Relation) advanceStates(txn *locks.Txn, nd *query.NodeDirective, states []*qstate) []*qstate {
+func (r *Relation) advanceStates(b *opBuf, nd *query.NodeDirective, states []*qstate) []*qstate {
 	if len(nd.SpecIns) > 0 {
-		return r.execSpecLookup(txn, nd.SpecIns[0], states, locks.Exclusive)
+		return r.execSpecLookup(b, nd.SpecIns[0], nd.SpecColIdx[0], nd.SpecTargetIdx[0], states, locks.Exclusive)
 	}
 	e := nd.AccessIn
 	if e == nil {
 		return nil
 	}
 	if nd.AccessScan {
-		return r.execScan(txn, e, states)
+		return r.execScan(b, e, nd.ColIdx, nd.FilterPos, nd.FilterIdx, states)
 	}
-	return r.execLookup(txn, e, states)
+	return r.execLookup(b, e, nd.ColIdx, states)
 }
 
 // lockDirective acquires the node's lock step for a mutation: the union of
 // the directive's selectors over the x instance (if any) and every state's
 // instance at this node, all exclusive.
-func (r *Relation) lockDirective(txn *locks.Txn, nd *query.NodeDirective, x *Instance, states []*qstate, s rel.Tuple) {
+func (r *Relation) lockDirective(b *opBuf, nd *query.NodeDirective, x *Instance, states []*qstate, op rel.Row) {
 	if len(nd.Selectors) == 0 {
 		return
 	}
-	var buf [4]*Instance
-	insts := buf[:0]
+	insts := b.instScratch[:0]
 	if x != nil {
 		insts = append(insts, x)
 	}
@@ -181,17 +186,17 @@ func (r *Relation) lockDirective(txn *locks.Txn, nd *query.NodeDirective, x *Ins
 			insts = append(insts, inst)
 		}
 	}
+	b.instScratch = insts[:0]
 	step := query.Step{Kind: query.StepLock, Node: nd.Node, Mode: locks.Exclusive, Selectors: nd.Selectors}
-	r.execLockInsts(txn, &step, insts, s)
+	r.execLockInsts(b, &step, insts, op)
 }
 
-// deleteTuple removes tuple st.tuple (fully bound) from every edge, in
-// reverse topological order with cascading cleanup (§4.1's instances stay
-// adequate): an instance is dead once all its containers are empty — unit
-// instances always are — and a dead instance's in-edge entries are
+// deleteTuple removes the tuple of st.row (fully bound) from every edge,
+// in reverse topological order with cascading cleanup (§4.1's instances
+// stay adequate): an instance is dead once all its containers are empty —
+// unit instances always are — and a dead instance's in-edge entries are
 // removed, which may empty its parents' containers in turn.
-func (r *Relation) deleteTuple(txn *locks.Txn, st *qstate) {
-	x := st.tuple
+func (r *Relation) deleteTuple(b *opBuf, st *qstate) {
 	for i := len(r.decomp.Nodes) - 1; i >= 0; i-- {
 		n := r.decomp.Nodes[i]
 		if n == r.decomp.Root {
@@ -199,12 +204,12 @@ func (r *Relation) deleteTuple(txn *locks.Txn, st *qstate) {
 		}
 		inst := st.insts[n.Index]
 		if inst == nil {
-			panic(fmt.Sprintf("core: delete phase missing instance of %s for %v", n.Name, x))
+			panic(fmt.Sprintf("core: delete phase missing instance of %s", n.Name))
 		}
 		dead := true
 		for ci, c := range inst.containers {
 			// Emptiness is a whole-container observation.
-			r.auditAccess(txn, n.Out[ci], st.insts, x, nil, nil, true)
+			r.auditAccess(b.txn, n.Out[ci], st.insts, st.row, nil, nil, true)
 			if c.Len() > 0 {
 				dead = false
 				break
@@ -221,9 +226,9 @@ func (r *Relation) deleteTuple(txn *locks.Txn, st *qstate) {
 			// Removal flips present→absent: both the present-entry lock
 			// (the speculative target, when applicable) and the absent
 			// lock (fallback stripe / placement lock) must be held.
-			r.auditAccess(txn, e, st.insts, x, inst, nil, false)
-			r.auditAccess(txn, e, st.insts, x, nil, nil, false)
-			src.containerFor(e).Write(x.Key(e.Cols), nil)
+			r.auditAccess(b.txn, e, st.insts, st.row, inst, nil, false)
+			r.auditAccess(b.txn, e, st.insts, st.row, nil, nil, false)
+			r.container(src, e).Write(b.keyOf(st.row, r.edgeCols[e.Index]), nil)
 		}
 	}
 }

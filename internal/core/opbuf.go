@@ -1,0 +1,150 @@
+package core
+
+import (
+	"repro/internal/locks"
+	"repro/internal/rel"
+)
+
+// opBuf bundles everything one executing operation needs — the two-phase
+// transaction, the query-state pool, the key arena and assorted scratch
+// slices — so that a steady-state operation performs no heap allocation
+// beyond what containers themselves do. Buffers are pooled per Relation
+// (widths depend on the schema and decomposition).
+type opBuf struct {
+	txn *locks.Txn
+
+	// all is every qstate this buffer ever allocated; n is how many are
+	// handed out to the current operation. Rows and instance arrays have
+	// fixed width, so recycling a state is a mask clear plus a memclr.
+	all []*qstate
+	n   int
+
+	// pipe and spare are the two backing arrays the step pipeline
+	// ping-pongs between: list-producing steps (scans, speculative
+	// lookups) fill spare and recycle the incoming list as the new spare.
+	pipe  []*qstate
+	spare []*qstate
+
+	// karena backs transient container keys (lookups, removals, stripe
+	// sorts). Keys carved here must never be stored into a container —
+	// the arena is recycled across operations; use Row.KeyAt for keys a
+	// container retains.
+	karena []rel.Value
+
+	// lockBatch, instScratch, seen and reqs are per-step scratch.
+	lockBatch   []*locks.Lock
+	instScratch []*Instance
+	seen        map[*Instance]bool
+	reqs        []specReq
+	xinst       []*Instance
+}
+
+// specReq pairs a state with its speculative target key so acquisitions
+// can be ordered by target (§4.5 + §5.1).
+type specReq struct {
+	st     *qstate
+	target rel.Key
+}
+
+// getBuf fetches a pooled buffer with a reset transaction.
+func (r *Relation) getBuf() *opBuf {
+	b, _ := r.bufPool.Get().(*opBuf)
+	if b == nil {
+		b = &opBuf{txn: locks.NewTxn()}
+	}
+	b.txn.Reset()
+	return b
+}
+
+// putBuf releases the operation's locks and returns the buffer to the
+// pool. The shrinking phase (release every lock, reverse order) lives
+// here, mirroring the implicit unlock suffix of every compiled plan.
+func (r *Relation) putBuf(b *opBuf) {
+	b.txn.ReleaseAll()
+	b.n = 0
+	if len(b.all) > 4096 {
+		// Bound pool growth after huge scans: copy into a fresh backing
+		// array and drop the pipeline lists so the trimmed states (and
+		// the values their rows hold) really become collectable.
+		b.all = append(make([]*qstate, 0, 4096), b.all[:4096]...)
+		b.pipe, b.spare = nil, nil
+	}
+	clear(b.karena)
+	b.karena = b.karena[:0]
+	full := b.reqs[:cap(b.reqs)]
+	clear(full)
+	b.reqs = full[:0]
+	clear(b.seen) // b.seen is normally clean; a recovered panic mid-dedup must not leak entries
+	r.bufPool.Put(b)
+}
+
+// state hands out a cleared query state.
+func (b *opBuf) state(r *Relation) *qstate {
+	if b.n < len(b.all) {
+		st := b.all[b.n]
+		b.n++
+		st.row.ClearMask()
+		clear(st.insts)
+		return st
+	}
+	st := &qstate{row: r.schema.NewRow(), insts: make([]*Instance, len(r.decomp.Nodes))}
+	b.all = append(b.all, st)
+	b.n++
+	return st
+}
+
+// clone hands out a copy of st.
+func (b *opBuf) clone(r *Relation, st *qstate) *qstate {
+	ns := b.state(r)
+	ns.row.CopyFrom(st.row)
+	copy(ns.insts, st.insts)
+	return ns
+}
+
+// rootState builds the initial query state: the operation row narrowed to
+// mask, with the root instance located.
+func (b *opBuf) rootState(r *Relation, op rel.Row, mask uint64) *qstate {
+	st := b.state(r)
+	st.row.CopyFrom(op)
+	st.row.SetMask(mask)
+	st.insts[r.decomp.Root.Index] = r.root
+	return st
+}
+
+// carve reserves n value slots in the key arena. When the arena is full a
+// fresh one is allocated; previously carved keys keep referencing the old
+// array, which stays alive until the operation ends.
+func (b *opBuf) carve(n int) []rel.Value {
+	if len(b.karena)+n > cap(b.karena) {
+		c := 2 * cap(b.karena)
+		if c < 64 {
+			c = 64
+		}
+		if c < n {
+			c = n
+		}
+		b.karena = make([]rel.Value, 0, c)
+	}
+	off := len(b.karena)
+	b.karena = b.karena[:off+n]
+	return b.karena[off : off+n : off+n]
+}
+
+// keyOf gathers a transient container key from row values at idx. The key
+// lives in the arena: valid for the rest of the operation, but must not
+// be stored into a container.
+func (b *opBuf) keyOf(row rel.Row, idx []int) rel.Key {
+	kv := b.carve(len(idx))
+	for i, ci := range idx {
+		kv[i] = row.At(ci)
+	}
+	return rel.KeyOver(kv)
+}
+
+// recycle hands a finished pipeline list back so the next operation on
+// this buffer reuses its capacity.
+func (b *opBuf) recycle(states []*qstate) {
+	if states != nil {
+		b.pipe = states[:0]
+	}
+}

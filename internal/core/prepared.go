@@ -1,9 +1,8 @@
 package core
 
 import (
-	"sync"
+	"fmt"
 
-	"repro/internal/locks"
 	"repro/internal/query"
 	"repro/internal/rel"
 )
@@ -12,21 +11,13 @@ import (
 // compilation: the Scala plugin compiled each syntactic relational
 // operation once; here a client prepares an operation signature once and
 // executes it many times with no per-call plan-cache lookups or
-// validation. The §6.2 benchmark adapter uses these.
-
-// txnPool recycles transaction objects (and their held-lock buffers)
-// across operations.
-var txnPool = sync.Pool{New: func() any { return locks.NewTxn() }}
-
-func getTxn() *locks.Txn {
-	t := txnPool.Get().(*locks.Txn)
-	t.Reset()
-	return t
-}
-
-func putTxn(t *locks.Txn) {
-	txnPool.Put(t)
-}
+// validation. Two surfaces are offered:
+//
+//   - the Tuple API (Exec/Count), which converts between tuples and dense
+//     rows exactly once at this boundary; and
+//   - the Row API (ExecRow/ExecRows/CountRow), which accepts
+//     schema-indexed rel.Row values directly and performs no column-name
+//     work at all — the §6.2 benchmark adapters use it.
 
 // PreparedQuery is a compiled query handle for one (bound columns, output
 // columns) signature.
@@ -36,11 +27,10 @@ type PreparedQuery struct {
 	// countPlan is the count-pushdown plan (internal/query/count.go),
 	// compiled lazily-eagerly here since preparation is one-time.
 	countPlan *query.Plan
-	out       []string
 }
 
-// PrepareQuery compiles the query signature once. The tuple passed to
-// Exec/Count must bind exactly the prepared bound columns.
+// PrepareQuery compiles the query signature once. The tuple or row passed
+// to Exec/Count must bind exactly the prepared bound columns.
 func (r *Relation) PrepareQuery(bound, out []string) (*PreparedQuery, error) {
 	if err := r.checkCols(bound); err != nil {
 		return nil, err
@@ -56,12 +46,37 @@ func (r *Relation) PrepareQuery(bound, out []string) (*PreparedQuery, error) {
 	if err != nil {
 		countPlan = plan // fall back to the full plan
 	}
-	return &PreparedQuery{r: r, plan: plan, countPlan: countPlan, out: append([]string(nil), out...)}, nil
+	return &PreparedQuery{r: r, plan: plan, countPlan: countPlan}, nil
 }
 
 // Exec runs the prepared query for the bound tuple s.
 func (q *PreparedQuery) Exec(s rel.Tuple) ([]rel.Tuple, error) {
-	return q.r.runQueryPooled(q.plan, s, q.out), nil
+	row, err := q.r.rowForTuple(s, q.plan.BoundMask)
+	if err != nil {
+		return nil, err
+	}
+	return q.r.runQueryTuples(q.plan, row), nil
+}
+
+// ExecRows runs the prepared query for the bound row s and yields each
+// matching state's row until yield returns false. Yielded rows bind (at
+// least) the prepared output columns; they are only valid during the
+// callback — the backing storage is pooled — and the query's shared locks
+// are held for the duration of the iteration.
+func (q *PreparedQuery) ExecRows(s rel.Row, yield func(rel.Row) bool) error {
+	if err := q.r.checkRow(s, q.plan.BoundMask); err != nil {
+		return err
+	}
+	b := q.r.getBuf()
+	defer q.r.putBuf(b)
+	states := q.r.runSteps(b, q.plan.Steps, s, q.plan.BoundMask)
+	for _, st := range states {
+		if !yield(st.row) {
+			break
+		}
+	}
+	b.recycle(states)
+	return nil
 }
 
 // Count returns the number of tuples extending s, using the count-
@@ -69,51 +84,107 @@ func (q *PreparedQuery) Exec(s rel.Tuple) ([]rel.Tuple, error) {
 // entries are keyed tuples are counted by container size under the
 // already-required locks instead of being traversed.
 func (q *PreparedQuery) Count(s rel.Tuple) (int, error) {
-	txn := getTxn()
-	defer func() {
-		txn.ReleaseAll()
-		putTxn(txn)
-	}()
-	states := []*qstate{q.r.rootState(s)}
-	for i := range q.countPlan.Steps {
-		step := &q.countPlan.Steps[i]
-		if step.Kind == query.StepCount {
-			total := 0
-			for _, st := range states {
-				if inst := st.insts[step.Edge.Src.Index]; inst != nil {
-					q.r.auditAccess(txn, step.Edge, st.insts, st.tuple, nil, nil, true)
-					total += inst.containerFor(step.Edge).Len()
-				}
-			}
-			return total, nil
-		}
-		states = q.r.execStep(txn, step, states, s)
-		if len(states) == 0 {
-			return 0, nil
-		}
+	row, err := q.r.rowForTuple(s, q.plan.BoundMask)
+	if err != nil {
+		return 0, err
 	}
-	return len(states), nil
+	return q.r.runCount(q.countPlan, row), nil
 }
 
-// runQueryPooled is runQuery with a pooled transaction.
-func (r *Relation) runQueryPooled(plan *query.Plan, s rel.Tuple, out []string) []rel.Tuple {
-	txn := getTxn()
-	defer func() {
-		txn.ReleaseAll()
-		putTxn(txn)
-	}()
-	states := []*qstate{r.rootState(s)}
+// CountRow is Count over a schema-indexed row, the zero-name-resolution
+// fast path.
+func (q *PreparedQuery) CountRow(s rel.Row) (int, error) {
+	if err := q.r.checkRow(s, q.plan.BoundMask); err != nil {
+		return 0, err
+	}
+	return q.r.runCount(q.countPlan, s), nil
+}
+
+// runQueryTuples executes a compiled plan and materializes the results as
+// tuples — the single row→tuple conversion point of the query path.
+func (r *Relation) runQueryTuples(plan *query.Plan, op rel.Row) []rel.Tuple {
+	b := r.getBuf()
+	defer r.putBuf(b)
+	states := r.runSteps(b, plan.Steps, op, plan.BoundMask)
+	results := make([]rel.Tuple, 0, len(states))
+	for _, st := range states {
+		vals := make([]rel.Value, len(plan.OutIdx))
+		for j, ci := range plan.OutIdx {
+			vals[j] = st.row.At(ci)
+		}
+		results = append(results, rel.TupleFromSorted(plan.OutCols, vals))
+	}
+	b.recycle(states)
+	return results
+}
+
+// runCount executes a count plan; a StepCount terminal sums container
+// sizes at the counting frontier, otherwise surviving states are counted.
+func (r *Relation) runCount(plan *query.Plan, op rel.Row) int {
+	b := r.getBuf()
+	defer r.putBuf(b)
+	states := append(b.pipe[:0], b.rootState(r, op, plan.BoundMask))
+	b.pipe = states
+	total := -1
 	for i := range plan.Steps {
-		states = r.execStep(txn, &plan.Steps[i], states, s)
+		step := &plan.Steps[i]
+		if step.Kind == query.StepCount {
+			total = 0
+			for _, st := range states {
+				if inst := st.insts[step.Edge.Src.Index]; inst != nil {
+					r.auditAccess(b.txn, step.Edge, st.insts, st.row, nil, nil, true)
+					total += r.container(inst, step.Edge).Len()
+				}
+			}
+			break
+		}
+		states = r.execStep(b, step, states, op)
 		if len(states) == 0 {
 			break
 		}
 	}
-	results := make([]rel.Tuple, 0, len(states))
-	for _, st := range states {
-		results = append(results, st.tuple.Project(out))
+	if total < 0 {
+		total = len(states)
 	}
-	return results
+	b.recycle(states)
+	return total
+}
+
+// rowForTuple converts an operation tuple to a fresh row and checks that
+// it binds exactly the plan's bound columns.
+func (r *Relation) rowForTuple(s rel.Tuple, want uint64) (rel.Row, error) {
+	row, err := r.schema.RowFromTuple(s, nil)
+	if err != nil {
+		return rel.Row{}, err
+	}
+	if row.Mask() != want {
+		return rel.Row{}, fmt.Errorf("core: tuple %v does not bind the prepared columns", s)
+	}
+	return row, nil
+}
+
+// checkRow validates a caller-provided row against the schema width and a
+// required bound mask.
+func (r *Relation) checkRow(s rel.Row, want uint64) error {
+	if s.Width() != r.schema.Len() {
+		return fmt.Errorf("core: row width %d does not match schema width %d", s.Width(), r.schema.Len())
+	}
+	if s.Mask() != want {
+		return fmt.Errorf("core: row binds %v, prepared operation wants %v",
+			r.maskCols(s.Mask()), r.maskCols(want))
+	}
+	return nil
+}
+
+// maskCols renders a bound mask as its column names, for error messages.
+func (r *Relation) maskCols(mask uint64) []string {
+	cols := make([]string, 0, r.schema.Len())
+	for i := 0; i < r.schema.Len(); i++ {
+		if mask&(1<<uint(i)) != 0 {
+			cols = append(cols, r.schema.Column(i))
+		}
+	}
+	return cols
 }
 
 // PreparedInsert is a compiled insert handle for one key-column split.
@@ -132,14 +203,26 @@ func (r *Relation) PrepareInsert(sCols []string) (*PreparedInsert, error) {
 }
 
 // Exec runs the prepared insert; s must bind the prepared key columns and
-// s ∪ t must bind every column (unchecked in this fast path — use
-// Relation.Insert for validated inserts).
+// s ∪ t must bind every column.
 func (p *PreparedInsert) Exec(s, t rel.Tuple) (bool, error) {
 	x, err := s.Union(t)
 	if err != nil {
 		return false, err
 	}
-	return p.r.runInsert(p.plan, s, x), nil
+	row, err := p.r.rowForTuple(x, p.r.fullMask)
+	if err != nil {
+		return false, err
+	}
+	return p.r.runInsert(p.plan, row), nil
+}
+
+// ExecRow runs the prepared insert for a fully bound row x; the key
+// columns s of the put-if-absent check are the prepared subset of x.
+func (p *PreparedInsert) ExecRow(x rel.Row) (bool, error) {
+	if err := p.r.checkRow(x, p.r.fullMask); err != nil {
+		return false, err
+	}
+	return p.r.runInsert(p.plan, x), nil
 }
 
 // PreparedRemove is a compiled remove handle for one key signature.
@@ -159,5 +242,18 @@ func (r *Relation) PrepareRemove(sCols []string) (*PreparedRemove, error) {
 
 // Exec runs the prepared remove; s must bind the prepared key columns.
 func (p *PreparedRemove) Exec(s rel.Tuple) (bool, error) {
+	row, err := p.r.rowForTuple(s, p.plan.mut.BoundMask)
+	if err != nil {
+		return false, err
+	}
+	return p.r.runRemove(p.plan, row), nil
+}
+
+// ExecRow runs the prepared remove for a row binding exactly the prepared
+// key columns.
+func (p *PreparedRemove) ExecRow(s rel.Row) (bool, error) {
+	if err := p.r.checkRow(s, p.plan.mut.BoundMask); err != nil {
+		return false, err
+	}
 	return p.r.runRemove(p.plan, s), nil
 }

@@ -25,6 +25,21 @@ type Relation struct {
 	planner   *query.Planner
 	root      *Instance
 
+	// Schema-compiled execution tables, fixed at Synthesize time: the
+	// dense column schema, the full-binding mask, per-edge schema indices
+	// of the edge's key columns (edge order), per-edge container slot in
+	// the source node's Out list, and per-node schema indices of the
+	// node's bound columns A.
+	schema   *rel.Schema
+	fullMask uint64
+	edgeCols [][]int
+	edgeSlot []int
+	nodeKey  [][]int
+
+	// bufPool recycles operation buffers (transaction, query states, key
+	// arena) across operations; see opBuf.
+	bufPool sync.Pool
+
 	// Plan caches: the paper compiles each syntactic operation once; the
 	// library equivalent compiles per operation signature on first use.
 	mu          sync.RWMutex
@@ -44,11 +59,10 @@ type insertPlan struct {
 	existAt []*query.Step
 }
 
+// removePlan wraps the growing-phase directives of a remove; the per-node
+// access routes live in the directives themselves (NodeDirective).
 type removePlan struct {
 	mut *query.MutationPlan
-	// locateAt[i] is the access step locating node i's instances, derived
-	// from the mutation directives.
-	full []string
 }
 
 // Synthesize compiles a validated decomposition and lock placement into a
@@ -63,21 +77,45 @@ func Synthesize(d *decomp.Decomposition, p *locks.Placement) (*Relation, error) 
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	schema, err := rel.NewSchema(d.Spec.Columns)
+	if err != nil {
+		return nil, err
+	}
 	r := &Relation{
 		spec:        d.Spec,
 		decomp:      d,
 		placement:   p,
 		planner:     query.NewPlanner(d, p),
+		schema:      schema,
+		fullMask:    schema.FullMask(),
 		queryPlans:  map[string]*query.Plan{},
 		insertPlans: map[string]*insertPlan{},
 		removePlans: map[string]*removePlan{},
 	}
-	r.root = r.newInstance(d.Root, rel.T())
+	r.edgeCols = make([][]int, len(d.Edges))
+	r.edgeSlot = make([]int, len(d.Edges))
+	for _, e := range d.Edges {
+		r.edgeCols[e.Index] = schema.Indices(e.Cols)
+		for i, oe := range e.Src.Out {
+			if oe == e {
+				r.edgeSlot[e.Index] = i
+			}
+		}
+	}
+	r.nodeKey = make([][]int, len(d.Nodes))
+	for _, n := range d.Nodes {
+		r.nodeKey[n.Index] = schema.Indices(n.A)
+	}
+	r.root = r.newInstance(d.Root, rel.RowOver(make([]rel.Value, schema.Len()), 0))
 	return r, nil
 }
 
 // Spec returns the relational specification this relation implements.
 func (r *Relation) Spec() rel.Spec { return r.spec }
+
+// Schema returns the dense column schema fixed at synthesis time; use it
+// to build rel.Row values for the prepared row API.
+func (r *Relation) Schema() *rel.Schema { return r.schema }
 
 // Decomposition returns the static decomposition backing the relation.
 func (r *Relation) Decomposition() *decomp.Decomposition { return r.decomp }
@@ -171,7 +209,11 @@ func (r *Relation) Query(s rel.Tuple, out ...string) ([]rel.Tuple, error) {
 	if err != nil {
 		return nil, err
 	}
-	return r.runQuery(plan, s, out), nil
+	row, err := r.schema.RowFromTuple(s, nil)
+	if err != nil {
+		return nil, err
+	}
+	return r.runQueryTuples(plan, row), nil
 }
 
 // Insert implements insert r s t (§2): it inserts the tuple s ∪ t provided
@@ -195,7 +237,11 @@ func (r *Relation) Insert(s, t rel.Tuple) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return r.runInsert(plan, s, x), nil
+	row, err := r.schema.RowFromTuple(x, nil)
+	if err != nil {
+		return false, err
+	}
+	return r.runInsert(plan, row), nil
 }
 
 // Remove implements remove r s (§2): it removes every tuple extending s
@@ -209,7 +255,11 @@ func (r *Relation) Remove(s rel.Tuple) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return r.runRemove(plan, s), nil
+	row, err := r.schema.RowFromTuple(s, nil)
+	if err != nil {
+		return false, err
+	}
+	return r.runRemove(plan, row), nil
 }
 
 // Snapshot returns every tuple currently in the relation (a full query).

@@ -1,0 +1,102 @@
+package query
+
+import "sort"
+
+// This file implements the planner's schema-resolution pass: after a plan
+// or mutation plan is assembled in terms of column names, every name is
+// resolved against the decomposition's rel.Schema into dense integer
+// offsets (ColIdx, FilterPos/FilterIdx, TargetIdx, Selector.Idx/Mask,
+// BoundIdx/BoundMask, OutIdx). The executor in internal/core then runs
+// entirely on those offsets — the library analog of the paper's generated
+// code, which never re-resolves a field name at run time.
+
+// compilePlan fills the schema-resolved fields of p and its steps. It is
+// idempotent; assembleCount re-invokes it after appending count steps.
+func (pl *Planner) compilePlan(p *Plan) {
+	p.BoundMask = pl.Schema.Mask(p.Bound)
+	p.OutCols = dedupSorted(p.Out)
+	p.OutIdx = pl.Schema.Indices(p.OutCols)
+	for i := range p.Steps {
+		pl.compileStep(&p.Steps[i])
+	}
+}
+
+// compileStep resolves one step's column names to schema offsets.
+func (pl *Planner) compileStep(s *Step) {
+	switch s.Kind {
+	case StepLock:
+		for i := range s.Selectors {
+			pl.compileSelector(&s.Selectors[i])
+		}
+	case StepLookup, StepScan, StepSpecLookup:
+		s.ColIdx = pl.Schema.Indices(s.Edge.Cols)
+		s.TargetIdx = pl.Schema.Indices(s.Edge.Dst.A)
+		s.FilterPos, s.FilterIdx = pl.compileFilter(s.Edge.Cols, s.FilterCols)
+	case StepCount:
+		// Count reads a container's Len; no columns to resolve.
+	}
+}
+
+// compileSelector fills Idx/Mask of a non-All selector.
+func (pl *Planner) compileSelector(sel *Selector) {
+	if sel.All {
+		return
+	}
+	sel.Idx = pl.Schema.Indices(sel.Cols)
+	sel.Mask = pl.Schema.Mask(sel.Cols)
+}
+
+// compileFilter maps filter columns onto (position within edgeCols,
+// schema index) pairs, the form scans consume.
+func (pl *Planner) compileFilter(edgeCols, filterCols []string) (pos, idx []int) {
+	if len(filterCols) == 0 {
+		return nil, nil
+	}
+	in := make(map[string]bool, len(filterCols))
+	for _, c := range filterCols {
+		in[c] = true
+	}
+	for p, c := range edgeCols {
+		if in[c] {
+			pos = append(pos, p)
+			idx = append(idx, pl.Schema.MustIndex(c))
+		}
+	}
+	return pos, idx
+}
+
+// compileMutation fills the schema-resolved fields of a mutation plan.
+func (pl *Planner) compileMutation(m *MutationPlan) {
+	m.BoundMask = pl.Schema.Mask(m.Bound)
+	for i := range m.PerNode {
+		nd := &m.PerNode[i]
+		for j := range nd.Selectors {
+			pl.compileSelector(&nd.Selectors[j])
+		}
+		if nd.AccessIn != nil {
+			nd.ColIdx = pl.Schema.Indices(nd.AccessIn.Cols)
+			nd.FilterPos, nd.FilterIdx = pl.compileFilter(nd.AccessIn.Cols, nd.FilterCols)
+		}
+		for _, e := range nd.SpecIns {
+			nd.SpecColIdx = append(nd.SpecColIdx, pl.Schema.Indices(e.Cols))
+			nd.SpecTargetIdx = append(nd.SpecTargetIdx, pl.Schema.Indices(e.Dst.A))
+		}
+	}
+}
+
+// dedupSorted returns a sorted, duplicate-free copy of cols.
+func dedupSorted(cols []string) []string {
+	if len(cols) == 0 {
+		return nil
+	}
+	out := append([]string(nil), cols...)
+	sort.Strings(out)
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}

@@ -47,6 +47,16 @@ type NodeDirective struct {
 	// with the §4.5 protocol (the conservative fallback stripes were taken
 	// at the fallback node's directive).
 	SpecIns []*decomp.Edge
+
+	// Compiled (schema-resolved) offsets, filled by the planner; see the
+	// matching fields on Step for semantics. ColIdx/FilterPos/FilterIdx
+	// describe AccessIn; SpecColIdx/SpecTargetIdx are aligned with
+	// SpecIns.
+	ColIdx        []int
+	FilterPos     []int
+	FilterIdx     []int
+	SpecColIdx    [][]int
+	SpecTargetIdx [][]int
 }
 
 // MutationPlan is the compiled growing phase of an insert or remove: lock
@@ -60,6 +70,10 @@ type MutationPlan struct {
 	// order.
 	PerNode []NodeDirective
 	Cost    float64
+
+	// BoundMask is the schema-resolved bound-column bitmask, filled by
+	// the planner (see Plan).
+	BoundMask uint64
 }
 
 // String summarizes the plan.
@@ -176,6 +190,7 @@ func (pl *Planner) PlanMutation(kind OpKind, bound []string) (*MutationPlan, err
 		m.PerNode = append(m.PerNode, nd)
 	}
 	m.Cost = cost
+	pl.compileMutation(m)
 	return m, nil
 }
 

@@ -16,7 +16,6 @@ import (
 
 	"repro/internal/decomp"
 	"repro/internal/locks"
-	"repro/internal/rel"
 )
 
 // StepKind discriminates plan steps.
@@ -44,6 +43,12 @@ const (
 type Selector struct {
 	Cols []string
 	All  bool
+
+	// Idx holds the schema indices of Cols (same order), and Mask their
+	// bound-column bitmask: the executor hashes row values at Idx to pick
+	// a stripe with no column-name resolution. Filled by the planner.
+	Idx  []int
+	Mask uint64
 }
 
 // Step is one operation of a query plan.
@@ -64,6 +69,22 @@ type Step struct {
 	Edge *decomp.Edge
 	// FilterCols are bound columns checked against scan results.
 	FilterCols []string
+
+	// Compiled (schema-resolved) offsets, filled by the planner so the
+	// executor touches no column names at run time.
+	//
+	// ColIdx maps each position of Edge.Cols to its schema index: lookups
+	// gather a container key from a row through it, scans scatter a
+	// container key's values into a row through it.
+	ColIdx []int
+	// FilterPos lists the positions within Edge.Cols that scans check
+	// against the current row, and FilterIdx the schema indices those
+	// positions compare to (aligned with FilterPos).
+	FilterPos []int
+	FilterIdx []int
+	// TargetIdx holds the schema indices of Edge.Dst.A — the target
+	// instance key of speculative lookups and scans.
+	TargetIdx []int
 }
 
 // Plan is a compiled query: a two-phase sequence of lock and access steps
@@ -81,6 +102,17 @@ type Plan struct {
 	Steps []Step
 	// Cost is the planner's heuristic estimate.
 	Cost float64
+
+	// Compiled (schema-resolved) boundary data, filled by the planner.
+	//
+	// BoundMask is the bitmask of the Bound columns — the executor
+	// validates and narrows operation inputs with bit tests instead of
+	// column-name comparisons.
+	BoundMask uint64
+	// OutCols is Out sorted and deduplicated, and OutIdx the matching
+	// schema indices: result tuples are gathered positionally.
+	OutCols []string
+	OutIdx  []int
 }
 
 // String renders the plan in the paper's let-binding notation, e.g.
@@ -214,6 +246,3 @@ func (p *Plan) Validate(pl *locks.Placement) error {
 	}
 	return nil
 }
-
-// tupleBinds reports whether t binds every column of cols.
-func tupleBinds(t rel.Tuple, cols []string) bool { return t.HasAll(cols) }

@@ -47,11 +47,15 @@ type Planner struct {
 	D     *decomp.Decomposition
 	P     *locks.Placement
 	Model CostModel
+	// Schema assigns every spec column its dense index; the planner
+	// resolves all column names in emitted plans against it, so the
+	// executor runs on integer offsets only.
+	Schema *rel.Schema
 }
 
 // NewPlanner returns a planner over d and p with the default cost model.
 func NewPlanner(d *decomp.Decomposition, p *locks.Placement) *Planner {
-	return &Planner{D: d, P: p, Model: DefaultCostModel()}
+	return &Planner{D: d, P: p, Model: DefaultCostModel(), Schema: rel.MustSchema(d.Spec.Columns)}
 }
 
 // PlanQuery returns the cheapest valid plan answering
@@ -248,6 +252,7 @@ func (pl *Planner) assemble(bound, out []string, path []*decomp.Edge, mode locks
 	if err := plan.Validate(pl.P); err != nil {
 		return nil, err
 	}
+	pl.compilePlan(plan)
 	return plan, nil
 }
 
@@ -259,7 +264,8 @@ func (pl *Planner) selectorFor(stripeBy []string, bound map[string]bool) Selecto
 			return Selector{All: true}
 		}
 	}
-	return Selector{Cols: append([]string(nil), stripeBy...)}
+	cols := append([]string(nil), stripeBy...)
+	return Selector{Cols: cols, Idx: pl.Schema.Indices(cols), Mask: pl.Schema.Mask(cols)}
 }
 
 // colsAreSorted reports whether the edge's column order equals the sorted

@@ -10,14 +10,21 @@ import (
 // RelationGraph adapts a synthesized relation over the directed-graph
 // specification to the benchmark's GraphOps interface. Operations are
 // prepared once at construction — the library analog of the paper's
-// statically compiled operations. Errors from the relation indicate a
-// mis-specified benchmark setup, so they panic.
+// statically compiled operations — and executed through the prepared row
+// API: each call builds a dense rel.Row via schema indices resolved at
+// construction time, so the benchmark measures the zero-name-resolution
+// pipeline end to end. Errors from the relation indicate a mis-specified
+// benchmark setup, so they panic.
 type RelationGraph struct {
 	R    *core.Relation
 	succ *core.PreparedQuery
 	pred *core.PreparedQuery
 	ins  *core.PreparedInsert
 	rem  *core.PreparedRemove
+
+	// Schema indices of the three graph columns, resolved once.
+	iSrc, iDst, iWeight int
+	width               int
 }
 
 // GraphSpec is the relational specification of §2's running example:
@@ -45,7 +52,22 @@ func NewRelationGraph(r *core.Relation) (*RelationGraph, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &RelationGraph{R: r, succ: succ, pred: pred, ins: ins, rem: rem}, nil
+	schema := r.Schema()
+	g := &RelationGraph{R: r, succ: succ, pred: pred, ins: ins, rem: rem, width: schema.Len()}
+	var ok bool
+	if g.iSrc, ok = schema.IndexOf("src"); !ok {
+		return nil, fmt.Errorf("workload: relation schema lacks column src")
+	}
+	if g.iDst, ok = schema.IndexOf("dst"); !ok {
+		return nil, fmt.Errorf("workload: relation schema lacks column dst")
+	}
+	if g.iWeight, ok = schema.IndexOf("weight"); !ok {
+		return nil, fmt.Errorf("workload: relation schema lacks column weight")
+	}
+	if g.width != 3 {
+		return nil, fmt.Errorf("workload: graph adapter needs the 3-column graph spec, got %d columns", g.width)
+	}
+	return g, nil
 }
 
 // MustRelationGraph is NewRelationGraph panicking on error.
@@ -57,9 +79,18 @@ func MustRelationGraph(r *core.Relation) *RelationGraph {
 	return g
 }
 
+// row builds a stack-backed operation row; the graph schema has exactly
+// three columns.
+func (g *RelationGraph) row(buf []rel.Value) rel.Row {
+	return rel.RowOver(buf[:g.width], 0)
+}
+
 // FindSuccessors counts (dst, weight) pairs for src.
 func (g *RelationGraph) FindSuccessors(src int64) int {
-	n, err := g.succ.Count(rel.T("src", src))
+	var buf [3]rel.Value
+	row := g.row(buf[:])
+	row.Set(g.iSrc, src)
+	n, err := g.succ.CountRow(row)
 	if err != nil {
 		panic(fmt.Sprintf("workload: successors: %v", err))
 	}
@@ -68,7 +99,10 @@ func (g *RelationGraph) FindSuccessors(src int64) int {
 
 // FindPredecessors counts (src, weight) pairs for dst.
 func (g *RelationGraph) FindPredecessors(dst int64) int {
-	n, err := g.pred.Count(rel.T("dst", dst))
+	var buf [3]rel.Value
+	row := g.row(buf[:])
+	row.Set(g.iDst, dst)
+	n, err := g.pred.CountRow(row)
 	if err != nil {
 		panic(fmt.Sprintf("workload: predecessors: %v", err))
 	}
@@ -77,7 +111,12 @@ func (g *RelationGraph) FindPredecessors(dst int64) int {
 
 // InsertEdge inserts via put-if-absent on (src, dst).
 func (g *RelationGraph) InsertEdge(src, dst, weight int64) bool {
-	ok, err := g.ins.Exec(rel.T("src", src, "dst", dst), rel.T("weight", weight))
+	var buf [3]rel.Value
+	row := g.row(buf[:])
+	row.Set(g.iSrc, src)
+	row.Set(g.iDst, dst)
+	row.Set(g.iWeight, weight)
+	ok, err := g.ins.ExecRow(row)
 	if err != nil {
 		panic(fmt.Sprintf("workload: insert: %v", err))
 	}
@@ -86,7 +125,11 @@ func (g *RelationGraph) InsertEdge(src, dst, weight int64) bool {
 
 // RemoveEdge removes by the (src, dst) key.
 func (g *RelationGraph) RemoveEdge(src, dst int64) bool {
-	ok, err := g.rem.Exec(rel.T("src", src, "dst", dst))
+	var buf [3]rel.Value
+	row := g.row(buf[:])
+	row.Set(g.iSrc, src)
+	row.Set(g.iDst, dst)
+	ok, err := g.rem.ExecRow(row)
 	if err != nil {
 		panic(fmt.Sprintf("workload: remove: %v", err))
 	}
