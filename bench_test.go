@@ -391,6 +391,136 @@ func BenchmarkPreparedRowVsTuple(b *testing.B) {
 	})
 }
 
+// BenchmarkBatchedVsSequential is the batched Figure-5 variant: composite
+// graph operations (insert-edge-pair, move-edge as remove+insert, grouped
+// successor counts, 2-hop counts) executed as one coalesced two-phase-
+// locking transaction per group ("batched") versus one transaction per
+// member operation ("sequential"). Both sides run the same prepared row
+// pipeline; the delta is the lock-coalescing win — an N-op batch takes
+// each physical lock at most once. Contention makes the delta grow: run
+// with -cpu 1,4,... to see the scalability side.
+func BenchmarkBatchedVsSequential(b *testing.B) {
+	build := func(b *testing.B) *crs.Relation {
+		d, err := crs.NewBuilder(crs.GraphSpec(), "ρ").
+			Edge("ρu", "ρ", "u", []string{"src"}, crs.ConcurrentHashMap).
+			Edge("uv", "u", "v", []string{"dst"}, crs.TreeMap).
+			Edge("vw", "v", "w", []string{"weight"}, crs.Cell).
+			Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := crs.NewPlacement(d)
+		p.SetStripes(d.Root, 1024)
+		p.Place(d.EdgeByName("ρu"), d.Root, "src")
+		r, err := crs.Synthesize(d, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := crs.MustRelationGraph(r)
+		seed := uint64(12345)
+		for i := 0; i < 2048; i++ {
+			x := splitmix(&seed)
+			g.InsertEdge(int64(x%benchKeySpace), int64((x>>32)%benchKeySpace), int64(x>>48))
+		}
+		return r
+	}
+	mix := crs.DefaultBatchMix()
+	runComposite := func(b *testing.B, g crs.BatchGraphOps) {
+		b.Helper()
+		var tid atomic.Uint64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			state := tid.Add(1) * 0x9e3779b97f4a7c15
+			var sink uint64
+			for pb.Next() {
+				sink += crs.BatchCompositeOp(g, &state, mix, benchKeySpace)
+			}
+			_ = sink
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "groups/s")
+	}
+	b.Run("batched", func(b *testing.B) {
+		runComposite(b, crs.MustRelationBatchGraph(build(b)))
+	})
+	b.Run("sequential", func(b *testing.B) {
+		g, err := crs.NewSequentialBatchGraph(build(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		runComposite(b, g)
+	})
+}
+
+// BenchmarkBatchPrimitives isolates the per-composite coalescing deltas
+// on an uncontended relation: each sub-benchmark runs one composite
+// batched and sequential back to back via -bench filtering.
+func BenchmarkBatchPrimitives(b *testing.B) {
+	build := func(b *testing.B) *crs.Relation {
+		v, err := crs.GraphVariantByName("Split 4")
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := v.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := crs.MustRelationGraph(r)
+		seed := uint64(7)
+		for i := 0; i < 2048; i++ {
+			x := splitmix(&seed)
+			g.InsertEdge(int64(x%benchKeySpace), int64((x>>32)%benchKeySpace), int64(x>>48))
+		}
+		return r
+	}
+	type side struct {
+		name string
+		mk   func(*testing.B) crs.BatchGraphOps
+	}
+	sides := []side{
+		{"batched", func(b *testing.B) crs.BatchGraphOps { return crs.MustRelationBatchGraph(build(b)) }},
+		{"sequential", func(b *testing.B) crs.BatchGraphOps {
+			g, err := crs.NewSequentialBatchGraph(build(b))
+			if err != nil {
+				b.Fatal(err)
+			}
+			return g
+		}},
+	}
+	for _, s := range sides {
+		s := s
+		b.Run("insertpair/"+s.name, func(b *testing.B) {
+			g := s.mk(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src := int64(i) % benchKeySpace
+				g.InsertEdgePair(src, (src+1)%benchKeySpace, int64(i), src, (src+2)%benchKeySpace, int64(i))
+			}
+		})
+		b.Run("move/"+s.name, func(b *testing.B) {
+			g := s.mk(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src := int64(i) % benchKeySpace
+				g.MoveEdge(src, (src+1)%benchKeySpace, (src+2)%benchKeySpace, int64(i))
+			}
+		})
+		b.Run("countpair/"+s.name, func(b *testing.B) {
+			g := s.mk(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.CountSuccessorPair(int64(i)%benchKeySpace, int64(i+1)%benchKeySpace)
+			}
+		})
+		b.Run("twohop/"+s.name, func(b *testing.B) {
+			g := s.mk(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.TwoHopCount(int64(i) % benchKeySpace)
+			}
+		})
+	}
+}
+
 // BenchmarkHandcodedVsSplit4 is the §6.2 head-to-head: the hand-written
 // graph against its synthesized twin.
 func BenchmarkHandcodedVsSplit4(b *testing.B) {

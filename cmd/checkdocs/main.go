@@ -1,0 +1,143 @@
+// Command checkdocs is the repository's missing-doc-comment check, run in
+// CI next to gofmt and go vet: every package must carry a package comment
+// and every exported top-level declaration (functions, methods on
+// exported types, types, and const/var groups) must carry a doc comment.
+//
+// Usage:
+//
+//	checkdocs [dir]
+//
+// It walks dir (default ".") recursively, skipping _test.go files and
+// testdata directories, and exits non-zero listing every violation.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var violations []string
+	pkgDocs := map[string]bool{} // package dir → has package comment
+	pkgDirs := map[string]string{}
+
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		dir := filepath.Dir(path)
+		pkgDirs[dir] = f.Name.Name
+		if f.Doc != nil {
+			pkgDocs[dir] = true
+		}
+		for _, decl := range f.Decls {
+			for _, v := range checkDecl(fset, decl) {
+				violations = append(violations, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkdocs:", err)
+		os.Exit(2)
+	}
+	for dir, pkg := range pkgDirs {
+		if !pkgDocs[dir] && pkg != "main" {
+			violations = append(violations, fmt.Sprintf("%s: package %s has no package comment", dir, pkg))
+		}
+	}
+	if len(violations) > 0 {
+		sort.Strings(violations)
+		for _, v := range violations {
+			fmt.Println(v)
+		}
+		fmt.Printf("checkdocs: %d missing doc comments\n", len(violations))
+		os.Exit(1)
+	}
+}
+
+// checkDecl returns a violation per undocumented exported declaration in
+// decl.
+func checkDecl(fset *token.FileSet, decl ast.Decl) []string {
+	var out []string
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: %s has no doc comment", p.Filename, p.Line, what))
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || d.Doc != nil {
+			return nil
+		}
+		name := d.Name.Name
+		if d.Recv != nil && len(d.Recv.List) > 0 {
+			recv := receiverName(d.Recv.List[0].Type)
+			if recv != "" && !ast.IsExported(recv) {
+				return nil // method on unexported type
+			}
+			name = recv + "." + name
+		}
+		report(d.Pos(), "exported func "+name)
+	case *ast.GenDecl:
+		if d.Tok == token.IMPORT {
+			return nil
+		}
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					report(s.Pos(), "exported type "+s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				for _, n := range s.Names {
+					if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						report(s.Pos(), fmt.Sprintf("exported %s %s", d.Tok, n.Name))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverName extracts the receiver's type name (unwrapping pointers and
+// generic instantiations).
+func receiverName(t ast.Expr) string {
+	switch e := t.(type) {
+	case *ast.StarExpr:
+		return receiverName(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr:
+		return receiverName(e.X)
+	case *ast.IndexListExpr:
+		return receiverName(e.X)
+	}
+	return ""
+}

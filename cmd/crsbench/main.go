@@ -50,6 +50,10 @@ type jsonResult struct {
 	Seconds   float64 `json:"seconds"`
 	OpsPerSec float64 `json:"ops_per_sec"`
 	Checksum  uint64  `json:"checksum"`
+	// Mode distinguishes the -batch comparison rows: "batched" groups
+	// run as one coalesced transaction, "sequential" one transaction per
+	// member. Empty for the classic Figure 5 runs.
+	Mode string `json:"mode,omitempty"`
 }
 
 func main() {
@@ -60,6 +64,7 @@ func main() {
 	variantsFlag := flag.String("variants", "all", "comma-separated variant names or 'all'")
 	format := flag.String("format", "table", "output format: table, csv or json")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	batch := flag.Bool("batch", false, "run the batched-transaction benchmark (composite operation groups, batched vs sequential) instead of Figure 5")
 	flag.Parse()
 
 	if *format != "table" && *format != "csv" && *format != "json" {
@@ -79,7 +84,7 @@ func main() {
 		fatal(err)
 	}
 
-	if *format == "csv" {
+	if *format == "csv" && !*batch {
 		fmt.Println("mix,variant,threads,ops,seconds,throughput_ops_per_sec")
 	}
 	doc := jsonDoc{Config: jsonConfig{
@@ -89,6 +94,20 @@ func main() {
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		GoVersion:    runtime.Version(),
 	}}
+	if *batch {
+		if *mixesFlag != "all" {
+			fatal(fmt.Errorf("-mixes does not apply to -batch: the batched benchmark runs the composite mix %s", crs.DefaultBatchMix()))
+		}
+		if *variantsFlag != "all" {
+			for _, name := range variants {
+				if name == "Handcoded" {
+					fatal(fmt.Errorf("-batch needs a synthesized relation; the Handcoded baseline has no batched transactions"))
+				}
+			}
+		}
+		runBatchBench(&doc, variants, threads, *ops, *keyspace, *seed, *format)
+		return
+	}
 	for _, mix := range mixes {
 		if *format == "table" {
 			fmt.Printf("\nOperation Distribution: %s (GOMAXPROCS=%d)\n", mix, runtime.GOMAXPROCS(0))
@@ -133,6 +152,85 @@ func main() {
 		}
 	}
 	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runBatchBench runs the batched-transaction comparison: for each
+// variant and thread count, the composite-operation workload
+// (insert pairs, moves, grouped counts, two-hop counts) once with each
+// group as one coalesced transaction and once with one transaction per
+// member. Throughput is composite groups per second.
+func runBatchBench(doc *jsonDoc, variants []string, threads []int, ops int, keyspace int64, seed uint64, format string) {
+	mix := crs.DefaultBatchMix()
+	if format == "csv" {
+		fmt.Println("mix,variant_mode,threads,ops,seconds,throughput_groups_per_sec")
+	}
+	if format == "table" {
+		fmt.Printf("\nBatched transactions, composite mix %s (GOMAXPROCS=%d, groups/sec)\n",
+			mix, runtime.GOMAXPROCS(0))
+		fmt.Printf("%-28s", "variant/mode")
+		for _, k := range threads {
+			fmt.Printf(" %12s", fmt.Sprintf("%d thr", k))
+		}
+		fmt.Println()
+	}
+	for _, name := range variants {
+		if name == "Handcoded" {
+			continue // composite ops need a relation ("all" includes it; explicit requests were rejected in main)
+		}
+		for _, mode := range []string{"batched", "sequential"} {
+			row := make([]float64, 0, len(threads))
+			for _, k := range threads {
+				v, err := crs.GraphVariantByName(name)
+				if err != nil {
+					fatal(err)
+				}
+				r, err := v.Build()
+				if err != nil {
+					fatal(err)
+				}
+				var g crs.BatchGraphOps
+				if mode == "batched" {
+					g = crs.MustRelationBatchGraph(r)
+				} else {
+					if g, err = crs.NewSequentialBatchGraph(r); err != nil {
+						fatal(err)
+					}
+				}
+				cfg := crs.BenchConfig{Threads: k, OpsPerThread: ops, KeySpace: keyspace, Seed: seed}
+				res := crs.RunBatchedBench(g, cfg, mix)
+				row = append(row, res.Throughput)
+				switch format {
+				case "csv":
+					fmt.Printf("%s,%s/%s,%d,%d,%.3f,%.0f\n", mix, name, mode, k, res.Ops, res.Duration.Seconds(), res.Throughput)
+				case "json":
+					doc.Results = append(doc.Results, jsonResult{
+						Mix:       mix.String(),
+						Variant:   name,
+						Mode:      mode,
+						Threads:   k,
+						Ops:       res.Ops,
+						Seconds:   res.Duration.Seconds(),
+						OpsPerSec: res.Throughput,
+						Checksum:  res.Checksum,
+					})
+				}
+			}
+			if format == "table" {
+				fmt.Printf("%-28s", name+"/"+mode)
+				for _, v := range row {
+					fmt.Printf(" %12.0f", v)
+				}
+				fmt.Println()
+			}
+		}
+	}
+	if format == "json" {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(doc); err != nil {

@@ -46,6 +46,26 @@
 // analogs; PreparedQuery.ExecRows streams result rows under the query's
 // locks. The §6.2 benchmark adapters run on this path.
 //
+// # Batched transactions
+//
+// Several operations can run as ONE two-phase-locking transaction: the
+// callback enqueues members (nothing executes yet), then the commit
+// merges every member plan's lock requirements — deduplicated, shared
+// upgraded to exclusive where any member writes — and acquires the
+// coalesced set once in the global order, so an N-op batch takes each
+// physical lock at most once. The group is atomic and behaves like its
+// members ran sequentially (later members observe earlier members'
+// writes):
+//
+//	ins, _ := r.PrepareInsert([]string{"dst", "src"})
+//	var moved, placed *crs.Pending[bool]
+//	r.Batch(func(tx *crs.Txn) error {
+//	    moved, _ = tx.Remove(crs.T("src", 1, "dst", 2)) // tuple API…
+//	    placed, _ = tx.ExecRow(ins, row)                // …or prepared rows
+//	    return nil                                      // error ⇒ nothing runs
+//	})
+//	_ = moved.Value() // results resolve when Batch returns
+//
 // Or let the autotuner pick the representation for your workload:
 //
 //	best, _ := crs.Tune(crs.EnumerateGraphCandidates(), cfg, crs.TuneOptions{TopStatic: 32})
@@ -184,6 +204,25 @@ type (
 	PreparedRemove = core.PreparedRemove
 )
 
+// Batched transactions.
+type (
+	// Txn is a batched multi-operation transaction under construction;
+	// see Relation.Batch. Enqueue operations with Txn.Insert / Remove /
+	// Count / Query (tuples) or Txn.ExecRow / CountRow / ExecRows
+	// (prepared rows); each returns a Pending resolved at commit.
+	Txn = core.Txn
+	// BatchMutation is the common interface of PreparedInsert and
+	// PreparedRemove accepted by Txn.ExecRow.
+	BatchMutation = core.BatchMutation
+	// BatchTrace records a batch's coalesced lock schedule (Txn.EnableTrace).
+	BatchTrace = core.BatchTrace
+	// BatchRound is one coalesced acquisition in a BatchTrace.
+	BatchRound = core.BatchRound
+)
+
+// Pending is a batch result future: resolved when Relation.Batch returns.
+type Pending[T any] = core.Pending[T]
+
 // Synthesize compiles a decomposition and lock placement into a concurrent
 // relation — the paper's compiler entry point.
 func Synthesize(d *Decomposition, p *Placement) (*Relation, error) { return core.Synthesize(d, p) }
@@ -205,6 +244,52 @@ type (
 	// RelationGraph adapts a synthesized graph relation to GraphOps.
 	RelationGraph = workload.RelationGraph
 )
+
+// Batched benchmarking.
+type (
+	// BatchGraphOps is the composite-operation interface of the batched
+	// benchmark: insert pairs, edge moves, grouped counts.
+	BatchGraphOps = workload.BatchGraphOps
+	// RelationBatchGraph adapts a synthesized relation to BatchGraphOps
+	// with one batched transaction per composite operation.
+	RelationBatchGraph = workload.RelationBatchGraph
+	// SequentialRelationBatchGraph is the per-operation baseline.
+	SequentialRelationBatchGraph = workload.SequentialRelationBatchGraph
+	// BatchOpsMix is an operation distribution over composite batched ops.
+	BatchOpsMix = workload.BatchMix
+)
+
+// NewRelationBatchGraph prepares the batched benchmark operations.
+func NewRelationBatchGraph(r *Relation) (*RelationBatchGraph, error) {
+	return workload.NewRelationBatchGraph(r)
+}
+
+// MustRelationBatchGraph is NewRelationBatchGraph panicking on error.
+func MustRelationBatchGraph(r *Relation) *RelationBatchGraph {
+	return workload.MustRelationBatchGraph(r)
+}
+
+// NewSequentialBatchGraph prepares the sequential (non-coalesced)
+// baseline over the same prepared operations.
+func NewSequentialBatchGraph(r *Relation) (*SequentialRelationBatchGraph, error) {
+	return workload.NewSequentialRelationBatchGraph(r)
+}
+
+// DefaultBatchMix returns the batched benchmark's mixed read-write
+// distribution.
+func DefaultBatchMix() BatchOpsMix { return workload.DefaultBatchMix() }
+
+// RunBatchedBench executes one batched benchmark run.
+func RunBatchedBench(g BatchGraphOps, cfg BenchConfig, mix BatchOpsMix) BenchResult {
+	return workload.RunBatched(g, cfg, mix)
+}
+
+// BatchCompositeOp draws and executes one composite batched operation —
+// the single dispatch shared by RunBatchedBench and external harnesses
+// (the in-repo benchmark), so both measure the same workload.
+func BatchCompositeOp(g BatchGraphOps, state *uint64, mix BatchOpsMix, keySpace int64) uint64 {
+	return workload.CompositeOp(g, state, mix, keySpace)
+}
 
 // Figure5Mixes lists the four operation distributions of Figure 5.
 func Figure5Mixes() []Mix { return workload.Figure5Mixes() }

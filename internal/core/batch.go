@@ -1,0 +1,1323 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/container"
+	"repro/internal/decomp"
+	"repro/internal/locks"
+	"repro/internal/query"
+	"repro/internal/rel"
+)
+
+// This file implements batched multi-operation transactions: several
+// queries and mutations executed as ONE two-phase-locking transaction.
+// The paper's §4.2/§5.1 substrate gives every single operation a
+// deadlock-free sorted lock schedule; batching generalizes the unit of
+// atomicity from the operation to a user-defined group, the framing of
+// the synchronization-synthesis line of work (Samanta et al., Locksynth),
+// where the atomic region — not the individual access — is what gets a
+// synthesized locking protocol.
+//
+// Execution has two phases, both inside one locks.Txn:
+//
+//   - The GROWING phase walks every member's compiled plan in lockstep
+//     over the decomposition's topological node order. At each node the
+//     scheduler (a) resolves all members' pending speculative accesses
+//     together, sorted by target key across members so §4.5 acquisitions
+//     respect the global order, and (b) merges all members' regular lock
+//     requests into one locks.LockSet — deduplicated by lock identity,
+//     shared requests upgraded to exclusive where any member writes — and
+//     acquires the coalesced set once. An N-operation batch therefore
+//     takes each physical lock at most once, instead of up to N times.
+//
+//   - The APPLY phase re-executes members in batch order under the held
+//     locks: queries traverse, inserts run their put-if-absent check and
+//     write, removes locate and delete. No further locks are taken
+//     (execStep's b.apply mode): every pre-existing instance a member can
+//     reach was locked during the growing phase (container contents only
+//     change through this batch's own writes), and instances created by
+//     earlier members are private to the transaction. Re-execution gives
+//     the batch sequential semantics — each member observes the effects
+//     of the members before it — and an undo log makes the mutation
+//     suffix all-or-nothing if an invariant violation panics mid-apply.
+//
+// Members whose results cannot be affected by the batch's own writes
+// (every member up to and including the first mutation) skip the apply
+// re-execution and reuse their growing-phase traversal, so a read-only
+// batch traverses exactly once.
+
+// Pending is a batch result delivered at commit: enqueueing an operation
+// on a Txn returns a *Pending resolved when Relation.Batch returns.
+type Pending[T any] struct {
+	v    T
+	done bool
+}
+
+func (p *Pending[T]) set(v T) { p.v, p.done = v, true }
+
+// Get returns the result and whether the batch has committed.
+func (p *Pending[T]) Get() (T, bool) { return p.v, p.done }
+
+// Value returns the committed result; it panics if the batch has not
+// committed (reading a result inside the Batch callback is an error —
+// operations execute only after the callback returns).
+func (p *Pending[T]) Value() T {
+	if !p.done {
+		panic("core: batch result read before commit")
+	}
+	return p.v
+}
+
+// Txn is a batched transaction under construction. The Batch callback
+// enqueues operations on it; none execute until the callback returns,
+// when the whole group runs as one two-phase-locking transaction with a
+// coalesced lock schedule. A Txn is valid only inside its callback and is
+// not safe for concurrent use.
+type Txn struct {
+	r        *Relation
+	b        *opBuf
+	sealed   bool
+	firstMut int // member index of the first mutation, -1 if none
+	trace    *BatchTrace
+}
+
+// memberKind discriminates the operation kinds a batch can hold.
+type memberKind uint8
+
+const (
+	mQuery memberKind = iota
+	mCount
+	mInsert
+	mRemove
+)
+
+// waitKind is what a member's growing-phase cursor is blocked on.
+type waitKind uint8
+
+const (
+	wNone waitKind = iota // runnable
+	wSpec                 // registered speculative requests, awaiting resolution
+	wLock                 // contributed to the round's lock set, awaiting acquisition
+	wDone                 // growing phase complete
+)
+
+// member is one enqueued operation and its growing-phase execution state.
+type member struct {
+	kind memberKind
+
+	// Compiled plans: steps for queries and counts, ins/rem (+ the shared
+	// mut) for mutations.
+	steps     []query.Step
+	boundMask uint64
+	outIdx    []int
+	outCols   []string
+	ins       *insertPlan
+	rem       *removePlan
+	mut       *query.MutationPlan
+
+	// row is the member-owned dense operation row (arena-backed copy).
+	row rel.Row
+
+	// Result sinks; exactly one is non-nil per kind.
+	pb    *Pending[bool]
+	pi    *Pending[int]
+	pt    *Pending[[]rel.Tuple]
+	yield func(rel.Row) bool
+
+	// Growing-phase cursor: step index for queries/counts, directive
+	// index for mutations (plus the intra-directive stage).
+	cursor int
+	stage  uint8
+	wait   waitKind
+
+	states  []*qstate   // query pipeline / remove victims / insert existence states
+	xinst   []*Instance // insert's located instances per node
+	specOut []*qstate   // survivors delivered by speculative resolution
+
+	specReg      bool      // requests registered, resolution pending
+	specResolved bool      // resolution delivered, cursor may consume it
+	specFound    *Instance // locate-kind resolution result (inserts)
+
+	count   int  // StepCount accumulator
+	counted bool // count delivered by a StepCount terminal
+}
+
+// reset clears a member slab entry for reuse, retaining slice capacity.
+func (m *member) reset() {
+	*m = member{states: m.states[:0], specOut: m.specOut[:0], xinst: m.xinst[:0]}
+}
+
+// batchSpecReq is one pending speculative access: a member waiting to run
+// the §4.5 protocol for one target. Requests are pooled per scheduler
+// round and resolved in (node, target key) order across all members, so
+// the interleaved acquisitions respect the global lock order; requests
+// for the same target are resolved in the strongest requested mode.
+type batchSpecReq struct {
+	m      *member
+	st     *qstate // per-state request (queries, removes, existence checks); nil for locate requests
+	edge   *decomp.Edge
+	colIdx []int
+	row    rel.Row
+	src    *Instance
+	key    rel.Key
+	node   int
+	mode   locks.Mode
+}
+
+// BatchTrace records the coalesced lock schedule of one batch, for the
+// lock-audit tests and cmd/crsexplain's worked example. Enable with
+// Txn.EnableTrace before enqueueing.
+type BatchTrace struct {
+	// Rounds lists each coalesced acquisition: one entry per
+	// decomposition node that contributed locks, plus speculative waves.
+	Rounds []BatchRound
+	// Requested counts every pre-coalescing lock request — what a
+	// non-batched execution of the same members would have asked for.
+	Requested int
+	// Acquired counts the distinct physical locks actually taken.
+	Acquired int
+	// Speculative counts the locks taken by the §4.5 protocol (a subset
+	// of Acquired).
+	Speculative int
+}
+
+// BatchRound is one coalesced acquisition in a batch's growing phase.
+type BatchRound struct {
+	// Node names the decomposition node whose round this was;
+	// speculative waves are suffixed "(speculative)".
+	Node string
+	// Requested is the number of pre-dedup requests merged into this round.
+	Requested int
+	// IDs lists the lock identities actually acquired, in global order,
+	// and Modes the (upgraded) mode of each.
+	IDs   []locks.ID
+	Modes []locks.Mode
+}
+
+// String renders the trace as the per-round coalesced lock sets. Long
+// rounds (all-stripe acquisitions) are elided after the first few IDs.
+func (tr *BatchTrace) String() string {
+	s := fmt.Sprintf("batch lock schedule: %d requested -> %d acquired (%d speculative)\n",
+		tr.Requested, tr.Acquired, tr.Speculative)
+	for _, rd := range tr.Rounds {
+		s += fmt.Sprintf("  %s: %d requests -> %d locks:", rd.Node, rd.Requested, len(rd.IDs))
+		for i, id := range rd.IDs {
+			if i == 8 {
+				s += fmt.Sprintf(" … (%d more)", len(rd.IDs)-i)
+				break
+			}
+			s += fmt.Sprintf(" %v/%v", id, rd.Modes[i])
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// EnableTrace turns on lock-schedule tracing for this batch.
+func (t *Txn) EnableTrace() { t.trace = &BatchTrace{} }
+
+// Trace returns the recorded lock schedule (nil unless EnableTrace was
+// called); valid after Batch returns.
+func (t *Txn) Trace() *BatchTrace { return t.trace }
+
+// Batch runs fn to assemble a group of operations, then executes the
+// whole group as one two-phase-locking transaction: the lock requirements
+// of every member plan are merged — deduplicated and upgraded to
+// exclusive where any member writes — and acquired once, in the §5.1
+// global order, so the batch takes each physical lock at most once. The
+// group is atomic (serializable as a unit, all-or-nothing) and its
+// members behave as if executed sequentially: each mutation observes the
+// effects of the members enqueued before it. If fn returns an error,
+// nothing executes and the error is returned.
+func (r *Relation) Batch(fn func(tx *Txn) error) error {
+	b := r.getBuf()
+	defer r.putBuf(b)
+	// The Txn is allocated per batch, NOT pooled: a caller that leaks the
+	// *Txn past Batch must hit the sealed guard (an error), and a pooled
+	// handle would be silently un-sealed when a later batch reuses the
+	// buffer — turning the leak into cross-transaction corruption.
+	t := &Txn{r: r, b: b, firstMut: -1}
+	if err := fn(t); err != nil {
+		t.sealed = true
+		return err
+	}
+	t.sealed = true
+	if len(b.members) == 0 {
+		return nil
+	}
+	r.commitBatch(t, b)
+	return nil
+}
+
+// errTxnSealed guards against enqueueing outside the Batch callback.
+func (t *Txn) checkOpen() error {
+	if t.sealed {
+		return fmt.Errorf("core: batch transaction used outside its Batch callback")
+	}
+	return nil
+}
+
+// copyRow copies an operation row into the batch's arena: callers
+// typically pass stack-backed rows that do not survive the callback.
+func (b *opBuf) copyRow(row rel.Row) rel.Row {
+	w := row.Width()
+	if len(b.rowArena)+w > cap(b.rowArena) {
+		c := 2 * cap(b.rowArena)
+		if c < 64 {
+			c = 64
+		}
+		if c < w {
+			c = w
+		}
+		b.rowArena = make([]rel.Value, 0, c)
+	}
+	off := len(b.rowArena)
+	b.rowArena = b.rowArena[:off+w]
+	vals := b.rowArena[off : off+w : off+w]
+	for i := 0; i < w; i++ {
+		vals[i] = row.At(i)
+	}
+	return rel.RowOver(vals, row.Mask())
+}
+
+// addMember appends a member to the batch, tracking the first mutation.
+func (t *Txn) addMember(m member) *member {
+	if m.kind == mInsert || m.kind == mRemove {
+		if t.firstMut < 0 {
+			t.firstMut = len(t.b.members)
+		}
+	}
+	t.b.members = append(t.b.members, m)
+	nm := &t.b.members[len(t.b.members)-1]
+	if nm.states == nil {
+		nm.states = []*qstate{}
+	}
+	return nm
+}
+
+// BatchMutation is the common interface of *PreparedInsert and
+// *PreparedRemove for Txn.ExecRow.
+type BatchMutation interface {
+	batchEnqueue(t *Txn, row rel.Row) (*Pending[bool], error)
+}
+
+// batchEnqueue enqueues a prepared insert for the fully bound row x.
+func (p *PreparedInsert) batchEnqueue(t *Txn, x rel.Row) (*Pending[bool], error) {
+	if p.r != t.r {
+		return nil, fmt.Errorf("core: prepared insert belongs to a different relation")
+	}
+	if err := p.r.checkRow(x, p.r.fullMask); err != nil {
+		return nil, err
+	}
+	pb := &Pending[bool]{}
+	t.addMember(member{kind: mInsert, ins: p.plan, mut: p.plan.mut, row: t.b.copyRow(x), pb: pb})
+	return pb, nil
+}
+
+// batchEnqueue enqueues a prepared remove for a row binding the key.
+func (p *PreparedRemove) batchEnqueue(t *Txn, s rel.Row) (*Pending[bool], error) {
+	if p.r != t.r {
+		return nil, fmt.Errorf("core: prepared remove belongs to a different relation")
+	}
+	if err := p.r.checkRow(s, p.plan.mut.BoundMask); err != nil {
+		return nil, err
+	}
+	pb := &Pending[bool]{}
+	t.addMember(member{kind: mRemove, rem: p.plan, mut: p.plan.mut, row: t.b.copyRow(s), pb: pb})
+	return pb, nil
+}
+
+// ExecRow enqueues a prepared mutation (insert or remove) over a
+// schema-indexed row — the zero-name-resolution batch mutation path. The
+// result resolves when Batch returns.
+func (t *Txn) ExecRow(op BatchMutation, row rel.Row) (*Pending[bool], error) {
+	if err := t.checkOpen(); err != nil {
+		return nil, err
+	}
+	return op.batchEnqueue(t, row)
+}
+
+// CountRow enqueues a prepared count over a schema-indexed row, using the
+// prepared query's count-pushdown plan. The result resolves when Batch
+// returns.
+func (t *Txn) CountRow(q *PreparedQuery, s rel.Row) (*Pending[int], error) {
+	if err := t.checkOpen(); err != nil {
+		return nil, err
+	}
+	if q.r != t.r {
+		return nil, fmt.Errorf("core: prepared query belongs to a different relation")
+	}
+	if err := q.r.checkRow(s, q.plan.BoundMask); err != nil {
+		return nil, err
+	}
+	pi := &Pending[int]{}
+	t.addMember(member{kind: mCount, steps: q.countPlan.Steps, boundMask: q.countPlan.BoundMask,
+		row: t.b.copyRow(s), pi: pi})
+	return pi, nil
+}
+
+// ExecRows enqueues a prepared query over a schema-indexed row; yield is
+// invoked once per matching row at commit time, under the batch's locks,
+// until it returns false. Yielded rows are only valid during the
+// callback (their storage is pooled).
+func (t *Txn) ExecRows(q *PreparedQuery, s rel.Row, yield func(rel.Row) bool) error {
+	if err := t.checkOpen(); err != nil {
+		return err
+	}
+	if q.r != t.r {
+		return fmt.Errorf("core: prepared query belongs to a different relation")
+	}
+	if err := q.r.checkRow(s, q.plan.BoundMask); err != nil {
+		return err
+	}
+	t.addMember(member{kind: mQuery, steps: q.plan.Steps, boundMask: q.plan.BoundMask,
+		outIdx: q.plan.OutIdx, outCols: q.plan.OutCols, row: t.b.copyRow(s), yield: yield})
+	return nil
+}
+
+// Insert enqueues insert r s t (§2) by tuples, like Relation.Insert.
+func (t *Txn) Insert(s, tup rel.Tuple) (*Pending[bool], error) {
+	if err := t.checkOpen(); err != nil {
+		return nil, err
+	}
+	x, err := s.Union(tup)
+	if err != nil {
+		return nil, err
+	}
+	if len(rel.ColsIntersect(s.Dom(), tup.Dom())) > 0 {
+		return nil, fmt.Errorf("core: insert requires disjoint s and t, both bind %v", rel.ColsIntersect(s.Dom(), tup.Dom()))
+	}
+	if !rel.ColsEqual(x.Dom(), t.r.spec.Columns) {
+		return nil, fmt.Errorf("core: insert tuple binds %v, want all of %v", x.Dom(), t.r.spec.Columns)
+	}
+	plan, err := t.r.insertPlanFor(s.Dom())
+	if err != nil {
+		return nil, err
+	}
+	row, err := t.r.schema.RowFromTuple(x, nil)
+	if err != nil {
+		return nil, err
+	}
+	pb := &Pending[bool]{}
+	t.addMember(member{kind: mInsert, ins: plan, mut: plan.mut, row: row, pb: pb})
+	return pb, nil
+}
+
+// Remove enqueues remove r s (§2) by tuple, like Relation.Remove.
+func (t *Txn) Remove(s rel.Tuple) (*Pending[bool], error) {
+	if err := t.checkOpen(); err != nil {
+		return nil, err
+	}
+	if err := t.r.checkCols(s.Dom()); err != nil {
+		return nil, err
+	}
+	plan, err := t.r.removePlanFor(s.Dom())
+	if err != nil {
+		return nil, err
+	}
+	row, err := t.r.schema.RowFromTuple(s, nil)
+	if err != nil {
+		return nil, err
+	}
+	pb := &Pending[bool]{}
+	t.addMember(member{kind: mRemove, rem: plan, mut: plan.mut, row: row, pb: pb})
+	return pb, nil
+}
+
+// Count enqueues a cardinality query |query r s C| by tuple.
+func (t *Txn) Count(s rel.Tuple) (*Pending[int], error) {
+	if err := t.checkOpen(); err != nil {
+		return nil, err
+	}
+	if err := t.r.checkCols(s.Dom()); err != nil {
+		return nil, err
+	}
+	plan, err := t.r.countPlanFor(s.Dom())
+	if err != nil {
+		return nil, err
+	}
+	row, err := t.r.schema.RowFromTuple(s, nil)
+	if err != nil {
+		return nil, err
+	}
+	if row.Mask() != plan.BoundMask {
+		return nil, fmt.Errorf("core: tuple %v does not bind the plan's columns", s)
+	}
+	pi := &Pending[int]{}
+	t.addMember(member{kind: mCount, steps: plan.Steps, boundMask: plan.BoundMask, row: row, pi: pi})
+	return pi, nil
+}
+
+// Query enqueues query r s C by tuple; the projected result tuples
+// resolve when Batch returns.
+func (t *Txn) Query(s rel.Tuple, out ...string) (*Pending[[]rel.Tuple], error) {
+	if err := t.checkOpen(); err != nil {
+		return nil, err
+	}
+	if err := t.r.checkCols(s.Dom()); err != nil {
+		return nil, err
+	}
+	if err := t.r.checkCols(out); err != nil {
+		return nil, err
+	}
+	plan, err := t.r.queryPlanFor(s.Dom(), out)
+	if err != nil {
+		return nil, err
+	}
+	row, err := t.r.schema.RowFromTuple(s, nil)
+	if err != nil {
+		return nil, err
+	}
+	pt := &Pending[[]rel.Tuple]{}
+	t.addMember(member{kind: mQuery, steps: plan.Steps, boundMask: plan.BoundMask,
+		outIdx: plan.OutIdx, outCols: plan.OutCols, row: row, pt: pt})
+	return pt, nil
+}
+
+// commitBatch executes the assembled members: growing phase (coalesced
+// lock acquisition), apply phase (in-order execution under held locks),
+// then release (putBuf, in the caller).
+func (r *Relation) commitBatch(t *Txn, b *opBuf) {
+	if AuditEnabled() {
+		b.fresh = map[*Instance]bool{}
+	}
+	nNodes := len(r.decomp.Nodes)
+
+	// Initialize member pipelines.
+	for i := range b.members {
+		m := &b.members[i]
+		switch m.kind {
+		case mQuery, mCount:
+			m.states = append(m.states[:0], b.rootState(r, m.row, m.boundMask))
+		case mInsert, mRemove:
+			if cap(m.xinst) < nNodes {
+				m.xinst = make([]*Instance, nNodes)
+			}
+			m.xinst = m.xinst[:nNodes]
+			clear(m.xinst)
+			m.xinst[r.decomp.Root.Index] = r.root
+			m.states = append(m.states[:0], b.rootState(r, m.row, m.mut.BoundMask))
+		}
+	}
+
+	// Detach the single-op ping-pong arrays. Single operations may leave
+	// b.pipe and b.spare aliased (a scan step on an already-dead pipeline
+	// donates the pipe array to spare), which is benign when nothing
+	// outlives the operation — but batch members RETAIN their final state
+	// lists across the whole transaction, so the scan ping-pong and the
+	// apply phase's runSteps must start from storage that cannot alias a
+	// member's retention.
+	b.pipe, b.spare = nil, nil
+
+	// Growing phase: per-node rounds over all members.
+	b.collect = &b.set
+	for v := 0; v < nNodes; v++ {
+		for {
+			progress := false
+			for i := range b.members {
+				if r.advanceMember(b, &b.members[i], v) {
+					progress = true
+				}
+			}
+			if len(b.specs) > 0 {
+				r.resolveBatchSpecs(t, b)
+				progress = true
+			}
+			if b.set.Len() > 0 {
+				req := b.set.Requested()
+				prev := b.txn.HeldCount()
+				b.txn.AcquireSet(&b.set)
+				t.recordRound(b, r.decomp.Nodes[v].Name, req, prev, false)
+			}
+			for i := range b.members {
+				if b.members[i].wait == wLock {
+					b.members[i].wait = wNone
+					progress = true
+				}
+			}
+			if !progress {
+				break
+			}
+		}
+	}
+	b.collect = nil
+	for i := range b.members {
+		if b.members[i].wait != wDone {
+			panic(fmt.Sprintf("core: batch member %d stalled in growing phase (kind %d, cursor %d)",
+				i, b.members[i].kind, b.members[i].cursor))
+		}
+	}
+
+	// Apply phase: in-order execution under the held locks, with an undo
+	// log so a panic mid-apply restores the pre-batch representation
+	// before the locks are released (all-or-nothing).
+	b.apply = true
+	var undo undoLog
+	b.undo = &undo
+	defer func() {
+		b.undo = nil
+		if p := recover(); p != nil {
+			undo.rollback()
+			panic(p)
+		}
+	}()
+	for i := range b.members {
+		r.applyMember(t, b, &b.members[i], i)
+	}
+	b.apply = false
+}
+
+// recordRound appends a trace round covering the locks acquired since
+// held index prev.
+func (t *Txn) recordRound(b *opBuf, node string, requested, prev int, spec bool) {
+	tr := t.trace
+	if tr == nil {
+		return
+	}
+	if spec {
+		node += " (speculative)"
+	}
+	rd := BatchRound{Node: node, Requested: requested}
+	for i := prev; i < b.txn.HeldCount(); i++ {
+		id, mode := b.txn.HeldID(i)
+		rd.IDs = append(rd.IDs, id)
+		rd.Modes = append(rd.Modes, mode)
+	}
+	tr.Requested += requested
+	tr.Acquired += len(rd.IDs)
+	if spec {
+		tr.Speculative += len(rd.IDs)
+	}
+	if requested > 0 || len(rd.IDs) > 0 {
+		tr.Rounds = append(tr.Rounds, rd)
+	}
+}
+
+// advanceMember runs one member's growing-phase cursor as far as round v
+// allows, reporting whether any work was done. Lock steps divert into the
+// round's coalescing set (b.collect); speculative steps register requests
+// for the pooled resolution.
+func (r *Relation) advanceMember(b *opBuf, m *member, v int) bool {
+	if m.wait != wNone {
+		return false
+	}
+	switch m.kind {
+	case mQuery, mCount:
+		return r.advancePlan(b, m, v)
+	case mInsert:
+		return r.advanceInsert(b, m, v)
+	case mRemove:
+		return r.advanceRemove(b, m, v)
+	}
+	panic("core: unknown batch member kind")
+}
+
+// advancePlan advances a query/count member through its compiled steps.
+func (r *Relation) advancePlan(b *opBuf, m *member, v int) bool {
+	progress := false
+	for m.cursor < len(m.steps) {
+		s := &m.steps[m.cursor]
+		switch s.Kind {
+		case query.StepLock:
+			if s.Node.Index > v {
+				return progress
+			}
+			r.execLock(b, s, m.states, m.row) // diverts into b.collect
+			m.cursor++
+			m.wait = wLock
+			return true
+		case query.StepSpecLookup:
+			if m.specResolved {
+				m.consumeSpec()
+				progress = true
+				continue
+			}
+			if s.Edge.Dst.Index > v {
+				return progress
+			}
+			n := 0
+			for _, st := range m.states {
+				src := st.insts[s.Edge.Src.Index]
+				if src == nil {
+					continue
+				}
+				b.specs = append(b.specs, batchSpecReq{m: m, st: st, edge: s.Edge, colIdx: s.ColIdx,
+					row: st.row, src: src, key: b.keyOf(st.row, s.TargetIdx), node: s.Edge.Dst.Index, mode: s.Mode})
+				n++
+			}
+			m.specOut = m.specOut[:0]
+			m.specReg = true
+			if n == 0 {
+				m.specResolved = true
+				continue
+			}
+			m.wait = wSpec
+			return true
+		case query.StepScan:
+			if rule := r.placement.RuleFor(s.Edge); rule.Speculative {
+				if m.specResolved {
+					m.consumeSpec()
+					progress = true
+					continue
+				}
+				if s.Edge.Dst.Index > v {
+					return progress
+				}
+				n := r.registerSpecScan(b, m, s)
+				m.specOut = m.specOut[:0]
+				m.specReg = true
+				if n == 0 {
+					m.specResolved = true
+					continue
+				}
+				m.wait = wSpec
+				return true
+			}
+			m.states = r.execScan(b, s.Edge, s.ColIdx, s.FilterPos, s.FilterIdx, m.states)
+			m.cursor++
+			progress = true
+		case query.StepCount:
+			total := 0
+			for _, st := range m.states {
+				if inst := st.insts[s.Edge.Src.Index]; inst != nil {
+					r.auditAccess(b.txn, s.Edge, st.insts, st.row, nil, b.fresh, true)
+					total += r.container(inst, s.Edge).Len()
+				}
+			}
+			m.count, m.counted = total, true
+			m.cursor = len(m.steps)
+			m.wait = wDone
+			return true
+		default:
+			m.states = r.execStep(b, s, m.states, m.row)
+			m.cursor++
+			progress = true
+		}
+		if len(m.states) == 0 {
+			m.wait = wDone
+			return true
+		}
+	}
+	m.wait = wDone
+	return true
+}
+
+// takeSpecResults installs the survivors of a resolved speculative wave:
+// the member's pipeline becomes the delivered specOut list, and the old
+// states array (no longer referenced by anyone) becomes the next
+// specOut backing — the same ownership-transfer discipline as the scan
+// ping-pong.
+func (m *member) takeSpecResults() {
+	m.states, m.specOut = m.specOut, m.states[:0]
+	m.specResolved, m.specReg = false, false
+}
+
+// consumeSpec installs the survivors of a resolved speculative step and
+// advances the cursor past it.
+func (m *member) consumeSpec() {
+	m.takeSpecResults()
+	m.cursor++
+}
+
+// registerSpecScan scans a speculatively placed edge (membership frozen
+// by the already-held fallback stripes) and registers one request per
+// surviving entry, returning how many were registered.
+func (r *Relation) registerSpecScan(b *opBuf, m *member, s *query.Step) int {
+	n := 0
+	for _, st := range m.states {
+		src := st.insts[s.Edge.Src.Index]
+		if src == nil {
+			continue
+		}
+		r.auditAccess(b.txn, s.Edge, st.insts, st.row, nil, b.fresh, true)
+		r.container(src, s.Edge).Scan(func(k rel.Key, v any) bool {
+			for fi, p := range s.FilterPos {
+				if !rel.Equal(k.At(p), st.row.At(s.FilterIdx[fi])) {
+					return true
+				}
+			}
+			ns := b.clone(r, st)
+			for p, ci := range s.ColIdx {
+				ns.row.Set(ci, k.At(p))
+			}
+			b.specs = append(b.specs, batchSpecReq{m: m, st: ns, edge: s.Edge, colIdx: s.ColIdx,
+				row: ns.row, src: src, key: b.keyOf(ns.row, s.TargetIdx), node: s.Edge.Dst.Index, mode: s.Mode})
+			n++
+			return true
+		})
+	}
+	return n
+}
+
+// Intra-directive stages of a mutation member's growing phase.
+const (
+	stStart   = 0 // register speculative in-edge requests
+	stSpecGot = 1 // consume the locate/spec resolution
+	stAccess  = 2 // plain access-edge locate
+	stExist   = 3 // advance the embedded existence check (inserts)
+	stLock    = 4 // contribute the node's lock directive
+)
+
+// advanceInsert advances an insert member: per node, locate the row's
+// instance (speculative in-edges via the pooled resolution, then the
+// planned access edge), interleave the put-if-absent existence states,
+// and contribute the lock directive — the batched counterpart of
+// runInsert's growing phase.
+func (r *Relation) advanceInsert(b *opBuf, m *member, v int) bool {
+	progress := false
+	for m.cursor < len(m.mut.PerNode) {
+		nd := &m.mut.PerNode[m.cursor]
+		if nd.Node.Index > v {
+			return progress
+		}
+		switch m.stage {
+		case stStart:
+			if nd.Node == r.decomp.Root {
+				m.stage = stLock
+				continue
+			}
+			n := 0
+			for i, e := range nd.SpecIns {
+				src := m.xinst[e.Src.Index]
+				if src == nil {
+					continue
+				}
+				b.specs = append(b.specs, batchSpecReq{m: m, edge: e, colIdx: nd.SpecColIdx[i],
+					row: m.row, src: src, key: b.keyOf(m.row, nd.SpecTargetIdx[i]),
+					node: nd.Node.Index, mode: locks.Exclusive})
+				n++
+			}
+			m.stage = stSpecGot
+			if n > 0 {
+				m.specReg = true
+				m.wait = wSpec
+				return true
+			}
+		case stSpecGot:
+			if m.specFound != nil {
+				m.xinst[nd.Node.Index] = m.specFound
+				m.specFound = nil
+			}
+			m.specReg, m.specResolved = false, false
+			m.stage = stAccess
+		case stAccess:
+			if m.xinst[nd.Node.Index] == nil && nd.AccessIn != nil {
+				if src := m.xinst[nd.AccessIn.Src.Index]; src != nil {
+					r.auditAccess(b.txn, nd.AccessIn, m.xinst, m.row, nil, b.fresh, false)
+					if val, ok := r.container(src, nd.AccessIn).Lookup(b.keyOf(m.row, nd.ColIdx)); ok {
+						m.xinst[nd.Node.Index] = val.(*Instance)
+					}
+				}
+			}
+			m.stage = stExist
+		case stExist:
+			if step := m.ins.existAt[nd.Node.Index]; step != nil && len(m.states) > 0 {
+				if step.Kind == query.StepSpecLookup {
+					if m.specResolved {
+						m.takeSpecResults()
+					} else {
+						n := 0
+						for _, st := range m.states {
+							src := st.insts[step.Edge.Src.Index]
+							if src == nil {
+								continue
+							}
+							b.specs = append(b.specs, batchSpecReq{m: m, st: st, edge: step.Edge,
+								colIdx: step.ColIdx, row: st.row, src: src,
+								key: b.keyOf(st.row, step.TargetIdx), node: nd.Node.Index, mode: step.Mode})
+							n++
+						}
+						m.specOut = m.specOut[:0]
+						m.specReg = true
+						if n > 0 {
+							m.wait = wSpec
+							return true
+						}
+						m.specResolved = true
+						continue
+					}
+				} else {
+					m.states = r.execStep(b, step, m.states, m.row)
+				}
+			}
+			m.stage = stLock
+		case stLock:
+			r.lockDirective(b, nd, m.xinst[nd.Node.Index], m.states, m.row) // diverts into b.collect
+			m.cursor++
+			m.stage = stStart
+			if len(nd.Selectors) > 0 {
+				m.wait = wLock
+				return true
+			}
+			progress = true
+		}
+	}
+	m.wait = wDone
+	return true
+}
+
+// advanceRemove advances a remove member: per node, move the victim
+// states across the planned access route and contribute the lock
+// directive — the batched counterpart of runRemove's growing phase.
+//
+// In addition to the state pipeline, removes maintain an insert-style
+// row-based locate (xinst). The states alone under-lock a batch: when a
+// keyed lookup misses, the victim states die, and directive nodes keyed
+// from still-located sources (e.g. the root) would never register their
+// lock requests — yet the apply phase can reach those pre-existing
+// instances if an earlier batch member re-creates the missing key. The
+// row-based locate covers every instance the bound row determines,
+// independent of state survival, closing that gap.
+func (r *Relation) advanceRemove(b *opBuf, m *member, v int) bool {
+	progress := false
+	for m.cursor < len(m.mut.PerNode) {
+		nd := &m.mut.PerNode[m.cursor]
+		if nd.Node.Index > v {
+			return progress
+		}
+		switch m.stage {
+		case stStart:
+			if nd.Node == r.decomp.Root {
+				m.stage = stLock
+				continue
+			}
+			n := 0
+			// Row-based locate requests over every speculative in-edge
+			// (their key columns are always bound for mutations).
+			for i, e := range nd.SpecIns {
+				src := m.xinst[e.Src.Index]
+				if src == nil {
+					continue
+				}
+				b.specs = append(b.specs, batchSpecReq{m: m, edge: e, colIdx: nd.SpecColIdx[i],
+					row: m.row, src: src, key: b.keyOf(m.row, nd.SpecTargetIdx[i]),
+					node: nd.Node.Index, mode: locks.Exclusive})
+				n++
+			}
+			// State-based requests advancing the victim pipeline.
+			if len(nd.SpecIns) > 0 {
+				for _, st := range m.states {
+					src := st.insts[nd.SpecIns[0].Src.Index]
+					if src == nil {
+						continue
+					}
+					b.specs = append(b.specs, batchSpecReq{m: m, st: st, edge: nd.SpecIns[0],
+						colIdx: nd.SpecColIdx[0], row: st.row, src: src,
+						key: b.keyOf(st.row, nd.SpecTargetIdx[0]), node: nd.Node.Index, mode: locks.Exclusive})
+					n++
+				}
+				m.specOut = m.specOut[:0]
+				m.specReg = true
+				m.stage = stSpecGot
+				if n > 0 {
+					m.wait = wSpec
+					return true
+				}
+				m.specResolved = true
+				continue
+			}
+			m.stage = stAccess
+		case stSpecGot:
+			m.takeSpecResults()
+			if m.specFound != nil {
+				m.xinst[nd.Node.Index] = m.specFound
+				m.specFound = nil
+			}
+			r.rowLocate(b, m, nd)
+			m.stage = stLock
+			progress = true
+		case stAccess:
+			switch e := nd.AccessIn; {
+			case e == nil:
+				m.states = m.states[:0]
+			case nd.AccessScan:
+				m.states = r.execScan(b, e, nd.ColIdx, nd.FilterPos, nd.FilterIdx, m.states)
+			default:
+				m.states = r.execLookup(b, e, nd.ColIdx, m.states)
+			}
+			r.rowLocate(b, m, nd)
+			m.stage = stLock
+			progress = true
+		case stLock:
+			r.lockDirective(b, nd, m.xinst[nd.Node.Index], m.states, m.row) // diverts into b.collect
+			m.cursor++
+			m.stage = stStart
+			if len(nd.Selectors) > 0 {
+				m.wait = wLock
+				return true
+			}
+			progress = true
+		}
+	}
+	m.wait = wDone
+	return true
+}
+
+// rowLocate fills a remove member's row-based located instance for the
+// directive's node via the planned access edge, when the edge's key
+// columns are bound by the operation row (scan-located nodes stay nil:
+// their instances are only reachable through state rows, and the
+// fresh-bridge argument covers them at apply time).
+func (r *Relation) rowLocate(b *opBuf, m *member, nd *query.NodeDirective) {
+	if m.xinst[nd.Node.Index] != nil || nd.AccessIn == nil || nd.AccessScan {
+		return
+	}
+	var need uint64
+	for _, ci := range nd.ColIdx {
+		need |= 1 << uint(ci)
+	}
+	if !m.row.BindsAll(need) {
+		return
+	}
+	src := m.xinst[nd.AccessIn.Src.Index]
+	if src == nil {
+		return
+	}
+	r.auditAccess(b.txn, nd.AccessIn, m.xinst, m.row, nil, b.fresh, false)
+	if val, ok := r.container(src, nd.AccessIn).Lookup(b.keyOf(m.row, nd.ColIdx)); ok {
+		m.xinst[nd.Node.Index] = val.(*Instance)
+	}
+}
+
+// resolveBatchSpecs runs the §4.5 protocol for every pending request, in
+// (node, target key) order across all members so the interleaved target
+// acquisitions respect the global lock order. Requests for the same
+// target resolve in the strongest mode any requester needs (the
+// speculative analog of the coalescing upgrade rule); later requesters
+// find the lock held and merely re-validate. Survivors are delivered to
+// their members, which resume at the next scheduler sweep.
+func (r *Relation) resolveBatchSpecs(t *Txn, b *opBuf) {
+	specs := b.specs
+	// Sort by (node, key): closure-free insertion sort for the typical
+	// small pool, sort.Slice beyond (quadratic insertion would dominate
+	// on scan-fed pools).
+	less := func(a, c *batchSpecReq) bool {
+		if a.node != c.node {
+			return a.node < c.node
+		}
+		return rel.CompareKeys(a.key, c.key) < 0
+	}
+	if len(specs) <= 32 {
+		for i := 1; i < len(specs); i++ {
+			for j := i; j > 0 && less(&specs[j], &specs[j-1]); j-- {
+				specs[j], specs[j-1] = specs[j-1], specs[j]
+			}
+		}
+	} else {
+		sort.Slice(specs, func(i, j int) bool { return less(&specs[i], &specs[j]) })
+	}
+	prev := b.txn.HeldCount()
+	for i := 0; i < len(specs); {
+		j := i
+		mode := locks.Shared
+		for ; j < len(specs) && specs[j].node == specs[i].node && rel.CompareKeys(specs[j].key, specs[i].key) == 0; j++ {
+			if specs[j].mode == locks.Exclusive {
+				mode = locks.Exclusive
+			}
+		}
+		for k := i; k < j; k++ {
+			req := &specs[k]
+			inst, ok := r.specLocate(b, req.edge, req.colIdx, req.src, req.row, mode)
+			switch {
+			case req.st != nil && ok:
+				req.st.insts[req.edge.Dst.Index] = inst
+				req.m.specOut = append(req.m.specOut, req.st)
+			case req.st != nil:
+				r.auditAccess(b.txn, req.edge, req.st.insts, req.st.row, nil, b.fresh, false)
+			case ok:
+				if req.m.specFound != nil && req.m.specFound != inst {
+					panic(fmt.Sprintf("core: inconsistent instances of %s via speculative in-edges", req.edge.Dst.Name))
+				}
+				req.m.specFound = inst
+			default:
+				r.auditAccess(b.txn, req.edge, req.m.xinst, req.row, nil, b.fresh, false)
+			}
+		}
+		i = j
+	}
+	if t.trace != nil && len(specs) > 0 {
+		t.recordRound(b, r.decomp.Nodes[specs[0].node].Name, len(specs), prev, true)
+	}
+	clear(specs)
+	b.specs = specs[:0]
+	for i := range b.members {
+		m := &b.members[i]
+		if m.wait == wSpec {
+			m.wait = wNone
+			m.specResolved = true
+		}
+	}
+}
+
+// rowsAgree reports whether two rows hold equal values at every column
+// of mask. An empty mask agrees vacuously — callers treat that as a
+// potential conflict (nothing distinguishes the rows).
+func rowsAgree(a, c rel.Row, mask uint64) bool {
+	for mask != 0 {
+		i := bits.TrailingZeros64(mask)
+		if !rel.Equal(a.At(i), c.At(i)) {
+			return false
+		}
+		mask &^= 1 << uint(i)
+	}
+	return true
+}
+
+// opMask returns the member's bound-column mask (the key scope of the
+// operation).
+func (m *member) opMask() uint64 {
+	if m.mut != nil {
+		return m.mut.BoundMask
+	}
+	return m.boundMask
+}
+
+// memberReusable reports whether member m at index idx can reuse its
+// growing-phase results at apply time instead of re-executing. The
+// growing phase saw the pre-batch state, so reuse is sound iff no earlier
+// mutation can have changed what m observes or the instances m writes:
+//
+//   - tuple overlap: an earlier insert's row extending m's bound key, or
+//     an earlier remove whose key can share an extension with m's,
+//     changes m's existence check / victim set / query result;
+//   - creation overlap (inserts only): a node instance m found missing
+//     and plans to create may have been created by an earlier insert that
+//     agrees on the node's key columns A — m must re-locate;
+//   - deletion overlap (inserts only): a node instance m located may have
+//     been cascade-deleted by an earlier remove agreeing on A.
+//
+// Disagreement on any shared bound column proves disjointness; columns a
+// side leaves unbound cannot be compared, so they count as agreement
+// (conservative).
+func (r *Relation) memberReusable(b *opBuf, m *member, idx, firstMut int) bool {
+	if firstMut < 0 || idx <= firstMut {
+		return true
+	}
+	mMask := m.opMask()
+	rootIdx := r.decomp.Root.Index
+	for i := firstMut; i < idx; i++ {
+		mm := &b.members[i]
+		if mm.kind != mInsert && mm.kind != mRemove {
+			continue
+		}
+		test := mMask
+		if mm.kind == mRemove {
+			test &= mm.mut.BoundMask
+		}
+		if rowsAgree(m.row, mm.row, test) {
+			return false
+		}
+		if m.kind != mInsert {
+			continue
+		}
+		for v, am := range r.nodeKeyMask {
+			if v == rootIdx {
+				continue
+			}
+			if m.xinst[v] == nil {
+				if mm.kind == mInsert && rowsAgree(m.row, mm.row, am) {
+					return false
+				}
+			} else if mm.kind == mRemove && rowsAgree(m.row, mm.row, am&mm.mut.BoundMask) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// applyMember executes one member at commit time, under the full held
+// lock set. Members whose scope no earlier mutation touched reuse their
+// growing-phase traversal (it is exact); the rest re-execute in apply
+// mode so they observe the writes of the members before them —
+// sequential semantics.
+func (r *Relation) applyMember(t *Txn, b *opBuf, m *member, idx int) {
+	reuse := r.memberReusable(b, m, idx, t.firstMut)
+	switch m.kind {
+	case mQuery:
+		states := m.states
+		if !reuse {
+			states = r.runSteps(b, m.steps, m.row, m.boundMask)
+		}
+		if m.yield != nil {
+			for _, st := range states {
+				if !m.yield(st.row) {
+					break
+				}
+			}
+		}
+		if m.pt != nil {
+			results := make([]rel.Tuple, 0, len(states))
+			for _, st := range states {
+				vals := make([]rel.Value, len(m.outIdx))
+				for j, ci := range m.outIdx {
+					vals[j] = st.row.At(ci)
+				}
+				results = append(results, rel.TupleFromSorted(m.outCols, vals))
+			}
+			m.pt.set(results)
+		}
+		if !reuse {
+			b.recycle(states)
+		}
+	case mCount:
+		n := 0
+		switch {
+		case reuse && m.counted:
+			n = m.count
+		case reuse:
+			n = len(m.states)
+		default:
+			n = r.applyCount(b, m)
+		}
+		m.pi.set(n)
+	case mInsert:
+		ok := false
+		if reuse {
+			if len(m.states) == 0 {
+				r.insertWrite(b, m.xinst, m.row)
+				ok = true
+			}
+		} else {
+			ok = r.applyInsert(b, m)
+		}
+		m.pb.set(ok)
+	case mRemove:
+		removed := false
+		if reuse {
+			for _, st := range m.states {
+				if st.row.Mask() != r.fullMask {
+					continue
+				}
+				r.deleteTuple(b, st)
+				removed = true
+			}
+		} else {
+			removed = r.applyRemove(b, m)
+		}
+		m.pb.set(removed)
+	}
+}
+
+// applyCount re-executes a count member in apply mode.
+func (r *Relation) applyCount(b *opBuf, m *member) int {
+	states := append(b.pipe[:0], b.rootState(r, m.row, m.boundMask))
+	b.pipe = states
+	total := -1
+	for i := range m.steps {
+		step := &m.steps[i]
+		if step.Kind == query.StepCount {
+			total = 0
+			for _, st := range states {
+				if inst := st.insts[step.Edge.Src.Index]; inst != nil {
+					r.auditAccess(b.txn, step.Edge, st.insts, st.row, nil, b.fresh, true)
+					total += r.container(inst, step.Edge).Len()
+				}
+			}
+			break
+		}
+		states = r.execStep(b, step, states, m.row)
+		if len(states) == 0 {
+			break
+		}
+	}
+	if total < 0 {
+		total = len(states)
+	}
+	b.recycle(states)
+	return total
+}
+
+// applyInsert re-executes an insert at commit time: re-run the
+// put-if-absent existence check against the batch-current representation
+// (an earlier member may have inserted or removed the key), re-locate the
+// row's instances, and write.
+func (r *Relation) applyInsert(b *opBuf, m *member) bool {
+	states := r.runSteps(b, m.ins.exist.Steps, m.row, m.ins.exist.BoundMask)
+	exists := len(states) > 0
+	b.recycle(states)
+	if exists {
+		return false
+	}
+	nNodes := len(r.decomp.Nodes)
+	if cap(b.xinst) < nNodes {
+		b.xinst = make([]*Instance, nNodes)
+	}
+	xinst := b.xinst[:nNodes]
+	clear(xinst)
+	xinst[r.decomp.Root.Index] = r.root
+	for i := range m.mut.PerNode {
+		nd := &m.mut.PerNode[i]
+		if nd.Node != r.decomp.Root {
+			r.locateX(b, nd, xinst, m.row)
+		}
+	}
+	r.insertWrite(b, xinst, m.row)
+	return true
+}
+
+// applyRemove re-executes a remove at commit time against the
+// batch-current representation.
+func (r *Relation) applyRemove(b *opBuf, m *member) bool {
+	states := append(b.pipe[:0], b.rootState(r, m.row, m.mut.BoundMask))
+	b.pipe = states
+	for i := range m.mut.PerNode {
+		nd := &m.mut.PerNode[i]
+		if nd.Node == r.decomp.Root {
+			continue
+		}
+		states = r.advanceStates(b, nd, states)
+		if len(states) == 0 {
+			break
+		}
+	}
+	removed := false
+	for _, st := range states {
+		if st.row.Mask() != r.fullMask {
+			continue
+		}
+		r.deleteTuple(b, st)
+		removed = true
+	}
+	b.recycle(states)
+	return removed
+}
+
+// undoLog records displaced container bindings during a batch's apply
+// phase so a panic mid-apply can restore the pre-batch representation
+// before the transaction's locks are released (all-or-nothing).
+type undoLog struct {
+	recs []undoRec
+}
+
+// undoRec is one displaced binding: the container, the written key, and
+// what the key mapped to before (had=false for a previously absent key).
+type undoRec struct {
+	c   container.Map
+	key rel.Key
+	old any
+	had bool
+}
+
+// record appends one displaced binding.
+func (u *undoLog) record(c container.Map, key rel.Key, old any, had bool) {
+	u.recs = append(u.recs, undoRec{c: c, key: key, old: old, had: had})
+}
+
+// rollback restores every displaced binding in reverse order. Keys are
+// cloned on re-insertion: containers retain inserted keys, and the
+// recorded key may be carved from the operation's transient arena.
+func (u *undoLog) rollback() {
+	for i := len(u.recs) - 1; i >= 0; i-- {
+		rec := u.recs[i]
+		if rec.had {
+			rec.c.Write(rec.key.Clone(), rec.old)
+		} else {
+			rec.c.Write(rec.key, nil)
+		}
+	}
+	u.recs = nil
+}

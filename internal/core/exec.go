@@ -38,24 +38,60 @@ func (r *Relation) runSteps(b *opBuf, steps []query.Step, op rel.Row, mask uint6
 	return states
 }
 
-// execStep dispatches one plan step over the current states.
+// execStep dispatches one plan step over the current states. In a batch's
+// apply phase (b.apply) every lock the batch can need is already held, so
+// lock steps are skipped and speculative accesses run as plain lookups and
+// scans — re-validation is unnecessary because no other transaction can
+// move entries under the batch's locks, and entries written by earlier
+// batch members live in instances private to the transaction.
 func (r *Relation) execStep(b *opBuf, step *query.Step, states []*qstate, op rel.Row) []*qstate {
 	switch step.Kind {
 	case query.StepLock:
+		if b.apply {
+			return states
+		}
 		r.execLock(b, step, states, op)
 		return states
 	case query.StepLookup:
 		return r.execLookup(b, step.Edge, step.ColIdx, states)
 	case query.StepScan:
-		if r.placement.RuleFor(step.Edge).Speculative {
+		if r.placement.RuleFor(step.Edge).Speculative && !b.apply {
 			return r.execScanSpec(b, step, states)
 		}
 		return r.execScan(b, step.Edge, step.ColIdx, step.FilterPos, step.FilterIdx, states)
 	case query.StepSpecLookup:
+		if b.apply {
+			return r.execApplyLookup(b, step.Edge, step.ColIdx, states)
+		}
 		return r.execSpecLookup(b, step.Edge, step.ColIdx, step.TargetIdx, states, step.Mode)
 	default:
 		panic(fmt.Sprintf("core: unknown step kind %d", step.Kind))
 	}
+}
+
+// execApplyLookup advances states across a speculatively placed edge
+// during a batch's apply phase: a plain keyed lookup, trusted without the
+// §4.5 validate/retry protocol because the batch already holds either the
+// target's lock (acquired when the growing phase located it) or created
+// the target itself (private to the transaction).
+func (r *Relation) execApplyLookup(b *opBuf, e *decomp.Edge, colIdx []int, states []*qstate) []*qstate {
+	out := states[:0]
+	for _, st := range states {
+		src := st.insts[e.Src.Index]
+		if src == nil {
+			continue
+		}
+		v, ok := r.container(src, e).Lookup(b.keyOf(st.row, colIdx))
+		if !ok {
+			r.auditAccess(b.txn, e, st.insts, st.row, nil, b.fresh, false)
+			continue
+		}
+		inst := v.(*Instance)
+		r.auditAccess(b.txn, e, st.insts, st.row, inst, b.fresh, false)
+		st.insts[e.Dst.Index] = inst
+		out = append(out, st)
+	}
+	return out
 }
 
 // execLock acquires the physical locks the step requires on the instances
@@ -152,7 +188,16 @@ func (r *Relation) execLockInsts(b *opBuf, step *query.Step, insts []*Instance, 
 		}
 	}
 	preSorted := step.PreSorted && k == 1 && !all && distinct == 1
-	b.txn.Acquire(batch, step.Mode, preSorted)
+	if b.collect != nil {
+		// Batch growing phase: divert the step's requests into the
+		// coalescing set; the batch scheduler acquires the merged set once
+		// per decomposition node (batch.go).
+		for _, l := range batch {
+			b.collect.Add(l, step.Mode)
+		}
+	} else {
+		b.txn.Acquire(batch, step.Mode, preSorted)
+	}
 	b.lockBatch = batch[:0]
 }
 
@@ -167,7 +212,7 @@ func (r *Relation) execLookup(b *opBuf, e *decomp.Edge, colIdx []int, states []*
 		if src == nil {
 			continue
 		}
-		r.auditAccess(b.txn, e, st.insts, st.row, nil, nil, false)
+		r.auditAccess(b.txn, e, st.insts, st.row, nil, b.fresh, false)
 		v, ok := r.container(src, e).Lookup(b.keyOf(st.row, colIdx))
 		if !ok {
 			continue
@@ -191,7 +236,7 @@ func (r *Relation) execScan(b *opBuf, e *decomp.Edge, colIdx, filterPos, filterI
 		if src == nil {
 			continue
 		}
-		r.auditAccess(b.txn, e, st.insts, st.row, nil, nil, len(filterPos) == 0)
+		r.auditAccess(b.txn, e, st.insts, st.row, nil, b.fresh, len(filterPos) == 0)
 		r.container(src, e).Scan(func(k rel.Key, v any) bool {
 			for fi, p := range filterPos {
 				if !rel.Equal(k.At(p), st.row.At(filterIdx[fi])) {
@@ -242,7 +287,7 @@ func (r *Relation) execSpecLookup(b *opBuf, e *decomp.Edge, colIdx, targetIdx []
 			out = append(out, st)
 		} else {
 			// Absence is covered by the held fallback stripe; audit it.
-			r.auditAccess(b.txn, e, st.insts, st.row, nil, nil, false)
+			r.auditAccess(b.txn, e, st.insts, st.row, nil, b.fresh, false)
 		}
 	}
 	b.reqs = reqs[:0]
@@ -303,7 +348,7 @@ func (r *Relation) execScanSpec(b *opBuf, step *query.Step, states []*qstate) []
 		if src == nil {
 			continue
 		}
-		r.auditAccess(b.txn, e, st.insts, st.row, nil, nil, true)
+		r.auditAccess(b.txn, e, st.insts, st.row, nil, b.fresh, true)
 		r.container(src, e).Scan(func(k rel.Key, v any) bool {
 			for fi, p := range step.FilterPos {
 				if !rel.Equal(k.At(p), st.row.At(step.FilterIdx[fi])) {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/decomp"
 	"repro/internal/locks"
 	"repro/internal/query"
 	"repro/internal/rel"
@@ -57,14 +58,20 @@ func (r *Relation) runInsert(plan *insertPlan, x rel.Row) bool {
 	}
 	b.recycle(estates)
 
-	// Write phase: create the missing instances under the held locks.
-	// A located instance implies all its in-edge entries exist (the
-	// entry/instance existence invariant), so only missing instances need
-	// writes — and they need an entry on every in-edge. Written keys are
-	// gathered fresh (containers retain them); everything else reuses the
-	// operation buffer.
-	var fresh map[*Instance]bool
-	if AuditEnabled() {
+	r.insertWrite(b, xinst, x)
+	return true
+}
+
+// insertWrite is the write phase of an insert: create the missing
+// instances under the held locks. A located instance implies all its
+// in-edge entries exist (the entry/instance existence invariant), so only
+// missing instances need writes — and they need an entry on every
+// in-edge. Written keys are gathered fresh (containers retain them);
+// everything else reuses the operation buffer. Batched transactions share
+// one fresh-instance set (b.fresh) across all member applies.
+func (r *Relation) insertWrite(b *opBuf, xinst []*Instance, x rel.Row) {
+	fresh := b.fresh
+	if fresh == nil && AuditEnabled() {
 		fresh = map[*Instance]bool{}
 	}
 	for _, n := range r.decomp.Nodes {
@@ -82,10 +89,21 @@ func (r *Relation) runInsert(plan *insertPlan, x rel.Row) bool {
 				panic(fmt.Sprintf("core: insert write phase reached %s before its source %s", n.Name, e.Src.Name))
 			}
 			r.auditAccess(b.txn, e, xinst, x, nil, fresh, false)
-			r.container(src, e).Write(x.KeyAt(r.edgeCols[e.Index]), inst)
+			r.writeEdge(b, src, e, x.KeyAt(r.edgeCols[e.Index]), inst)
 		}
 	}
-	return true
+}
+
+// writeEdge performs the container write implementing edge e on src,
+// first recording the displaced binding in the batch undo log when one is
+// active (all-or-nothing rollback; batch.go).
+func (r *Relation) writeEdge(b *opBuf, src *Instance, e *decomp.Edge, key rel.Key, val any) {
+	c := r.container(src, e)
+	if b.undo != nil {
+		old, had := c.Lookup(key)
+		b.undo.record(c, key, old, had)
+	}
+	c.Write(key, val)
 }
 
 // runRemove implements remove r s (§2) for a key row s: locate the
@@ -132,7 +150,14 @@ func (r *Relation) locateX(b *opBuf, nd *query.NodeDirective, xinst []*Instance,
 		if src == nil {
 			continue
 		}
-		inst, ok := r.specLocate(b, e, nd.SpecColIdx[i], src, x, locks.Exclusive)
+		var inst *Instance
+		var ok bool
+		if b.apply {
+			// Batch apply phase: a plain lookup suffices (see execApplyLookup).
+			inst, ok = r.applySpecLocate(b, e, nd.SpecColIdx[i], src, x, xinst)
+		} else {
+			inst, ok = r.specLocate(b, e, nd.SpecColIdx[i], src, x, locks.Exclusive)
+		}
 		if !ok {
 			continue
 		}
@@ -143,7 +168,7 @@ func (r *Relation) locateX(b *opBuf, nd *query.NodeDirective, xinst []*Instance,
 	}
 	if found == nil && nd.AccessIn != nil {
 		if src := xinst[nd.AccessIn.Src.Index]; src != nil {
-			r.auditAccess(b.txn, nd.AccessIn, xinst, x, nil, nil, false)
+			r.auditAccess(b.txn, nd.AccessIn, xinst, x, nil, b.fresh, false)
 			if val, ok := r.container(src, nd.AccessIn).Lookup(b.keyOf(x, nd.ColIdx)); ok {
 				found = val.(*Instance)
 			}
@@ -152,12 +177,30 @@ func (r *Relation) locateX(b *opBuf, nd *query.NodeDirective, xinst []*Instance,
 	xinst[v.Index] = found
 }
 
+// applySpecLocate locates the target of a speculative in-edge during a
+// batch's apply phase with a plain lookup: the growing phase already
+// locked every pre-existing target the batch can reach, and targets
+// created by earlier batch members are private to the transaction.
+func (r *Relation) applySpecLocate(b *opBuf, e *decomp.Edge, colIdx []int, src *Instance, row rel.Row, insts []*Instance) (*Instance, bool) {
+	v, ok := r.container(src, e).Lookup(b.keyOf(row, colIdx))
+	if !ok {
+		r.auditAccess(b.txn, e, insts, row, nil, b.fresh, false)
+		return nil, false
+	}
+	inst := v.(*Instance)
+	r.auditAccess(b.txn, e, insts, row, inst, b.fresh, false)
+	return inst, true
+}
+
 // advanceStates moves the remove operation's query states across node
 // nd.Node using the planned access route: the first speculative in-edge
 // (whose key columns are always bound for mutations) or the planned
 // access edge as a lookup or filtered scan.
 func (r *Relation) advanceStates(b *opBuf, nd *query.NodeDirective, states []*qstate) []*qstate {
 	if len(nd.SpecIns) > 0 {
+		if b.apply {
+			return r.execApplyLookup(b, nd.SpecIns[0], nd.SpecColIdx[0], states)
+		}
 		return r.execSpecLookup(b, nd.SpecIns[0], nd.SpecColIdx[0], nd.SpecTargetIdx[0], states, locks.Exclusive)
 	}
 	e := nd.AccessIn
@@ -209,7 +252,7 @@ func (r *Relation) deleteTuple(b *opBuf, st *qstate) {
 		dead := true
 		for ci, c := range inst.containers {
 			// Emptiness is a whole-container observation.
-			r.auditAccess(b.txn, n.Out[ci], st.insts, st.row, nil, nil, true)
+			r.auditAccess(b.txn, n.Out[ci], st.insts, st.row, nil, b.fresh, true)
 			if c.Len() > 0 {
 				dead = false
 				break
@@ -226,9 +269,9 @@ func (r *Relation) deleteTuple(b *opBuf, st *qstate) {
 			// Removal flips present→absent: both the present-entry lock
 			// (the speculative target, when applicable) and the absent
 			// lock (fallback stripe / placement lock) must be held.
-			r.auditAccess(b.txn, e, st.insts, st.row, inst, nil, false)
-			r.auditAccess(b.txn, e, st.insts, st.row, nil, nil, false)
-			r.container(src, e).Write(b.keyOf(st.row, r.edgeCols[e.Index]), nil)
+			r.auditAccess(b.txn, e, st.insts, st.row, inst, b.fresh, false)
+			r.auditAccess(b.txn, e, st.insts, st.row, nil, b.fresh, false)
+			r.writeEdge(b, src, e, b.keyOf(st.row, r.edgeCols[e.Index]), nil)
 		}
 	}
 }

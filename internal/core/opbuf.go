@@ -9,7 +9,22 @@ import (
 // transaction, the query-state pool, the key arena and assorted scratch
 // slices — so that a steady-state operation performs no heap allocation
 // beyond what containers themselves do. Buffers are pooled per Relation
-// (widths depend on the schema and decomposition).
+// (widths depend on the schema and decomposition), checked out by getBuf
+// at the start of an operation or batch and returned by putBuf, whose
+// ReleaseAll is the shrinking phase of every transaction.
+//
+// Ownership rules, which the batch executor (batch.go) leans on:
+//
+//   - qstates come from the `all` pool and stay owned by the buffer; a
+//     state handed out remains valid until putBuf, so batch members may
+//     retain their final state lists across the whole transaction;
+//   - pipe and spare are ping-pong ARRAYS for state lists, not state
+//     owners: a scan builds its output on spare and donates its input
+//     array back. Single operations may leave the two aliased (harmless
+//     there); the batch executor detaches both before running;
+//   - keys carved from the arena (keyOf/carve) live until putBuf but must
+//     never be stored into containers, which retain keys indefinitely —
+//     use Row.KeyAt for durable keys.
 type opBuf struct {
 	txn *locks.Txn
 
@@ -37,6 +52,29 @@ type opBuf struct {
 	seen        map[*Instance]bool
 	reqs        []specReq
 	xinst       []*Instance
+
+	// Batched-transaction mode (batch.go). collect, when non-nil, diverts
+	// lock-step acquisition into a coalescing LockSet instead of taking
+	// the locks immediately (the growing phase of a batch). apply marks
+	// the batch's apply phase: every lock the batch needs is already
+	// held, so lock steps are skipped and speculative accesses degrade to
+	// plain lookups/scans. fresh tracks instances created by the running
+	// batch (private until release; consulted by the auditor), and undo
+	// logs container writes for all-or-nothing rollback.
+	collect *locks.LockSet
+	apply   bool
+	fresh   map[*Instance]bool
+	undo    *undoLog
+
+	// Batch slabs, pooled with the buffer: the member list a Txn enqueues
+	// into, the pending speculative requests of the current scheduler
+	// round, the coalescing lock set, and the arena backing member-owned
+	// copies of operation rows. (The Txn handle itself is deliberately
+	// NOT pooled; see Relation.Batch.)
+	members  []member
+	specs    []batchSpecReq
+	set      locks.LockSet
+	rowArena []rel.Value
 }
 
 // specReq pairs a state with its speculative target key so acquisitions
@@ -75,6 +113,19 @@ func (r *Relation) putBuf(b *opBuf) {
 	clear(full)
 	b.reqs = full[:0]
 	clear(b.seen) // b.seen is normally clean; a recovered panic mid-dedup must not leak entries
+	b.collect = nil
+	b.apply = false
+	b.fresh = nil
+	b.undo = nil
+	for i := range b.members {
+		b.members[i].reset()
+	}
+	b.members = b.members[:0]
+	clear(b.specs[:cap(b.specs)])
+	b.specs = b.specs[:0]
+	b.set.Reset()
+	clear(b.rowArena)
+	b.rowArena = b.rowArena[:0]
 	r.bufPool.Put(b)
 }
 

@@ -42,7 +42,7 @@ func (r *Relation) PrepareQuery(bound, out []string) (*PreparedQuery, error) {
 	if err != nil {
 		return nil, err
 	}
-	countPlan, err := r.planner.PlanCount(bound)
+	countPlan, err := r.countPlanFor(bound)
 	if err != nil {
 		countPlan = plan // fall back to the full plan
 	}

@@ -28,13 +28,14 @@ type Relation struct {
 	// Schema-compiled execution tables, fixed at Synthesize time: the
 	// dense column schema, the full-binding mask, per-edge schema indices
 	// of the edge's key columns (edge order), per-edge container slot in
-	// the source node's Out list, and per-node schema indices of the
-	// node's bound columns A.
-	schema   *rel.Schema
-	fullMask uint64
-	edgeCols [][]int
-	edgeSlot []int
-	nodeKey  [][]int
+	// the source node's Out list, and per-node schema indices (and
+	// bitmask) of the node's bound columns A.
+	schema      *rel.Schema
+	fullMask    uint64
+	edgeCols    [][]int
+	edgeSlot    []int
+	nodeKey     [][]int
+	nodeKeyMask []uint64
 
 	// bufPool recycles operation buffers (transaction, query states, key
 	// arena) across operations; see opBuf.
@@ -44,6 +45,7 @@ type Relation struct {
 	// library equivalent compiles per operation signature on first use.
 	mu          sync.RWMutex
 	queryPlans  map[string]*query.Plan
+	countPlans  map[string]*query.Plan
 	insertPlans map[string]*insertPlan
 	removePlans map[string]*removePlan
 }
@@ -89,6 +91,7 @@ func Synthesize(d *decomp.Decomposition, p *locks.Placement) (*Relation, error) 
 		schema:      schema,
 		fullMask:    schema.FullMask(),
 		queryPlans:  map[string]*query.Plan{},
+		countPlans:  map[string]*query.Plan{},
 		insertPlans: map[string]*insertPlan{},
 		removePlans: map[string]*removePlan{},
 	}
@@ -103,8 +106,10 @@ func Synthesize(d *decomp.Decomposition, p *locks.Placement) (*Relation, error) 
 		}
 	}
 	r.nodeKey = make([][]int, len(d.Nodes))
+	r.nodeKeyMask = make([]uint64, len(d.Nodes))
 	for _, n := range d.Nodes {
 		r.nodeKey[n.Index] = schema.Indices(n.A)
+		r.nodeKeyMask[n.Index] = schema.Mask(n.A)
 	}
 	r.root = r.newInstance(d.Root, rel.RowOver(make([]rel.Value, schema.Len()), 0))
 	return r, nil
@@ -143,6 +148,30 @@ func (r *Relation) queryPlanFor(bound, out []string) (*query.Plan, error) {
 	}
 	r.mu.Lock()
 	r.queryPlans[k] = p
+	r.mu.Unlock()
+	return p, nil
+}
+
+// countPlanFor returns (compiling and caching on first use) the
+// count-pushdown plan for a cardinality query binding the given columns,
+// falling back to the full query plan when no counting frontier exists.
+func (r *Relation) countPlanFor(bound []string) (*query.Plan, error) {
+	k := planKey(bound, nil)
+	r.mu.RLock()
+	p, ok := r.countPlans[k]
+	r.mu.RUnlock()
+	if ok {
+		return p, nil
+	}
+	p, err := r.planner.PlanCount(bound)
+	if err != nil {
+		p, err = r.planner.PlanQuery(bound, r.spec.Columns)
+		if err != nil {
+			return nil, err
+		}
+	}
+	r.mu.Lock()
+	r.countPlans[k] = p
 	r.mu.Unlock()
 	return p, nil
 }
@@ -296,6 +325,47 @@ func (r *Relation) ExplainRemove(sCols []string) (string, error) {
 		return "", err
 	}
 	return p.mut.String(), nil
+}
+
+// DescribeQuery renders the compiled (schema-resolved) form of a query
+// plan: the integer offsets the executor runs on. Pair with ExplainQuery
+// (the paper's let-notation) to see both views of the same plan.
+func (r *Relation) DescribeQuery(bound, out []string) (string, error) {
+	plan, err := r.queryPlanFor(bound, out)
+	if err != nil {
+		return "", err
+	}
+	return plan.Describe(), nil
+}
+
+// DescribeCount renders the compiled count-pushdown plan for a
+// cardinality query binding the given columns.
+func (r *Relation) DescribeCount(bound []string) (string, error) {
+	plan, err := r.countPlanFor(bound)
+	if err != nil {
+		return "", err
+	}
+	return plan.Describe(), nil
+}
+
+// DescribeInsert renders the compiled growing-phase directives of an
+// insert keyed by sCols.
+func (r *Relation) DescribeInsert(sCols []string) (string, error) {
+	p, err := r.insertPlanFor(sCols)
+	if err != nil {
+		return "", err
+	}
+	return p.mut.Describe() + "existence check:\n" + p.exist.Describe(), nil
+}
+
+// DescribeRemove renders the compiled growing-phase directives of a
+// remove keyed by sCols.
+func (r *Relation) DescribeRemove(sCols []string) (string, error) {
+	p, err := r.removePlanFor(sCols)
+	if err != nil {
+		return "", err
+	}
+	return p.mut.Describe(), nil
 }
 
 func (r *Relation) checkCols(cols []string) error {

@@ -2,13 +2,27 @@ package query
 
 import "sort"
 
-// This file implements the planner's schema-resolution pass: after a plan
-// or mutation plan is assembled in terms of column names, every name is
-// resolved against the decomposition's rel.Schema into dense integer
-// offsets (ColIdx, FilterPos/FilterIdx, TargetIdx, Selector.Idx/Mask,
-// BoundIdx/BoundMask, OutIdx). The executor in internal/core then runs
-// entirely on those offsets — the library analog of the paper's generated
-// code, which never re-resolves a field name at run time.
+// This file implements the planner's schema-resolution pass — the second
+// half of plan compilation. Plans are assembled (planner.go, mutation.go,
+// count.go) in terms of column NAMES, the vocabulary of the specification
+// and the decomposition; this pass then resolves every name against the
+// decomposition's rel.Schema into dense integer offsets:
+//
+//   - ColIdx: for each position of an edge's key columns, the schema slot
+//     a lookup gathers from or a scan scatters into;
+//   - FilterPos/FilterIdx: which scan-entry positions are checked, and
+//     against which row slots;
+//   - TargetIdx: the slots holding a speculative edge's target-instance
+//     key (§4.5), which also orders target acquisitions;
+//   - Selector.Idx/Mask: the slots hashed for §4.4 stripe selection and
+//     the bitmask that decides bound-vs-all-stripes per operation row;
+//   - BoundMask/OutIdx: the operation's input validation mask and the
+//     output projection.
+//
+// The executor in internal/core then runs entirely on those offsets —
+// the library analog of the paper's generated code, which never
+// re-resolves a field name at run time. Resolution is idempotent, so
+// passes that extend a plan (count pushdown) simply re-invoke it.
 
 // compilePlan fills the schema-resolved fields of p and its steps. It is
 // idempotent; assembleCount re-invokes it after appending count steps.

@@ -17,6 +17,16 @@ const MaxSchemaColumns = 64
 // execution pipeline (Row): the planner resolves column names against the
 // schema once per compiled plan, and the executor then runs on integer
 // offsets with no string comparisons.
+//
+// Slot-ordering invariant: indices follow the SORTED order of the column
+// names (index 0 is the lexicographically smallest column). Everything
+// compiled against a schema relies on this: Tuple↔Row conversion is a
+// single linear merge (both sides sorted), instance keys gathered through
+// per-node index lists are in sorted column order (the order lock IDs and
+// container keys assume), and a row's bound-column set round-trips
+// through TupleOfRow without re-sorting. Indices are dense and stable for
+// the life of the Schema; two Schemas over the same column set assign
+// identical indices.
 type Schema struct {
 	cols []string // sorted ascending, unique
 }
@@ -157,6 +167,17 @@ func (s *Schema) TupleOfRow(r Row) Tuple {
 // representation of query states and operation inputs — every column
 // access is an integer index, every "does this bind c?" test a bit test.
 // The zero Row is invalid; obtain rows from a Schema or RowOver.
+//
+// Bound-mask semantics: bit i of the mask means "slot i holds the value
+// of schema column i". Slots whose bit is clear are STALE, not zero —
+// recycled rows keep old values, and ClearMask/SetMask deliberately avoid
+// touching storage. Consequently: At(i) is only meaningful when bit i is
+// set (use Get for a checked read); Set(i, v) stores and sets the bit;
+// SetMask may only NARROW a mask to a subset of truly-bound columns (the
+// mutation pipeline narrows a fully bound operation row to its key
+// columns this way) — widening it would expose stale slots as if bound.
+// Aggregations over subsets (HashAt, KeyAt, AppendKeyAt) trust the caller
+// that every index is bound.
 type Row struct {
 	vals []Value
 	mask uint64

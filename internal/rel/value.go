@@ -63,6 +63,14 @@ func asInt(v Value) (int64, bool) {
 // the natural order within the type. It is the single ordering used by the
 // sorted containers and by the lock order of §5.1.
 func Compare(a, b Value) int {
+	// Fast path: int64 is the dominant key type in every workload here,
+	// and lock-order sorts compare keys heavily; one type assertion pair
+	// beats the rank dispatch below.
+	if x, ok := a.(int64); ok {
+		if y, ok := b.(int64); ok {
+			return cmpInt(x, y)
+		}
+	}
 	ra, rb := typeRank(a), typeRank(b)
 	if ra != rb {
 		return cmpInt(int64(ra), int64(rb))

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/locks"
+)
+
+// buildBatchRel synthesizes a striped stick for the batched-workload
+// tests.
+func buildBatchRel(t *testing.T) *core.Relation {
+	t.Helper()
+	d, err := decomp.NewBuilder(GraphSpec(), "ρ").
+		Edge("ρu", "ρ", "u", []string{"src"}, container.ConcurrentHashMap).
+		Edge("uv", "u", "v", []string{"dst"}, container.TreeMap).
+		Edge("vw", "v", "w", []string{"weight"}, container.Cell).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := locks.NewPlacement(d)
+	p.SetStripes(d.Root, 64)
+	p.Place(d.EdgeByName("ρu"), d.Root, "src")
+	r, err := core.Synthesize(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestBatchedMatchesSequentialAdapters checks, single-threaded, that the
+// batched adapter and the sequential baseline produce identical composite
+// results and identical final graphs from the same operation stream.
+func TestBatchedMatchesSequentialAdapters(t *testing.T) {
+	rb := buildBatchRel(t)
+	rs := buildBatchRel(t)
+	gb := MustRelationBatchGraph(rb)
+	gs, err := NewSequentialRelationBatchGraph(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := uint64(42)
+	for i := 0; i < 400; i++ {
+		r := splitmix64(&state)
+		a, b, c := int64(r%16), int64((r>>16)%16), int64((r>>32)%16)
+		switch r % 4 {
+		case 0:
+			b1, b2 := gb.InsertEdgePair(a, b, int64(i), a, c, int64(i+1))
+			s1, s2 := gs.InsertEdgePair(a, b, int64(i), a, c, int64(i+1))
+			if b1 != s1 || b2 != s2 {
+				t.Fatalf("op %d: InsertEdgePair batched (%v,%v) sequential (%v,%v)", i, b1, b2, s1, s2)
+			}
+		case 1:
+			b1, b2 := gb.MoveEdge(a, b, c, int64(i))
+			s1, s2 := gs.MoveEdge(a, b, c, int64(i))
+			if b1 != s1 || b2 != s2 {
+				t.Fatalf("op %d: MoveEdge batched (%v,%v) sequential (%v,%v)", i, b1, b2, s1, s2)
+			}
+		case 2:
+			if bn, sn := gb.CountSuccessorPair(a, b), gs.CountSuccessorPair(a, b); bn != sn {
+				t.Fatalf("op %d: CountSuccessorPair batched %d sequential %d", i, bn, sn)
+			}
+		default:
+			if bn, sn := gb.TwoHopCount(a), gs.TwoHopCount(a); bn != sn {
+				t.Fatalf("op %d: TwoHopCount batched %d sequential %d", i, bn, sn)
+			}
+		}
+	}
+	sb, err := rb.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := rs.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sb) != len(ss) {
+		t.Fatalf("final graphs diverge: batched %d tuples, sequential %d", len(sb), len(ss))
+	}
+}
+
+// TestRunBatched smoke-tests the batched harness under concurrency: it
+// must terminate (deadlock freedom), count every operation, and leave a
+// coherent graph.
+func TestRunBatched(t *testing.T) {
+	r := buildBatchRel(t)
+	g := MustRelationBatchGraph(r)
+	cfg := Config{Threads: 4, OpsPerThread: 300, KeySpace: 16, Seed: 7}
+	res := RunBatched(g, cfg, DefaultBatchMix())
+	if res.Ops != 4*300 {
+		t.Fatalf("ops = %d, want %d", res.Ops, 4*300)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput = %f", res.Throughput)
+	}
+	if _, err := r.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchMixValidation pins the percentage check.
+func TestBatchMixValidation(t *testing.T) {
+	g := MustRelationBatchGraph(buildBatchRel(t))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid batch mix did not panic")
+		}
+	}()
+	RunBatched(g, Config{Threads: 1, OpsPerThread: 1, KeySpace: 1}, BatchMix{InsertPairs: 50})
+}
