@@ -1,0 +1,172 @@
+// Command benchguard is the CI bench-regression gate: it compares a fresh
+// crsbench -format json run against a committed BENCH_*.json baseline and
+// fails the build when coalesced lock-acquisition counts regress.
+//
+// Lock-acquisition counts — not throughput — are the guarded signal: CI
+// runners and the dev container are low-core and noisy, but the number of
+// physical locks a deterministic single-threaded workload acquires is a
+// pure function of the scheduler, so an increase means the coalescing or
+// the registry-wide lock order got worse, never that the machine was
+// busy.
+//
+// Usage:
+//
+//	benchguard -baseline BENCH_3.json -current current.json [-tolerance 0]
+//
+// Rules enforced, per (mix, variant, mode, threads) record carrying lock
+// counts:
+//
+//   - the current run's locks_acquired must not exceed the baseline's by
+//     more than -tolerance (a fraction; 0 demands no regression at all);
+//   - likewise locks_requested: pre-coalescing request growth means the
+//     schedulers started doing more lock-step work per member, even if
+//     dedup still hides it;
+//   - every baseline record with lock counts must still exist;
+//   - where both modes were measured, the batched mode must acquire
+//     strictly fewer locks than the sequential mode (the coalescing
+//     property itself).
+//
+// Improvements (fewer acquisitions than the baseline) are reported so the
+// baseline can be refreshed, but do not fail the build.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// benchDoc mirrors crsbench's -format json document (the subset the guard
+// reads).
+type benchDoc struct {
+	Config  benchConfig   `json:"config"`
+	Results []benchRecord `json:"results"`
+}
+
+// benchConfig is the workload configuration stamped into each document;
+// lock counts are only comparable between runs with identical workloads.
+type benchConfig struct {
+	OpsPerThread int    `json:"ops_per_thread"`
+	KeySpace     int64  `json:"keyspace"`
+	Seed         uint64 `json:"seed"`
+}
+
+// benchRecord is one measurement row.
+type benchRecord struct {
+	Mix            string `json:"mix"`
+	Variant        string `json:"variant"`
+	Mode           string `json:"mode"`
+	Threads        int    `json:"threads"`
+	LocksRequested int64  `json:"locks_requested"`
+	LocksAcquired  int64  `json:"locks_acquired"`
+}
+
+// key identifies a comparable record across runs.
+type key struct {
+	Mix, Variant, Mode string
+	Threads            int
+}
+
+func load(path string) (*benchDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// counted indexes a document's lock-carrying records by key.
+func counted(doc *benchDoc) map[key]benchRecord {
+	m := map[key]benchRecord{}
+	for _, r := range doc.Results {
+		if r.LocksAcquired > 0 {
+			m[key{r.Mix, r.Variant, r.Mode, r.Threads}] = r
+		}
+	}
+	return m
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed BENCH_*.json baseline")
+	currentPath := flag.String("current", "", "fresh crsbench -format json output")
+	tolerance := flag.Float64("tolerance", 0, "allowed fractional increase in locks_acquired (0 = none)")
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fatal(fmt.Errorf("-baseline and -current are both required"))
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fatal(err)
+	}
+	if base.Config != cur.Config {
+		fatal(fmt.Errorf("workload configs differ (baseline %+v, current %+v): lock counts are only comparable for identical workloads — rerun crsbench with the baseline's flags",
+			base.Config, cur.Config))
+	}
+	baseRecs, curRecs := counted(base), counted(cur)
+	if len(baseRecs) == 0 {
+		fatal(fmt.Errorf("%s carries no lock-count records; regenerate it with crsbench -registry -format json", *baselinePath))
+	}
+	failures := 0
+	for k, b := range baseRecs {
+		c, ok := curRecs[k]
+		if !ok {
+			fmt.Printf("FAIL %s/%s %s %dthr: record with lock counts missing from current run\n", k.Variant, k.Mode, k.Mix, k.Threads)
+			failures++
+			continue
+		}
+		limit := int64(float64(b.LocksAcquired) * (1 + *tolerance))
+		reqLimit := int64(float64(b.LocksRequested) * (1 + *tolerance))
+		switch {
+		case c.LocksAcquired > limit:
+			fmt.Printf("FAIL %s/%s %s %dthr: locks acquired %d > baseline %d (limit %d)\n",
+				k.Variant, k.Mode, k.Mix, k.Threads, c.LocksAcquired, b.LocksAcquired, limit)
+			failures++
+		case c.LocksRequested > reqLimit:
+			fmt.Printf("FAIL %s/%s %s %dthr: locks requested %d > baseline %d (limit %d)\n",
+				k.Variant, k.Mode, k.Mix, k.Threads, c.LocksRequested, b.LocksRequested, reqLimit)
+			failures++
+		case c.LocksAcquired < b.LocksAcquired:
+			fmt.Printf("ok   %s/%s %s %dthr: locks acquired %d improved on baseline %d — consider refreshing the baseline\n",
+				k.Variant, k.Mode, k.Mix, k.Threads, c.LocksAcquired, b.LocksAcquired)
+		default:
+			fmt.Printf("ok   %s/%s %s %dthr: locks acquired %d (baseline %d)\n",
+				k.Variant, k.Mode, k.Mix, k.Threads, c.LocksAcquired, b.LocksAcquired)
+		}
+	}
+	// The coalescing property: batched must beat sequential in the
+	// current run wherever both were measured.
+	for k, c := range curRecs {
+		if k.Mode != "batched" {
+			continue
+		}
+		sk := k
+		sk.Mode = "sequential"
+		s, ok := curRecs[sk]
+		if !ok {
+			continue
+		}
+		if c.LocksAcquired >= s.LocksAcquired {
+			fmt.Printf("FAIL %s %s %dthr: batched acquired %d locks, sequential %d — coalescing must win\n",
+				k.Variant, k.Mix, k.Threads, c.LocksAcquired, s.LocksAcquired)
+			failures++
+		}
+	}
+	if failures > 0 {
+		fatal(fmt.Errorf("%d lock-count regression(s) against %s", failures, *baselinePath))
+	}
+	fmt.Printf("benchguard: %d record(s) checked against %s, no regressions\n", len(baseRecs), *baselinePath)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

@@ -8,10 +8,14 @@
 //
 //	crsbench [-mixes all|70-0-20-10,...] [-threads 1,2,4] [-ops 500000]
 //	         [-keyspace 512] [-variants all|Stick 1,...] [-format table|csv|json]
+//	         [-batch] [-registry]
 //
 // The json format emits one machine-readable document (configuration plus
 // one record per mix/variant/thread-count with ops/s) so successive runs
 // can be archived — e.g. as BENCH_<date>.json — and compared across PRs.
+// -registry additionally records deterministic coalesced lock-acquisition
+// counts (single-threaded pass, fixed seed) that cmd/benchguard compares
+// against the committed baseline in CI.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	crs "repro"
 	"repro/internal/cli"
 	"repro/internal/handcoded"
+	"repro/internal/workload"
 )
 
 // jsonDoc is the -format json output document.
@@ -50,10 +55,18 @@ type jsonResult struct {
 	Seconds   float64 `json:"seconds"`
 	OpsPerSec float64 `json:"ops_per_sec"`
 	Checksum  uint64  `json:"checksum"`
-	// Mode distinguishes the -batch comparison rows: "batched" groups
-	// run as one coalesced transaction, "sequential" one transaction per
-	// member. Empty for the classic Figure 5 runs.
+	// Mode distinguishes the -batch and -registry comparison rows:
+	// "batched" groups run as one coalesced transaction, "sequential" one
+	// transaction per member. Empty for the classic Figure 5 runs.
 	Mode string `json:"mode,omitempty"`
+	// LocksRequested/LocksAcquired are the lock-schedule totals of the
+	// -registry deterministic counting pass (single thread, fixed seed):
+	// pre-coalescing requests vs distinct physical locks taken. They are
+	// the regression signal cmd/benchguard guards — acquisition counts
+	// are stable across machines, unlike throughput on low-core CI
+	// runners. Zero (omitted) for throughput-only rows.
+	LocksRequested int64 `json:"locks_requested,omitempty"`
+	LocksAcquired  int64 `json:"locks_acquired,omitempty"`
 }
 
 func main() {
@@ -65,6 +78,7 @@ func main() {
 	format := flag.String("format", "table", "output format: table, csv or json")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	batch := flag.Bool("batch", false, "run the batched-transaction benchmark (composite operation groups, batched vs sequential) instead of Figure 5")
+	registry := flag.Bool("registry", false, "run the cross-relation registry benchmark (users/posts/follows composite groups over Registry.Batch, batched vs sequential, with deterministic lock-acquisition counts) instead of Figure 5")
 	flag.Parse()
 
 	if *format != "table" && *format != "csv" && *format != "json" {
@@ -94,6 +108,16 @@ func main() {
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		GoVersion:    runtime.Version(),
 	}}
+	if *registry {
+		if *batch {
+			fatal(fmt.Errorf("-batch and -registry are mutually exclusive benchmarks; pick one"))
+		}
+		if *mixesFlag != "all" || *variantsFlag != "all" {
+			fatal(fmt.Errorf("-mixes/-variants do not apply to -registry: it runs the social mix %s over the users/posts/follows registry", workload.DefaultSocialMix()))
+		}
+		runRegistryBench(&doc, threads, *ops, *keyspace, *seed, *format)
+		return
+	}
 	if *batch {
 		if *mixesFlag != "all" {
 			fatal(fmt.Errorf("-mixes does not apply to -batch: the batched benchmark runs the composite mix %s", crs.DefaultBatchMix()))
@@ -227,6 +251,80 @@ func runBatchBench(doc *jsonDoc, variants []string, threads []int, ops int, keys
 					fmt.Printf(" %12.0f", v)
 				}
 				fmt.Println()
+			}
+		}
+	}
+	if format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runRegistryBench runs the cross-relation comparison over the social
+// registry (users/posts/follows): for each mode, one DETERMINISTIC
+// single-threaded counting pass (fixed seed, lock tracing on) that
+// records the coalesced lock-acquisition totals — the benchguard
+// regression signal — followed by throughput passes over the requested
+// thread counts. Each pass starts from a fresh registry so runs are
+// comparable.
+func runRegistryBench(doc *jsonDoc, threads []int, ops int, keyspace int64, seed uint64, format string) {
+	mix := workload.DefaultSocialMix()
+	// The lock counts ride on the 1-thread record; always measure it.
+	has1 := false
+	for _, k := range threads {
+		has1 = has1 || k == 1
+	}
+	if !has1 {
+		threads = append([]int{1}, threads...)
+	}
+	if format == "csv" {
+		fmt.Println("mix,mode,threads,ops,seconds,throughput_groups_per_sec,locks_requested,locks_acquired")
+	}
+	if format == "table" {
+		fmt.Printf("\nCross-relation registry transactions, social mix %s (GOMAXPROCS=%d)\n",
+			mix, runtime.GOMAXPROCS(0))
+	}
+	for _, mode := range []string{"batched", "sequential"} {
+		grouped := mode == "batched"
+		// Counting pass: threads=1 with tracing ON, so the lock totals are
+		// reproducible. Its timing is discarded — tracing allocates per
+		// batch, which would depress the 1-thread row relative to the
+		// untraced throughput passes below.
+		s := workload.MustSocial()
+		s.Grouped = grouped
+		s.Counts = &workload.LockCounts{}
+		workload.RunSocial(s, crs.BenchConfig{Threads: 1, OpsPerThread: ops, KeySpace: keyspace, Seed: seed}, mix)
+		req, acq := s.Counts.Requested.Load(), s.Counts.Acquired.Load()
+		// Throughput passes (no tracing): every requested thread count,
+		// each on a fresh registry. The 1-thread row carries the counting
+		// pass's lock totals alongside its untraced timing.
+		for _, k := range threads {
+			s := workload.MustSocial()
+			s.Grouped = grouped
+			cfg := crs.BenchConfig{Threads: k, OpsPerThread: ops, KeySpace: keyspace, Seed: seed}
+			res := workload.RunSocial(s, cfg, mix)
+			kreq, kacq := int64(0), int64(0)
+			if k == 1 {
+				kreq, kacq = req, acq
+			}
+			switch format {
+			case "table":
+				fmt.Printf("%-12s %d thr: %8.0f groups/s", mode, k, res.Throughput)
+				if k == 1 {
+					fmt.Printf(", locks requested %d -> acquired %d", kreq, kacq)
+				}
+				fmt.Println()
+			case "csv":
+				fmt.Printf("%s,%s,%d,%d,%.3f,%.0f,%d,%d\n", mix, mode, k, res.Ops, res.Duration.Seconds(), res.Throughput, kreq, kacq)
+			case "json":
+				doc.Results = append(doc.Results, jsonResult{
+					Mix: mix.String(), Variant: "social", Mode: mode, Threads: k,
+					Ops: res.Ops, Seconds: res.Duration.Seconds(), OpsPerSec: res.Throughput,
+					Checksum: res.Checksum, LocksRequested: kreq, LocksAcquired: kacq,
+				})
 			}
 		}
 	}

@@ -9,10 +9,14 @@
 // insert pair, a move, and grouped counts) with lock-schedule tracing
 // and prints the coalesced lock set of every scheduler round, so the
 // ARCHITECTURE.md worked example can be reproduced from the CLI.
+// With -registry it builds a two-relation registry (users + posts),
+// executes a cross-relation Registry.Batch with tracing, and prints the
+// coalesced lock schedule in the registry-wide (relation id, node, inst,
+// stripe) order, contrasted with the same members issued individually.
 //
 // Usage:
 //
-//	crsexplain [-variant "Split 4"|dcache] [-dot] [-plans] [-compiled] [-batch]
+//	crsexplain [-variant "Split 4"|dcache] [-dot] [-plans] [-compiled] [-batch] [-registry]
 package main
 
 import (
@@ -30,7 +34,15 @@ func main() {
 	plans := flag.Bool("plans", true, "print the plans for the benchmark operations")
 	compiled := flag.Bool("compiled", false, "print the schema-resolved (integer-offset) form of each plan")
 	batch := flag.Bool("batch", false, "run a sample batched transaction and print its coalesced lock schedule")
+	registry := flag.Bool("registry", false, "build a two-relation registry and print a cross-relation batch's coalesced lock schedule")
 	flag.Parse()
+
+	if *registry {
+		if err := printRegistry(); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	r, err := buildRelation(*variant)
 	if err != nil {
@@ -185,6 +197,104 @@ func printBatch(r *crs.Relation, variant string) error {
 	}
 	fmt.Printf("same operations issued individually: %d requested -> %d acquired\n", requested, acquired)
 	fmt.Printf("coalescing: %d acquisitions for the 6-op batch vs %d individually\n\n", tr.Acquired, acquired)
+	return nil
+}
+
+// printRegistry builds the two-relation users/posts registry, runs the
+// canonical cross-relation group — insert a post and bump the author's
+// post counter, then read the author's post count — as ONE Registry.Batch
+// with tracing, and prints the coalesced schedule: every acquisition in
+// the registry-wide (relation id, node, inst, stripe) order, each
+// physical lock at most once, users rounds strictly before posts rounds
+// regardless of enqueue order.
+func printRegistry() error {
+	db := crs.NewRegistry()
+	uspec := crs.MustSpec([]string{"user", "posts"},
+		crs.FD{From: []string{"user"}, To: []string{"posts"}})
+	ud, err := crs.NewBuilder(uspec, "ρ").
+		Edge("ρu", "ρ", "u", []string{"user"}, crs.ConcurrentHashMap).
+		Edge("uc", "u", "c", []string{"posts"}, crs.Cell).
+		Build()
+	if err != nil {
+		return err
+	}
+	users, err := db.Synthesize("users", ud, crs.FineGrainedPlacement(ud))
+	if err != nil {
+		return err
+	}
+	pspec := crs.MustSpec([]string{"author", "post", "ts"},
+		crs.FD{From: []string{"author", "post"}, To: []string{"ts"}})
+	pd, err := crs.NewBuilder(pspec, "ρ").
+		Edge("ρa", "ρ", "a", []string{"author"}, crs.ConcurrentHashMap).
+		Edge("ap", "a", "p", []string{"post"}, crs.TreeMap).
+		Edge("pt", "p", "t", []string{"ts"}, crs.Cell).
+		Build()
+	if err != nil {
+		return err
+	}
+	posts, err := db.Synthesize("posts", pd, crs.FineGrainedPlacement(pd))
+	if err != nil {
+		return err
+	}
+	fmt.Println("=== registry: users + posts ===")
+	for _, r := range db.Relations() {
+		fmt.Printf("\nrelation %d: %s\n%s", r.RegistryID(), r.Name(), r.Decomposition())
+	}
+	fmt.Println("\nglobal lock order: (relation id, node, instance key, stripe) —")
+	fmt.Println("every users lock precedes every posts lock; within a relation the")
+	fmt.Println("§5.1 per-decomposition order applies unchanged.")
+
+	if _, err := users.Insert(crs.T("user", 1), crs.T("posts", 1)); err != nil {
+		return err
+	}
+	if _, err := posts.Insert(crs.T("author", 1, "post", 100), crs.T("ts", 5)); err != nil {
+		return err
+	}
+	ops := []func(tx *crs.Txn) error{
+		func(tx *crs.Txn) error {
+			_, err := tx.InsertInto(posts, crs.T("author", 1, "post", 101), crs.T("ts", 6))
+			return err
+		},
+		func(tx *crs.Txn) error { _, err := tx.RemoveFrom(users, crs.T("user", 1)); return err },
+		func(tx *crs.Txn) error {
+			_, err := tx.InsertInto(users, crs.T("user", 1), crs.T("posts", 2))
+			return err
+		},
+		func(tx *crs.Txn) error { _, err := tx.CountIn(posts, crs.T("author", 1)); return err },
+	}
+	fmt.Println("\n--- cross-relation batch: insert post + bump author counter + count ---")
+	fmt.Println("(enqueue order interleaves posts and users; acquisition order does not)")
+	var tr *crs.BatchTrace
+	err = db.Batch(func(tx *crs.Txn) error {
+		tx.EnableTrace()
+		tr = tx.Trace()
+		for _, op := range ops {
+			if err := op(tx); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(tr)
+	requested, acquired := 0, 0
+	for _, op := range ops {
+		var str *crs.BatchTrace
+		err := db.Batch(func(tx *crs.Txn) error {
+			tx.EnableTrace()
+			str = tx.Trace()
+			return op(tx)
+		})
+		if err != nil {
+			return err
+		}
+		requested += str.Requested
+		acquired += str.Acquired
+	}
+	fmt.Printf("same members issued individually: %d requested -> %d acquired\n", requested, acquired)
+	fmt.Printf("coalescing: %d acquisitions for the cross-relation batch vs %d individually\n\n", tr.Acquired, acquired)
 	return nil
 }
 

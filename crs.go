@@ -207,9 +207,12 @@ type (
 // Batched transactions.
 type (
 	// Txn is a batched multi-operation transaction under construction;
-	// see Relation.Batch. Enqueue operations with Txn.Insert / Remove /
-	// Count / Query (tuples) or Txn.ExecRow / CountRow / ExecRows
-	// (prepared rows); each returns a Pending resolved at commit.
+	// see Relation.Batch and Registry.Batch. Enqueue operations with
+	// Txn.Insert / Remove / Count / Query (tuples, single-relation
+	// batches), Txn.InsertInto / RemoveFrom / CountIn / QueryIn (tuples,
+	// naming the relation) or Txn.ExecRow / CountRow / ExecRows (prepared
+	// rows, routed by the prepared handle's relation); each returns a
+	// Pending resolved at commit.
 	Txn = core.Txn
 	// BatchMutation is the common interface of PreparedInsert and
 	// PreparedRemove accepted by Txn.ExecRow.
@@ -223,8 +226,31 @@ type (
 // Pending is a batch result future: resolved when Relation.Batch returns.
 type Pending[T any] = core.Pending[T]
 
+// Registry is a set of relations sharing one transactional domain — the
+// library's database handle. Relations register at Synthesize time and
+// receive a stable relation id that leads every lock ID they mint, so the
+// §5.1 total lock order extends registry-wide to (relation id, node,
+// instance key, stripe) and Registry.Batch can run one atomic,
+// deadlock-free transaction over members against any registered
+// relations:
+//
+//	db := crs.NewRegistry()
+//	users, _ := db.Synthesize("users", ud, crs.FineGrainedPlacement(ud))
+//	posts, _ := db.Synthesize("posts", pd, crs.FineGrainedPlacement(pd))
+//	db.Batch(func(tx *crs.Txn) error {
+//	    tx.InsertInto(posts, crs.T("author", 1, "post", 9), crs.T("ts", 4))
+//	    tx.RemoveFrom(users, crs.T("user", 1))        // bump the counter:
+//	    tx.InsertInto(users, crs.T("user", 1), crs.T("posts", 2))
+//	    return nil
+//	})
+type Registry = core.Registry
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return core.NewRegistry() }
+
 // Synthesize compiles a decomposition and lock placement into a concurrent
-// relation — the paper's compiler entry point.
+// relation — the paper's compiler entry point. Use Registry.Synthesize
+// instead when transactions must span several relations.
 func Synthesize(d *Decomposition, p *Placement) (*Relation, error) { return core.Synthesize(d, p) }
 
 // NewReference returns the coarsely locked reference implementation of the

@@ -76,12 +76,84 @@ func (p *Pending[T]) Value() T {
 // when the whole group runs as one two-phase-locking transaction with a
 // coalesced lock schedule. A Txn is valid only inside its callback and is
 // not safe for concurrent use.
+//
+// A Txn built by Relation.Batch accepts members against that relation
+// only; one built by Registry.Batch accepts members against any relation
+// registered in the registry, grouped into per-relation shards that share
+// a single locks.Txn — the growing phase walks shards in relation-id
+// order, so all acquisitions follow the registry-wide
+// (relation, node, inst, stripe) lock order.
 type Txn struct {
+	reg    *Registry   // owning registry for cross-relation batches, nil for Relation.Batch
+	ltxn   *locks.Txn  // the lock transaction every shard's buffer shares
+	single txnShard    // inline shard for the Relation.Batch fast path (shards stays empty)
+	shards []*txnShard // registry mode only: per-relation shards, first-touch order
+	order  []memberRef // registry mode only: global enqueue order across shards
+	sealed bool
+	trace  *BatchTrace
+}
+
+// txnShard is one relation's slice of a batched transaction: its pooled
+// operation buffer (whose locks.Txn is displaced by the transaction-wide
+// one in registry mode) and the index of the shard's first mutation, the
+// pivot of the apply phase's growing-result reuse rule. Mutations in
+// OTHER relations never invalidate reuse — relations are disjoint object
+// graphs, so a write in one cannot change what a member of another
+// observes.
+type txnShard struct {
 	r        *Relation
 	b        *opBuf
-	sealed   bool
-	firstMut int // member index of the first mutation, -1 if none
-	trace    *BatchTrace
+	own      *locks.Txn // the buffer's own txn, restored before putBuf (registry mode)
+	firstMut int        // index into b.members of the first mutation, -1 if none
+}
+
+// memberRef addresses one member across shards, preserving the global
+// enqueue order the apply phase replays for sequential semantics.
+type memberRef struct {
+	sh  *txnShard
+	idx int
+}
+
+// shardFor resolves (creating on first use, in registry mode) the shard
+// holding members against relation r. A sealed transaction resolves
+// nothing — in registry mode a late resolution would check out a buffer
+// nobody releases.
+func (t *Txn) shardFor(r *Relation) (*txnShard, error) {
+	if err := t.checkOpen(); err != nil {
+		return nil, err
+	}
+	if t.reg == nil {
+		if r != t.single.r {
+			return nil, fmt.Errorf("core: operation targets a relation outside this transaction (use Registry.Batch for cross-relation groups)")
+		}
+		return &t.single, nil
+	}
+	if r.registry != t.reg {
+		return nil, fmt.Errorf("core: relation %q is not registered in this transaction's registry", r.name)
+	}
+	for _, sh := range t.shards {
+		if sh.r == r {
+			return sh, nil
+		}
+	}
+	b := r.getBuf()
+	sh := &txnShard{r: r, b: b, own: b.txn, firstMut: -1}
+	b.txn = t.ltxn
+	t.shards = append(t.shards, sh)
+	return sh, nil
+}
+
+// defaultShard returns the Relation.Batch shard; registry transactions
+// have no default and must name the relation (InsertInto etc. or the
+// prepared-handle API).
+func (t *Txn) defaultShard() (*txnShard, error) {
+	if err := t.checkOpen(); err != nil {
+		return nil, err
+	}
+	if t.reg != nil {
+		return nil, fmt.Errorf("core: registry transaction needs an explicit relation (use InsertInto/RemoveFrom/CountIn/QueryIn or prepared handles)")
+	}
+	return &t.single, nil
 }
 
 // memberKind discriminates the operation kinds a batch can hold.
@@ -239,7 +311,8 @@ func (r *Relation) Batch(fn func(tx *Txn) error) error {
 	// *Txn past Batch must hit the sealed guard (an error), and a pooled
 	// handle would be silently un-sealed when a later batch reuses the
 	// buffer — turning the leak into cross-transaction corruption.
-	t := &Txn{r: r, b: b, firstMut: -1}
+	t := &Txn{ltxn: b.txn}
+	t.single = txnShard{r: r, b: b, firstMut: -1}
 	if err := fn(t); err != nil {
 		t.sealed = true
 		return err
@@ -248,7 +321,7 @@ func (r *Relation) Batch(fn func(tx *Txn) error) error {
 	if len(b.members) == 0 {
 		return nil
 	}
-	r.commitBatch(t, b)
+	r.commitBatch(t, &t.single)
 	return nil
 }
 
@@ -283,17 +356,21 @@ func (b *opBuf) copyRow(row rel.Row) rel.Row {
 	return rel.RowOver(vals, row.Mask())
 }
 
-// addMember appends a member to the batch, tracking the first mutation.
-func (t *Txn) addMember(m member) *member {
+// addMember appends a member to shard sh, tracking the shard's first
+// mutation and (for registry transactions) the global enqueue order.
+func (t *Txn) addMember(sh *txnShard, m member) *member {
 	if m.kind == mInsert || m.kind == mRemove {
-		if t.firstMut < 0 {
-			t.firstMut = len(t.b.members)
+		if sh.firstMut < 0 {
+			sh.firstMut = len(sh.b.members)
 		}
 	}
-	t.b.members = append(t.b.members, m)
-	nm := &t.b.members[len(t.b.members)-1]
+	sh.b.members = append(sh.b.members, m)
+	nm := &sh.b.members[len(sh.b.members)-1]
 	if nm.states == nil {
 		nm.states = []*qstate{}
+	}
+	if t.reg != nil {
+		t.order = append(t.order, memberRef{sh: sh, idx: len(sh.b.members) - 1})
 	}
 	return nm
 }
@@ -306,27 +383,29 @@ type BatchMutation interface {
 
 // batchEnqueue enqueues a prepared insert for the fully bound row x.
 func (p *PreparedInsert) batchEnqueue(t *Txn, x rel.Row) (*Pending[bool], error) {
-	if p.r != t.r {
-		return nil, fmt.Errorf("core: prepared insert belongs to a different relation")
+	sh, err := t.shardFor(p.r)
+	if err != nil {
+		return nil, err
 	}
 	if err := p.r.checkRow(x, p.r.fullMask); err != nil {
 		return nil, err
 	}
 	pb := &Pending[bool]{}
-	t.addMember(member{kind: mInsert, ins: p.plan, mut: p.plan.mut, row: t.b.copyRow(x), pb: pb})
+	t.addMember(sh, member{kind: mInsert, ins: p.plan, mut: p.plan.mut, row: sh.b.copyRow(x), pb: pb})
 	return pb, nil
 }
 
 // batchEnqueue enqueues a prepared remove for a row binding the key.
 func (p *PreparedRemove) batchEnqueue(t *Txn, s rel.Row) (*Pending[bool], error) {
-	if p.r != t.r {
-		return nil, fmt.Errorf("core: prepared remove belongs to a different relation")
+	sh, err := t.shardFor(p.r)
+	if err != nil {
+		return nil, err
 	}
 	if err := p.r.checkRow(s, p.plan.mut.BoundMask); err != nil {
 		return nil, err
 	}
 	pb := &Pending[bool]{}
-	t.addMember(member{kind: mRemove, rem: p.plan, mut: p.plan.mut, row: t.b.copyRow(s), pb: pb})
+	t.addMember(sh, member{kind: mRemove, rem: p.plan, mut: p.plan.mut, row: sh.b.copyRow(s), pb: pb})
 	return pb, nil
 }
 
@@ -334,28 +413,23 @@ func (p *PreparedRemove) batchEnqueue(t *Txn, s rel.Row) (*Pending[bool], error)
 // schema-indexed row — the zero-name-resolution batch mutation path. The
 // result resolves when Batch returns.
 func (t *Txn) ExecRow(op BatchMutation, row rel.Row) (*Pending[bool], error) {
-	if err := t.checkOpen(); err != nil {
-		return nil, err
-	}
-	return op.batchEnqueue(t, row)
+	return op.batchEnqueue(t, row) // sealed/foreign-relation checks in shardFor
 }
 
 // CountRow enqueues a prepared count over a schema-indexed row, using the
 // prepared query's count-pushdown plan. The result resolves when Batch
 // returns.
 func (t *Txn) CountRow(q *PreparedQuery, s rel.Row) (*Pending[int], error) {
-	if err := t.checkOpen(); err != nil {
+	sh, err := t.shardFor(q.r)
+	if err != nil {
 		return nil, err
-	}
-	if q.r != t.r {
-		return nil, fmt.Errorf("core: prepared query belongs to a different relation")
 	}
 	if err := q.r.checkRow(s, q.plan.BoundMask); err != nil {
 		return nil, err
 	}
 	pi := &Pending[int]{}
-	t.addMember(member{kind: mCount, steps: q.countPlan.Steps, boundMask: q.countPlan.BoundMask,
-		row: t.b.copyRow(s), pi: pi})
+	t.addMember(sh, member{kind: mCount, steps: q.countPlan.Steps, boundMask: q.countPlan.BoundMask,
+		row: sh.b.copyRow(s), pi: pi})
 	return pi, nil
 }
 
@@ -364,25 +438,44 @@ func (t *Txn) CountRow(q *PreparedQuery, s rel.Row) (*Pending[int], error) {
 // until it returns false. Yielded rows are only valid during the
 // callback (their storage is pooled).
 func (t *Txn) ExecRows(q *PreparedQuery, s rel.Row, yield func(rel.Row) bool) error {
-	if err := t.checkOpen(); err != nil {
+	sh, err := t.shardFor(q.r)
+	if err != nil {
 		return err
-	}
-	if q.r != t.r {
-		return fmt.Errorf("core: prepared query belongs to a different relation")
 	}
 	if err := q.r.checkRow(s, q.plan.BoundMask); err != nil {
 		return err
 	}
-	t.addMember(member{kind: mQuery, steps: q.plan.Steps, boundMask: q.plan.BoundMask,
-		outIdx: q.plan.OutIdx, outCols: q.plan.OutCols, row: t.b.copyRow(s), yield: yield})
+	t.addMember(sh, member{kind: mQuery, steps: q.plan.Steps, boundMask: q.plan.BoundMask,
+		outIdx: q.plan.OutIdx, outCols: q.plan.OutCols, row: sh.b.copyRow(s), yield: yield})
 	return nil
 }
 
-// Insert enqueues insert r s t (§2) by tuples, like Relation.Insert.
+// Insert enqueues insert r s t (§2) by tuples against the transaction's
+// relation, like Relation.Insert. Registry transactions must use
+// InsertInto.
 func (t *Txn) Insert(s, tup rel.Tuple) (*Pending[bool], error) {
-	if err := t.checkOpen(); err != nil {
+	sh, err := t.defaultShard()
+	if err != nil {
 		return nil, err
 	}
+	return t.insertInto(sh, s, tup)
+}
+
+// InsertInto enqueues insert r s t (§2) against the named relation, which
+// must belong to the transaction (the Batch relation, or any relation of
+// the Registry).
+func (t *Txn) InsertInto(r *Relation, s, tup rel.Tuple) (*Pending[bool], error) {
+	sh, err := t.shardFor(r)
+	if err != nil {
+		return nil, err
+	}
+	return t.insertInto(sh, s, tup)
+}
+
+// insertInto enqueues against a shard already vetted (and open-checked)
+// by shardFor/defaultShard, as do the three sibling helpers below.
+func (t *Txn) insertInto(sh *txnShard, s, tup rel.Tuple) (*Pending[bool], error) {
+	r := sh.r
 	x, err := s.Union(tup)
 	if err != nil {
 		return nil, err
@@ -390,56 +483,89 @@ func (t *Txn) Insert(s, tup rel.Tuple) (*Pending[bool], error) {
 	if len(rel.ColsIntersect(s.Dom(), tup.Dom())) > 0 {
 		return nil, fmt.Errorf("core: insert requires disjoint s and t, both bind %v", rel.ColsIntersect(s.Dom(), tup.Dom()))
 	}
-	if !rel.ColsEqual(x.Dom(), t.r.spec.Columns) {
-		return nil, fmt.Errorf("core: insert tuple binds %v, want all of %v", x.Dom(), t.r.spec.Columns)
+	if !rel.ColsEqual(x.Dom(), r.spec.Columns) {
+		return nil, fmt.Errorf("core: insert tuple binds %v, want all of %v", x.Dom(), r.spec.Columns)
 	}
-	plan, err := t.r.insertPlanFor(s.Dom())
+	plan, err := r.insertPlanFor(s.Dom())
 	if err != nil {
 		return nil, err
 	}
-	row, err := t.r.schema.RowFromTuple(x, nil)
+	row, err := r.schema.RowFromTuple(x, nil)
 	if err != nil {
 		return nil, err
 	}
 	pb := &Pending[bool]{}
-	t.addMember(member{kind: mInsert, ins: plan, mut: plan.mut, row: row, pb: pb})
+	t.addMember(sh, member{kind: mInsert, ins: plan, mut: plan.mut, row: row, pb: pb})
 	return pb, nil
 }
 
-// Remove enqueues remove r s (§2) by tuple, like Relation.Remove.
+// Remove enqueues remove r s (§2) by tuple against the transaction's
+// relation, like Relation.Remove. Registry transactions must use
+// RemoveFrom.
 func (t *Txn) Remove(s rel.Tuple) (*Pending[bool], error) {
-	if err := t.checkOpen(); err != nil {
-		return nil, err
-	}
-	if err := t.r.checkCols(s.Dom()); err != nil {
-		return nil, err
-	}
-	plan, err := t.r.removePlanFor(s.Dom())
+	sh, err := t.defaultShard()
 	if err != nil {
 		return nil, err
 	}
-	row, err := t.r.schema.RowFromTuple(s, nil)
+	return t.removeFrom(sh, s)
+}
+
+// RemoveFrom enqueues remove r s (§2) against the named relation.
+func (t *Txn) RemoveFrom(r *Relation, s rel.Tuple) (*Pending[bool], error) {
+	sh, err := t.shardFor(r)
+	if err != nil {
+		return nil, err
+	}
+	return t.removeFrom(sh, s)
+}
+
+func (t *Txn) removeFrom(sh *txnShard, s rel.Tuple) (*Pending[bool], error) {
+	r := sh.r
+	if err := r.checkCols(s.Dom()); err != nil {
+		return nil, err
+	}
+	plan, err := r.removePlanFor(s.Dom())
+	if err != nil {
+		return nil, err
+	}
+	row, err := r.schema.RowFromTuple(s, nil)
 	if err != nil {
 		return nil, err
 	}
 	pb := &Pending[bool]{}
-	t.addMember(member{kind: mRemove, rem: plan, mut: plan.mut, row: row, pb: pb})
+	t.addMember(sh, member{kind: mRemove, rem: plan, mut: plan.mut, row: row, pb: pb})
 	return pb, nil
 }
 
-// Count enqueues a cardinality query |query r s C| by tuple.
+// Count enqueues a cardinality query |query r s C| by tuple against the
+// transaction's relation. Registry transactions must use CountIn.
 func (t *Txn) Count(s rel.Tuple) (*Pending[int], error) {
-	if err := t.checkOpen(); err != nil {
-		return nil, err
-	}
-	if err := t.r.checkCols(s.Dom()); err != nil {
-		return nil, err
-	}
-	plan, err := t.r.countPlanFor(s.Dom())
+	sh, err := t.defaultShard()
 	if err != nil {
 		return nil, err
 	}
-	row, err := t.r.schema.RowFromTuple(s, nil)
+	return t.countIn(sh, s)
+}
+
+// CountIn enqueues a cardinality query against the named relation.
+func (t *Txn) CountIn(r *Relation, s rel.Tuple) (*Pending[int], error) {
+	sh, err := t.shardFor(r)
+	if err != nil {
+		return nil, err
+	}
+	return t.countIn(sh, s)
+}
+
+func (t *Txn) countIn(sh *txnShard, s rel.Tuple) (*Pending[int], error) {
+	r := sh.r
+	if err := r.checkCols(s.Dom()); err != nil {
+		return nil, err
+	}
+	plan, err := r.countPlanFor(s.Dom())
+	if err != nil {
+		return nil, err
+	}
+	row, err := r.schema.RowFromTuple(s, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -447,46 +573,87 @@ func (t *Txn) Count(s rel.Tuple) (*Pending[int], error) {
 		return nil, fmt.Errorf("core: tuple %v does not bind the plan's columns", s)
 	}
 	pi := &Pending[int]{}
-	t.addMember(member{kind: mCount, steps: plan.Steps, boundMask: plan.BoundMask, row: row, pi: pi})
+	t.addMember(sh, member{kind: mCount, steps: plan.Steps, boundMask: plan.BoundMask, row: row, pi: pi})
 	return pi, nil
 }
 
-// Query enqueues query r s C by tuple; the projected result tuples
-// resolve when Batch returns.
+// Query enqueues query r s C by tuple against the transaction's relation;
+// the projected result tuples resolve when Batch returns. Registry
+// transactions must use QueryIn.
 func (t *Txn) Query(s rel.Tuple, out ...string) (*Pending[[]rel.Tuple], error) {
-	if err := t.checkOpen(); err != nil {
-		return nil, err
-	}
-	if err := t.r.checkCols(s.Dom()); err != nil {
-		return nil, err
-	}
-	if err := t.r.checkCols(out); err != nil {
-		return nil, err
-	}
-	plan, err := t.r.queryPlanFor(s.Dom(), out)
+	sh, err := t.defaultShard()
 	if err != nil {
 		return nil, err
 	}
-	row, err := t.r.schema.RowFromTuple(s, nil)
+	return t.queryIn(sh, s, out)
+}
+
+// QueryIn enqueues query r s C against the named relation.
+func (t *Txn) QueryIn(r *Relation, s rel.Tuple, out ...string) (*Pending[[]rel.Tuple], error) {
+	sh, err := t.shardFor(r)
+	if err != nil {
+		return nil, err
+	}
+	return t.queryIn(sh, s, out)
+}
+
+func (t *Txn) queryIn(sh *txnShard, s rel.Tuple, out []string) (*Pending[[]rel.Tuple], error) {
+	r := sh.r
+	if err := r.checkCols(s.Dom()); err != nil {
+		return nil, err
+	}
+	if err := r.checkCols(out); err != nil {
+		return nil, err
+	}
+	plan, err := r.queryPlanFor(s.Dom(), out)
+	if err != nil {
+		return nil, err
+	}
+	row, err := r.schema.RowFromTuple(s, nil)
 	if err != nil {
 		return nil, err
 	}
 	pt := &Pending[[]rel.Tuple]{}
-	t.addMember(member{kind: mQuery, steps: plan.Steps, boundMask: plan.BoundMask,
+	t.addMember(sh, member{kind: mQuery, steps: plan.Steps, boundMask: plan.BoundMask,
 		outIdx: plan.OutIdx, outCols: plan.OutCols, row: row, pt: pt})
 	return pt, nil
 }
 
-// commitBatch executes the assembled members: growing phase (coalesced
+// commitBatch executes a single-relation batch: growing phase (coalesced
 // lock acquisition), apply phase (in-order execution under held locks),
-// then release (putBuf, in the caller).
-func (r *Relation) commitBatch(t *Txn, b *opBuf) {
+// then release (putBuf, in the caller). Registry batches run the same
+// phases across shards; see Registry.commitTxn.
+func (r *Relation) commitBatch(t *Txn, sh *txnShard) {
+	b := sh.b
+	r.initBatchMembers(b)
+	r.growBatch(t, b)
+
+	// Apply phase: in-order execution under the held locks, with an undo
+	// log so a panic mid-apply restores the pre-batch representation
+	// before the locks are released (all-or-nothing).
+	b.apply = true
+	var undo undoLog
+	b.undo = &undo
+	defer func() {
+		b.undo = nil
+		if p := recover(); p != nil {
+			undo.rollback()
+			panic(p)
+		}
+	}()
+	for i := range b.members {
+		r.applyMember(b, &b.members[i], i, sh.firstMut)
+	}
+	b.apply = false
+}
+
+// initBatchMembers sets up every member's growing-phase pipeline and the
+// buffer's batch mode.
+func (r *Relation) initBatchMembers(b *opBuf) {
 	if AuditEnabled() {
 		b.fresh = map[*Instance]bool{}
 	}
 	nNodes := len(r.decomp.Nodes)
-
-	// Initialize member pipelines.
 	for i := range b.members {
 		m := &b.members[i]
 		switch m.kind {
@@ -511,8 +678,15 @@ func (r *Relation) commitBatch(t *Txn, b *opBuf) {
 	// apply phase's runSteps must start from storage that cannot alias a
 	// member's retention.
 	b.pipe, b.spare = nil, nil
+}
 
-	// Growing phase: per-node rounds over all members.
+// growBatch runs the growing phase for one relation's members: per-node
+// rounds that pool speculative resolutions and coalesce lock requests. In
+// a registry transaction the shards' growing phases run in relation-id
+// order on one shared locks.Txn, so the acquisitions of the whole batch
+// follow the global (relation, node, inst, stripe) order.
+func (r *Relation) growBatch(t *Txn, b *opBuf) {
+	nNodes := len(r.decomp.Nodes)
 	b.collect = &b.set
 	for v := 0; v < nNodes; v++ {
 		for {
@@ -530,7 +704,7 @@ func (r *Relation) commitBatch(t *Txn, b *opBuf) {
 				req := b.set.Requested()
 				prev := b.txn.HeldCount()
 				b.txn.AcquireSet(&b.set)
-				t.recordRound(b, r.decomp.Nodes[v].Name, req, prev, false)
+				t.recordRound(b, r.traceLabel(r.decomp.Nodes[v].Name), req, prev, false)
 			}
 			for i := range b.members {
 				if b.members[i].wait == wLock {
@@ -550,24 +724,16 @@ func (r *Relation) commitBatch(t *Txn, b *opBuf) {
 				i, b.members[i].kind, b.members[i].cursor))
 		}
 	}
+}
 
-	// Apply phase: in-order execution under the held locks, with an undo
-	// log so a panic mid-apply restores the pre-batch representation
-	// before the locks are released (all-or-nothing).
-	b.apply = true
-	var undo undoLog
-	b.undo = &undo
-	defer func() {
-		b.undo = nil
-		if p := recover(); p != nil {
-			undo.rollback()
-			panic(p)
-		}
-	}()
-	for i := range b.members {
-		r.applyMember(t, b, &b.members[i], i)
+// traceLabel prefixes a trace round's node name with the relation's
+// registration name, so cross-relation schedules read "users.u" vs
+// "posts.a".
+func (r *Relation) traceLabel(node string) string {
+	if r.name == "" {
+		return node
 	}
-	b.apply = false
+	return r.name + "." + node
 }
 
 // recordRound appends a trace round covering the locks acquired since
@@ -1039,7 +1205,7 @@ func (r *Relation) resolveBatchSpecs(t *Txn, b *opBuf) {
 		i = j
 	}
 	if t.trace != nil && len(specs) > 0 {
-		t.recordRound(b, r.decomp.Nodes[specs[0].node].Name, len(specs), prev, true)
+		t.recordRound(b, r.traceLabel(r.decomp.Nodes[specs[0].node].Name), len(specs), prev, true)
 	}
 	clear(specs)
 	b.specs = specs[:0]
@@ -1133,9 +1299,11 @@ func (r *Relation) memberReusable(b *opBuf, m *member, idx, firstMut int) bool {
 // lock set. Members whose scope no earlier mutation touched reuse their
 // growing-phase traversal (it is exact); the rest re-execute in apply
 // mode so they observe the writes of the members before them —
-// sequential semantics.
-func (r *Relation) applyMember(t *Txn, b *opBuf, m *member, idx int) {
-	reuse := r.memberReusable(b, m, idx, t.firstMut)
+// sequential semantics. firstMut is the owning SHARD's first-mutation
+// index: mutations in other relations of a registry batch never
+// invalidate reuse, because relations are disjoint object graphs.
+func (r *Relation) applyMember(b *opBuf, m *member, idx, firstMut int) {
+	reuse := r.memberReusable(b, m, idx, firstMut)
 	switch m.kind {
 	case mQuery:
 		states := m.states

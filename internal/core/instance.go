@@ -39,7 +39,7 @@ func (r *Relation) newInstance(n *decomp.Node, row rel.Row) *Instance {
 		node:       n,
 		key:        key,
 		containers: make([]container.Map, len(n.Out)),
-		lockArr:    locks.NewArray(n.Index, key, r.placement.StripeCount(n)),
+		lockArr:    locks.NewArray(r.regID, n.Index, key, r.placement.StripeCount(n)),
 	}
 	for i, e := range n.Out {
 		inst.containers[i] = container.New(e.Container)

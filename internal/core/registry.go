@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/decomp"
+	"repro/internal/locks"
+)
+
+// Registry is a set of synthesized relations sharing one transactional
+// domain — the library's database handle. Relations register at
+// Synthesize time and receive a stable relation id that becomes the
+// leading component of every lock ID they mint, extending the §5.1 total
+// lock order registry-wide to (relation id, node, instance key, stripe).
+// Registry.Batch therefore runs one two-phase-locking transaction over
+// members against ANY registered relations: the growing phase acquires
+// the pooled, coalesced lock sets of all member relations in the global
+// order (deadlock-free by the same ordered-acquisition argument as a
+// single relation, cf. Locksynth's globally ordered discipline), and the
+// apply phase replays members in enqueue order under one undo log, so a
+// cross-relation group commits atomically.
+//
+// A Registry is safe for concurrent use; relations remain individually
+// usable (Relation.Batch, plain operations) alongside registry batches.
+type Registry struct {
+	mu   sync.Mutex
+	rels []*Relation
+
+	// txnPool recycles the transaction-wide locks.Txn of registry batches
+	// (per-relation operation buffers are pooled on their relations).
+	txnPool sync.Pool
+}
+
+// registryApplyHook, when non-nil, runs before each member of a registry
+// batch's apply phase (arguments: relation name, member's global enqueue
+// position). Tests use it to force a mid-apply panic and exercise the
+// cross-relation undo log.
+var registryApplyHook func(relName string, pos int)
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{}
+}
+
+// Synthesize compiles a decomposition and lock placement into a relation
+// registered under name — the multi-relation analog of the package-level
+// Synthesize. The returned relation's id is its registration order (first
+// relation gets 1; id 0 is reserved for standalone relations), fixed
+// before any lock array exists so every lock ID carries it. Names must be
+// unique and non-empty.
+func (g *Registry) Synthesize(name string, d *decomp.Decomposition, p *locks.Placement) (*Relation, error) {
+	if name == "" {
+		return nil, fmt.Errorf("core: registry relations need a name")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, r := range g.rels {
+		if r.name == name {
+			return nil, fmt.Errorf("core: relation %q already registered", name)
+		}
+	}
+	r, err := synthesize(g, len(g.rels)+1, name, d, p)
+	if err != nil {
+		return nil, err
+	}
+	g.rels = append(g.rels, r)
+	return r, nil
+}
+
+// Relations returns the registered relations in registration (= lock
+// order) order.
+func (g *Registry) Relations() []*Relation {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]*Relation(nil), g.rels...)
+}
+
+// RelationByName returns the registered relation with the given name, or
+// nil.
+func (g *Registry) RelationByName(name string) *Relation {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, r := range g.rels {
+		if r.name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// getTxn checks a transaction-wide locks.Txn out of the pool.
+func (g *Registry) getTxn() *locks.Txn {
+	lt, _ := g.txnPool.Get().(*locks.Txn)
+	if lt == nil {
+		lt = locks.NewTxn()
+	}
+	lt.Reset()
+	return lt
+}
+
+// Batch runs fn to assemble a group of operations against any registered
+// relations, then executes the whole group as ONE two-phase-locking
+// transaction: per relation, member lock requirements are merged exactly
+// as in Relation.Batch; across relations, acquisition follows the
+// registry-wide (relation id, node, inst, stripe) order, each physical
+// lock taken at most once per batch. The group is atomic across relations
+// (all-or-nothing under a shared undo log) and its members behave as if
+// executed sequentially in enqueue order. If fn returns an error, nothing
+// executes and the error is returned.
+func (g *Registry) Batch(fn func(tx *Txn) error) error {
+	lt := g.getTxn()
+	t := &Txn{reg: g, ltxn: lt}
+	defer func() {
+		// Shrinking phase: release the whole transaction's locks, restore
+		// each buffer's own locks.Txn, and return the buffers to their
+		// relations' pools. Runs on panic too (after commitTxn's rollback).
+		lt.ReleaseAll()
+		for _, sh := range t.shards {
+			sh.b.txn = sh.own
+			sh.r.putBuf(sh.b)
+		}
+		g.txnPool.Put(lt)
+	}()
+	if err := fn(t); err != nil {
+		t.sealed = true
+		return err
+	}
+	t.sealed = true
+	if len(t.order) == 0 {
+		return nil
+	}
+	g.commitTxn(t)
+	return nil
+}
+
+// commitTxn executes an assembled registry transaction: shard growing
+// phases in relation-id order on the shared locks.Txn, then one apply
+// phase replaying every member in global enqueue order under a shared
+// undo log.
+func (g *Registry) commitTxn(t *Txn) {
+	// Shards were created in first-touch order; the global lock order
+	// needs them in relation-id order for the growing phase.
+	sort.Slice(t.shards, func(i, j int) bool { return t.shards[i].r.regID < t.shards[j].r.regID })
+	for _, sh := range t.shards {
+		sh.r.initBatchMembers(sh.b)
+	}
+	for _, sh := range t.shards {
+		sh.r.growBatch(t, sh.b)
+	}
+
+	// Apply phase: one undo log spans all shards, so a panic in any
+	// member's apply unwinds the writes of EVERY relation before the
+	// locks are released — cross-relation all-or-nothing.
+	var undo undoLog
+	for _, sh := range t.shards {
+		sh.b.apply = true
+		sh.b.undo = &undo
+	}
+	defer func() {
+		for _, sh := range t.shards {
+			sh.b.undo = nil
+		}
+		if p := recover(); p != nil {
+			undo.rollback()
+			panic(p)
+		}
+	}()
+	for pos, ref := range t.order {
+		if registryApplyHook != nil {
+			registryApplyHook(ref.sh.r.name, pos)
+		}
+		ref.sh.r.applyMember(ref.sh.b, &ref.sh.b.members[ref.idx], ref.idx, ref.sh.firstMut)
+	}
+	for _, sh := range t.shards {
+		sh.b.apply = false
+	}
+}

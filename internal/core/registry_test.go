@@ -1,0 +1,630 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/container"
+	"repro/internal/decomp"
+	"repro/internal/locks"
+	"repro/internal/rel"
+)
+
+func usersSpec() rel.Spec {
+	return rel.MustSpec([]string{"user", "posts"},
+		rel.FD{From: []string{"user"}, To: []string{"posts"}})
+}
+
+func postsSpec() rel.Spec {
+	return rel.MustSpec([]string{"author", "post", "ts"},
+		rel.FD{From: []string{"author", "post"}, To: []string{"ts"}})
+}
+
+// testRegistry builds the two-relation users/posts registry most tests
+// exercise: a users table keyed by user carrying a posts counter, and a
+// posts table keyed by (author, post).
+func testRegistry(t *testing.T) (*Registry, *Relation, *Relation) {
+	t.Helper()
+	g := NewRegistry()
+	ud, err := decomp.NewBuilder(usersSpec(), "ρ").
+		Edge("ρu", "ρ", "u", []string{"user"}, container.ConcurrentHashMap).
+		Edge("uc", "u", "c", []string{"posts"}, container.Cell).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	users, err := g.Synthesize("users", ud, locks.FineGrained(ud))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := decomp.NewBuilder(postsSpec(), "ρ").
+		Edge("ρa", "ρ", "a", []string{"author"}, container.ConcurrentHashMap).
+		Edge("ap", "a", "p", []string{"post"}, container.TreeMap).
+		Edge("pt", "p", "t", []string{"ts"}, container.Cell).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	posts, err := g.Synthesize("posts", pd, locks.FineGrained(pd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, users, posts
+}
+
+// TestRegistrySynthesize pins registration: stable 1-based relation ids in
+// registration order baked into lock IDs, name lookup, duplicate and
+// empty names rejected, standalone relations keeping id 0.
+func TestRegistrySynthesize(t *testing.T) {
+	g, users, posts := testRegistry(t)
+	if users.RegistryID() != 1 || posts.RegistryID() != 2 {
+		t.Fatalf("registry ids = %d, %d; want 1, 2", users.RegistryID(), posts.RegistryID())
+	}
+	if users.Name() != "users" || g.RelationByName("posts") != posts {
+		t.Fatal("registration names not tracked")
+	}
+	if rels := g.Relations(); len(rels) != 2 || rels[0] != users || rels[1] != posts {
+		t.Fatalf("Relations() = %v", rels)
+	}
+	if id := users.root.lock(0).ID(); id.Rel != 1 {
+		t.Fatalf("users root lock carries rel id %d, want 1", id.Rel)
+	}
+	ud, _ := decomp.NewBuilder(usersSpec(), "ρ").
+		Edge("ρu", "ρ", "u", []string{"user"}, container.HashMap).
+		Edge("uc", "u", "c", []string{"posts"}, container.Cell).
+		Build()
+	if _, err := g.Synthesize("users", ud, locks.FineGrained(ud)); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if _, err := g.Synthesize("", ud, locks.FineGrained(ud)); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	standalone, err := Synthesize(ud, locks.FineGrained(ud))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if standalone.RegistryID() != 0 || standalone.root.lock(0).ID().Rel != 0 {
+		t.Fatal("standalone relation has a registry id")
+	}
+}
+
+// TestRegistryBatchCrossRelation is the headline behavioural test: one
+// Registry.Batch mixing mutations and reads against both relations
+// commits atomically, members observe earlier members' writes in their
+// own relation, and both relations end up exactly as a sequential
+// per-operation execution would leave them.
+func TestRegistryBatchCrossRelation(t *testing.T) {
+	g, users, posts := testRegistry(t)
+	// Seed: author 1 has 1 post.
+	if _, err := users.Insert(rel.T("user", 1), rel.T("posts", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := posts.Insert(rel.T("author", 1, "post", 100), rel.T("ts", 5)); err != nil {
+		t.Fatal(err)
+	}
+	var insPost, remUser, insUser *Pending[bool]
+	var before, after *Pending[int]
+	err := g.Batch(func(tx *Txn) error {
+		var err error
+		if before, err = tx.CountIn(posts, rel.T("author", 1)); err != nil {
+			return err
+		}
+		// "insert post + bump author count" as one atomic group.
+		if insPost, err = tx.InsertInto(posts, rel.T("author", 1, "post", 101), rel.T("ts", 6)); err != nil {
+			return err
+		}
+		if remUser, err = tx.RemoveFrom(users, rel.T("user", 1)); err != nil {
+			return err
+		}
+		if insUser, err = tx.InsertInto(users, rel.T("user", 1), rel.T("posts", 2)); err != nil {
+			return err
+		}
+		after, err = tx.CountIn(posts, rel.T("author", 1))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !insPost.Value() || !remUser.Value() || !insUser.Value() {
+		t.Fatalf("mutation results: post %v, remove user %v, insert user %v",
+			insPost.Value(), remUser.Value(), insUser.Value())
+	}
+	if before.Value() != 1 || after.Value() != 2 {
+		t.Fatalf("post counts before/after = %d/%d, want 1/2", before.Value(), after.Value())
+	}
+	uTuples, err := users.VerifyWellFormed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uTuples) != 1 || !uTuples[0].Equal(rel.T("user", 1, "posts", 2)) {
+		t.Fatalf("users after batch: %v", uTuples)
+	}
+	pTuples, err := posts.VerifyWellFormed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pTuples) != 2 {
+		t.Fatalf("posts after batch: %v", pTuples)
+	}
+}
+
+// TestRegistryBatchAPIErrors pins the routing rules: relation-less tuple
+// enqueues need Relation.Batch, foreign relations are rejected, and a
+// leaked Txn is sealed.
+func TestRegistryBatchAPIErrors(t *testing.T) {
+	g, users, _ := testRegistry(t)
+	ud, _ := decomp.NewBuilder(usersSpec(), "ρ").
+		Edge("ρu", "ρ", "u", []string{"user"}, container.HashMap).
+		Edge("uc", "u", "c", []string{"posts"}, container.Cell).
+		Build()
+	standalone, err := Synthesize(ud, locks.FineGrained(ud))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leaked *Txn
+	err = g.Batch(func(tx *Txn) error {
+		leaked = tx
+		if _, err := tx.Insert(rel.T("user", 1), rel.T("posts", 0)); err == nil {
+			t.Error("registry batch accepted a relation-less Insert")
+		}
+		if _, err := tx.InsertInto(standalone, rel.T("user", 1), rel.T("posts", 0)); err == nil {
+			t.Error("registry batch accepted an unregistered relation")
+		}
+		_, err := tx.InsertInto(users, rel.T("user", 1), rel.T("posts", 0))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leaked.InsertInto(users, rel.T("user", 2), rel.T("posts", 0)); err == nil {
+		t.Fatal("sealed registry Txn accepted an enqueue")
+	}
+	// Single-relation batches reject relations outside the transaction.
+	err = users.Batch(func(tx *Txn) error {
+		if _, err := tx.InsertInto(standalone, rel.T("user", 3), rel.T("posts", 0)); err == nil {
+			t.Error("Relation.Batch accepted a foreign relation")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegistryBatchLockAudit is the acceptance-criterion trace test: a
+// batch spanning both relations acquires each physical lock AT MOST ONCE,
+// in strictly increasing registry-wide (relation, node, inst, stripe)
+// order, and acquires no more locks than the same members issued as
+// one-member batches.
+func TestRegistryBatchLockAudit(t *testing.T) {
+	run := func(t *testing.T, grouped bool) (acquired int) {
+		g, users, posts := testRegistry(t)
+		if _, err := users.Insert(rel.T("user", 1), rel.T("posts", 1)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := posts.Insert(rel.T("author", 1, "post", 100), rel.T("ts", 5)); err != nil {
+			t.Fatal(err)
+		}
+		// Overlapping members: the posts ops share author 1's path, the
+		// users ops share user 1's path — heavy coalescing on both sides.
+		// Enqueue order deliberately interleaves relations (posts, users,
+		// posts, users, posts) so the test also proves acquisition order is
+		// independent of enqueue order.
+		ops := []func(tx *Txn) error{
+			func(tx *Txn) error { _, err := tx.CountIn(posts, rel.T("author", 1)); return err },
+			func(tx *Txn) error { _, err := tx.RemoveFrom(users, rel.T("user", 1)); return err },
+			func(tx *Txn) error {
+				_, err := tx.InsertInto(posts, rel.T("author", 1, "post", 101), rel.T("ts", 6))
+				return err
+			},
+			func(tx *Txn) error { _, err := tx.InsertInto(users, rel.T("user", 1), rel.T("posts", 2)); return err },
+			func(tx *Txn) error {
+				_, err := tx.InsertInto(posts, rel.T("author", 1, "post", 102), rel.T("ts", 7))
+				return err
+			},
+		}
+		if grouped {
+			var tr *BatchTrace
+			err := g.Batch(func(tx *Txn) error {
+				tx.EnableTrace()
+				tr = tx.Trace()
+				for _, op := range ops {
+					if err := op(tx); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var flat []locks.ID
+			for _, rd := range tr.Rounds {
+				flat = append(flat, rd.IDs...)
+			}
+			if len(flat) == 0 {
+				t.Fatal("trace recorded no acquisitions")
+			}
+			for i := 1; i < len(flat); i++ {
+				if locks.CompareIDs(flat[i-1], flat[i]) >= 0 {
+					t.Fatalf("acquisition order violates the global lock order: %v then %v\n%s",
+						flat[i-1], flat[i], tr)
+				}
+			}
+			relSeen := map[int]bool{}
+			for _, id := range flat {
+				if id.Rel != 1 && id.Rel != 2 {
+					t.Fatalf("lock %v carries unexpected relation id", id)
+				}
+				relSeen[id.Rel] = true
+			}
+			if !relSeen[1] || !relSeen[2] {
+				t.Fatalf("batch did not lock both relations: %v\n%s", relSeen, tr)
+			}
+			return tr.Acquired
+		}
+		for _, op := range ops {
+			var tr *BatchTrace
+			err := g.Batch(func(tx *Txn) error {
+				tx.EnableTrace()
+				tr = tx.Trace()
+				return op(tx)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			acquired += tr.Acquired
+		}
+		return acquired
+	}
+	groupedAcq := run(t, true)
+	seqAcq := run(t, false)
+	if groupedAcq > seqAcq {
+		t.Fatalf("coalesced cross-relation batch acquired %d locks, sequential acquired %d", groupedAcq, seqAcq)
+	}
+}
+
+// regOp is one randomized cross-relation operation for the differential
+// quick-check.
+type regOp struct {
+	Rel  uint8 // 0 = users, 1 = posts
+	Kind uint8 // insert / remove / count
+	A, B uint8 // key material
+}
+
+type regOps []regOp
+
+// Generate implements quick.Generator: short op groups over tiny key
+// spaces, maximizing overlap within and across relations.
+func (regOps) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(8) + 1
+	ops := make(regOps, n)
+	for i := range ops {
+		ops[i] = regOp{Rel: uint8(r.Intn(2)), Kind: uint8(r.Intn(3)), A: uint8(r.Intn(3)), B: uint8(r.Intn(3))}
+	}
+	return reflect.ValueOf(ops)
+}
+
+// TestRegistryBatchDifferentialQuick checks Registry.Batch against a PAIR
+// of §2 reference oracles: any random cross-relation group executed as
+// one registry batch yields the same per-operation results and the same
+// final contents in BOTH relations as the sequence executed one
+// operation at a time.
+func TestRegistryBatchDifferentialQuick(t *testing.T) {
+	f := func(pre, group regOps) bool {
+		g, users, posts := testRegistry(t)
+		uRef, pRef := NewReference(usersSpec()), NewReference(postsSpec())
+		insert := func(r *Relation, ref *Reference, op regOp) (bool, bool) {
+			var s, tup rel.Tuple
+			if op.Rel == 0 {
+				s, tup = rel.T("user", int(op.A)), rel.T("posts", int(op.B))
+			} else {
+				s, tup = rel.T("author", int(op.A), "post", int(op.B)), rel.T("ts", int(op.A)+int(op.B))
+			}
+			a, err := r.Insert(s, tup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := ref.Insert(s, tup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a, b
+		}
+		for _, op := range pre {
+			if op.Kind != 0 {
+				continue
+			}
+			r, ref := users, uRef
+			if op.Rel == 1 {
+				r, ref = posts, pRef
+			}
+			if a, b := insert(r, ref, op); a != b {
+				t.Fatalf("pre-populate diverged")
+			}
+		}
+		sTup := func(op regOp) rel.Tuple {
+			if op.Rel == 0 {
+				return rel.T("user", int(op.A))
+			}
+			return rel.T("author", int(op.A), "post", int(op.B))
+		}
+		// Sequential reference results.
+		var want []any
+		for _, op := range group {
+			ref := uRef
+			if op.Rel == 1 {
+				ref = pRef
+			}
+			switch op.Kind {
+			case 0:
+				var s, tup rel.Tuple
+				if op.Rel == 0 {
+					s, tup = rel.T("user", int(op.A)), rel.T("posts", int(op.B))
+				} else {
+					s, tup = rel.T("author", int(op.A), "post", int(op.B)), rel.T("ts", int(op.A)+int(op.B))
+				}
+				ok, _ := ref.Insert(s, tup)
+				want = append(want, ok)
+			case 1:
+				ok, _ := ref.Remove(sTup(op))
+				want = append(want, ok)
+			default:
+				var q rel.Tuple
+				if op.Rel == 0 {
+					q = rel.T("user", int(op.A))
+				} else {
+					q = rel.T("author", int(op.A))
+				}
+				res, _ := ref.Query(q, ref.Spec().Columns...)
+				want = append(want, len(res))
+			}
+		}
+		// The same group as ONE registry batch.
+		var got []func() any
+		err := g.Batch(func(tx *Txn) error {
+			for _, op := range group {
+				r := users
+				if op.Rel == 1 {
+					r = posts
+				}
+				switch op.Kind {
+				case 0:
+					var s, tup rel.Tuple
+					if op.Rel == 0 {
+						s, tup = rel.T("user", int(op.A)), rel.T("posts", int(op.B))
+					} else {
+						s, tup = rel.T("author", int(op.A), "post", int(op.B)), rel.T("ts", int(op.A)+int(op.B))
+					}
+					p, err := tx.InsertInto(r, s, tup)
+					if err != nil {
+						return err
+					}
+					got = append(got, func() any { return p.Value() })
+				case 1:
+					p, err := tx.RemoveFrom(r, sTup(op))
+					if err != nil {
+						return err
+					}
+					got = append(got, func() any { return p.Value() })
+				default:
+					var q rel.Tuple
+					if op.Rel == 0 {
+						q = rel.T("user", int(op.A))
+					} else {
+						q = rel.T("author", int(op.A))
+					}
+					p, err := tx.CountIn(r, q)
+					if err != nil {
+						return err
+					}
+					got = append(got, func() any { return p.Value() })
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i]() != want[i] {
+				t.Errorf("group op %d (%+v): batch %v, sequential %v", i, group[i], got[i](), want[i])
+				return false
+			}
+		}
+		assertSameTuples(t, users, uRef)
+		assertSameTuples(t, posts, pRef)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegistryBatchRollback forces a panic midway through the apply phase
+// of a cross-relation batch — after members of BOTH relations have
+// written — and checks the shared undo log restores both relations to
+// their exact pre-batch contents before the panic propagates.
+func TestRegistryBatchRollback(t *testing.T) {
+	g, users, posts := testRegistry(t)
+	if _, err := users.Insert(rel.T("user", 1), rel.T("posts", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := posts.Insert(rel.T("author", 1, "post", 100), rel.T("ts", 5)); err != nil {
+		t.Fatal(err)
+	}
+	uBefore, err := users.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pBefore, err := posts.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Panic after 3 of 4 members applied: by then the posts insert, the
+	// users remove and the users insert have all written.
+	registryApplyHook = func(relName string, pos int) {
+		if pos == 3 {
+			panic("registry rollback test: injected failure")
+		}
+	}
+	defer func() { registryApplyHook = nil }()
+	panicked := func() (p any) {
+		defer func() { p = recover() }()
+		g.Batch(func(tx *Txn) error {
+			if _, err := tx.InsertInto(posts, rel.T("author", 1, "post", 101), rel.T("ts", 6)); err != nil {
+				return err
+			}
+			if _, err := tx.RemoveFrom(users, rel.T("user", 1)); err != nil {
+				return err
+			}
+			if _, err := tx.InsertInto(users, rel.T("user", 1), rel.T("posts", 2)); err != nil {
+				return err
+			}
+			_, err := tx.InsertInto(posts, rel.T("author", 2, "post", 200), rel.T("ts", 9))
+			return err
+		})
+		return nil
+	}()
+	if panicked == nil {
+		t.Fatal("injected apply failure did not propagate")
+	}
+	registryApplyHook = nil
+	uAfter, err := users.VerifyWellFormed()
+	if err != nil {
+		t.Fatalf("users ill-formed after rollback: %v", err)
+	}
+	pAfter, err := posts.VerifyWellFormed()
+	if err != nil {
+		t.Fatalf("posts ill-formed after rollback: %v", err)
+	}
+	if !tuplesEqual(uAfter, uBefore) {
+		t.Fatalf("users not rolled back: %v, want %v", uAfter, uBefore)
+	}
+	if !tuplesEqual(pAfter, pBefore) {
+		t.Fatalf("posts not rolled back: %v, want %v", pAfter, pBefore)
+	}
+}
+
+// TestRegistryBatchConcurrentStress drives overlapping cross-relation
+// batches from many goroutines, with the two relations enqueued in BOTH
+// orders — the growing phase must still acquire in the global relation-id
+// order, so no interleaving can deadlock. Run under -race; the timeout is
+// the deadlock detector.
+func TestRegistryBatchConcurrentStress(t *testing.T) {
+	g, users, posts := testRegistry(t)
+	const workers = 8
+	const batchesPerWorker = 100
+	const keys = 6
+	done := make(chan struct{})
+	go func() {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < batchesPerWorker; i++ {
+					a := rng.Intn(keys)
+					b := rng.Intn(keys)
+					var err error
+					switch rng.Intn(4) {
+					case 0: // add post + bump author counter (posts first)
+						err = g.Batch(func(tx *Txn) error {
+							if _, e := tx.InsertInto(posts, rel.T("author", a, "post", b), rel.T("ts", i)); e != nil {
+								return e
+							}
+							if _, e := tx.RemoveFrom(users, rel.T("user", a)); e != nil {
+								return e
+							}
+							_, e := tx.InsertInto(users, rel.T("user", a), rel.T("posts", i))
+							return e
+						})
+					case 1: // users first, posts second (reverse enqueue order)
+						err = g.Batch(func(tx *Txn) error {
+							if _, e := tx.RemoveFrom(users, rel.T("user", a)); e != nil {
+								return e
+							}
+							if _, e := tx.InsertInto(users, rel.T("user", a), rel.T("posts", i)); e != nil {
+								return e
+							}
+							_, e := tx.RemoveFrom(posts, rel.T("author", a, "post", b))
+							return e
+						})
+					case 2: // cross-relation reads
+						err = g.Batch(func(tx *Txn) error {
+							if _, e := tx.CountIn(posts, rel.T("author", a)); e != nil {
+								return e
+							}
+							_, e := tx.CountIn(users, rel.T("user", b))
+							return e
+						})
+					default: // single-relation registry batch
+						err = g.Batch(func(tx *Txn) error {
+							_, e := tx.InsertInto(posts, rel.T("author", a, "post", b), rel.T("ts", i))
+							return e
+						})
+					}
+					if err != nil {
+						t.Errorf("registry batch: %v", err)
+						return
+					}
+				}
+			}(int64(w*104729 + 7))
+		}
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(90 * time.Second):
+		t.Fatal("deadlock: concurrent registry batch stress did not finish")
+	}
+	if _, err := users.VerifyWellFormed(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := posts.VerifyWellFormed(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegistryBatchAbort checks nothing executes when the callback errors,
+// including release of every shard buffer checked out before the error.
+func TestRegistryBatchAbort(t *testing.T) {
+	g, users, posts := testRegistry(t)
+	if _, err := posts.Insert(rel.T("author", 1, "post", 100), rel.T("ts", 5)); err != nil {
+		t.Fatal(err)
+	}
+	errBoom := fmt.Errorf("boom")
+	err := g.Batch(func(tx *Txn) error {
+		if _, err := tx.InsertInto(users, rel.T("user", 1), rel.T("posts", 0)); err != nil {
+			return err
+		}
+		if _, err := tx.RemoveFrom(posts, rel.T("author", 1, "post", 100)); err != nil {
+			return err
+		}
+		return errBoom
+	})
+	if err != errBoom {
+		t.Fatalf("Batch returned %v, want the callback error", err)
+	}
+	uTuples, err := users.VerifyWellFormed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uTuples) != 0 {
+		t.Fatalf("aborted batch wrote users: %v", uTuples)
+	}
+	pTuples, err := posts.VerifyWellFormed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pTuples) != 1 {
+		t.Fatalf("aborted batch changed posts: %v", pTuples)
+	}
+}

@@ -25,6 +25,15 @@ type Relation struct {
 	planner   *query.Planner
 	root      *Instance
 
+	// Registry membership, fixed at Synthesize time: the owning registry
+	// (nil for standalone relations), the registry-assigned relation id —
+	// the leading component of every lock ID, so locks of distinct
+	// registered relations are totally ordered (§5.1 extended
+	// registry-wide) — and the registration name (for traces and lookup).
+	registry *Registry
+	regID    int
+	name     string
+
 	// Schema-compiled execution tables, fixed at Synthesize time: the
 	// dense column schema, the full-binding mask, per-edge schema indices
 	// of the edge's key columns (edge order), per-edge container slot in
@@ -68,8 +77,18 @@ type removePlan struct {
 }
 
 // Synthesize compiles a validated decomposition and lock placement into a
-// concurrent relation. It is the paper's compiler entry point.
+// standalone concurrent relation. It is the paper's compiler entry point;
+// use Registry.Synthesize instead when transactions must span several
+// relations.
 func Synthesize(d *decomp.Decomposition, p *locks.Placement) (*Relation, error) {
+	return synthesize(nil, 0, "", d, p)
+}
+
+// synthesize is the shared compiler body: regID and name are the registry
+// coordinates (zero values for standalone relations). The relation id must
+// be fixed before the root instance exists, because every lock array bakes
+// it into its lock IDs.
+func synthesize(g *Registry, regID int, name string, d *decomp.Decomposition, p *locks.Placement) (*Relation, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -88,6 +107,9 @@ func Synthesize(d *decomp.Decomposition, p *locks.Placement) (*Relation, error) 
 		decomp:      d,
 		placement:   p,
 		planner:     query.NewPlanner(d, p),
+		registry:    g,
+		regID:       regID,
+		name:        name,
 		schema:      schema,
 		fullMask:    schema.FullMask(),
 		queryPlans:  map[string]*query.Plan{},
@@ -117,6 +139,14 @@ func Synthesize(d *decomp.Decomposition, p *locks.Placement) (*Relation, error) 
 
 // Spec returns the relational specification this relation implements.
 func (r *Relation) Spec() rel.Spec { return r.spec }
+
+// Name returns the registration name ("" for standalone relations).
+func (r *Relation) Name() string { return r.name }
+
+// RegistryID returns the relation id the registry assigned at Synthesize
+// time — the leading component of the relation's lock IDs (0 for
+// standalone relations).
+func (r *Relation) RegistryID() int { return r.regID }
 
 // Schema returns the dense column schema fixed at synthesis time; use it
 // to build rel.Row values for the prepared row API.

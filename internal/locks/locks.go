@@ -8,6 +8,8 @@
 package locks
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"sync"
@@ -36,10 +38,17 @@ func (m Mode) String() string {
 }
 
 // ID identifies a physical lock and defines the global total order of
-// §5.1: first a topological sort of the decomposition nodes the locks
-// belong to, then the lexicographic order of the node-instance key, then
-// the stripe number.
+// §5.1, extended registry-wide: first the registering relation's id, then
+// a topological sort of the decomposition nodes the locks belong to, then
+// the lexicographic order of the node-instance key, then the stripe
+// number. Cross-relation transactions acquire in this order, so the
+// deadlock-freedom argument of §5.1 carries over to batches spanning any
+// set of registered relations.
 type ID struct {
+	// Rel is the id the registry assigned the relation at Synthesize time
+	// (0 for relations synthesized outside a registry, which never share a
+	// transaction).
+	Rel int
 	// Node is the topological index of the decomposition node.
 	Node int
 	// Inst is the node-instance key: the valuation of the node's bound
@@ -50,9 +59,14 @@ type ID struct {
 	Stripe int
 }
 
-// CompareIDs orders lock IDs by (Node, Inst, Stripe).
+// CompareIDs orders lock IDs by (Rel, Node, Inst, Stripe).
 func CompareIDs(a, b ID) int {
 	switch {
+	case a.Rel != b.Rel:
+		if a.Rel < b.Rel {
+			return -1
+		}
+		return 1
 	case a.Node != b.Node:
 		if a.Node < b.Node {
 			return -1
@@ -72,8 +86,12 @@ func CompareIDs(a, b ID) int {
 	}
 }
 
-// String renders the ID as "node3(1, "a")#0".
+// String renders the ID as "node3(1, "a")#0", prefixed "rel1." when the
+// lock belongs to a registered relation.
 func (id ID) String() string {
+	if id.Rel != 0 {
+		return fmt.Sprintf("rel%d.node%d%s#%d", id.Rel, id.Node, id.Inst, id.Stripe)
+	}
 	return fmt.Sprintf("node%d%s#%d", id.Node, id.Inst, id.Stripe)
 }
 
@@ -83,20 +101,51 @@ func (id ID) String() string {
 type Lock struct {
 	mu sync.RWMutex
 	id ID
+	// enc is the order-preserving byte encoding of id, precomputed once:
+	// bytes.Compare(a.enc, b.enc) == CompareIDs(a.id, b.id), so every
+	// growing-phase sort and order assertion is a memcmp instead of a
+	// dynamic key walk.
+	enc []byte
+}
+
+// encodeIDPrefix appends the order-preserving encoding of the ID fields
+// shared by a whole stripe array: (rel, node, inst). Rel, Node and (in
+// NewArray) Stripe are small non-negative ints, so a 4-byte big-endian
+// field preserves their order; Inst uses the rel package's ordered value
+// encoding.
+func encodeIDPrefix(dst []byte, relID, node int, inst rel.Key) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(relID))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(node))
+	return rel.AppendOrderedKey(dst, inst)
 }
 
 // NewArray allocates the stripe array of physical locks for one node
-// instance: n locks ordered consecutively at (nodeIndex, inst, 0..n-1).
-func NewArray(nodeIndex int, inst rel.Key, n int) []Lock {
+// instance of the relation registered as relID: n locks ordered
+// consecutively at (relID, nodeIndex, inst, 0..n-1). NewArray runs on
+// the insert hot path (one call per new node instance), so the shared
+// (rel, node, inst) encoding prefix is built in a stack buffer and all n
+// per-stripe encodings share one backing array.
+func NewArray(relID, nodeIndex int, inst rel.Key, n int) []Lock {
 	ls := make([]Lock, n)
+	var pbuf [64]byte
+	prefix := encodeIDPrefix(pbuf[:0], relID, nodeIndex, inst)
+	buf := make([]byte, 0, n*(len(prefix)+4))
 	for i := range ls {
-		ls[i].id = ID{Node: nodeIndex, Inst: inst, Stripe: i}
+		ls[i].id = ID{Rel: relID, Node: nodeIndex, Inst: inst, Stripe: i}
+		off := len(buf)
+		buf = append(buf, prefix...)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(i))
+		ls[i].enc = buf[off:len(buf):len(buf)]
 	}
 	return ls
 }
 
 // ID returns the lock's identity.
 func (l *Lock) ID() ID { return l.id }
+
+// compareLocks orders two locks by their precomputed ID encodings — the
+// hot-path equivalent of CompareIDs on the lock identities.
+func compareLocks(a, b *Lock) int { return bytes.Compare(a.enc, b.enc) }
 
 func (l *Lock) lock(m Mode) {
 	if m == Exclusive {
@@ -154,12 +203,12 @@ func (t *Txn) Reset() {
 	t.shrinking = false
 }
 
-// maxHeldID returns the largest held lock ID, if any.
-func (t *Txn) maxHeldID() (ID, bool) {
+// maxHeld returns the largest held lock, or nil if none is held.
+func (t *Txn) maxHeld() *Lock {
 	if len(t.held) == 0 {
-		return ID{}, false
+		return nil
 	}
-	return t.held[len(t.held)-1].l.id, true
+	return t.held[len(t.held)-1].l
 }
 
 // findHeld binary-searches the sorted held list for a lock with l's ID,
@@ -168,7 +217,7 @@ func (t *Txn) findHeld(l *Lock) (int, bool) {
 	lo, hi := 0, len(t.held)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if CompareIDs(t.held[mid].l.id, l.id) < 0 {
+		if bytes.Compare(t.held[mid].l.enc, l.enc) < 0 {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -201,10 +250,10 @@ func (t *Txn) Acquire(batch []*Lock, m Mode, preSorted bool) {
 	}
 	if len(batch) > 1 {
 		if !preSorted {
-			sort.Slice(batch, func(i, j int) bool { return CompareIDs(batch[i].id, batch[j].id) < 0 })
+			sort.Slice(batch, func(i, j int) bool { return compareLocks(batch[i], batch[j]) < 0 })
 		} else {
 			for i := 1; i < len(batch); i++ {
-				if CompareIDs(batch[i-1].id, batch[i].id) > 0 {
+				if compareLocks(batch[i-1], batch[i]) > 0 {
 					panic(fmt.Sprintf("locks: batch marked pre-sorted but %v > %v", batch[i-1].id, batch[i].id))
 				}
 			}
@@ -214,14 +263,14 @@ func (t *Txn) Acquire(batch []*Lock, m Mode, preSorted bool) {
 		if i > 0 && batch[i-1] == l {
 			continue // duplicate within batch
 		}
-		if max, ok := t.maxHeldID(); ok && CompareIDs(l.id, max) <= 0 {
+		if max := t.maxHeld(); max != nil && compareLocks(l, max) <= 0 {
 			if idx, held := t.findHeld(l); held {
 				if m == Exclusive && t.held[idx].mode == Shared {
 					panic(fmt.Sprintf("locks: upgrade from shared to exclusive on %v; planner must request exclusive up front", l.id))
 				}
 				continue
 			}
-			panic(fmt.Sprintf("locks: acquisition of %v violates lock order (max held %v)", l.id, max))
+			panic(fmt.Sprintf("locks: acquisition of %v violates lock order (max held %v)", l.id, max.id))
 		}
 		l.lock(m)
 		t.held = append(t.held, heldLock{l: l, mode: m})
@@ -240,8 +289,8 @@ func (t *Txn) AcquireSpeculative(l *Lock, m Mode) {
 	if t.Holds(l) {
 		panic(fmt.Sprintf("locks: speculative acquire of already-held lock %v", l.id))
 	}
-	if max, ok := t.maxHeldID(); ok && CompareIDs(l.id, max) <= 0 {
-		panic(fmt.Sprintf("locks: speculative acquisition of %v violates lock order (max held %v)", l.id, max))
+	if max := t.maxHeld(); max != nil && compareLocks(l, max) <= 0 {
+		panic(fmt.Sprintf("locks: speculative acquisition of %v violates lock order (max held %v)", l.id, max.id))
 	}
 	l.lock(m)
 	t.held = append(t.held, heldLock{l: l, mode: m})

@@ -31,7 +31,7 @@ func TestCompareIDs(t *testing.T) {
 }
 
 func TestNewArrayIDs(t *testing.T) {
-	ls := NewArray(3, rel.NewKey("k"), 4)
+	ls := NewArray(0, 3, rel.NewKey("k"), 4)
 	if len(ls) != 4 {
 		t.Fatalf("len = %d", len(ls))
 	}
@@ -44,8 +44,8 @@ func TestNewArrayIDs(t *testing.T) {
 }
 
 func TestTxnBasicAcquireRelease(t *testing.T) {
-	a := NewArray(0, rel.NewKey(), 1)
-	b := NewArray(1, rel.NewKey(5), 1)
+	a := NewArray(0, 0, rel.NewKey(), 1)
+	b := NewArray(0, 1, rel.NewKey(5), 1)
 	txn := NewTxn()
 	txn.Acquire([]*Lock{&a[0]}, Exclusive, false)
 	txn.Acquire([]*Lock{&b[0]}, Shared, false)
@@ -63,7 +63,7 @@ func TestTxnBasicAcquireRelease(t *testing.T) {
 }
 
 func TestTxnDedup(t *testing.T) {
-	a := NewArray(0, rel.NewKey(), 1)
+	a := NewArray(0, 0, rel.NewKey(), 1)
 	txn := NewTxn()
 	txn.Acquire([]*Lock{&a[0], &a[0]}, Exclusive, false)
 	if txn.HeldCount() != 1 {
@@ -76,7 +76,7 @@ func TestTxnDedup(t *testing.T) {
 }
 
 func TestTxnSortsBatch(t *testing.T) {
-	arr := NewArray(2, rel.NewKey(), 8)
+	arr := NewArray(0, 2, rel.NewKey(), 8)
 	txn := NewTxn()
 	// Deliberately unsorted batch must be fine.
 	txn.Acquire([]*Lock{&arr[5], &arr[1], &arr[3]}, Exclusive, false)
@@ -84,8 +84,8 @@ func TestTxnSortsBatch(t *testing.T) {
 }
 
 func TestTxnOrderViolationPanics(t *testing.T) {
-	a := NewArray(0, rel.NewKey(), 1)
-	b := NewArray(1, rel.NewKey(), 1)
+	a := NewArray(0, 0, rel.NewKey(), 1)
+	b := NewArray(0, 1, rel.NewKey(), 1)
 	txn := NewTxn()
 	txn.Acquire([]*Lock{&b[0]}, Exclusive, false)
 	defer func() {
@@ -98,7 +98,7 @@ func TestTxnOrderViolationPanics(t *testing.T) {
 }
 
 func TestTxnUpgradePanics(t *testing.T) {
-	a := NewArray(0, rel.NewKey(), 1)
+	a := NewArray(0, 0, rel.NewKey(), 1)
 	txn := NewTxn()
 	txn.Acquire([]*Lock{&a[0]}, Shared, false)
 	defer func() {
@@ -111,7 +111,7 @@ func TestTxnUpgradePanics(t *testing.T) {
 }
 
 func TestTxnTwoPhasePanics(t *testing.T) {
-	a := NewArray(0, rel.NewKey(), 1)
+	a := NewArray(0, 0, rel.NewKey(), 1)
 	txn := NewTxn()
 	txn.Acquire([]*Lock{&a[0]}, Shared, false)
 	txn.ReleaseAll()
@@ -124,7 +124,7 @@ func TestTxnTwoPhasePanics(t *testing.T) {
 }
 
 func TestTxnPreSortedVerification(t *testing.T) {
-	arr := NewArray(0, rel.NewKey(), 4)
+	arr := NewArray(0, 0, rel.NewKey(), 4)
 	txn := NewTxn()
 	defer func() {
 		if recover() == nil {
@@ -136,8 +136,8 @@ func TestTxnPreSortedVerification(t *testing.T) {
 }
 
 func TestSpeculativeAcquireAbandon(t *testing.T) {
-	a := NewArray(0, rel.NewKey(), 2)
-	b := NewArray(1, rel.NewKey(7), 1)
+	a := NewArray(0, 0, rel.NewKey(), 2)
+	b := NewArray(0, 1, rel.NewKey(7), 1)
 	txn := NewTxn()
 	txn.Acquire([]*Lock{&a[0]}, Shared, false)
 	txn.AcquireSpeculative(&b[0], Exclusive)
@@ -155,7 +155,7 @@ func TestSpeculativeAcquireAbandon(t *testing.T) {
 }
 
 func TestAbandonNonTopPanics(t *testing.T) {
-	a := NewArray(0, rel.NewKey(), 2)
+	a := NewArray(0, 0, rel.NewKey(), 2)
 	txn := NewTxn()
 	txn.Acquire([]*Lock{&a[0], &a[1]}, Shared, false)
 	defer func() {
@@ -168,7 +168,7 @@ func TestAbandonNonTopPanics(t *testing.T) {
 }
 
 func TestSharedAllowsParallelReaders(t *testing.T) {
-	a := NewArray(0, rel.NewKey(), 1)
+	a := NewArray(0, 0, rel.NewKey(), 1)
 	var inside atomic.Int32
 	var peak atomic.Int32
 	var wg sync.WaitGroup
@@ -197,7 +197,7 @@ func TestSharedAllowsParallelReaders(t *testing.T) {
 }
 
 func TestExclusiveExcludes(t *testing.T) {
-	a := NewArray(0, rel.NewKey(), 1)
+	a := NewArray(0, 0, rel.NewKey(), 1)
 	var inside atomic.Int32
 	var wg sync.WaitGroup
 	fail := make(chan string, 8)
@@ -228,8 +228,8 @@ func TestExclusiveExcludes(t *testing.T) {
 // two lock sets acquired by many goroutines in *request* orders that would
 // deadlock without a global order; ordered acquisition must make it safe.
 func TestNoDeadlockUnderInversePatterns(t *testing.T) {
-	a := NewArray(0, rel.NewKey(), 1)
-	b := NewArray(1, rel.NewKey(), 1)
+	a := NewArray(0, 0, rel.NewKey(), 1)
+	b := NewArray(0, 1, rel.NewKey(), 1)
 	done := make(chan struct{})
 	go func() {
 		var wg sync.WaitGroup

@@ -68,18 +68,21 @@ func (t *Txn) AcquireSet(s *LockSet) {
 	if len(reqs) == 0 {
 		return
 	}
-	// Sort by lock ID: closure-free insertion sort for the typical small
-	// per-node round (keeps the batch hot path allocation-free), falling
-	// back to sort.Slice for large rounds (e.g. all-stripe scans), where
-	// quadratic insertion would dominate.
+	// Sort by the precomputed lock-ID byte encoding: closure-free
+	// insertion sort for the typical small per-node round (keeps the batch
+	// hot path allocation-free), falling back to sort.Slice for large
+	// rounds (e.g. all-stripe scans), where quadratic insertion would
+	// dominate. Byte comparison replaces the old dynamic key walk — the
+	// ROADMAP's "cheaper batch scheduling" item — and is what makes the
+	// registry-wide (relation, node, inst, stripe) order one memcmp.
 	if len(reqs) <= 32 {
 		for i := 1; i < len(reqs); i++ {
-			for j := i; j > 0 && CompareIDs(reqs[j].L.id, reqs[j-1].L.id) < 0; j-- {
+			for j := i; j > 0 && compareLocks(reqs[j].L, reqs[j-1].L) < 0; j-- {
 				reqs[j], reqs[j-1] = reqs[j-1], reqs[j]
 			}
 		}
 	} else {
-		sort.Slice(reqs, func(i, j int) bool { return CompareIDs(reqs[i].L.id, reqs[j].L.id) < 0 })
+		sort.Slice(reqs, func(i, j int) bool { return compareLocks(reqs[i].L, reqs[j].L) < 0 })
 	}
 	for i := 0; i < len(reqs); i++ {
 		l, m := reqs[i].L, reqs[i].M
@@ -90,14 +93,14 @@ func (t *Txn) AcquireSet(s *LockSet) {
 			}
 			i++
 		}
-		if max, ok := t.maxHeldID(); ok && CompareIDs(l.id, max) <= 0 {
+		if max := t.maxHeld(); max != nil && compareLocks(l, max) <= 0 {
 			if idx, held := t.findHeld(l); held {
 				if m == Exclusive && t.held[idx].mode == Shared {
 					panic(fmt.Sprintf("locks: batch upgrade from shared to exclusive on %v; coalescing must merge modes before first acquisition", l.id))
 				}
 				continue
 			}
-			panic(fmt.Sprintf("locks: batch acquisition of %v violates lock order (max held %v)", l.id, max))
+			panic(fmt.Sprintf("locks: batch acquisition of %v violates lock order (max held %v)", l.id, max.id))
 		}
 		l.lock(m)
 		t.held = append(t.held, heldLock{l: l, mode: m})

@@ -11,7 +11,7 @@ import (
 // same lock acquire exclusive, and the merged set is taken in global
 // order regardless of Add order.
 func TestLockSetCoalesces(t *testing.T) {
-	arr := NewArray(0, rel.NewKey(), 4)
+	arr := NewArray(0, 0, rel.NewKey(), 4)
 	var s LockSet
 	s.Add(&arr[2], Shared)
 	s.Add(&arr[0], Shared)
@@ -46,7 +46,7 @@ func TestLockSetCoalesces(t *testing.T) {
 // a later set is a no-op (the at-most-once batch guarantee), and that a
 // later set may still acquire strictly larger locks.
 func TestLockSetSkipsHeld(t *testing.T) {
-	arr := NewArray(0, rel.NewKey(), 3)
+	arr := NewArray(0, 0, rel.NewKey(), 3)
 	tx := NewTxn()
 	var s LockSet
 	s.Add(&arr[0], Exclusive)
@@ -68,7 +68,7 @@ func TestLockSetSkipsHeld(t *testing.T) {
 // transaction already holds shared panics: coalescing must merge modes
 // before the first acquisition, upgrades can deadlock.
 func TestLockSetUpgradePanics(t *testing.T) {
-	arr := NewArray(0, rel.NewKey(), 2)
+	arr := NewArray(0, 0, rel.NewKey(), 2)
 	tx := NewTxn()
 	var s LockSet
 	s.Add(&arr[0], Shared)
@@ -88,7 +88,7 @@ func TestLockSetUpgradePanics(t *testing.T) {
 // transaction's high-water mark (and not already held) panics rather than
 // risking deadlock.
 func TestLockSetOrderViolationPanics(t *testing.T) {
-	arr := NewArray(0, rel.NewKey(), 2)
+	arr := NewArray(0, 0, rel.NewKey(), 2)
 	tx := NewTxn()
 	var s LockSet
 	s.Add(&arr[1], Shared)
@@ -106,7 +106,7 @@ func TestLockSetOrderViolationPanics(t *testing.T) {
 // TestLockSetAfterReleasePanics checks two-phasedness: no acquisition
 // after the shrinking phase begins.
 func TestLockSetAfterReleasePanics(t *testing.T) {
-	arr := NewArray(0, rel.NewKey(), 1)
+	arr := NewArray(0, 0, rel.NewKey(), 1)
 	tx := NewTxn()
 	tx.ReleaseAll()
 	defer func() {

@@ -1,0 +1,100 @@
+package rel
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randOrdValue draws from every supported dynamic type, biased toward
+// boundary values where encodings are easiest to get wrong.
+func randOrdValue(rng *rand.Rand) Value {
+	switch rng.Intn(7) {
+	case 0:
+		return nil
+	case 1:
+		return rng.Intn(2) == 0
+	case 2:
+		picks := []int64{0, 1, -1, math.MinInt64, math.MaxInt64, rng.Int63(), -rng.Int63()}
+		return picks[rng.Intn(len(picks))]
+	case 3:
+		return int(rng.Int31()) - (1 << 30)
+	case 4:
+		picks := []uint64{0, 1, math.MaxInt64, math.MaxInt64 + 1, math.MaxUint64, rng.Uint64()}
+		return picks[rng.Intn(len(picks))]
+	case 5:
+		picks := []float64{0, math.Copysign(0, -1), 1.5, -1.5, math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64, rng.NormFloat64()}
+		return picks[rng.Intn(len(picks))]
+	default:
+		alpha := []byte{0x00, 0x01, 'a', 'b', 0xff}
+		n := rng.Intn(4)
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = alpha[rng.Intn(len(alpha))]
+		}
+		return string(s)
+	}
+}
+
+func sign(c int) int {
+	switch {
+	case c < 0:
+		return -1
+	case c > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// TestOrderedValueEncoding quick-checks the core contract: byte comparison
+// of encodings has the same sign as Compare, across and within types.
+func TestOrderedValueEncoding(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200000; i++ {
+		a, b := randOrdValue(rng), randOrdValue(rng)
+		ea := AppendOrderedValue(nil, a)
+		eb := AppendOrderedValue(nil, b)
+		if got, want := sign(bytes.Compare(ea, eb)), sign(Compare(a, b)); got != want {
+			t.Fatalf("enc order of %v (%T) vs %v (%T): bytes %d, Compare %d\n% x\n% x",
+				a, a, b, b, got, want, ea, eb)
+		}
+	}
+}
+
+// TestOrderedKeyEncoding checks concatenated encodings against CompareKeys
+// for equal-arity keys (the lock-ID case: one node ⇒ one arity).
+func TestOrderedKeyEncoding(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 50000; i++ {
+		n := rng.Intn(3) + 1
+		av := make([]Value, n)
+		bv := make([]Value, n)
+		for j := 0; j < n; j++ {
+			av[j] = randOrdValue(rng)
+			bv[j] = randOrdValue(rng)
+		}
+		a, b := NewKey(av...), NewKey(bv...)
+		ea := AppendOrderedKey(nil, a)
+		eb := AppendOrderedKey(nil, b)
+		if got, want := sign(bytes.Compare(ea, eb)), sign(CompareKeys(a, b)); got != want {
+			t.Fatalf("key enc order of %v vs %v: bytes %d, CompareKeys %d", a, b, got, want)
+		}
+	}
+}
+
+// TestOrderedStringEdgeCases pins the escape/terminator construction on
+// the classic traps: embedded NUL, prefixes, and 0x01/0xff content.
+func TestOrderedStringEdgeCases(t *testing.T) {
+	strs := []string{"", "\x00", "\x00\x00", "\x01", "a", "a\x00", "a\x00b", "a\x01", "ab", "b", "\xff"}
+	for _, a := range strs {
+		for _, b := range strs {
+			ea := AppendOrderedValue(nil, a)
+			eb := AppendOrderedValue(nil, b)
+			if got, want := sign(bytes.Compare(ea, eb)), sign(Compare(a, b)); got != want {
+				t.Fatalf("string enc order of %q vs %q: bytes %d, Compare %d", a, b, got, want)
+			}
+		}
+	}
+}

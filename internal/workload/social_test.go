@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSocialCounterInvariant drives the composite mix single-threaded and
+// checks the cross-table invariant the grouped transactions maintain: the
+// stored per-user post counter equals the actual number of posts by that
+// author, for every author touched.
+func TestSocialCounterInvariant(t *testing.T) {
+	core.SetAudit(true)
+	defer core.SetAudit(false)
+	s := MustSocial()
+	state := uint64(42)
+	const keys = 8
+	for i := 0; i < 2000; i++ {
+		SocialOp(s, &state, DefaultSocialMix(), keys)
+	}
+	for a := int64(0); a < keys; a++ {
+		if got, want := s.PostCount(a), int64(s.PostsOf(a)); got != want {
+			t.Fatalf("author %d: stored counter %d, actual posts %d", a, got, want)
+		}
+	}
+	for _, r := range []*core.Relation{s.Users, s.Posts, s.Follows} {
+		if _, err := r.VerifyWellFormed(); err != nil {
+			t.Fatalf("%s ill-formed: %v", r.Name(), err)
+		}
+	}
+}
+
+// TestSocialGroupedMatchesSequential runs the identical deterministic
+// workload in both disciplines and requires identical checksums (the
+// member executions are the same; only the transaction grouping differs)
+// and strictly fewer lock acquisitions for the grouped run.
+func TestSocialGroupedMatchesSequential(t *testing.T) {
+	run := func(grouped bool) (uint64, *LockCounts) {
+		s := MustSocial()
+		s.Grouped = grouped
+		s.Counts = &LockCounts{}
+		state := uint64(7)
+		var sum uint64
+		for i := 0; i < 1500; i++ {
+			sum += SocialOp(s, &state, DefaultSocialMix(), 6)
+		}
+		return sum, s.Counts
+	}
+	gSum, gCounts := run(true)
+	sSum, sCounts := run(false)
+	if gSum != sSum {
+		t.Fatalf("checksums diverge: grouped %d, sequential %d", gSum, sSum)
+	}
+	if gCounts.Acquired.Load() >= sCounts.Acquired.Load() {
+		t.Fatalf("grouped run acquired %d locks, sequential %d — coalescing must win",
+			gCounts.Acquired.Load(), sCounts.Acquired.Load())
+	}
+	if gCounts.Requested.Load() == 0 || gCounts.Acquired.Load() == 0 {
+		t.Fatal("lock counting recorded nothing")
+	}
+}
+
+// TestSocialConcurrent smokes the registry under concurrent composite
+// operations (run with -race in CI).
+func TestSocialConcurrent(t *testing.T) {
+	s := MustSocial()
+	cfg := Config{Threads: 4, OpsPerThread: 200, KeySpace: 6, Seed: 3}
+	res := RunSocial(s, cfg, DefaultSocialMix())
+	if res.Ops != 800 {
+		t.Fatalf("ran %d ops", res.Ops)
+	}
+	for _, r := range []*core.Relation{s.Users, s.Posts, s.Follows} {
+		if _, err := r.VerifyWellFormed(); err != nil {
+			t.Fatalf("%s ill-formed: %v", r.Name(), err)
+		}
+	}
+}
