@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Coverage gate for the packages carrying the locking and optimistic-epoch
+# machinery: fail when statement coverage drops below the committed floor.
+# The floors are set a couple of points under the measured coverage at the
+# time they were last raised (core 86.4%, locks 90.0%), so routine changes
+# don't flake but untested additions to the epoch/validation protocol fail
+# loudly. Raise the floor when coverage improves; never lower it to make a
+# PR pass.
+set -euo pipefail
+
+declare -A floors=(
+  ["./internal/core/"]=84.0
+  ["./internal/locks/"]=87.0
+)
+
+status=0
+for pkg in "${!floors[@]}"; do
+  floor=${floors[$pkg]}
+  out=$(go test -cover "$pkg")
+  echo "$out"
+  pct=$(echo "$out" | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*' | head -1)
+  if [ -z "$pct" ]; then
+    echo "FAIL $pkg: no coverage figure in test output" >&2
+    status=1
+    continue
+  fi
+  if awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p < f) }'; then
+    echo "FAIL $pkg: coverage ${pct}% is below the committed floor ${floor}%" >&2
+    status=1
+  else
+    echo "ok   $pkg: coverage ${pct}% >= floor ${floor}%"
+  fi
+done
+exit $status

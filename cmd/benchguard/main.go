@@ -13,18 +13,27 @@
 //
 //	benchguard -baseline BENCH_3.json -current current.json [-tolerance 0]
 //
+// Both documents must carry the bench_schema this guard supports;
+// mismatched or missing schemas fail immediately instead of being
+// silently compared field-by-field.
+//
 // Rules enforced, per (mix, variant, mode, threads) record carrying lock
-// counts:
+// or optimistic counts:
 //
 //   - the current run's locks_acquired must not exceed the baseline's by
 //     more than -tolerance (a fraction; 0 demands no regression at all);
 //   - likewise locks_requested: pre-coalescing request growth means the
 //     schedulers started doing more lock-step work per member, even if
 //     dedup still hides it;
-//   - every baseline record with lock counts must still exist;
-//   - where both modes were measured, the batched mode must acquire
-//     strictly fewer locks than the sequential mode (the coalescing
-//     property itself).
+//   - every baseline record with counts must still exist;
+//   - where both modes were measured and neither ran optimistic
+//     read-only batches, the batched mode must acquire strictly fewer
+//     locks than the sequential mode (the coalescing property itself);
+//   - wherever the baseline ran optimistic read-only batches, the current
+//     run must detect at least as many, and they must report zero locks
+//     acquired, zero validation retries and zero fallbacks — the
+//     deterministic pass is uncontended, so nonzero values are protocol
+//     regressions, not noise.
 //
 // Improvements (fewer acquisitions than the baseline) are reported so the
 // baseline can be refreshed, but do not fail the build.
@@ -37,11 +46,17 @@ import (
 	"os"
 )
 
+// supportedSchema is the crsbench json document schema this guard
+// understands; documents carrying any other version (including none) are
+// rejected rather than silently compared field-by-field.
+const supportedSchema = 2
+
 // benchDoc mirrors crsbench's -format json document (the subset the guard
 // reads).
 type benchDoc struct {
-	Config  benchConfig   `json:"config"`
-	Results []benchRecord `json:"results"`
+	BenchSchema int           `json:"bench_schema"`
+	Config      benchConfig   `json:"config"`
+	Results     []benchRecord `json:"results"`
 }
 
 // benchConfig is the workload configuration stamped into each document;
@@ -60,6 +75,12 @@ type benchRecord struct {
 	Threads        int    `json:"threads"`
 	LocksRequested int64  `json:"locks_requested"`
 	LocksAcquired  int64  `json:"locks_acquired"`
+	// Optimistic read-only counters (crsbench -optimistic deterministic
+	// pass). ROBatches > 0 marks a record as carrying them.
+	ROBatches         int64 `json:"ro_batches"`
+	ROLocksAcquired   int64 `json:"ro_locks_acquired"`
+	ValidationRetries int64 `json:"validation_retries"`
+	ROFallbacks       int64 `json:"ro_fallbacks"`
 }
 
 // key identifies a comparable record across runs.
@@ -80,11 +101,13 @@ func load(path string) (*benchDoc, error) {
 	return &doc, nil
 }
 
-// counted indexes a document's lock-carrying records by key.
+// counted indexes a document's count-carrying records by key: rows from a
+// deterministic counting pass, recognizable by lock totals or optimistic
+// read-only counters.
 func counted(doc *benchDoc) map[key]benchRecord {
 	m := map[key]benchRecord{}
 	for _, r := range doc.Results {
-		if r.LocksAcquired > 0 {
+		if r.LocksAcquired > 0 || r.ROBatches > 0 {
 			m[key{r.Mix, r.Variant, r.Mode, r.Threads}] = r
 		}
 	}
@@ -107,13 +130,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	for path, doc := range map[string]*benchDoc{*baselinePath: base, *currentPath: cur} {
+		if doc.BenchSchema != supportedSchema {
+			fatal(fmt.Errorf("%s carries bench_schema %d, this guard understands %d — regenerate the file with the current crsbench",
+				path, doc.BenchSchema, supportedSchema))
+		}
+	}
 	if base.Config != cur.Config {
 		fatal(fmt.Errorf("workload configs differ (baseline %+v, current %+v): lock counts are only comparable for identical workloads — rerun crsbench with the baseline's flags",
 			base.Config, cur.Config))
 	}
 	baseRecs, curRecs := counted(base), counted(cur)
 	if len(baseRecs) == 0 {
-		fatal(fmt.Errorf("%s carries no lock-count records; regenerate it with crsbench -registry -format json", *baselinePath))
+		fatal(fmt.Errorf("%s carries no lock-count records; regenerate it with crsbench -registry/-optimistic -format json", *baselinePath))
 	}
 	failures := 0
 	for k, b := range baseRecs {
@@ -143,7 +172,12 @@ func main() {
 		}
 	}
 	// The coalescing property: batched must beat sequential in the
-	// current run wherever both were measured.
+	// current run wherever both were measured. Pairs where either side ran
+	// optimistic read-only batches are exempt — lock-free reads zero out
+	// the sequential side's read costs while mixed (read+write) groups
+	// still pay for theirs, so the cross-discipline count no longer
+	// isolates coalescing there; the write-only coalescing property is
+	// pinned by the workload tests instead.
 	for k, c := range curRecs {
 		if k.Mode != "batched" {
 			continue
@@ -154,10 +188,43 @@ func main() {
 		if !ok {
 			continue
 		}
+		if c.ROBatches > 0 || s.ROBatches > 0 {
+			continue
+		}
 		if c.LocksAcquired >= s.LocksAcquired {
 			fmt.Printf("FAIL %s %s %dthr: batched acquired %d locks, sequential %d — coalescing must win\n",
 				k.Variant, k.Mix, k.Threads, c.LocksAcquired, s.LocksAcquired)
 			failures++
+		}
+	}
+
+	// The optimistic zero-lock gate: wherever the baseline ran read-only
+	// batches, the current run must (a) still detect at least as many
+	// read-only batches (fewer means groups stopped being recognized as
+	// read-only), and (b) report zero locks acquired by them, zero
+	// validation retries and zero fallbacks — the counting pass is
+	// single-threaded and uncontended, so any nonzero value is a protocol
+	// regression, never machine noise.
+	for k, b := range baseRecs {
+		if b.ROBatches == 0 {
+			continue
+		}
+		c, ok := curRecs[k]
+		if !ok {
+			continue // already reported missing above
+		}
+		switch {
+		case c.ROBatches < b.ROBatches:
+			fmt.Printf("FAIL %s/%s %s %dthr: %d read-only batches, baseline %d — groups stopped being detected as read-only\n",
+				k.Variant, k.Mode, k.Mix, k.Threads, c.ROBatches, b.ROBatches)
+			failures++
+		case c.ROLocksAcquired != 0 || c.ValidationRetries != 0 || c.ROFallbacks != 0:
+			fmt.Printf("FAIL %s/%s %s %dthr: read-only batches acquired %d locks, %d retries, %d fallbacks on the uncontended pass — want all zero\n",
+				k.Variant, k.Mode, k.Mix, k.Threads, c.ROLocksAcquired, c.ValidationRetries, c.ROFallbacks)
+			failures++
+		default:
+			fmt.Printf("ok   %s/%s %s %dthr: %d read-only batches, 0 locks / 0 retries / 0 fallbacks\n",
+				k.Variant, k.Mode, k.Mix, k.Threads, c.ROBatches)
 		}
 	}
 	if failures > 0 {

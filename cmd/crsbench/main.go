@@ -33,10 +33,16 @@ import (
 	"repro/internal/workload"
 )
 
+// benchSchema versions the -format json document; cmd/benchguard refuses
+// to compare documents with mismatched schemas. Bump it whenever a field
+// changes meaning (schema 2 added the optimistic read-only counters).
+const benchSchema = 2
+
 // jsonDoc is the -format json output document.
 type jsonDoc struct {
-	Config  jsonConfig   `json:"config"`
-	Results []jsonResult `json:"results"`
+	BenchSchema int          `json:"bench_schema"`
+	Config      jsonConfig   `json:"config"`
+	Results     []jsonResult `json:"results"`
 }
 
 type jsonConfig struct {
@@ -67,6 +73,15 @@ type jsonResult struct {
 	// runners. Zero (omitted) for throughput-only rows.
 	LocksRequested int64 `json:"locks_requested,omitempty"`
 	LocksAcquired  int64 `json:"locks_acquired,omitempty"`
+	// The optimistic read-only counters of the -optimistic deterministic
+	// counting pass: batches that took the lock-free epoch-validation
+	// path, the locks those batches acquired (0 unless they fell back),
+	// their validation retries, and their pessimistic fallbacks.
+	// benchguard gates the last three at zero for the uncontended pass.
+	ROBatches         int64 `json:"ro_batches,omitempty"`
+	ROLocksAcquired   int64 `json:"ro_locks_acquired,omitempty"`
+	ValidationRetries int64 `json:"validation_retries,omitempty"`
+	ROFallbacks       int64 `json:"ro_fallbacks,omitempty"`
 }
 
 func main() {
@@ -79,6 +94,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	batch := flag.Bool("batch", false, "run the batched-transaction benchmark (composite operation groups, batched vs sequential) instead of Figure 5")
 	registry := flag.Bool("registry", false, "run the cross-relation registry benchmark (users/posts/follows composite groups over Registry.Batch, batched vs sequential, with deterministic lock-acquisition counts) instead of Figure 5")
+	optimistic := flag.Bool("optimistic", false, "run the optimistic read-only batch benchmark (read-heavy mixes over optimistic-capable representations, with deterministic zero-lock/retry/fallback counts) instead of Figure 5")
 	flag.Parse()
 
 	if *format != "table" && *format != "csv" && *format != "json" {
@@ -101,17 +117,31 @@ func main() {
 	if *format == "csv" && !*batch {
 		fmt.Println("mix,variant,threads,ops,seconds,throughput_ops_per_sec")
 	}
-	doc := jsonDoc{Config: jsonConfig{
+	doc := jsonDoc{BenchSchema: benchSchema, Config: jsonConfig{
 		OpsPerThread: *ops,
 		KeySpace:     *keyspace,
 		Seed:         *seed,
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		GoVersion:    runtime.Version(),
 	}}
-	if *registry {
-		if *batch {
-			fatal(fmt.Errorf("-batch and -registry are mutually exclusive benchmarks; pick one"))
+	modes := 0
+	for _, m := range []bool{*batch, *registry, *optimistic} {
+		if m {
+			modes++
 		}
+	}
+	if modes > 1 {
+		fatal(fmt.Errorf("-batch, -registry and -optimistic are mutually exclusive benchmarks; pick one"))
+	}
+	if *optimistic {
+		if *mixesFlag != "all" || *variantsFlag != "all" {
+			fatal(fmt.Errorf("-mixes/-variants do not apply to -optimistic: it runs the read-heavy mixes %s (graph) and %s (social) over optimistic-capable representations",
+				workload.ReadHeavyBatchMix(), workload.ReadHeavySocialMix()))
+		}
+		runOptimisticBench(&doc, threads, *ops, *keyspace, *seed, *format)
+		return
+	}
+	if *registry {
 		if *mixesFlag != "all" || *variantsFlag != "all" {
 			fatal(fmt.Errorf("-mixes/-variants do not apply to -registry: it runs the social mix %s over the users/posts/follows registry", workload.DefaultSocialMix()))
 		}
@@ -270,18 +300,22 @@ func runBatchBench(doc *jsonDoc, variants []string, threads []int, ops int, keys
 // regression signal — followed by throughput passes over the requested
 // thread counts. Each pass starts from a fresh registry so runs are
 // comparable.
+// withThread1 ensures the thread list contains 1: the deterministic
+// counting passes ride on the 1-thread record, so it is always measured.
+func withThread1(threads []int) []int {
+	for _, k := range threads {
+		if k == 1 {
+			return threads
+		}
+	}
+	return append([]int{1}, threads...)
+}
+
 func runRegistryBench(doc *jsonDoc, threads []int, ops int, keyspace int64, seed uint64, format string) {
 	mix := workload.DefaultSocialMix()
-	// The lock counts ride on the 1-thread record; always measure it.
-	has1 := false
-	for _, k := range threads {
-		has1 = has1 || k == 1
-	}
-	if !has1 {
-		threads = append([]int{1}, threads...)
-	}
+	threads = withThread1(threads)
 	if format == "csv" {
-		fmt.Println("mix,mode,threads,ops,seconds,throughput_groups_per_sec,locks_requested,locks_acquired")
+		fmt.Println("mix,mode,threads,ops,seconds,throughput_groups_per_sec,locks_requested,locks_acquired,ro_batches,ro_locks_acquired")
 	}
 	if format == "table" {
 		fmt.Printf("\nCross-relation registry transactions, social mix %s (GOMAXPROCS=%d)\n",
@@ -297,37 +331,153 @@ func runRegistryBench(doc *jsonDoc, threads []int, ops int, keyspace int64, seed
 		s.Grouped = grouped
 		s.Counts = &workload.LockCounts{}
 		workload.RunSocial(s, crs.BenchConfig{Threads: 1, OpsPerThread: ops, KeySpace: keyspace, Seed: seed}, mix)
-		req, acq := s.Counts.Requested.Load(), s.Counts.Acquired.Load()
+		counts := s.Counts
 		// Throughput passes (no tracing): every requested thread count,
 		// each on a fresh registry. The 1-thread row carries the counting
-		// pass's lock totals alongside its untraced timing.
+		// pass's lock and optimistic totals alongside its untraced timing
+		// (read-only groups run lock-free in both disciplines, which is why
+		// benchguard's cross-discipline coalescing rule exempts rows
+		// carrying ro_batches).
 		for _, k := range threads {
 			s := workload.MustSocial()
 			s.Grouped = grouped
 			cfg := crs.BenchConfig{Threads: k, OpsPerThread: ops, KeySpace: keyspace, Seed: seed}
 			res := workload.RunSocial(s, cfg, mix)
-			kreq, kacq := int64(0), int64(0)
+			row := jsonResult{
+				Mix: mix.String(), Variant: "social", Mode: mode, Threads: k,
+				Ops: res.Ops, Seconds: res.Duration.Seconds(), OpsPerSec: res.Throughput,
+				Checksum: res.Checksum,
+			}
 			if k == 1 {
-				kreq, kacq = req, acq
+				row.LocksRequested = counts.Requested.Load()
+				row.LocksAcquired = counts.Acquired.Load()
+				row.ROBatches = counts.ReadOnlyBatches.Load()
+				row.ROLocksAcquired = counts.ReadOnlyAcquired.Load()
+				row.ValidationRetries = counts.ValidationRetries.Load()
+				row.ROFallbacks = counts.Fallbacks.Load()
 			}
 			switch format {
 			case "table":
 				fmt.Printf("%-12s %d thr: %8.0f groups/s", mode, k, res.Throughput)
 				if k == 1 {
-					fmt.Printf(", locks requested %d -> acquired %d", kreq, kacq)
+					fmt.Printf(", locks requested %d -> acquired %d, ro batches %d -> %d locks",
+						row.LocksRequested, row.LocksAcquired, row.ROBatches, row.ROLocksAcquired)
 				}
 				fmt.Println()
 			case "csv":
-				fmt.Printf("%s,%s,%d,%d,%.3f,%.0f,%d,%d\n", mix, mode, k, res.Ops, res.Duration.Seconds(), res.Throughput, kreq, kacq)
+				fmt.Printf("%s,%s,%d,%d,%.3f,%.0f,%d,%d,%d,%d\n", mix, mode, k, res.Ops, res.Duration.Seconds(),
+					res.Throughput, row.LocksRequested, row.LocksAcquired, row.ROBatches, row.ROLocksAcquired)
 			case "json":
-				doc.Results = append(doc.Results, jsonResult{
-					Mix: mix.String(), Variant: "social", Mode: mode, Threads: k,
-					Ops: res.Ops, Seconds: res.Duration.Seconds(), OpsPerSec: res.Throughput,
-					Checksum: res.Checksum, LocksRequested: kreq, LocksAcquired: kacq,
-				})
+				doc.Results = append(doc.Results, row)
 			}
 		}
 	}
+	if format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runOptimisticBench runs the optimistic read-only batch benchmark: the
+// read-heavy graph mix over the optimistic-capable "Stick LF"
+// representation and the read-heavy social mix over the registry, each
+// with one DETERMINISTIC single-threaded counting pass (fixed seed,
+// tracing on) recording the zero-lock signal benchguard gates —
+// read-only batches attempted, locks they acquired (0 expected),
+// validation retries (0 expected uncontended) and fallbacks (0 expected)
+// — followed by throughput passes over the requested thread counts.
+func runOptimisticBench(doc *jsonDoc, threads []int, ops int, keyspace int64, seed uint64, format string) {
+	threads = withThread1(threads)
+	if format == "csv" {
+		fmt.Println("mix,variant,threads,ops,seconds,throughput_groups_per_sec,locks_requested,locks_acquired,ro_batches,ro_locks_acquired,validation_retries,ro_fallbacks")
+	}
+	if format == "table" {
+		fmt.Printf("\nOptimistic read-only batches (GOMAXPROCS=%d)\n", runtime.GOMAXPROCS(0))
+	}
+
+	emit := func(mix, variant string, k int, res crs.BenchResult, c *workload.LockCounts) {
+		row := jsonResult{
+			Mix: mix, Variant: variant, Mode: "optimistic", Threads: k,
+			Ops: res.Ops, Seconds: res.Duration.Seconds(), OpsPerSec: res.Throughput,
+			Checksum: res.Checksum,
+		}
+		if c != nil {
+			row.LocksRequested = c.Requested.Load()
+			row.LocksAcquired = c.Acquired.Load()
+			row.ROBatches = c.ReadOnlyBatches.Load()
+			row.ROLocksAcquired = c.ReadOnlyAcquired.Load()
+			row.ValidationRetries = c.ValidationRetries.Load()
+			row.ROFallbacks = c.Fallbacks.Load()
+		}
+		switch format {
+		case "table":
+			fmt.Printf("%-10s %d thr: %8.0f groups/s", variant, k, res.Throughput)
+			if c != nil {
+				fmt.Printf(", ro batches %d -> %d locks, %d retries, %d fallbacks (writes acquired %d)",
+					row.ROBatches, row.ROLocksAcquired, row.ValidationRetries, row.ROFallbacks, row.LocksAcquired)
+			}
+			fmt.Println()
+		case "csv":
+			fmt.Printf("%s,%s,%d,%d,%.3f,%.0f,%d,%d,%d,%d,%d,%d\n", mix, variant, k, res.Ops,
+				res.Duration.Seconds(), res.Throughput, row.LocksRequested, row.LocksAcquired,
+				row.ROBatches, row.ROLocksAcquired, row.ValidationRetries, row.ROFallbacks)
+		case "json":
+			doc.Results = append(doc.Results, row)
+		}
+	}
+
+	// Graph scenario: read-heavy composite groups over Stick LF.
+	gmix := workload.ReadHeavyBatchMix()
+	buildLF := func() crs.BatchGraphOps {
+		v, err := crs.GraphVariantByName("Stick LF")
+		if err != nil {
+			fatal(err)
+		}
+		r, err := v.Build()
+		if err != nil {
+			fatal(err)
+		}
+		return crs.MustRelationBatchGraph(r)
+	}
+	{
+		g := buildLF().(*workload.RelationBatchGraph)
+		g.Counts = &workload.LockCounts{}
+		cfg := crs.BenchConfig{Threads: 1, OpsPerThread: ops, KeySpace: keyspace, Seed: seed}
+		workload.RunBatched(g, cfg, gmix)
+		counts := g.Counts
+		for _, k := range threads {
+			cfg := crs.BenchConfig{Threads: k, OpsPerThread: ops, KeySpace: keyspace, Seed: seed}
+			res := crs.RunBatchedBench(buildLF(), cfg, gmix)
+			var c *workload.LockCounts
+			if k == 1 {
+				c = counts
+			}
+			emit(gmix.String(), "Stick LF", k, res, c)
+		}
+	}
+
+	// Social scenario: read-heavy cross-relation groups over the registry.
+	smix := workload.ReadHeavySocialMix()
+	{
+		s := workload.MustSocial()
+		s.Counts = &workload.LockCounts{}
+		workload.RunSocial(s, crs.BenchConfig{Threads: 1, OpsPerThread: ops, KeySpace: keyspace, Seed: seed}, smix)
+		counts := s.Counts
+		for _, k := range threads {
+			s := workload.MustSocial()
+			cfg := crs.BenchConfig{Threads: k, OpsPerThread: ops, KeySpace: keyspace, Seed: seed}
+			res := workload.RunSocial(s, cfg, smix)
+			var c *workload.LockCounts
+			if k == 1 {
+				c = counts
+			}
+			emit(smix.String(), "social", k, res, c)
+		}
+	}
+
 	if format == "json" {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -66,6 +66,25 @@
 //	})
 //	_ = moved.Value() // results resolve when Batch returns
 //
+// # Read-only batches
+//
+// A batch whose members are all queries and counts runs OPTIMISTICALLY
+// when every container of the touched relations is concurrency-safe
+// (Relation.OptimisticCapable): instead of acquiring its plans' locks
+// shared, it records each lock's epoch cell, reads lock-free, validates
+// the recorded epochs in the global lock order at commit, and retries on
+// conflict — falling back to ordinary two-phase locking after a few
+// failed attempts, so results never depend on the path taken. The happy
+// path acquires zero physical locks. Batch detects read-only groups
+// automatically; BatchReadOnly (on Relation and Registry) makes the
+// intent explicit and rejects mutation enqueues:
+//
+//	var n *crs.Pending[int]
+//	r.BatchReadOnly(func(tx *crs.Txn) error {
+//	    n, _ = tx.Count(crs.T("src", 1))
+//	    return nil
+//	})
+//
 // Or let the autotuner pick the representation for your workload:
 //
 //	best, _ := crs.Tune(crs.EnumerateGraphCandidates(), cfg, crs.TuneOptions{TopStatic: 32})
@@ -207,7 +226,9 @@ type (
 // Batched transactions.
 type (
 	// Txn is a batched multi-operation transaction under construction;
-	// see Relation.Batch and Registry.Batch. Enqueue operations with
+	// see Relation.Batch and Registry.Batch (and their BatchReadOnly
+	// variants, which reject mutations and run lock-free when the
+	// relations are OptimisticCapable). Enqueue operations with
 	// Txn.Insert / Remove / Count / Query (tuples, single-relation
 	// batches), Txn.InsertInto / RemoveFrom / CountIn / QueryIn (tuples,
 	// naming the relation) or Txn.ExecRow / CountRow / ExecRows (prepared
@@ -304,6 +325,11 @@ func NewSequentialBatchGraph(r *Relation) (*SequentialRelationBatchGraph, error)
 // DefaultBatchMix returns the batched benchmark's mixed read-write
 // distribution.
 func DefaultBatchMix() BatchOpsMix { return workload.DefaultBatchMix() }
+
+// ReadHeavyBatchMix returns the 95/5 read-dominated distribution of the
+// optimistic benchmark: mostly count pairs and two-hop scans, which run
+// as lock-free read-only batches on an optimistic-capable relation.
+func ReadHeavyBatchMix() BatchOpsMix { return workload.ReadHeavyBatchMix() }
 
 // RunBatchedBench executes one batched benchmark run.
 func RunBatchedBench(g BatchGraphOps, cfg BenchConfig, mix BatchOpsMix) BenchResult {

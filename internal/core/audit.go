@@ -38,6 +38,18 @@ func SetAudit(on bool) { auditEnabled.Store(on) }
 // AuditEnabled reports whether auditing is on.
 func AuditEnabled() bool { return auditEnabled.Load() }
 
+// covered reports whether the running operation's synchronization covers
+// lock l: the transaction holds it, or — in an optimistic read-only
+// attempt — its epoch has been recorded into the read-set, which is the
+// lock-free analog of a shared hold (the final validation proves the
+// reads under it were stable).
+func (b *opBuf) covered(l *locks.Lock) bool {
+	if b.optimistic {
+		return b.reads.Contains(l)
+	}
+	return b.txn.Holds(l)
+}
+
 // auditAccess asserts lock coverage for an access to edge e. insts maps
 // node index → located instance (a query state's instances or a
 // mutation's xinst array); row is the access's bound row (the stripe
@@ -49,7 +61,10 @@ func AuditEnabled() bool { return auditEnabled.Load() }
 // node's bound columns). Per-entry and filtered accesses accept a single
 // stripe whenever the row binds the selector (the predicate-lock
 // argument of §4.4: all entries the access relies on share that stripe).
-func (r *Relation) auditAccess(txn *locks.Txn, e *decomp.Edge, insts []*Instance, row rel.Row, target *Instance, fresh map[*Instance]bool, whole bool) {
+// In an optimistic attempt (b.optimistic) "held" means "epoch recorded":
+// every lock-free read must be covered by a read-set entry recorded where
+// the pessimistic plan would have acquired the lock.
+func (r *Relation) auditAccess(b *opBuf, e *decomp.Edge, insts []*Instance, row rel.Row, target *Instance, fresh map[*Instance]bool, whole bool) {
 	if !auditEnabled.Load() {
 		return
 	}
@@ -63,12 +78,12 @@ func (r *Relation) auditAccess(txn *locks.Txn, e *decomp.Edge, insts []*Instance
 			if fresh[target] {
 				return
 			}
-			if !txn.Holds(target.lock(0)) {
+			if !b.covered(target.lock(0)) {
 				panic(fmt.Sprintf("core: audit: speculative access to %s without target lock %v", e.Name, target.lock(0).ID()))
 			}
 			return
 		}
-		r.auditStripes(txn, e, insts[rule.FallbackAt.Index], rule.FallbackAt, rule.FallbackStripeBy, row, whole)
+		r.auditStripes(b, e, insts[rule.FallbackAt.Index], rule.FallbackAt, rule.FallbackStripeBy, row, whole)
 		return
 	}
 	at := insts[rule.At.Index]
@@ -78,14 +93,14 @@ func (r *Relation) auditAccess(txn *locks.Txn, e *decomp.Edge, insts []*Instance
 	if fresh[at] {
 		return
 	}
-	r.auditStripes(txn, e, at, rule.At, rule.StripeBy, row, whole)
+	r.auditStripes(b, e, at, rule.At, rule.StripeBy, row, whole)
 }
 
 // auditStripes asserts the stripe-coverage rule on one placement instance.
 // Stripe selection mirrors Placement.StripeIndex, computed over the row
 // through the schema (the auditor is test-only, so the per-access name
 // resolution here is acceptable).
-func (r *Relation) auditStripes(txn *locks.Txn, e *decomp.Edge, inst *Instance, at *decomp.Node, stripeBy []string, row rel.Row, whole bool) {
+func (r *Relation) auditStripes(b *opBuf, e *decomp.Edge, inst *Instance, at *decomp.Node, stripeBy []string, row rel.Row, whole bool) {
 	if inst == nil {
 		panic(fmt.Sprintf("core: audit: access to %s before locating fallback/placement node %s", e.Name, at.Name))
 	}
@@ -108,7 +123,7 @@ func (r *Relation) auditStripes(txn *locks.Txn, e *decomp.Edge, inst *Instance, 
 			ok = false
 		}
 		if ok {
-			if !txn.Holds(inst.lock(idx)) {
+			if !b.covered(inst.lock(idx)) {
 				panic(fmt.Sprintf("core: audit: access to %s without stripe %d of %s (selector %v)",
 					e.Name, idx, at.Name, stripeBy))
 			}
@@ -116,7 +131,7 @@ func (r *Relation) auditStripes(txn *locks.Txn, e *decomp.Edge, inst *Instance, 
 		}
 	}
 	for i := 0; i < k; i++ {
-		if !txn.Holds(inst.lock(i)) {
+		if !b.covered(inst.lock(i)) {
 			panic(fmt.Sprintf("core: audit: unselective access to %s missing stripe %d of %s (whole=%v)", e.Name, i, at.Name, whole))
 		}
 	}

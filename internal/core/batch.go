@@ -90,6 +90,7 @@ type Txn struct {
 	shards []*txnShard // registry mode only: per-relation shards, first-touch order
 	order  []memberRef // registry mode only: global enqueue order across shards
 	sealed bool
+	roOnly bool // BatchReadOnly: mutation enqueues are rejected
 	trace  *BatchTrace
 }
 
@@ -254,6 +255,25 @@ type BatchTrace struct {
 	// Speculative counts the locks taken by the §4.5 protocol (a subset
 	// of Acquired).
 	Speculative int
+
+	// Optimistic reports that the batch was detected read-only and
+	// attempted the lock-free epoch-validation path (readonly.go). When
+	// the final attempt validated, Requested and Acquired stay zero — the
+	// batch took no locks at all.
+	Optimistic bool
+	// Attempts counts the optimistic attempts executed (1 on the
+	// conflict-free happy path); Attempts-1 is the validation-retry count,
+	// unless FellBack adds one more failed attempt.
+	Attempts int
+	// EpochsRecorded counts the read-set observations of the last
+	// optimistic attempt (the analog of Requested), and EpochsDistinct the
+	// distinct epoch cells validated (the analog of Acquired).
+	EpochsRecorded int
+	EpochsDistinct int
+	// FellBack reports that every optimistic attempt failed validation and
+	// the batch re-ran under pessimistic two-phase locking (whose lock
+	// schedule then fills Rounds/Requested/Acquired as usual).
+	FellBack bool
 }
 
 // BatchRound is one coalesced acquisition in a batch's growing phase.
@@ -304,14 +324,34 @@ func (t *Txn) Trace() *BatchTrace { return t.trace }
 // members behave as if executed sequentially: each mutation observes the
 // effects of the members enqueued before it. If fn returns an error,
 // nothing executes and the error is returned.
+//
+// A group whose members are all queries and counts is detected
+// automatically and — when the relation is OptimisticCapable — executed
+// lock-free under the optimistic epoch-validation protocol (readonly.go),
+// acquiring zero physical locks on the conflict-free path.
 func (r *Relation) Batch(fn func(tx *Txn) error) error {
+	return r.batch(fn, false)
+}
+
+// BatchReadOnly is Batch restricted to read-only groups: enqueueing a
+// mutation fails with an error, making the zero-lock optimistic intent
+// explicit in the API. Execution is identical to what Batch auto-detects
+// for read-only groups — optimistic with pessimistic fallback when the
+// relation is OptimisticCapable, plain pessimistic 2PL otherwise — so the
+// results never depend on which path ran.
+func (r *Relation) BatchReadOnly(fn func(tx *Txn) error) error {
+	return r.batch(fn, true)
+}
+
+// batch is the shared body of Batch and BatchReadOnly.
+func (r *Relation) batch(fn func(tx *Txn) error, roOnly bool) error {
 	b := r.getBuf()
 	defer r.putBuf(b)
 	// The Txn is allocated per batch, NOT pooled: a caller that leaks the
 	// *Txn past Batch must hit the sealed guard (an error), and a pooled
 	// handle would be silently un-sealed when a later batch reuses the
 	// buffer — turning the leak into cross-transaction corruption.
-	t := &Txn{ltxn: b.txn}
+	t := &Txn{ltxn: b.txn, roOnly: roOnly}
 	t.single = txnShard{r: r, b: b, firstMut: -1}
 	if err := fn(t); err != nil {
 		t.sealed = true
@@ -319,6 +359,9 @@ func (r *Relation) Batch(fn func(tx *Txn) error) error {
 	}
 	t.sealed = true
 	if len(b.members) == 0 {
+		return nil
+	}
+	if t.readOnly() && r.commitReadOnly(t, &t.single) {
 		return nil
 	}
 	r.commitBatch(t, &t.single)
@@ -329,6 +372,15 @@ func (r *Relation) Batch(fn func(tx *Txn) error) error {
 func (t *Txn) checkOpen() error {
 	if t.sealed {
 		return fmt.Errorf("core: batch transaction used outside its Batch callback")
+	}
+	return nil
+}
+
+// checkMutable rejects mutation enqueues on read-only transactions
+// (BatchReadOnly); plain Batch transactions accept anything.
+func (t *Txn) checkMutable() error {
+	if t.roOnly {
+		return fmt.Errorf("core: read-only batch cannot enqueue mutations (use Batch for mixed groups)")
 	}
 	return nil
 }
@@ -383,6 +435,9 @@ type BatchMutation interface {
 
 // batchEnqueue enqueues a prepared insert for the fully bound row x.
 func (p *PreparedInsert) batchEnqueue(t *Txn, x rel.Row) (*Pending[bool], error) {
+	if err := t.checkMutable(); err != nil {
+		return nil, err
+	}
 	sh, err := t.shardFor(p.r)
 	if err != nil {
 		return nil, err
@@ -397,6 +452,9 @@ func (p *PreparedInsert) batchEnqueue(t *Txn, x rel.Row) (*Pending[bool], error)
 
 // batchEnqueue enqueues a prepared remove for a row binding the key.
 func (p *PreparedRemove) batchEnqueue(t *Txn, s rel.Row) (*Pending[bool], error) {
+	if err := t.checkMutable(); err != nil {
+		return nil, err
+	}
 	sh, err := t.shardFor(p.r)
 	if err != nil {
 		return nil, err
@@ -475,6 +533,9 @@ func (t *Txn) InsertInto(r *Relation, s, tup rel.Tuple) (*Pending[bool], error) 
 // insertInto enqueues against a shard already vetted (and open-checked)
 // by shardFor/defaultShard, as do the three sibling helpers below.
 func (t *Txn) insertInto(sh *txnShard, s, tup rel.Tuple) (*Pending[bool], error) {
+	if err := t.checkMutable(); err != nil {
+		return nil, err
+	}
 	r := sh.r
 	x, err := s.Union(tup)
 	if err != nil {
@@ -520,6 +581,9 @@ func (t *Txn) RemoveFrom(r *Relation, s rel.Tuple) (*Pending[bool], error) {
 }
 
 func (t *Txn) removeFrom(sh *txnShard, s rel.Tuple) (*Pending[bool], error) {
+	if err := t.checkMutable(); err != nil {
+		return nil, err
+	}
 	r := sh.r
 	if err := r.checkCols(s.Dom()); err != nil {
 		return nil, err
@@ -656,6 +720,13 @@ func (r *Relation) initBatchMembers(b *opBuf) {
 	nNodes := len(r.decomp.Nodes)
 	for i := range b.members {
 		m := &b.members[i]
+		// Zero the growing-phase cursor and result accumulators: a batch
+		// falling back from failed optimistic attempts re-enters here with
+		// stale per-attempt state (counted counts in particular must not
+		// leak into the apply phase's reuse path).
+		m.cursor, m.stage, m.wait = 0, stStart, wNone
+		m.count, m.counted = 0, false
+		m.specReg, m.specResolved, m.specFound = false, false, nil
 		switch m.kind {
 		case mQuery, mCount:
 			m.states = append(m.states[:0], b.rootState(r, m.row, m.boundMask))
@@ -849,7 +920,7 @@ func (r *Relation) advancePlan(b *opBuf, m *member, v int) bool {
 			total := 0
 			for _, st := range m.states {
 				if inst := st.insts[s.Edge.Src.Index]; inst != nil {
-					r.auditAccess(b.txn, s.Edge, st.insts, st.row, nil, b.fresh, true)
+					r.auditAccess(b, s.Edge, st.insts, st.row, nil, b.fresh, true)
 					total += r.container(inst, s.Edge).Len()
 				}
 			}
@@ -898,7 +969,7 @@ func (r *Relation) registerSpecScan(b *opBuf, m *member, s *query.Step) int {
 		if src == nil {
 			continue
 		}
-		r.auditAccess(b.txn, s.Edge, st.insts, st.row, nil, b.fresh, true)
+		r.auditAccess(b, s.Edge, st.insts, st.row, nil, b.fresh, true)
 		r.container(src, s.Edge).Scan(func(k rel.Key, v any) bool {
 			for fi, p := range s.FilterPos {
 				if !rel.Equal(k.At(p), st.row.At(s.FilterIdx[fi])) {
@@ -972,7 +1043,7 @@ func (r *Relation) advanceInsert(b *opBuf, m *member, v int) bool {
 		case stAccess:
 			if m.xinst[nd.Node.Index] == nil && nd.AccessIn != nil {
 				if src := m.xinst[nd.AccessIn.Src.Index]; src != nil {
-					r.auditAccess(b.txn, nd.AccessIn, m.xinst, m.row, nil, b.fresh, false)
+					r.auditAccess(b, nd.AccessIn, m.xinst, m.row, nil, b.fresh, false)
 					if val, ok := r.container(src, nd.AccessIn).Lookup(b.keyOf(m.row, nd.ColIdx)); ok {
 						m.xinst[nd.Node.Index] = val.(*Instance)
 					}
@@ -1142,7 +1213,7 @@ func (r *Relation) rowLocate(b *opBuf, m *member, nd *query.NodeDirective) {
 	if src == nil {
 		return
 	}
-	r.auditAccess(b.txn, nd.AccessIn, m.xinst, m.row, nil, b.fresh, false)
+	r.auditAccess(b, nd.AccessIn, m.xinst, m.row, nil, b.fresh, false)
 	if val, ok := r.container(src, nd.AccessIn).Lookup(b.keyOf(m.row, nd.ColIdx)); ok {
 		m.xinst[nd.Node.Index] = val.(*Instance)
 	}
@@ -1192,14 +1263,14 @@ func (r *Relation) resolveBatchSpecs(t *Txn, b *opBuf) {
 				req.st.insts[req.edge.Dst.Index] = inst
 				req.m.specOut = append(req.m.specOut, req.st)
 			case req.st != nil:
-				r.auditAccess(b.txn, req.edge, req.st.insts, req.st.row, nil, b.fresh, false)
+				r.auditAccess(b, req.edge, req.st.insts, req.st.row, nil, b.fresh, false)
 			case ok:
 				if req.m.specFound != nil && req.m.specFound != inst {
 					panic(fmt.Sprintf("core: inconsistent instances of %s via speculative in-edges", req.edge.Dst.Name))
 				}
 				req.m.specFound = inst
 			default:
-				r.auditAccess(b.txn, req.edge, req.m.xinst, req.row, nil, b.fresh, false)
+				r.auditAccess(b, req.edge, req.m.xinst, req.row, nil, b.fresh, false)
 			}
 		}
 		i = j
@@ -1372,31 +1443,7 @@ func (r *Relation) applyMember(b *opBuf, m *member, idx, firstMut int) {
 
 // applyCount re-executes a count member in apply mode.
 func (r *Relation) applyCount(b *opBuf, m *member) int {
-	states := append(b.pipe[:0], b.rootState(r, m.row, m.boundMask))
-	b.pipe = states
-	total := -1
-	for i := range m.steps {
-		step := &m.steps[i]
-		if step.Kind == query.StepCount {
-			total = 0
-			for _, st := range states {
-				if inst := st.insts[step.Edge.Src.Index]; inst != nil {
-					r.auditAccess(b.txn, step.Edge, st.insts, st.row, nil, b.fresh, true)
-					total += r.container(inst, step.Edge).Len()
-				}
-			}
-			break
-		}
-		states = r.execStep(b, step, states, m.row)
-		if len(states) == 0 {
-			break
-		}
-	}
-	if total < 0 {
-		total = len(states)
-	}
-	b.recycle(states)
-	return total
+	return r.runCountSteps(b, m.steps, m.row, m.boundMask)
 }
 
 // applyInsert re-executes an insert at commit time: re-run the

@@ -56,12 +56,18 @@ func (r *Relation) execStep(b *opBuf, step *query.Step, states []*qstate, op rel
 		return r.execLookup(b, step.Edge, step.ColIdx, states)
 	case query.StepScan:
 		if r.placement.RuleFor(step.Edge).Speculative && !b.apply {
+			if b.optimistic {
+				return r.execOptimisticScanSpec(b, step, states)
+			}
 			return r.execScanSpec(b, step, states)
 		}
 		return r.execScan(b, step.Edge, step.ColIdx, step.FilterPos, step.FilterIdx, states)
 	case query.StepSpecLookup:
 		if b.apply {
 			return r.execApplyLookup(b, step.Edge, step.ColIdx, states)
+		}
+		if b.optimistic {
+			return r.execOptimisticLookup(b, step.Edge, step.ColIdx, states)
 		}
 		return r.execSpecLookup(b, step.Edge, step.ColIdx, step.TargetIdx, states, step.Mode)
 	default:
@@ -83,14 +89,79 @@ func (r *Relation) execApplyLookup(b *opBuf, e *decomp.Edge, colIdx []int, state
 		}
 		v, ok := r.container(src, e).Lookup(b.keyOf(st.row, colIdx))
 		if !ok {
-			r.auditAccess(b.txn, e, st.insts, st.row, nil, b.fresh, false)
+			r.auditAccess(b, e, st.insts, st.row, nil, b.fresh, false)
 			continue
 		}
 		inst := v.(*Instance)
-		r.auditAccess(b.txn, e, st.insts, st.row, inst, b.fresh, false)
+		r.auditAccess(b, e, st.insts, st.row, inst, b.fresh, false)
 		st.insts[e.Dst.Index] = inst
 		out = append(out, st)
 	}
+	return out
+}
+
+// execOptimisticLookup advances states across a speculatively placed edge
+// during an optimistic read-only attempt: a plain lock-free lookup whose
+// stability is established by epochs rather than by the §4.5
+// acquire/validate/retry protocol. The entry's membership is covered by
+// the fallback stripes the plan's preceding lock step recorded; the
+// target's content is covered by recording the target lock's epoch here,
+// before any later step descends into the target's containers. If the
+// entry moves or the target's subtree changes before the batch validates,
+// one of those recorded epochs moves with it.
+func (r *Relation) execOptimisticLookup(b *opBuf, e *decomp.Edge, colIdx []int, states []*qstate) []*qstate {
+	out := states[:0]
+	for _, st := range states {
+		src := st.insts[e.Src.Index]
+		if src == nil {
+			continue
+		}
+		v, ok := r.container(src, e).Lookup(b.keyOf(st.row, colIdx))
+		if !ok {
+			r.auditAccess(b, e, st.insts, st.row, nil, b.fresh, false)
+			continue
+		}
+		inst := v.(*Instance)
+		b.reads.Record(inst.lock(0))
+		r.auditAccess(b, e, st.insts, st.row, inst, b.fresh, false)
+		st.insts[e.Dst.Index] = inst
+		out = append(out, st)
+	}
+	return out
+}
+
+// execOptimisticScanSpec scans a speculatively placed edge during an
+// optimistic read-only attempt. The plan's preceding lock step recorded
+// every fallback stripe (the epochs standing in for "freezing the
+// membership"), so each discovered entry only needs its target's epoch
+// recorded before later steps read the target's subtree.
+func (r *Relation) execOptimisticScanSpec(b *opBuf, step *query.Step, states []*qstate) []*qstate {
+	e := step.Edge
+	out := b.spare[:0]
+	for _, st := range states {
+		src := st.insts[e.Src.Index]
+		if src == nil {
+			continue
+		}
+		r.auditAccess(b, e, st.insts, st.row, nil, b.fresh, true)
+		r.container(src, e).Scan(func(k rel.Key, v any) bool {
+			for fi, p := range step.FilterPos {
+				if !rel.Equal(k.At(p), st.row.At(step.FilterIdx[fi])) {
+					return true
+				}
+			}
+			ns := b.clone(r, st)
+			for p, ci := range step.ColIdx {
+				ns.row.Set(ci, k.At(p))
+			}
+			inst := v.(*Instance)
+			b.reads.Record(inst.lock(0))
+			ns.insts[e.Dst.Index] = inst
+			out = append(out, ns)
+			return true
+		})
+	}
+	b.spare = states[:0]
 	return out
 }
 
@@ -188,14 +259,22 @@ func (r *Relation) execLockInsts(b *opBuf, step *query.Step, insts []*Instance, 
 		}
 	}
 	preSorted := step.PreSorted && k == 1 && !all && distinct == 1
-	if b.collect != nil {
+	switch {
+	case b.optimistic:
+		// Optimistic read-only attempt: record each lock's epoch where the
+		// pessimistic plan would acquire it — BEFORE the reads it protects,
+		// which follow this step — and acquire nothing (readonly.go).
+		for _, l := range batch {
+			b.reads.Record(l)
+		}
+	case b.collect != nil:
 		// Batch growing phase: divert the step's requests into the
 		// coalescing set; the batch scheduler acquires the merged set once
 		// per decomposition node (batch.go).
 		for _, l := range batch {
 			b.collect.Add(l, step.Mode)
 		}
-	} else {
+	default:
 		b.txn.Acquire(batch, step.Mode, preSorted)
 	}
 	b.lockBatch = batch[:0]
@@ -212,7 +291,7 @@ func (r *Relation) execLookup(b *opBuf, e *decomp.Edge, colIdx []int, states []*
 		if src == nil {
 			continue
 		}
-		r.auditAccess(b.txn, e, st.insts, st.row, nil, b.fresh, false)
+		r.auditAccess(b, e, st.insts, st.row, nil, b.fresh, false)
 		v, ok := r.container(src, e).Lookup(b.keyOf(st.row, colIdx))
 		if !ok {
 			continue
@@ -236,7 +315,7 @@ func (r *Relation) execScan(b *opBuf, e *decomp.Edge, colIdx, filterPos, filterI
 		if src == nil {
 			continue
 		}
-		r.auditAccess(b.txn, e, st.insts, st.row, nil, b.fresh, len(filterPos) == 0)
+		r.auditAccess(b, e, st.insts, st.row, nil, b.fresh, len(filterPos) == 0)
 		r.container(src, e).Scan(func(k rel.Key, v any) bool {
 			for fi, p := range filterPos {
 				if !rel.Equal(k.At(p), st.row.At(filterIdx[fi])) {
@@ -287,7 +366,7 @@ func (r *Relation) execSpecLookup(b *opBuf, e *decomp.Edge, colIdx, targetIdx []
 			out = append(out, st)
 		} else {
 			// Absence is covered by the held fallback stripe; audit it.
-			r.auditAccess(b.txn, e, st.insts, st.row, nil, b.fresh, false)
+			r.auditAccess(b, e, st.insts, st.row, nil, b.fresh, false)
 		}
 	}
 	b.reqs = reqs[:0]
@@ -348,7 +427,7 @@ func (r *Relation) execScanSpec(b *opBuf, step *query.Step, states []*qstate) []
 		if src == nil {
 			continue
 		}
-		r.auditAccess(b.txn, e, st.insts, st.row, nil, b.fresh, true)
+		r.auditAccess(b, e, st.insts, st.row, nil, b.fresh, true)
 		r.container(src, e).Scan(func(k rel.Key, v any) bool {
 			for fi, p := range step.FilterPos {
 				if !rel.Equal(k.At(p), st.row.At(step.FilterIdx[fi])) {

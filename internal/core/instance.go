@@ -57,6 +57,32 @@ func (r *Relation) container(inst *Instance, e *decomp.Edge) container.Map {
 // lock returns the i'th physical lock of the instance.
 func (inst *Instance) lock(i int) *locks.Lock { return &inst.lockArr[i] }
 
+// beginWriteEpochs marks a protected write to inst's containers as in
+// flight: every epoch cell of inst whose lock the transaction holds
+// exclusively is begin-bumped (made odd), exactly once per transaction
+// (an already-odd cell under our exclusive hold was bumped by us — no
+// other transaction can move a cell while we hold its lock). The bumped
+// cells are remembered on the buffer and end-bumped (made even again) by
+// finishEpochs just before the shrinking phase releases the locks, so a
+// lock-free optimistic reader can never validate a read that overlapped
+// this transaction's write phase — including writes later undone by the
+// rollback of a panicked batch, which happens while the locks (and the
+// odd epochs) are still held.
+//
+// The written entry's physical lock is always among the bumped cells: the
+// executor only writes a container under the entry's placement lock held
+// exclusively (the well-lockedness invariant the auditor asserts), and
+// that lock lives in the written instance's stripe array — a selector
+// stripe for plain placements, the fallback stripe for speculative
+// membership changes. Bumping every exclusively held stripe of inst is
+// conservative beyond that (it may invalidate readers of sibling
+// entries), but never misses a conflict. An already-odd cell under our
+// exclusive hold was bumped by us (no other transaction can move a cell
+// while we hold its lock) and is skipped inside BeginWriteEpochs.
+func (r *Relation) beginWriteEpochs(b *opBuf, inst *Instance) {
+	b.bumped = b.txn.BeginWriteEpochs(inst.lockArr, b.bumped)
+}
+
 // qstate is a query state (§5.2): a dense row binding a subset of the
 // relation's columns plus the node instances located so far, indexed by
 // node topological index. States are pooled per operation (see opBuf);

@@ -88,16 +88,20 @@ func (r *Relation) insertWrite(b *opBuf, xinst []*Instance, x rel.Row) {
 			if src == nil {
 				panic(fmt.Sprintf("core: insert write phase reached %s before its source %s", n.Name, e.Src.Name))
 			}
-			r.auditAccess(b.txn, e, xinst, x, nil, fresh, false)
+			r.auditAccess(b, e, xinst, x, nil, fresh, false)
 			r.writeEdge(b, src, e, x.KeyAt(r.edgeCols[e.Index]), inst)
 		}
 	}
 }
 
-// writeEdge performs the container write implementing edge e on src,
-// first recording the displaced binding in the batch undo log when one is
-// active (all-or-nothing rollback; batch.go).
+// writeEdge performs the container write implementing edge e on src:
+// begin-bump the epoch cells of src's exclusively held locks (so
+// optimistic readers overlapping this write cannot validate; epochs stay
+// odd until the shrinking phase even if the batch later rolls back), then
+// record the displaced binding in the batch undo log when one is active
+// (all-or-nothing rollback; batch.go), then write.
 func (r *Relation) writeEdge(b *opBuf, src *Instance, e *decomp.Edge, key rel.Key, val any) {
+	r.beginWriteEpochs(b, src)
 	c := r.container(src, e)
 	if b.undo != nil {
 		old, had := c.Lookup(key)
@@ -168,7 +172,7 @@ func (r *Relation) locateX(b *opBuf, nd *query.NodeDirective, xinst []*Instance,
 	}
 	if found == nil && nd.AccessIn != nil {
 		if src := xinst[nd.AccessIn.Src.Index]; src != nil {
-			r.auditAccess(b.txn, nd.AccessIn, xinst, x, nil, b.fresh, false)
+			r.auditAccess(b, nd.AccessIn, xinst, x, nil, b.fresh, false)
 			if val, ok := r.container(src, nd.AccessIn).Lookup(b.keyOf(x, nd.ColIdx)); ok {
 				found = val.(*Instance)
 			}
@@ -184,11 +188,11 @@ func (r *Relation) locateX(b *opBuf, nd *query.NodeDirective, xinst []*Instance,
 func (r *Relation) applySpecLocate(b *opBuf, e *decomp.Edge, colIdx []int, src *Instance, row rel.Row, insts []*Instance) (*Instance, bool) {
 	v, ok := r.container(src, e).Lookup(b.keyOf(row, colIdx))
 	if !ok {
-		r.auditAccess(b.txn, e, insts, row, nil, b.fresh, false)
+		r.auditAccess(b, e, insts, row, nil, b.fresh, false)
 		return nil, false
 	}
 	inst := v.(*Instance)
-	r.auditAccess(b.txn, e, insts, row, inst, b.fresh, false)
+	r.auditAccess(b, e, insts, row, inst, b.fresh, false)
 	return inst, true
 }
 
@@ -252,7 +256,7 @@ func (r *Relation) deleteTuple(b *opBuf, st *qstate) {
 		dead := true
 		for ci, c := range inst.containers {
 			// Emptiness is a whole-container observation.
-			r.auditAccess(b.txn, n.Out[ci], st.insts, st.row, nil, b.fresh, true)
+			r.auditAccess(b, n.Out[ci], st.insts, st.row, nil, b.fresh, true)
 			if c.Len() > 0 {
 				dead = false
 				break
@@ -269,8 +273,8 @@ func (r *Relation) deleteTuple(b *opBuf, st *qstate) {
 			// Removal flips present→absent: both the present-entry lock
 			// (the speculative target, when applicable) and the absent
 			// lock (fallback stripe / placement lock) must be held.
-			r.auditAccess(b.txn, e, st.insts, st.row, inst, b.fresh, false)
-			r.auditAccess(b.txn, e, st.insts, st.row, nil, b.fresh, false)
+			r.auditAccess(b, e, st.insts, st.row, inst, b.fresh, false)
+			r.auditAccess(b, e, st.insts, st.row, nil, b.fresh, false)
 			r.writeEdge(b, src, e, b.keyOf(st.row, r.edgeCols[e.Index]), nil)
 		}
 	}

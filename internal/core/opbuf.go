@@ -75,6 +75,16 @@ type opBuf struct {
 	specs    []batchSpecReq
 	set      locks.LockSet
 	rowArena []rel.Value
+
+	// Optimistic read protocol state (readonly.go). bumped lists the epoch
+	// cells this operation begin-bumped before its first write under each
+	// (beginWriteEpochs); finishEpochs end-bumps them just before the
+	// shrinking phase. optimistic marks a lock-free read-only attempt:
+	// lock steps record epochs into reads instead of acquiring, and
+	// speculative accesses degrade to recorded plain lookups.
+	bumped     []*locks.Lock
+	optimistic bool
+	reads      locks.ReadSet
 }
 
 // specReq pairs a state with its speculative target key so acquisitions
@@ -94,10 +104,23 @@ func (r *Relation) getBuf() *opBuf {
 	return b
 }
 
+// finishEpochs end-bumps every epoch cell the operation begin-bumped,
+// restoring evenness. It must run while the locks are still held — after
+// any undo-log rollback, before the shrinking phase — so the odd window
+// covers every write the operation performed, including rolled-back ones.
+func (b *opBuf) finishEpochs() {
+	for i, l := range b.bumped {
+		l.BumpEpoch()
+		b.bumped[i] = nil
+	}
+	b.bumped = b.bumped[:0]
+}
+
 // putBuf releases the operation's locks and returns the buffer to the
 // pool. The shrinking phase (release every lock, reverse order) lives
 // here, mirroring the implicit unlock suffix of every compiled plan.
 func (r *Relation) putBuf(b *opBuf) {
+	b.finishEpochs()
 	b.txn.ReleaseAll()
 	b.n = 0
 	if len(b.all) > 4096 {
@@ -126,6 +149,8 @@ func (r *Relation) putBuf(b *opBuf) {
 	b.set.Reset()
 	clear(b.rowArena)
 	b.rowArena = b.rowArena[:0]
+	b.optimistic = false
+	b.reads.Reset()
 	r.bufPool.Put(b)
 }
 

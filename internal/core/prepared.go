@@ -123,31 +123,7 @@ func (r *Relation) runQueryTuples(plan *query.Plan, op rel.Row) []rel.Tuple {
 func (r *Relation) runCount(plan *query.Plan, op rel.Row) int {
 	b := r.getBuf()
 	defer r.putBuf(b)
-	states := append(b.pipe[:0], b.rootState(r, op, plan.BoundMask))
-	b.pipe = states
-	total := -1
-	for i := range plan.Steps {
-		step := &plan.Steps[i]
-		if step.Kind == query.StepCount {
-			total = 0
-			for _, st := range states {
-				if inst := st.insts[step.Edge.Src.Index]; inst != nil {
-					r.auditAccess(b.txn, step.Edge, st.insts, st.row, nil, nil, true)
-					total += r.container(inst, step.Edge).Len()
-				}
-			}
-			break
-		}
-		states = r.execStep(b, step, states, op)
-		if len(states) == 0 {
-			break
-		}
-	}
-	if total < 0 {
-		total = len(states)
-	}
-	b.recycle(states)
-	return total
+	return r.runCountSteps(b, plan.Steps, op, plan.BoundMask)
 }
 
 // rowForTuple converts an operation tuple to a fresh row and checks that

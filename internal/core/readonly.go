@@ -1,0 +1,238 @@
+package core
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/rel"
+)
+
+// This file implements the optimistic execution mode for read-only
+// batches: the §4.5 speculative protocol — read without the lock, validate
+// afterwards — generalized from one edge to a whole transaction, the
+// ROADMAP's "optimistic read path for batches" item.
+//
+// A batch whose members are all queries and counts takes no locks at all
+// on the happy path. Instead of the pessimistic growing phase, each
+// member's compiled plan runs directly (lock-free), with every lock step
+// RECORDING the epoch cell of the physical locks it would have acquired
+// into a read-set (locks.ReadSet) and every speculative access recording
+// its target's epoch — always before the reads the lock protects, because
+// plans emit lock steps before the accesses they cover. Mutating
+// transactions begin-bump (make odd) the epoch cells of the locks they
+// hold exclusively before their first write under each and end-bump (make
+// even) them just before releasing, so the final validation — every
+// recorded epoch even and unchanged, checked in the global lock order —
+// proves the lock-free reads observed exactly the state a shared-lock
+// execution would have. On validation failure the whole batch retries
+// with a small backoff, and after optimisticMaxAttempts failed attempts
+// it falls back to the ordinary pessimistic two-phase-locking path, which
+// always succeeds. Results are delivered (pendings resolved, yields run)
+// only after a successful validation, so callers never observe torn data.
+//
+// The mode is only legal when every container of the relation is
+// concurrency-safe (Relation.OptimisticCapable): lock-free reads racing
+// writers on a plain HashMap or TreeMap would be data races, so such
+// relations always use the pessimistic path.
+
+// optimisticMaxAttempts bounds the validate/retry loop of a read-only
+// batch: after this many failed validations the batch falls back to
+// pessimistic two-phase locking, which cannot starve. Contention raising
+// retries this high means the read would have waited behind writers'
+// locks anyway, so falling back loses nothing.
+const optimisticMaxAttempts = 3
+
+// optimisticValidateHook, when non-nil, runs after an optimistic
+// attempt's lock-free execution but before its validation (argument: the
+// 0-based attempt index). Tests use it to commit conflicting mutations at
+// the worst possible moment, forcing validation failures, retries and the
+// K-attempt fallback deterministically.
+var optimisticValidateHook func(attempt int)
+
+// optimisticBackoff delays between failed optimistic attempts: yield the
+// processor first (the common conflict is a writer mid-commit on this
+// core), then sleep exponentially so repeated conflicts cannot spin.
+func optimisticBackoff(attempt int) {
+	if attempt <= 1 {
+		runtime.Gosched()
+		return
+	}
+	time.Sleep(time.Duration(1<<uint(attempt-2)) * time.Microsecond)
+}
+
+// readOnly reports whether every enqueued member is a query or count —
+// the precondition for the optimistic path. Shards track their first
+// mutation for the apply phase's reuse rule, so this is a flag check.
+func (t *Txn) readOnly() bool {
+	if t.reg == nil {
+		return t.single.firstMut < 0
+	}
+	for _, sh := range t.shards {
+		if sh.firstMut >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// commitReadOnly attempts the optimistic lock-free commit of a read-only
+// single-relation batch, reporting success. On false the caller must run
+// the pessimistic commitBatch; the buffer has been reset for it.
+func (r *Relation) commitReadOnly(t *Txn, sh *txnShard) bool {
+	if !r.optimisticOK {
+		return false
+	}
+	b := sh.b
+	if tr := t.trace; tr != nil {
+		tr.Optimistic = true
+	}
+	for attempt := 0; attempt < optimisticMaxAttempts; attempt++ {
+		if attempt > 0 {
+			optimisticBackoff(attempt)
+		}
+		if tr := t.trace; tr != nil {
+			tr.Attempts++
+		}
+		r.runShardOptimistic(b)
+		if hook := optimisticValidateHook; hook != nil {
+			hook(attempt)
+		}
+		if b.reads.Validate() {
+			if tr := t.trace; tr != nil {
+				tr.EpochsRecorded += b.reads.Len()
+				tr.EpochsDistinct += b.reads.Distinct()
+			}
+			for i := range b.members {
+				r.applyMember(b, &b.members[i], i, -1)
+			}
+			return true
+		}
+	}
+	if tr := t.trace; tr != nil {
+		tr.FellBack = true
+	}
+	b.reads.Reset()
+	b.n = 0
+	return false
+}
+
+// commitReadOnly attempts the optimistic lock-free commit of a read-only
+// registry batch. Shards are validated in relation-id order, so the
+// validation pass follows the registry-wide global lock order exactly as
+// a pessimistic growing phase would.
+func (g *Registry) commitReadOnly(t *Txn) bool {
+	for _, sh := range t.shards {
+		if !sh.r.optimisticOK {
+			return false
+		}
+	}
+	if tr := t.trace; tr != nil {
+		tr.Optimistic = true
+	}
+	for attempt := 0; attempt < optimisticMaxAttempts; attempt++ {
+		if attempt > 0 {
+			optimisticBackoff(attempt)
+		}
+		if tr := t.trace; tr != nil {
+			tr.Attempts++
+		}
+		for _, sh := range t.shards {
+			sh.r.runShardOptimistic(sh.b)
+		}
+		if hook := optimisticValidateHook; hook != nil {
+			hook(attempt)
+		}
+		valid := true
+		for _, sh := range t.shards {
+			if !sh.b.reads.Validate() {
+				valid = false
+				break
+			}
+		}
+		if valid {
+			if tr := t.trace; tr != nil {
+				for _, sh := range t.shards {
+					tr.EpochsRecorded += sh.b.reads.Len()
+					tr.EpochsDistinct += sh.b.reads.Distinct()
+				}
+			}
+			for _, ref := range t.order {
+				ref.sh.r.applyMember(ref.sh.b, &ref.sh.b.members[ref.idx], ref.idx, -1)
+			}
+			return true
+		}
+	}
+	if tr := t.trace; tr != nil {
+		tr.FellBack = true
+	}
+	for _, sh := range t.shards {
+		sh.b.reads.Reset()
+		sh.b.n = 0
+	}
+	return false
+}
+
+// runShardOptimistic executes one shard's members lock-free, recording
+// epochs into the shard buffer's read-set. Each member's compiled plan
+// runs exactly as in the apply phase of a pessimistic batch — there is no
+// growing-phase scheduling to do, which is the point — and retains its
+// final states (queries) or count for the post-validation delivery.
+// Re-running an attempt recycles all pooled states (b.n reset) because
+// the previous attempt's retained lists are invalid and overwritten.
+func (r *Relation) runShardOptimistic(b *opBuf) {
+	b.optimistic = true
+	b.reads.Reset()
+	b.n = 0
+	for i := range b.members {
+		m := &b.members[i]
+		// Detach the ping-pong arrays: members retain their final state
+		// lists across the whole batch, so every member starts from
+		// storage that cannot alias another member's retention.
+		b.pipe, b.spare = nil, nil
+		switch m.kind {
+		case mQuery:
+			m.states = r.runSteps(b, m.steps, m.row, m.boundMask)
+		case mCount:
+			m.count = r.runCountSteps(b, m.steps, m.row, m.boundMask)
+			m.counted = true
+			m.states = m.states[:0]
+		default:
+			panic("core: mutation member in a read-only batch")
+		}
+	}
+	b.optimistic = false
+}
+
+// runCountSteps executes a count plan's step list from the root state: a
+// StepCount terminal sums container sizes at the counting frontier,
+// otherwise the surviving states are counted. It is the shared body of
+// the single-operation count path (prepared.go), the batch apply phase
+// and the optimistic runner.
+func (r *Relation) runCountSteps(b *opBuf, steps []query.Step, op rel.Row, mask uint64) int {
+	states := append(b.pipe[:0], b.rootState(r, op, mask))
+	b.pipe = states
+	total := -1
+	for i := range steps {
+		step := &steps[i]
+		if step.Kind == query.StepCount {
+			total = 0
+			for _, st := range states {
+				if inst := st.insts[step.Edge.Src.Index]; inst != nil {
+					r.auditAccess(b, step.Edge, st.insts, st.row, nil, b.fresh, true)
+					total += r.container(inst, step.Edge).Len()
+				}
+			}
+			break
+		}
+		states = r.execStep(b, step, states, op)
+		if len(states) == 0 {
+			break
+		}
+	}
+	if total < 0 {
+		total = len(states)
+	}
+	b.recycle(states)
+	return total
+}

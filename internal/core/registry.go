@@ -109,13 +109,37 @@ func (g *Registry) getTxn() *locks.Txn {
 // (all-or-nothing under a shared undo log) and its members behave as if
 // executed sequentially in enqueue order. If fn returns an error, nothing
 // executes and the error is returned.
+//
+// A group whose members are all queries and counts is detected
+// automatically and — when every touched relation is OptimisticCapable —
+// executed lock-free under the optimistic epoch-validation protocol
+// (readonly.go), acquiring zero physical locks on the conflict-free path.
 func (g *Registry) Batch(fn func(tx *Txn) error) error {
+	return g.batch(fn, false)
+}
+
+// BatchReadOnly is Batch restricted to read-only groups: enqueueing a
+// mutation fails with an error, making the zero-lock optimistic intent
+// explicit. Execution is identical to what Batch auto-detects for
+// read-only groups, so results never depend on which path ran.
+func (g *Registry) BatchReadOnly(fn func(tx *Txn) error) error {
+	return g.batch(fn, true)
+}
+
+// batch is the shared body of Batch and BatchReadOnly.
+func (g *Registry) batch(fn func(tx *Txn) error, roOnly bool) error {
 	lt := g.getTxn()
-	t := &Txn{reg: g, ltxn: lt}
+	t := &Txn{reg: g, ltxn: lt, roOnly: roOnly}
 	defer func() {
-		// Shrinking phase: release the whole transaction's locks, restore
-		// each buffer's own locks.Txn, and return the buffers to their
-		// relations' pools. Runs on panic too (after commitTxn's rollback).
+		// Shrinking phase: end-bump every shard's begin-bumped epoch cells
+		// while the locks are still held (optimistic readers must see the
+		// odd window span all writes, rolled-back ones included), then
+		// release the whole transaction's locks, restore each buffer's own
+		// locks.Txn, and return the buffers to their relations' pools.
+		// Runs on panic too (after commitTxn's rollback).
+		for _, sh := range t.shards {
+			sh.b.finishEpochs()
+		}
 		lt.ReleaseAll()
 		for _, sh := range t.shards {
 			sh.b.txn = sh.own
@@ -130,6 +154,14 @@ func (g *Registry) Batch(fn func(tx *Txn) error) error {
 	t.sealed = true
 	if len(t.order) == 0 {
 		return nil
+	}
+	if t.readOnly() {
+		// Validation follows the registry-wide lock order; sort shards by
+		// relation id for it (commitTxn re-sorts identically on fallback).
+		sort.Slice(t.shards, func(i, j int) bool { return t.shards[i].r.regID < t.shards[j].r.regID })
+		if g.commitReadOnly(t) {
+			return nil
+		}
 	}
 	g.commitTxn(t)
 	return nil

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/container"
 	"repro/internal/decomp"
 	"repro/internal/locks"
 	"repro/internal/query"
@@ -45,6 +46,14 @@ type Relation struct {
 	edgeSlot    []int
 	nodeKey     [][]int
 	nodeKeyMask []uint64
+
+	// optimisticOK, fixed at Synthesize time, reports that every container
+	// in the decomposition is concurrency-safe (Figure 1), so read-only
+	// batches may run lock-free under the optimistic epoch-validation
+	// protocol (readonly.go). Relations with any unsafe container (HashMap,
+	// TreeMap) always take the pessimistic 2PL path — an unlocked read
+	// racing a writer would be a data race on those containers.
+	optimisticOK bool
 
 	// bufPool recycles operation buffers (transaction, query states, key
 	// arena) across operations; see opBuf.
@@ -119,12 +128,16 @@ func synthesize(g *Registry, regID int, name string, d *decomp.Decomposition, p 
 	}
 	r.edgeCols = make([][]int, len(d.Edges))
 	r.edgeSlot = make([]int, len(d.Edges))
+	r.optimisticOK = true
 	for _, e := range d.Edges {
 		r.edgeCols[e.Index] = schema.Indices(e.Cols)
 		for i, oe := range e.Src.Out {
 			if oe == e {
 				r.edgeSlot[e.Index] = i
 			}
+		}
+		if !container.PropertiesOf(e.Container).ConcurrencySafe() {
+			r.optimisticOK = false
 		}
 	}
 	r.nodeKey = make([][]int, len(d.Nodes))
@@ -157,6 +170,14 @@ func (r *Relation) Decomposition() *decomp.Decomposition { return r.decomp }
 
 // Placement returns the lock placement backing the relation.
 func (r *Relation) Placement() *locks.Placement { return r.placement }
+
+// OptimisticCapable reports whether read-only batches against this
+// relation may run lock-free under the optimistic epoch-validation
+// protocol: true iff every container in the decomposition is
+// concurrency-safe (Figure 1). Batch and BatchReadOnly fall back to
+// pessimistic two-phase locking — with identical results — when this is
+// false.
+func (r *Relation) OptimisticCapable() bool { return r.optimisticOK }
 
 func planKey(bound, out []string) string {
 	return strings.Join(bound, ",") + "|" + strings.Join(out, ",")

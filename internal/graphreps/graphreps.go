@@ -246,10 +246,30 @@ func SpeculativeDiamond() Variant {
 		})
 }
 
-// VariantByName returns the named variant among Figure5Variants plus
-// SpeculativeDiamond, or an error.
+// LockFreeReadStick returns the stick representation whose containers are
+// all concurrency-safe — ConcurrentHashMap of ConcurrentSkipListMap under
+// a striped root — making the relation OptimisticCapable: read-only
+// batches against it validate epochs instead of taking shared locks. It
+// is the representation the optimistic benchmark (crsbench -optimistic)
+// measures.
+func LockFreeReadStick() Variant {
+	return mk("Stick LF", "stick", "striped root; ConcurrentHashMap of ConcurrentSkipListMap (optimistic-capable)",
+		func() (*core.Relation, error) {
+			d, err := Stick(container.ConcurrentHashMap, container.ConcurrentSkipListMap)
+			return synth(d, err, Striped, StripeFactor)
+		})
+}
+
+// extraVariants lists the named representations beyond the twelve Figure 5
+// series: the speculative ablation and the optimistic-capable stick.
+func extraVariants() []Variant {
+	return []Variant{SpeculativeDiamond(), LockFreeReadStick()}
+}
+
+// VariantByName returns the named variant among Figure5Variants,
+// SpeculativeDiamond and LockFreeReadStick, or an error.
 func VariantByName(name string) (Variant, error) {
-	for _, v := range append(Figure5Variants(), SpeculativeDiamond()) {
+	for _, v := range append(Figure5Variants(), extraVariants()...) {
 		if v.Name == name {
 			return v, nil
 		}

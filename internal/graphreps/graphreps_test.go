@@ -23,7 +23,7 @@ func TestFigure5VariantNames(t *testing.T) {
 }
 
 func TestAllVariantsSynthesizeAndWork(t *testing.T) {
-	vs := append(Figure5Variants(), SpeculativeDiamond())
+	vs := append(Figure5Variants(), extraVariants()...)
 	for _, v := range vs {
 		t.Run(v.Name, func(t *testing.T) {
 			r, err := v.Build()

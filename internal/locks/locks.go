@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/rel"
 )
@@ -96,8 +97,9 @@ func (id ID) String() string {
 }
 
 // Lock is a physical lock: a shared/exclusive mutex plus its identity in
-// the global order. Locks are embedded in node instances and must not be
-// copied after first use.
+// the global order, plus the epoch cell of the optimistic read protocol.
+// Locks are embedded in node instances and must not be copied after first
+// use.
 type Lock struct {
 	mu sync.RWMutex
 	id ID
@@ -106,6 +108,14 @@ type Lock struct {
 	// growing-phase sort and order assertion is a memcmp instead of a
 	// dynamic key walk.
 	enc []byte
+	// epoch is the seqlock-style version cell read-only transactions
+	// validate against instead of taking the lock shared (readset.go). It
+	// is only ever modified by a transaction holding the lock exclusively:
+	// +1 before the holder's first protected write (odd = write in flight),
+	// +1 again before the lock is released (even = quiescent). A lock-free
+	// reader therefore observed a stable state iff the epoch it recorded
+	// before reading is even and unchanged when it validates.
+	epoch atomic.Uint64
 }
 
 // encodeIDPrefix appends the order-preserving encoding of the ID fields
@@ -142,6 +152,23 @@ func NewArray(relID, nodeIndex int, inst rel.Key, n int) []Lock {
 
 // ID returns the lock's identity.
 func (l *Lock) ID() ID { return l.id }
+
+// Epoch returns the lock's epoch cell. Even values mean no protected write
+// is in flight; see Lock.epoch and ReadSet.
+func (l *Lock) Epoch() uint64 { return l.epoch.Load() }
+
+// EpochOdd reports whether a protected write is in flight under this lock
+// (the epoch cell's begin-bump has happened but not its end-bump).
+func (l *Lock) EpochOdd() bool { return l.epoch.Load()&1 == 1 }
+
+// BumpEpoch increments the epoch cell by one. The caller must hold the
+// lock exclusively — the cell is a seqlock sequence word, and only the
+// exclusive holder may move it — and must bump an even number of times in
+// total before releasing: once before its first protected write (marking
+// the write in flight) and once when done (restoring evenness). The
+// executor in internal/core pairs the bumps around every mutation's write
+// phase, including undo-log rollback.
+func (l *Lock) BumpEpoch() { l.epoch.Add(1) }
 
 // compareLocks orders two locks by their precomputed ID encodings — the
 // hot-path equivalent of CompareIDs on the lock identities.
@@ -230,6 +257,42 @@ func (t *Txn) findHeld(l *Lock) (int, bool) {
 func (t *Txn) Holds(l *Lock) bool {
 	_, ok := t.findHeld(l)
 	return ok
+}
+
+// HoldsExclusive reports whether the transaction currently holds l in
+// Exclusive mode — the precondition for bumping l's epoch cell.
+func (t *Txn) HoldsExclusive(l *Lock) bool {
+	idx, ok := t.findHeld(l)
+	return ok && t.held[idx].mode == Exclusive
+}
+
+// BeginWriteEpochs begin-bumps (makes odd) the epoch cell of every lock
+// in the stripe array arr that the transaction holds exclusively and has
+// not already bumped, appending the bumped locks to out and returning it;
+// the caller must end-bump each before release. It is the writer half of
+// the optimistic read protocol, called before a transaction's container
+// writes on arr's instance. A stripe array is contiguous in the global
+// lock order (same (rel, node, inst) prefix), so the held locks of the
+// instance form one run of the sorted held list: one binary search plus a
+// bounded scan, instead of probing all k stripes of a striped node.
+func (t *Txn) BeginWriteEpochs(arr []Lock, out []*Lock) []*Lock {
+	if len(t.held) == 0 || len(arr) == 0 {
+		return out
+	}
+	lo, _ := t.findHeld(&arr[0])
+	last := arr[len(arr)-1].enc
+	for i := lo; i < len(t.held); i++ {
+		h := &t.held[i]
+		if bytes.Compare(h.l.enc, last) > 0 {
+			break
+		}
+		if h.mode != Exclusive || h.l.EpochOdd() {
+			continue
+		}
+		h.l.BumpEpoch()
+		out = append(out, h.l)
+	}
+	return out
 }
 
 // HeldCount returns the number of distinct physical locks held.

@@ -41,10 +41,34 @@ type BatchGraphOps interface {
 
 // RelationBatchGraph adapts a synthesized graph relation to BatchGraphOps
 // using batched transactions: each composite operation is one
-// Relation.Batch whose members run under a single coalesced lock
-// schedule.
+// Relation.Batch whose members run under a single coalesced lock schedule
+// — or, for the read-only composites on an OptimisticCapable relation,
+// lock-free under the optimistic epoch-validation protocol.
 type RelationBatchGraph struct {
 	*RelationGraph
+
+	// Counts, when non-nil, turns on per-batch lock-schedule tracing and
+	// accumulates lock and optimistic-read statistics across composites.
+	Counts *LockCounts
+}
+
+// batch runs one Relation.Batch with lock counting when enabled; the
+// trace totals are filled at commit, so they are read after Batch returns.
+func (g *RelationBatchGraph) batch(fn func(tx *core.Txn) error) {
+	var tr *core.BatchTrace
+	err := g.R.Batch(func(tx *core.Txn) error {
+		if g.Counts != nil {
+			tx.EnableTrace()
+			tr = tx.Trace()
+		}
+		return fn(tx)
+	})
+	if err != nil {
+		panic(fmt.Sprintf("workload: batch: %v", err))
+	}
+	if tr != nil {
+		g.Counts.Harvest(tr)
+	}
 }
 
 // NewRelationBatchGraph prepares the batched benchmark operations
@@ -87,7 +111,7 @@ func (g *RelationBatchGraph) keyRow(buf []rel.Value, src, dst int64) rel.Row {
 func (g *RelationBatchGraph) InsertEdgePair(src1, dst1, w1, src2, dst2, w2 int64) (bool, bool) {
 	var b1, b2 [3]rel.Value
 	var p1, p2 *core.Pending[bool]
-	err := g.R.Batch(func(tx *core.Txn) error {
+	g.batch(func(tx *core.Txn) error {
 		var err error
 		if p1, err = tx.ExecRow(g.ins, g.edgeRow(b1[:], src1, dst1, w1)); err != nil {
 			return err
@@ -95,9 +119,6 @@ func (g *RelationBatchGraph) InsertEdgePair(src1, dst1, w1, src2, dst2, w2 int64
 		p2, err = tx.ExecRow(g.ins, g.edgeRow(b2[:], src2, dst2, w2))
 		return err
 	})
-	if err != nil {
-		panic(fmt.Sprintf("workload: insert pair: %v", err))
-	}
 	return p1.Value(), p2.Value()
 }
 
@@ -105,7 +126,7 @@ func (g *RelationBatchGraph) InsertEdgePair(src1, dst1, w1, src2, dst2, w2 int64
 func (g *RelationBatchGraph) MoveEdge(src, dstOld, dstNew, w int64) (bool, bool) {
 	var b1, b2 [3]rel.Value
 	var rem, ins *core.Pending[bool]
-	err := g.R.Batch(func(tx *core.Txn) error {
+	g.batch(func(tx *core.Txn) error {
 		var err error
 		if rem, err = tx.ExecRow(g.rem, g.keyRow(b1[:], src, dstOld)); err != nil {
 			return err
@@ -113,9 +134,6 @@ func (g *RelationBatchGraph) MoveEdge(src, dstOld, dstNew, w int64) (bool, bool)
 		ins, err = tx.ExecRow(g.ins, g.edgeRow(b2[:], src, dstNew, w))
 		return err
 	})
-	if err != nil {
-		panic(fmt.Sprintf("workload: move edge: %v", err))
-	}
 	return rem.Value(), ins.Value()
 }
 
@@ -127,7 +145,7 @@ func (g *RelationBatchGraph) CountSuccessorPair(a, b int64) int {
 	r1.Set(g.iSrc, a)
 	r2 := rel.RowOver(b2[:g.width], 0)
 	r2.Set(g.iSrc, b)
-	err := g.R.Batch(func(tx *core.Txn) error {
+	g.batch(func(tx *core.Txn) error {
 		var err error
 		if p1, err = tx.CountRow(g.succ, r1); err != nil {
 			return err
@@ -135,9 +153,6 @@ func (g *RelationBatchGraph) CountSuccessorPair(a, b int64) int {
 		p2, err = tx.CountRow(g.succ, r2)
 		return err
 	})
-	if err != nil {
-		panic(fmt.Sprintf("workload: count pair: %v", err))
-	}
 	return p1.Value() + p2.Value()
 }
 
@@ -159,7 +174,7 @@ func (g *RelationBatchGraph) TwoHopCount(src int64) int {
 	}
 	pending := make([]*core.Pending[int], len(hops))
 	rows := make([]rel.Value, len(hops)*g.width)
-	err := g.R.Batch(func(tx *core.Txn) error {
+	g.batch(func(tx *core.Txn) error {
 		for i, h := range hops {
 			r := rel.RowOver(rows[i*g.width:(i+1)*g.width], 0)
 			r.Set(g.iSrc, h)
@@ -170,9 +185,6 @@ func (g *RelationBatchGraph) TwoHopCount(src int64) int {
 		}
 		return nil
 	})
-	if err != nil {
-		panic(fmt.Sprintf("workload: two-hop counts: %v", err))
-	}
 	total := 0
 	for _, p := range pending {
 		total += p.Value()
@@ -270,6 +282,14 @@ func (m BatchMix) valid() bool {
 // pairs, 30% two-hop counts.
 func DefaultBatchMix() BatchMix {
 	return BatchMix{InsertPairs: 20, Moves: 10, CountPairs: 40, TwoHops: 30}
+}
+
+// ReadHeavyBatchMix returns the 95/5 read-dominated distribution of the
+// optimistic benchmark: count pairs and two-hop scans (pure read-only
+// groups, lock-free on an OptimisticCapable relation) with a trickle of
+// writes keeping the epochs moving.
+func ReadHeavyBatchMix() BatchMix {
+	return BatchMix{InsertPairs: 3, Moves: 2, CountPairs: 45, TwoHops: 50}
 }
 
 // CompositeOp draws and executes ONE composite operation against g: it

@@ -111,3 +111,54 @@ func TestBatchMixValidation(t *testing.T) {
 	}()
 	RunBatched(g, Config{Threads: 1, OpsPerThread: 1, KeySpace: 1}, BatchMix{InsertPairs: 50})
 }
+
+// TestReadHeavyBatchLockFree drives the read-heavy mix single-threaded
+// against the optimistic-capable stick and asserts the zero-lock
+// property: every read-only composite (count pairs, two-hop counts) runs
+// as an optimistic batch that acquires no locks, retries nothing on an
+// uncontended pass, and never falls back.
+func TestReadHeavyBatchLockFree(t *testing.T) {
+	core.SetAudit(true)
+	defer core.SetAudit(false)
+	d, err := decomp.NewBuilder(GraphSpec(), "ρ").
+		Edge("ρu", "ρ", "u", []string{"src"}, container.ConcurrentHashMap).
+		Edge("uv", "u", "v", []string{"dst"}, container.ConcurrentSkipListMap).
+		Edge("vw", "v", "w", []string{"weight"}, container.Cell).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := locks.NewPlacement(d)
+	p.SetStripes(d.Root, 64)
+	p.Place(d.EdgeByName("ρu"), d.Root, "src")
+	r, err := core.Synthesize(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OptimisticCapable() {
+		t.Fatal("concurrent stick should be optimistic-capable")
+	}
+	g := MustRelationBatchGraph(r)
+	g.Counts = &LockCounts{}
+	state := uint64(9)
+	for i := 0; i < 1000; i++ {
+		CompositeOp(g, &state, ReadHeavyBatchMix(), 16)
+	}
+	if g.Counts.ReadOnlyBatches.Load() == 0 {
+		t.Fatal("read-heavy mix produced no optimistic read-only batches")
+	}
+	if got := g.Counts.ReadOnlyAcquired.Load(); got != 0 {
+		t.Fatalf("read-only batches acquired %d locks, want 0", got)
+	}
+	if got := g.Counts.ValidationRetries.Load(); got != 0 {
+		t.Fatalf("%d validation retries on an uncontended pass", got)
+	}
+	if got := g.Counts.Fallbacks.Load(); got != 0 {
+		t.Fatalf("%d fallbacks on an uncontended pass", got)
+	}
+	// The write composites still take locks: total acquisitions are all
+	// attributable to them.
+	if g.Counts.Acquired.Load() == 0 {
+		t.Fatal("write composites acquired no locks")
+	}
+}

@@ -52,14 +52,49 @@ func DefaultSocialMix() SocialMix {
 	return SocialMix{AddPosts: 30, RemovePosts: 10, Follows: 20, Snapshots: 40}
 }
 
+// ReadHeavySocialMix returns the 95/5 read-dominated distribution of the
+// optimistic benchmark: 95% profile snapshots (pure read-only
+// cross-relation groups, which the optimistic path runs lock-free) with a
+// trickle of writes keeping the epochs moving.
+func ReadHeavySocialMix() SocialMix {
+	return SocialMix{AddPosts: 3, RemovePosts: 1, Follows: 1, Snapshots: 95}
+}
+
 // LockCounts accumulates a run's lock-schedule statistics: how many lock
-// acquisitions the members requested before coalescing, and how many
-// physical locks were actually taken. Counter updates are atomic so the
-// throughput harness can share one across threads; the deterministic
-// counting pass runs single-threaded.
+// acquisitions the members requested before coalescing, how many physical
+// locks were actually taken, and the optimistic read-only batch counters.
+// Counter updates are atomic so the throughput harness can share one
+// across threads; the deterministic counting pass runs single-threaded.
 type LockCounts struct {
 	Requested atomic.Int64
 	Acquired  atomic.Int64
+
+	// ReadOnlyBatches counts batches that attempted the lock-free
+	// optimistic path; ReadOnlyAcquired the physical locks those batches
+	// ended up taking (zero unless validation failures forced the
+	// pessimistic fallback), ValidationRetries the optimistic attempts
+	// beyond each batch's first, and Fallbacks the batches that exhausted
+	// their attempts and re-ran under two-phase locking.
+	ReadOnlyBatches   atomic.Int64
+	ReadOnlyAcquired  atomic.Int64
+	ValidationRetries atomic.Int64
+	Fallbacks         atomic.Int64
+}
+
+// Harvest folds one batch's trace into the counters.
+func (c *LockCounts) Harvest(tr *core.BatchTrace) {
+	c.Requested.Add(int64(tr.Requested))
+	c.Acquired.Add(int64(tr.Acquired))
+	if tr.Optimistic {
+		c.ReadOnlyBatches.Add(1)
+		c.ReadOnlyAcquired.Add(int64(tr.Acquired))
+		if tr.Attempts > 1 {
+			c.ValidationRetries.Add(int64(tr.Attempts - 1))
+		}
+		if tr.FellBack {
+			c.Fallbacks.Add(1)
+		}
+	}
 }
 
 // Social is the three-relation social scenario over one core.Registry,
@@ -113,9 +148,11 @@ func FollowsSpec() rel.Spec {
 }
 
 // NewSocial synthesizes the three relations into one registry and
-// prepares every operation. The decompositions are concurrent sticks
-// (ConcurrentHashMap at the root edge, TreeMap below, Cell leaves) under
-// fine-grained placement.
+// prepares every operation. The decompositions are concurrent sticks —
+// ConcurrentHashMap at the root edge, ConcurrentSkipListMap below (sorted
+// iteration like the TreeMap it replaced, but concurrency-safe, which
+// makes all three relations OptimisticCapable: read-only groups run
+// lock-free), Cell leaves — under fine-grained placement.
 func NewSocial() (*Social, error) {
 	g := core.NewRegistry()
 	ud, err := decomp.NewBuilder(UsersSpec(), "ρ").
@@ -131,7 +168,7 @@ func NewSocial() (*Social, error) {
 	}
 	pd, err := decomp.NewBuilder(PostsSpec(), "ρ").
 		Edge("ρa", "ρ", "a", []string{"author"}, container.ConcurrentHashMap).
-		Edge("ap", "a", "p", []string{"post"}, container.TreeMap).
+		Edge("ap", "a", "p", []string{"post"}, container.ConcurrentSkipListMap).
 		Edge("pt", "p", "t", []string{"ts"}, container.Cell).
 		Build()
 	if err != nil {
@@ -143,7 +180,7 @@ func NewSocial() (*Social, error) {
 	}
 	fd, err := decomp.NewBuilder(FollowsSpec(), "ρ").
 		Edge("ρs", "ρ", "s", []string{"src"}, container.ConcurrentHashMap).
-		Edge("sd", "s", "d", []string{"dst"}, container.TreeMap).
+		Edge("sd", "s", "d", []string{"dst"}, container.ConcurrentSkipListMap).
 		Edge("dw", "d", "w", []string{"since"}, container.Cell).
 		Build()
 	if err != nil {
@@ -214,8 +251,7 @@ func (s *Social) batch(fn func(tx *core.Txn) error) {
 		panic(fmt.Sprintf("workload: social batch: %v", err))
 	}
 	if tr != nil {
-		s.Counts.Requested.Add(int64(tr.Requested))
-		s.Counts.Acquired.Add(int64(tr.Acquired))
+		s.Counts.Harvest(tr)
 	}
 }
 

@@ -33,8 +33,10 @@ func TestSocialCounterInvariant(t *testing.T) {
 
 // TestSocialGroupedMatchesSequential runs the identical deterministic
 // workload in both disciplines and requires identical checksums (the
-// member executions are the same; only the transaction grouping differs)
-// and strictly fewer lock acquisitions for the grouped run.
+// member executions are the same; only the transaction grouping differs).
+// Read-only groups run lock-free in both disciplines, so the
+// cross-discipline lock-count comparison is meaningful only on the
+// write side: TestSocialWriteCoalescing asserts it on a write-only mix.
 func TestSocialGroupedMatchesSequential(t *testing.T) {
 	run := func(grouped bool) (uint64, *LockCounts) {
 		s := MustSocial()
@@ -52,12 +54,55 @@ func TestSocialGroupedMatchesSequential(t *testing.T) {
 	if gSum != sSum {
 		t.Fatalf("checksums diverge: grouped %d, sequential %d", gSum, sSum)
 	}
-	if gCounts.Acquired.Load() >= sCounts.Acquired.Load() {
-		t.Fatalf("grouped run acquired %d locks, sequential %d — coalescing must win",
-			gCounts.Acquired.Load(), sCounts.Acquired.Load())
-	}
 	if gCounts.Requested.Load() == 0 || gCounts.Acquired.Load() == 0 {
 		t.Fatal("lock counting recorded nothing")
+	}
+	// The uncontended single-threaded pass must never fail a validation:
+	// every read-only group (40% snapshots, plus the sequential
+	// discipline's standalone reads) runs lock-free with zero retries.
+	for name, c := range map[string]*LockCounts{"grouped": gCounts, "sequential": sCounts} {
+		if c.ReadOnlyBatches.Load() == 0 {
+			t.Fatalf("%s run attempted no optimistic read-only batches", name)
+		}
+		if got := c.ReadOnlyAcquired.Load(); got != 0 {
+			t.Fatalf("%s run: read-only batches acquired %d locks, want 0", name, got)
+		}
+		if got := c.ValidationRetries.Load(); got != 0 {
+			t.Fatalf("%s run: %d validation retries on an uncontended pass", name, got)
+		}
+		if got := c.Fallbacks.Load(); got != 0 {
+			t.Fatalf("%s run: %d pessimistic fallbacks on an uncontended pass", name, got)
+		}
+	}
+}
+
+// TestSocialWriteCoalescing pins the coalescing property on a write-only
+// mix, where lock counts still measure it cleanly: the grouped discipline
+// (one transaction per composite, several writes coalesced) must acquire
+// strictly fewer physical locks than one transaction per member. Read
+// mixes no longer discriminate — read-only groups acquire zero locks in
+// both disciplines via the optimistic path.
+func TestSocialWriteCoalescing(t *testing.T) {
+	mix := SocialMix{AddPosts: 60, RemovePosts: 40}
+	run := func(grouped bool) (uint64, *LockCounts) {
+		s := MustSocial()
+		s.Grouped = grouped
+		s.Counts = &LockCounts{}
+		state := uint64(11)
+		var sum uint64
+		for i := 0; i < 1500; i++ {
+			sum += SocialOp(s, &state, mix, 16)
+		}
+		return sum, s.Counts
+	}
+	gSum, gCounts := run(true)
+	sSum, sCounts := run(false)
+	if gSum != sSum {
+		t.Fatalf("checksums diverge: grouped %d, sequential %d", gSum, sSum)
+	}
+	if gCounts.Acquired.Load() >= sCounts.Acquired.Load() {
+		t.Fatalf("grouped write run acquired %d locks, sequential %d — coalescing must win",
+			gCounts.Acquired.Load(), sCounts.Acquired.Load())
 	}
 }
 
