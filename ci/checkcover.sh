@@ -2,15 +2,16 @@
 # Coverage gate for the packages carrying the locking and optimistic-epoch
 # machinery: fail when statement coverage drops below the committed floor.
 # The floors are set a couple of points under the measured coverage at the
-# time they were last raised (core 86.4%, locks 90.0%), so routine changes
-# don't flake but untested additions to the epoch/validation protocol fail
-# loudly. Raise the floor when coverage improves; never lower it to make a
-# PR pass.
+# time they were last raised (core 87.7%, locks 91.8%, after the mixed-batch
+# OCC commit path landed with its retry/fallback/self-hold suites), so
+# routine changes don't flake but untested additions to the epoch/validation
+# protocol fail loudly. Raise the floor when coverage improves; never lower
+# it to make a PR pass.
 set -euo pipefail
 
 declare -A floors=(
-  ["./internal/core/"]=84.0
-  ["./internal/locks/"]=87.0
+  ["./internal/core/"]=85.5
+  ["./internal/locks/"]=89.5
 )
 
 status=0

@@ -26,14 +26,19 @@
 //     schedulers started doing more lock-step work per member, even if
 //     dedup still hides it;
 //   - every baseline record with counts must still exist;
-//   - where both modes were measured and neither ran optimistic
-//     read-only batches, the batched mode must acquire strictly fewer
-//     locks than the sequential mode (the coalescing property itself);
+//   - where both modes were measured, the batched mode must acquire
+//     STRICTLY fewer locks than the sequential mode — the coalescing
+//     property itself, with no read-row exemption: mixed groups commit
+//     Silo-style (write locks + validated lock-free reads), so a batch
+//     never out-locks its sequential decomposition;
 //   - wherever the baseline ran optimistic read-only batches, the current
 //     run must detect at least as many, and they must report zero locks
 //     acquired, zero validation retries and zero fallbacks — the
 //     deterministic pass is uncontended, so nonzero values are protocol
-//     regressions, not noise.
+//     regressions, not noise;
+//   - wherever the baseline committed mixed batches via OCC, the current
+//     run must commit at least as many, with ZERO Shared-mode (read)
+//     locks on the OCC path, zero validation retries and zero fallbacks.
 //
 // Improvements (fewer acquisitions than the baseline) are reported so the
 // baseline can be refreshed, but do not fail the build.
@@ -49,7 +54,7 @@ import (
 // supportedSchema is the crsbench json document schema this guard
 // understands; documents carrying any other version (including none) are
 // rejected rather than silently compared field-by-field.
-const supportedSchema = 2
+const supportedSchema = 3
 
 // benchDoc mirrors crsbench's -format json document (the subset the guard
 // reads).
@@ -81,6 +86,12 @@ type benchRecord struct {
 	ROLocksAcquired   int64 `json:"ro_locks_acquired"`
 	ValidationRetries int64 `json:"validation_retries"`
 	ROFallbacks       int64 `json:"ro_fallbacks"`
+	// Mixed-batch OCC counters (crsbench -mixed deterministic pass).
+	// OCCBatches > 0 marks a record as carrying them.
+	OCCBatches   int64 `json:"occ_batches"`
+	OCCShared    int64 `json:"occ_shared_locks"`
+	OCCRetries   int64 `json:"occ_validation_retries"`
+	OCCFallbacks int64 `json:"occ_fallbacks"`
 }
 
 // key identifies a comparable record across runs.
@@ -107,7 +118,7 @@ func load(path string) (*benchDoc, error) {
 func counted(doc *benchDoc) map[key]benchRecord {
 	m := map[key]benchRecord{}
 	for _, r := range doc.Results {
-		if r.LocksAcquired > 0 || r.ROBatches > 0 {
+		if r.LocksAcquired > 0 || r.ROBatches > 0 || r.OCCBatches > 0 {
 			m[key{r.Mix, r.Variant, r.Mode, r.Threads}] = r
 		}
 	}
@@ -172,12 +183,13 @@ func main() {
 		}
 	}
 	// The coalescing property: batched must beat sequential in the
-	// current run wherever both were measured. Pairs where either side ran
-	// optimistic read-only batches are exempt — lock-free reads zero out
-	// the sequential side's read costs while mixed (read+write) groups
-	// still pay for theirs, so the cross-discipline count no longer
-	// isolates coalescing there; the write-only coalescing property is
-	// pinned by the workload tests instead.
+	// current run wherever both were measured — unconditionally. PR 4
+	// exempted pairs carrying read-only batches because a mixed group
+	// still locked its read members pessimistically and could legitimately
+	// out-lock its sequential decomposition; the Silo-style OCC commit
+	// removed that case (mixed groups take write locks only, reads are
+	// epoch-validated), restoring the clean invariant "a batch never
+	// out-locks its sequential decomposition".
 	for k, c := range curRecs {
 		if k.Mode != "batched" {
 			continue
@@ -186,9 +198,6 @@ func main() {
 		sk.Mode = "sequential"
 		s, ok := curRecs[sk]
 		if !ok {
-			continue
-		}
-		if c.ROBatches > 0 || s.ROBatches > 0 {
 			continue
 		}
 		if c.LocksAcquired >= s.LocksAcquired {
@@ -225,6 +234,37 @@ func main() {
 		default:
 			fmt.Printf("ok   %s/%s %s %dthr: %d read-only batches, 0 locks / 0 retries / 0 fallbacks\n",
 				k.Variant, k.Mode, k.Mix, k.Threads, c.ROBatches)
+		}
+	}
+
+	// The mixed-batch OCC gates: wherever the baseline committed mixed
+	// groups Silo-style, the current run must (a) still commit at least as
+	// many via OCC (fewer means mixed groups stopped being detected or
+	// started falling back), and (b) report ZERO Shared-mode lock
+	// acquisitions on the OCC path — reads divert into the read-set, so a
+	// shared lock means the scheduler leaked a read member into the
+	// growing phase — plus zero validation retries and zero fallbacks on
+	// the uncontended deterministic pass.
+	for k, b := range baseRecs {
+		if b.OCCBatches == 0 {
+			continue
+		}
+		c, ok := curRecs[k]
+		if !ok {
+			continue // already reported missing above
+		}
+		switch {
+		case c.OCCBatches < b.OCCBatches:
+			fmt.Printf("FAIL %s/%s %s %dthr: %d OCC batches, baseline %d — mixed groups stopped committing Silo-style\n",
+				k.Variant, k.Mode, k.Mix, k.Threads, c.OCCBatches, b.OCCBatches)
+			failures++
+		case c.OCCShared != 0 || c.OCCRetries != 0 || c.OCCFallbacks != 0:
+			fmt.Printf("FAIL %s/%s %s %dthr: OCC path took %d shared locks, %d retries, %d fallbacks on the uncontended pass — want all zero\n",
+				k.Variant, k.Mode, k.Mix, k.Threads, c.OCCShared, c.OCCRetries, c.OCCFallbacks)
+			failures++
+		default:
+			fmt.Printf("ok   %s/%s %s %dthr: %d OCC batches, 0 shared locks / 0 retries / 0 fallbacks\n",
+				k.Variant, k.Mode, k.Mix, k.Threads, c.OCCBatches)
 		}
 	}
 	if failures > 0 {

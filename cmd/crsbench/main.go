@@ -8,14 +8,17 @@
 //
 //	crsbench [-mixes all|70-0-20-10,...] [-threads 1,2,4] [-ops 500000]
 //	         [-keyspace 512] [-variants all|Stick 1,...] [-format table|csv|json]
-//	         [-batch] [-registry]
+//	         [-batch] [-registry] [-optimistic] [-mixed]
 //
 // The json format emits one machine-readable document (configuration plus
 // one record per mix/variant/thread-count with ops/s) so successive runs
 // can be archived — e.g. as BENCH_<date>.json — and compared across PRs.
 // -registry additionally records deterministic coalesced lock-acquisition
 // counts (single-threaded pass, fixed seed) that cmd/benchguard compares
-// against the committed baseline in CI.
+// against the committed baseline in CI; -optimistic records the read-only
+// zero-lock counters, and -mixed the mixed-batch OCC counters (write
+// locks, read-set size, retries, fallbacks) over the Follow-heavy social
+// mix.
 package main
 
 import (
@@ -35,8 +38,9 @@ import (
 
 // benchSchema versions the -format json document; cmd/benchguard refuses
 // to compare documents with mismatched schemas. Bump it whenever a field
-// changes meaning (schema 2 added the optimistic read-only counters).
-const benchSchema = 2
+// changes meaning (schema 2 added the optimistic read-only counters,
+// schema 3 the mixed-batch OCC counters of the -mixed pass).
+const benchSchema = 3
 
 // jsonDoc is the -format json output document.
 type jsonDoc struct {
@@ -82,6 +86,18 @@ type jsonResult struct {
 	ROLocksAcquired   int64 `json:"ro_locks_acquired,omitempty"`
 	ValidationRetries int64 `json:"validation_retries,omitempty"`
 	ROFallbacks       int64 `json:"ro_fallbacks,omitempty"`
+	// The mixed-batch OCC counters of the -mixed deterministic counting
+	// pass: mixed groups committed Silo-style, the write locks their
+	// growing phases acquired, the Shared-mode acquisitions of successful
+	// OCC commits (benchguard gates these at zero — reads divert into the
+	// read-set), the distinct epoch cells validated, validation retries
+	// and full-2PL fallbacks (both gated at zero on the uncontended pass).
+	OCCBatches    int64 `json:"occ_batches,omitempty"`
+	OCCWriteLocks int64 `json:"occ_write_locks,omitempty"`
+	OCCShared     int64 `json:"occ_shared_locks,omitempty"`
+	OCCReadSet    int64 `json:"occ_read_set,omitempty"`
+	OCCRetries    int64 `json:"occ_validation_retries,omitempty"`
+	OCCFallbacks  int64 `json:"occ_fallbacks,omitempty"`
 }
 
 func main() {
@@ -95,6 +111,7 @@ func main() {
 	batch := flag.Bool("batch", false, "run the batched-transaction benchmark (composite operation groups, batched vs sequential) instead of Figure 5")
 	registry := flag.Bool("registry", false, "run the cross-relation registry benchmark (users/posts/follows composite groups over Registry.Batch, batched vs sequential, with deterministic lock-acquisition counts) instead of Figure 5")
 	optimistic := flag.Bool("optimistic", false, "run the optimistic read-only batch benchmark (read-heavy mixes over optimistic-capable representations, with deterministic zero-lock/retry/fallback counts) instead of Figure 5")
+	mixed := flag.Bool("mixed", false, "run the mixed-batch OCC benchmark (Follow-heavy social mix, batched vs sequential, with deterministic write-lock/read-set/retry/fallback counts) instead of Figure 5")
 	flag.Parse()
 
 	if *format != "table" && *format != "csv" && *format != "json" {
@@ -125,13 +142,20 @@ func main() {
 		GoVersion:    runtime.Version(),
 	}}
 	modes := 0
-	for _, m := range []bool{*batch, *registry, *optimistic} {
+	for _, m := range []bool{*batch, *registry, *optimistic, *mixed} {
 		if m {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fatal(fmt.Errorf("-batch, -registry and -optimistic are mutually exclusive benchmarks; pick one"))
+		fatal(fmt.Errorf("-batch, -registry, -optimistic and -mixed are mutually exclusive benchmarks; pick one"))
+	}
+	if *mixed {
+		if *mixesFlag != "all" || *variantsFlag != "all" {
+			fatal(fmt.Errorf("-mixes/-variants do not apply to -mixed: it runs the Follow-heavy social mix %s over the users/posts/follows registry", workload.MixedSocialMix()))
+		}
+		runMixedBench(&doc, threads, *ops, *keyspace, *seed, *format)
+		return
 	}
 	if *optimistic {
 		if *mixesFlag != "all" || *variantsFlag != "all" {
@@ -367,6 +391,82 @@ func runRegistryBench(doc *jsonDoc, threads []int, ops int, keyspace int64, seed
 			case "csv":
 				fmt.Printf("%s,%s,%d,%d,%.3f,%.0f,%d,%d,%d,%d\n", mix, mode, k, res.Ops, res.Duration.Seconds(),
 					res.Throughput, row.LocksRequested, row.LocksAcquired, row.ROBatches, row.ROLocksAcquired)
+			case "json":
+				doc.Results = append(doc.Results, row)
+			}
+		}
+	}
+	if format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runMixedBench runs the mixed-batch OCC benchmark over the social
+// registry with the Follow-heavy MixedSocialMix: for each discipline
+// (batched = one Registry.Batch per composite, whose mixed groups commit
+// Silo-style; sequential = one single-member batch per relational
+// operation), one DETERMINISTIC single-threaded counting pass (fixed
+// seed, tracing on) records the benchguard signals — total locks
+// acquired (gated strictly below the sequential discipline's), OCC
+// batches committed, their write locks, Shared-mode acquisitions (gated
+// at zero: reads divert into the read-set), distinct read-set epochs,
+// validation retries and fallbacks (both gated at zero uncontended) —
+// followed by throughput passes over the requested thread counts.
+func runMixedBench(doc *jsonDoc, threads []int, ops int, keyspace int64, seed uint64, format string) {
+	mix := workload.MixedSocialMix()
+	threads = withThread1(threads)
+	if format == "csv" {
+		fmt.Println("mix,mode,threads,ops,seconds,throughput_groups_per_sec,locks_requested,locks_acquired,occ_batches,occ_write_locks,occ_shared_locks,occ_read_set,occ_validation_retries,occ_fallbacks")
+	}
+	if format == "table" {
+		fmt.Printf("\nMixed-batch OCC, social mix %s (GOMAXPROCS=%d)\n", mix, runtime.GOMAXPROCS(0))
+	}
+	for _, mode := range []string{"batched", "sequential"} {
+		grouped := mode == "batched"
+		// Counting pass: threads=1 with tracing ON for reproducible totals;
+		// its timing is discarded (tracing allocates per batch).
+		s := workload.MustSocial()
+		s.Grouped = grouped
+		s.Counts = &workload.LockCounts{}
+		workload.RunSocial(s, crs.BenchConfig{Threads: 1, OpsPerThread: ops, KeySpace: keyspace, Seed: seed}, mix)
+		counts := s.Counts
+		for _, k := range threads {
+			s := workload.MustSocial()
+			s.Grouped = grouped
+			cfg := crs.BenchConfig{Threads: k, OpsPerThread: ops, KeySpace: keyspace, Seed: seed}
+			res := workload.RunSocial(s, cfg, mix)
+			row := jsonResult{
+				Mix: mix.String(), Variant: "social", Mode: mode, Threads: k,
+				Ops: res.Ops, Seconds: res.Duration.Seconds(), OpsPerSec: res.Throughput,
+				Checksum: res.Checksum,
+			}
+			if k == 1 {
+				row.LocksRequested = counts.Requested.Load()
+				row.LocksAcquired = counts.Acquired.Load()
+				row.OCCBatches = counts.OCCBatches.Load()
+				row.OCCWriteLocks = counts.OCCWriteLocks.Load()
+				row.OCCShared = counts.OCCSharedLocks.Load()
+				row.OCCReadSet = counts.OCCReadSet.Load()
+				row.OCCRetries = counts.OCCRetries.Load()
+				row.OCCFallbacks = counts.OCCFallbacks.Load()
+			}
+			switch format {
+			case "table":
+				fmt.Printf("%-12s %d thr: %8.0f groups/s", mode, k, res.Throughput)
+				if k == 1 {
+					fmt.Printf(", locks %d -> %d, occ batches %d (write locks %d, shared %d, read set %d, retries %d, fallbacks %d)",
+						row.LocksRequested, row.LocksAcquired, row.OCCBatches, row.OCCWriteLocks,
+						row.OCCShared, row.OCCReadSet, row.OCCRetries, row.OCCFallbacks)
+				}
+				fmt.Println()
+			case "csv":
+				fmt.Printf("%s,%s,%d,%d,%.3f,%.0f,%d,%d,%d,%d,%d,%d,%d,%d\n", mix, mode, k, res.Ops,
+					res.Duration.Seconds(), res.Throughput, row.LocksRequested, row.LocksAcquired,
+					row.OCCBatches, row.OCCWriteLocks, row.OCCShared, row.OCCReadSet, row.OCCRetries, row.OCCFallbacks)
 			case "json":
 				doc.Results = append(doc.Results, row)
 			}

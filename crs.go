@@ -85,6 +85,22 @@
 //	    return nil
 //	})
 //
+// Standalone Query/Count/ExecRows on capable relations ride the same
+// lock-free path as one-member read-only batches, so the zero-lock read
+// story covers the whole read API.
+//
+// # Mixed batches: Silo-style OCC
+//
+// A MIXED group — mutations plus reads — on OptimisticCapable relations
+// auto-upgrades to an OCC commit: exclusive locks are acquired for the
+// write members only (coalesced, in the global order), read members run
+// lock-free recording epochs, results are staged under an undo log, and
+// the read-set is validated (excluding locks the batch itself holds
+// exclusively) before delivery, with retry and full-2PL fallback exactly
+// like the read-only path. On the OCC path a batch therefore never
+// acquires more locks than its sequential decomposition (the rare
+// contention-forced 2PL fallback pays the pessimistic schedule instead).
+//
 // Or let the autotuner pick the representation for your workload:
 //
 //	best, _ := crs.Tune(crs.EnumerateGraphCandidates(), cfg, crs.TuneOptions{TopStatic: 32})

@@ -42,12 +42,38 @@ func AuditEnabled() bool { return auditEnabled.Load() }
 // lock l: the transaction holds it, or — in an optimistic read-only
 // attempt — its epoch has been recorded into the read-set, which is the
 // lock-free analog of a shared hold (the final validation proves the
-// reads under it were stable).
+// reads under it were stable). A mixed-batch OCC commit (occ.go) mixes
+// both currencies: write members' accesses are covered by held exclusive
+// locks, read members' (and their apply-phase re-executions') by recorded
+// epochs, and reads that traverse write-locked instances by either.
 func (b *opBuf) covered(l *locks.Lock) bool {
+	if b.occ {
+		return b.txn.Holds(l) || b.reads.Contains(l)
+	}
 	if b.optimistic {
 		return b.reads.Contains(l)
 	}
 	return b.txn.Holds(l)
+}
+
+// auditCover asserts coverage of l, with one deliberate relaxation: an
+// OCC apply-phase re-execution may legitimately discover an instance
+// that exists in NO coverage set — created by a concurrent transaction
+// after the batch's read phase (the batch holds no lock excluding it).
+// Such an attempt is doomed — the container the instance appeared in has
+// a recorded epoch its creator bumped — so instead of panicking on a
+// transient the protocol already handles, the audit records the
+// discovered lock's epoch (the re-read's stability evidence) and lets
+// validation fail the attempt. Every other mode keeps the hard panic.
+func (b *opBuf) auditCover(l *locks.Lock) bool {
+	if b.covered(l) {
+		return true
+	}
+	if b.occ && b.apply {
+		b.reads.Record(l)
+		return true
+	}
+	return false
 }
 
 // auditAccess asserts lock coverage for an access to edge e. insts maps
@@ -78,7 +104,7 @@ func (r *Relation) auditAccess(b *opBuf, e *decomp.Edge, insts []*Instance, row 
 			if fresh[target] {
 				return
 			}
-			if !b.covered(target.lock(0)) {
+			if !b.auditCover(target.lock(0)) {
 				panic(fmt.Sprintf("core: audit: speculative access to %s without target lock %v", e.Name, target.lock(0).ID()))
 			}
 			return
@@ -123,7 +149,7 @@ func (r *Relation) auditStripes(b *opBuf, e *decomp.Edge, inst *Instance, at *de
 			ok = false
 		}
 		if ok {
-			if !b.covered(inst.lock(idx)) {
+			if !b.auditCover(inst.lock(idx)) {
 				panic(fmt.Sprintf("core: audit: access to %s without stripe %d of %s (selector %v)",
 					e.Name, idx, at.Name, stripeBy))
 			}
@@ -131,7 +157,7 @@ func (r *Relation) auditStripes(b *opBuf, e *decomp.Edge, inst *Instance, at *de
 		}
 	}
 	for i := 0; i < k; i++ {
-		if !b.covered(inst.lock(i)) {
+		if !b.auditCover(inst.lock(i)) {
 			panic(fmt.Sprintf("core: audit: unselective access to %s missing stripe %d of %s (whole=%v)", e.Name, i, at.Name, whole))
 		}
 	}

@@ -106,6 +106,8 @@ type txnShard struct {
 	b        *opBuf
 	own      *locks.Txn // the buffer's own txn, restored before putBuf (registry mode)
 	firstMut int        // index into b.members of the first mutation, -1 if none
+	hasRead  bool       // the shard holds at least one query/count member (OCC eligibility)
+	mark     int        // OCC state-pool floor: write members' retained states end here (occ.go)
 }
 
 // memberRef addresses one member across shards, preserving the global
@@ -216,6 +218,15 @@ type member struct {
 
 	count   int  // StepCount accumulator
 	counted bool // count delivered by a StepCount terminal
+
+	// Apply-phase staging (computeMember/deliverMember): ok is a
+	// mutation's staged outcome, recomputed marks a query whose apply-time
+	// re-execution (not the growing/read-phase traversal) produced
+	// m.states. Staging lets the OCC commit (occ.go) compute every
+	// member's result under undo logging and deliver — resolve pendings,
+	// run yields — only after the read-set validates.
+	ok         bool
+	recomputed bool
 }
 
 // reset clears a member slab entry for reuse, retaining slice capacity.
@@ -255,6 +266,12 @@ type BatchTrace struct {
 	// Speculative counts the locks taken by the §4.5 protocol (a subset
 	// of Acquired).
 	Speculative int
+	// SharedAcquired counts the locks taken in Shared mode (a subset of
+	// Acquired). On a successful OCC commit of a mixed batch it is
+	// structurally zero for plain placements — read members divert into
+	// the read-set and write members lock exclusively — which the
+	// benchguard mixed pass gates.
+	SharedAcquired int
 
 	// Optimistic reports that the batch was detected read-only and
 	// attempted the lock-free epoch-validation path (readonly.go). When
@@ -274,6 +291,17 @@ type BatchTrace struct {
 	// the batch re-ran under pessimistic two-phase locking (whose lock
 	// schedule then fills Rounds/Requested/Acquired as usual).
 	FellBack bool
+
+	// OCC reports that the batch was MIXED (mutations plus reads) on
+	// OptimisticCapable relations and ran the Silo-style commit of occ.go:
+	// write members' lock sets acquired exclusively in the global order
+	// (filling Rounds/Requested/Acquired), read members lock-free with
+	// their epochs in the read-set (filling EpochsRecorded/EpochsDistinct
+	// on success), validation after the undo-logged apply. Attempts,
+	// FellBack and the epoch counters mean the same as on the read-only
+	// path; when FellBack is set the lock-schedule fields describe the
+	// pessimistic rerun instead.
+	OCC bool
 }
 
 // BatchRound is one coalesced acquisition in a batch's growing phase.
@@ -328,7 +356,11 @@ func (t *Txn) Trace() *BatchTrace { return t.trace }
 // A group whose members are all queries and counts is detected
 // automatically and — when the relation is OptimisticCapable — executed
 // lock-free under the optimistic epoch-validation protocol (readonly.go),
-// acquiring zero physical locks on the conflict-free path.
+// acquiring zero physical locks on the conflict-free path. A MIXED group
+// (mutations plus reads) on an OptimisticCapable relation auto-upgrades
+// to the Silo-style OCC commit (occ.go): exclusive locks for the write
+// members only, lock-free epoch-validated reads for the rest, so a batch
+// never acquires more locks than its sequential decomposition.
 func (r *Relation) Batch(fn func(tx *Txn) error) error {
 	return r.batch(fn, false)
 }
@@ -362,6 +394,9 @@ func (r *Relation) batch(fn func(tx *Txn) error, roOnly bool) error {
 		return nil
 	}
 	if t.readOnly() && r.commitReadOnly(t, &t.single) {
+		return nil
+	}
+	if r.commitOCC(t, &t.single) {
 		return nil
 	}
 	r.commitBatch(t, &t.single)
@@ -409,12 +444,15 @@ func (b *opBuf) copyRow(row rel.Row) rel.Row {
 }
 
 // addMember appends a member to shard sh, tracking the shard's first
-// mutation and (for registry transactions) the global enqueue order.
+// mutation, whether the shard holds any read member (OCC eligibility) and
+// (for registry transactions) the global enqueue order.
 func (t *Txn) addMember(sh *txnShard, m member) *member {
 	if m.kind == mInsert || m.kind == mRemove {
 		if sh.firstMut < 0 {
 			sh.firstMut = len(sh.b.members)
 		}
+	} else {
+		sh.hasRead = true
 	}
 	sh.b.members = append(sh.b.members, m)
 	nm := &sh.b.members[len(sh.b.members)-1]
@@ -726,9 +764,19 @@ func (r *Relation) initBatchMembers(b *opBuf) {
 		// leak into the apply phase's reuse path).
 		m.cursor, m.stage, m.wait = 0, stStart, wNone
 		m.count, m.counted = 0, false
+		m.ok, m.recomputed = false, false
 		m.specReg, m.specResolved, m.specFound = false, false, nil
 		switch m.kind {
 		case mQuery, mCount:
+			if b.occ {
+				// OCC commit: read members sit the pessimistic growing
+				// phase out entirely — their lock and speculative steps
+				// divert into the read-set when the lock-free read phase
+				// (occ.go) executes them after the write locks are held.
+				m.wait = wDone
+				m.states = m.states[:0]
+				continue
+			}
 			m.states = append(m.states[:0], b.rootState(r, m.row, m.boundMask))
 		case mInsert, mRemove:
 			if cap(m.xinst) < nNodes {
@@ -822,6 +870,9 @@ func (t *Txn) recordRound(b *opBuf, node string, requested, prev int, spec bool)
 		id, mode := b.txn.HeldID(i)
 		rd.IDs = append(rd.IDs, id)
 		rd.Modes = append(rd.Modes, mode)
+		if mode == locks.Shared {
+			tr.SharedAcquired++
+		}
 	}
 	tr.Requested += requested
 	tr.Acquired += len(rd.IDs)
@@ -1367,20 +1418,87 @@ func (r *Relation) memberReusable(b *opBuf, m *member, idx, firstMut int) bool {
 }
 
 // applyMember executes one member at commit time, under the full held
-// lock set. Members whose scope no earlier mutation touched reuse their
-// growing-phase traversal (it is exact); the rest re-execute in apply
-// mode so they observe the writes of the members before them —
-// sequential semantics. firstMut is the owning SHARD's first-mutation
-// index: mutations in other relations of a registry batch never
-// invalidate reuse, because relations are disjoint object graphs.
+// lock set: compute the result, then deliver it. The pessimistic paths
+// fuse the two; the OCC commit (occ.go) computes every member under undo
+// logging first and delivers only after the read-set validates, so
+// callers never observe results of an attempt that failed validation.
 func (r *Relation) applyMember(b *opBuf, m *member, idx, firstMut int) {
+	r.computeMember(b, m, idx, firstMut)
+	r.deliverMember(b, m)
+}
+
+// computeMember executes one member's apply-phase work and stages the
+// result on the member (states for queries, count for counts, ok for
+// mutations) without touching any caller-visible sink. Members whose
+// scope no earlier mutation touched reuse their growing/read-phase
+// traversal (it is exact); the rest re-execute in apply mode so they
+// observe the writes of the members before them — sequential semantics.
+// firstMut is the owning SHARD's first-mutation index: mutations in other
+// relations of a registry batch never invalidate reuse, because relations
+// are disjoint object graphs.
+//
+// computeMember is idempotent across OCC attempts: a validation failure
+// rolls the container writes back (undo log) and the next attempt
+// recomputes from the restored state — which is why the reuse-insert
+// branch writes through a scratch copy of the located instances instead
+// of mutating m.xinst (insertWrite fills in the instances it creates).
+func (r *Relation) computeMember(b *opBuf, m *member, idx, firstMut int) {
 	reuse := r.memberReusable(b, m, idx, firstMut)
 	switch m.kind {
 	case mQuery:
-		states := m.states
+		m.recomputed = !reuse
 		if !reuse {
-			states = r.runSteps(b, m.steps, m.row, m.boundMask)
+			m.states = r.runSteps(b, m.steps, m.row, m.boundMask)
 		}
+	case mCount:
+		switch {
+		case reuse && m.counted:
+			// m.count already holds the growing/read-phase result.
+		case reuse:
+			m.count = len(m.states)
+		default:
+			m.count = r.applyCount(b, m)
+		}
+		m.counted = true
+	case mInsert:
+		m.ok = false
+		if reuse {
+			if len(m.states) == 0 {
+				nNodes := len(m.xinst)
+				if cap(b.xinst) < nNodes {
+					b.xinst = make([]*Instance, nNodes)
+				}
+				xinst := b.xinst[:nNodes]
+				copy(xinst, m.xinst)
+				r.insertWrite(b, xinst, m.row)
+				m.ok = true
+			}
+		} else {
+			m.ok = r.applyInsert(b, m)
+		}
+	case mRemove:
+		m.ok = false
+		if reuse {
+			for _, st := range m.states {
+				if st.row.Mask() != r.fullMask {
+					continue
+				}
+				r.deleteTuple(b, st)
+				m.ok = true
+			}
+		} else {
+			m.ok = r.applyRemove(b, m)
+		}
+	}
+}
+
+// deliverMember resolves one member's caller-visible sinks — pendings and
+// query yields — from the staged results. On the OCC path it runs only
+// after a successful validation, so yields never observe torn data.
+func (r *Relation) deliverMember(b *opBuf, m *member) {
+	switch m.kind {
+	case mQuery:
+		states := m.states
 		if m.yield != nil {
 			for _, st := range states {
 				if !m.yield(st.row) {
@@ -1399,45 +1517,13 @@ func (r *Relation) applyMember(b *opBuf, m *member, idx, firstMut int) {
 			}
 			m.pt.set(results)
 		}
-		if !reuse {
+		if m.recomputed {
 			b.recycle(states)
 		}
 	case mCount:
-		n := 0
-		switch {
-		case reuse && m.counted:
-			n = m.count
-		case reuse:
-			n = len(m.states)
-		default:
-			n = r.applyCount(b, m)
-		}
-		m.pi.set(n)
-	case mInsert:
-		ok := false
-		if reuse {
-			if len(m.states) == 0 {
-				r.insertWrite(b, m.xinst, m.row)
-				ok = true
-			}
-		} else {
-			ok = r.applyInsert(b, m)
-		}
-		m.pb.set(ok)
-	case mRemove:
-		removed := false
-		if reuse {
-			for _, st := range m.states {
-				if st.row.Mask() != r.fullMask {
-					continue
-				}
-				r.deleteTuple(b, st)
-				removed = true
-			}
-		} else {
-			removed = r.applyRemove(b, m)
-		}
-		m.pb.set(removed)
+		m.pi.set(m.count)
+	case mInsert, mRemove:
+		m.pb.set(m.ok)
 	}
 }
 

@@ -85,6 +85,14 @@ type opBuf struct {
 	bumped     []*locks.Lock
 	optimistic bool
 	reads      locks.ReadSet
+
+	// occ marks the Silo-style commit of a MIXED batch (occ.go): write
+	// members run the pessimistic growing phase (exclusive locks only),
+	// read members run lock-free with epoch records, and the apply phase
+	// is undo-log staged until the read-set validates. While occ is set the
+	// well-lockedness auditor accepts EITHER a held lock or a recorded
+	// epoch as coverage.
+	occ bool
 }
 
 // specReq pairs a state with its speculative target key so acquisitions
@@ -150,6 +158,7 @@ func (r *Relation) putBuf(b *opBuf) {
 	clear(b.rowArena)
 	b.rowArena = b.rowArena[:0]
 	b.optimistic = false
+	b.occ = false
 	b.reads.Reset()
 	r.bufPool.Put(b)
 }

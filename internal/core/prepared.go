@@ -61,15 +61,26 @@ func (q *PreparedQuery) Exec(s rel.Tuple) ([]rel.Tuple, error) {
 // ExecRows runs the prepared query for the bound row s and yields each
 // matching state's row until yield returns false. Yielded rows bind (at
 // least) the prepared output columns; they are only valid during the
-// callback — the backing storage is pooled — and the query's shared locks
-// are held for the duration of the iteration.
+// callback — the backing storage is pooled. On an OptimisticCapable
+// relation the traversal runs lock-free and yields only after its epoch
+// records validated (no locks are held during the iteration); otherwise
+// the query's shared locks are held for the duration of the iteration.
+// Either way the yielded rows are a validated consistent snapshot.
 func (q *PreparedQuery) ExecRows(s rel.Row, yield func(rel.Row) bool) error {
 	if err := q.r.checkRow(s, q.plan.BoundMask); err != nil {
 		return err
 	}
 	b := q.r.getBuf()
 	defer q.r.putBuf(b)
-	states := q.r.runSteps(b, q.plan.Steps, s, q.plan.BoundMask)
+	states, ok := []*qstate(nil), false
+	if q.r.optimisticOK {
+		// Lock-free single-operation read path: yields run only after the
+		// recorded epochs validated, so callers never see torn rows.
+		states, ok = q.r.runStatesOptimistic(b, q.plan.Steps, s, q.plan.BoundMask)
+	}
+	if !ok {
+		states = q.r.runSteps(b, q.plan.Steps, s, q.plan.BoundMask)
+	}
 	for _, st := range states {
 		if !yield(st.row) {
 			break
@@ -101,11 +112,20 @@ func (q *PreparedQuery) CountRow(s rel.Row) (int, error) {
 }
 
 // runQueryTuples executes a compiled plan and materializes the results as
-// tuples — the single row→tuple conversion point of the query path.
+// tuples — the single row→tuple conversion point of the query path. On
+// OptimisticCapable relations it runs lock-free with epoch validation
+// (materialization happens only after a successful validation), falling
+// back to the locking execution otherwise.
 func (r *Relation) runQueryTuples(plan *query.Plan, op rel.Row) []rel.Tuple {
 	b := r.getBuf()
 	defer r.putBuf(b)
-	states := r.runSteps(b, plan.Steps, op, plan.BoundMask)
+	states, ok := []*qstate(nil), false
+	if r.optimisticOK {
+		states, ok = r.runStatesOptimistic(b, plan.Steps, op, plan.BoundMask)
+	}
+	if !ok {
+		states = r.runSteps(b, plan.Steps, op, plan.BoundMask)
+	}
 	results := make([]rel.Tuple, 0, len(states))
 	for _, st := range states {
 		vals := make([]rel.Value, len(plan.OutIdx))
@@ -120,9 +140,16 @@ func (r *Relation) runQueryTuples(plan *query.Plan, op rel.Row) []rel.Tuple {
 
 // runCount executes a count plan; a StepCount terminal sums container
 // sizes at the counting frontier, otherwise surviving states are counted.
+// On OptimisticCapable relations the count runs lock-free with epoch
+// validation, falling back to the locking execution otherwise.
 func (r *Relation) runCount(plan *query.Plan, op rel.Row) int {
 	b := r.getBuf()
 	defer r.putBuf(b)
+	if r.optimisticOK {
+		if n, ok := r.runCountOptimistic(b, plan.Steps, op, plan.BoundMask); ok {
+			return n
+		}
+	}
 	return r.runCountSteps(b, plan.Steps, op, plan.BoundMask)
 }
 

@@ -94,11 +94,12 @@ func (r *Relation) commitReadOnly(t *Txn, sh *txnShard) bool {
 		if tr := t.trace; tr != nil {
 			tr.Attempts++
 		}
+		b.n = 0
 		r.runShardOptimistic(b)
 		if hook := optimisticValidateHook; hook != nil {
 			hook(attempt)
 		}
-		if b.reads.Validate() {
+		if b.reads.Validate(nil) {
 			if tr := t.trace; tr != nil {
 				tr.EpochsRecorded += b.reads.Len()
 				tr.EpochsDistinct += b.reads.Distinct()
@@ -138,6 +139,7 @@ func (g *Registry) commitReadOnly(t *Txn) bool {
 			tr.Attempts++
 		}
 		for _, sh := range t.shards {
+			sh.b.n = 0
 			sh.r.runShardOptimistic(sh.b)
 		}
 		if hook := optimisticValidateHook; hook != nil {
@@ -145,7 +147,7 @@ func (g *Registry) commitReadOnly(t *Txn) bool {
 		}
 		valid := true
 		for _, sh := range t.shards {
-			if !sh.b.reads.Validate() {
+			if !sh.b.reads.Validate(nil) {
 				valid = false
 				break
 			}
@@ -173,19 +175,31 @@ func (g *Registry) commitReadOnly(t *Txn) bool {
 	return false
 }
 
-// runShardOptimistic executes one shard's members lock-free, recording
-// epochs into the shard buffer's read-set. Each member's compiled plan
-// runs exactly as in the apply phase of a pessimistic batch — there is no
-// growing-phase scheduling to do, which is the point — and retains its
-// final states (queries) or count for the post-validation delivery.
-// Re-running an attempt recycles all pooled states (b.n reset) because
-// the previous attempt's retained lists are invalid and overwritten.
+// runShardOptimistic executes one shard's READ members lock-free,
+// recording epochs into the shard buffer's read-set. Each member's
+// compiled plan runs exactly as in the apply phase of a pessimistic batch
+// — there is no growing-phase scheduling to do, which is the point — and
+// retains its final states (queries) or count for the post-validation
+// delivery. Mutation members are skipped: a read-only batch has none, and
+// in a mixed OCC commit (occ.go) they already ran the pessimistic growing
+// phase under exclusive locks. Callers reset the state pool to the
+// attempt's floor first (b.n = 0 for read-only batches, the post-growing
+// mark for OCC), because the previous attempt's retained read lists are
+// invalid and overwritten.
 func (r *Relation) runShardOptimistic(b *opBuf) {
 	b.optimistic = true
 	b.reads.Reset()
-	b.n = 0
 	for i := range b.members {
 		m := &b.members[i]
+		if m.kind == mInsert || m.kind == mRemove {
+			if !b.occ {
+				// A read-only batch holding a mutation means readOnly()
+				// misclassified it: silently skipping would later apply the
+				// mutation with no locks, no epochs and no undo log.
+				panic("core: mutation member in a read-only batch")
+			}
+			continue
+		}
 		// Detach the ping-pong arrays: members retain their final state
 		// lists across the whole batch, so every member starts from
 		// storage that cannot alias another member's retention.
@@ -197,11 +211,66 @@ func (r *Relation) runShardOptimistic(b *opBuf) {
 			m.count = r.runCountSteps(b, m.steps, m.row, m.boundMask)
 			m.counted = true
 			m.states = m.states[:0]
-		default:
-			panic("core: mutation member in a read-only batch")
 		}
 	}
 	b.optimistic = false
+}
+
+// runStatesOptimistic executes a standalone read plan lock-free with
+// epoch validation — the single-operation (one-member) analog of a
+// read-only batch, closing the ROADMAP "optimistic single operations"
+// item: standalone Query/ExecRows on an OptimisticCapable relation
+// acquire zero physical locks on the conflict-free path. ok=false means
+// every attempt failed validation; the caller falls back to the ordinary
+// locking execution on the same (reset) buffer, so results never depend
+// on the path taken. Validated states stay pooled on b until putBuf.
+func (r *Relation) runStatesOptimistic(b *opBuf, steps []query.Step, op rel.Row, mask uint64) ([]*qstate, bool) {
+	for attempt := 0; attempt < optimisticMaxAttempts; attempt++ {
+		if attempt > 0 {
+			optimisticBackoff(attempt)
+		}
+		b.reads.Reset()
+		b.n = 0
+		b.optimistic = true
+		states := r.runSteps(b, steps, op, mask)
+		b.optimistic = false
+		if hook := optimisticValidateHook; hook != nil {
+			hook(attempt)
+		}
+		if b.reads.Validate(nil) {
+			return states, true
+		}
+		b.recycle(states)
+	}
+	b.reads.Reset()
+	b.n = 0
+	return nil, false
+}
+
+// runCountOptimistic is the count analog of runStatesOptimistic: the
+// standalone count path of Relation.Query/PreparedQuery.Count runs
+// lock-free on capable relations, validated by epochs, with pessimistic
+// fallback after optimisticMaxAttempts.
+func (r *Relation) runCountOptimistic(b *opBuf, steps []query.Step, op rel.Row, mask uint64) (int, bool) {
+	for attempt := 0; attempt < optimisticMaxAttempts; attempt++ {
+		if attempt > 0 {
+			optimisticBackoff(attempt)
+		}
+		b.reads.Reset()
+		b.n = 0
+		b.optimistic = true
+		n := r.runCountSteps(b, steps, op, mask)
+		b.optimistic = false
+		if hook := optimisticValidateHook; hook != nil {
+			hook(attempt)
+		}
+		if b.reads.Validate(nil) {
+			return n, true
+		}
+	}
+	b.reads.Reset()
+	b.n = 0
+	return 0, false
 }
 
 // runCountSteps executes a count plan's step list from the root state: a

@@ -561,7 +561,8 @@ func TestRegistryReadOnlyLockFree(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// A mixed batch must not take the optimistic path.
+	// A mixed batch is not read-only: it must skip the zero-lock path and
+	// commit Silo-style instead (OCC: write locks only, read epochs).
 	err = g.Batch(func(tx *Txn) error {
 		tx.EnableTrace()
 		tr = tx.Trace()
@@ -575,10 +576,13 @@ func TestRegistryReadOnlyLockFree(t *testing.T) {
 		t.Fatal(err)
 	}
 	if tr.Optimistic {
-		t.Fatal("mixed registry batch attempted the lock-free path")
+		t.Fatal("mixed registry batch attempted the read-only lock-free path")
+	}
+	if !tr.OCC {
+		t.Fatal("mixed registry batch on capable relations skipped the OCC path")
 	}
 	if tr.Acquired == 0 {
-		t.Fatal("mixed registry batch acquired no locks")
+		t.Fatal("mixed registry batch acquired no write locks")
 	}
 }
 

@@ -114,6 +114,10 @@ func (g *Registry) getTxn() *locks.Txn {
 // automatically and — when every touched relation is OptimisticCapable —
 // executed lock-free under the optimistic epoch-validation protocol
 // (readonly.go), acquiring zero physical locks on the conflict-free path.
+// A MIXED group (mutations plus reads) over capable relations
+// auto-upgrades to the Silo-style OCC commit (occ.go): exclusive locks
+// for the write members only, lock-free epoch-validated reads for the
+// rest, validated in the registry-wide lock order.
 func (g *Registry) Batch(fn func(tx *Txn) error) error {
 	return g.batch(fn, false)
 }
@@ -155,26 +159,29 @@ func (g *Registry) batch(fn func(tx *Txn) error, roOnly bool) error {
 	if len(t.order) == 0 {
 		return nil
 	}
+	// Every commit path — the lock-free read-only validation, the OCC
+	// growing/validation phases and the pessimistic growing phase — walks
+	// the shards in the registry-wide lock order, so sort them by relation
+	// id once here; this is the ONLY sort (commitTxn and commitOCC rely
+	// on it and never reorder the shards).
+	sort.Slice(t.shards, func(i, j int) bool { return t.shards[i].r.regID < t.shards[j].r.regID })
 	if t.readOnly() {
-		// Validation follows the registry-wide lock order; sort shards by
-		// relation id for it (commitTxn re-sorts identically on fallback).
-		sort.Slice(t.shards, func(i, j int) bool { return t.shards[i].r.regID < t.shards[j].r.regID })
 		if g.commitReadOnly(t) {
 			return nil
 		}
+	} else if g.commitOCC(t) {
+		return nil
 	}
 	g.commitTxn(t)
 	return nil
 }
 
 // commitTxn executes an assembled registry transaction: shard growing
-// phases in relation-id order on the shared locks.Txn, then one apply
-// phase replaying every member in global enqueue order under a shared
-// undo log.
+// phases in relation-id order on the shared locks.Txn (Registry.batch
+// sorted the shards before dispatching, and no commit path reorders
+// them), then one apply phase replaying every member in global enqueue
+// order under a shared undo log.
 func (g *Registry) commitTxn(t *Txn) {
-	// Shards were created in first-touch order; the global lock order
-	// needs them in relation-id order for the growing phase.
-	sort.Slice(t.shards, func(i, j int) bool { return t.shards[i].r.regID < t.shards[j].r.regID })
 	for _, sh := range t.shards {
 		sh.r.initBatchMembers(sh.b)
 	}

@@ -54,13 +54,21 @@ func (s *ReadSet) Record(l *Lock) bool {
 	return true
 }
 
-// sort puts the entries in the global lock order, once per set.
+// sort puts the entries in the global lock order, once per set: a
+// closure-free insertion sort for the typical small set (keeps the
+// standalone optimistic read path allocation-free), sort.Slice beyond.
 func (s *ReadSet) sort() {
 	if s.sorted {
 		return
 	}
-	if len(s.entries) > 1 {
-		es := s.entries
+	es := s.entries
+	if len(es) <= 16 {
+		for i := 1; i < len(es); i++ {
+			for j := i; j > 0 && compareLocks(es[j].L, es[j-1].L) < 0; j-- {
+				es[j], es[j-1] = es[j-1], es[j]
+			}
+		}
+	} else {
 		sort.Slice(es, func(i, j int) bool { return compareLocks(es[i].L, es[j].L) < 0 })
 	}
 	s.sorted = true
@@ -91,13 +99,28 @@ func (s *ReadSet) Contains(l *Lock) bool {
 // (acquiring the read-set shared after repeated failures) can reuse the
 // sorted set as its acquisition schedule directly. Validation consumes
 // nothing; call Reset before the next attempt.
-func (s *ReadSet) Validate() bool {
-	if s.stale {
+//
+// own, when non-nil, is the self-hold rule of the mixed-batch OCC
+// protocol: entries whose lock own reports as held by the validating
+// transaction itself (exclusively) are skipped. The transaction's own
+// writes begin-bump those cells (making them odd), but mutual exclusion —
+// the lock was held from before the record until this validation — already
+// proves no OTHER transaction moved the protected state, so the
+// transaction's own write activity must not fail its own reads. Read-only
+// validation passes own == nil and keeps the strict all-even rule.
+func (s *ReadSet) Validate(own func(*Lock) bool) bool {
+	if s.stale && own == nil {
+		// An odd epoch at record time dooms a lock-free set; with an own
+		// filter the per-entry checks below decide, because the stale
+		// record may belong to a self-held lock.
 		return false
 	}
 	s.sort()
 	es := s.entries
 	for i := range es {
+		if own != nil && own(es[i].L) {
+			continue
+		}
 		if i > 0 && es[i].L == es[i-1].L {
 			// The same lock recorded at two different epochs can never
 			// validate; equal records collapse to one re-read.

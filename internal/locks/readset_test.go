@@ -17,7 +17,7 @@ func TestReadSetValidateQuiescent(t *testing.T) {
 	if s.Len() != 4 {
 		t.Fatalf("Len = %d, want 4", s.Len())
 	}
-	if !s.Validate() {
+	if !s.Validate(nil) {
 		t.Fatal("validation of untouched epochs failed")
 	}
 	if s.Distinct() != 4 {
@@ -33,13 +33,13 @@ func TestReadSetDetectsCommittedWrite(t *testing.T) {
 	// A writer commits under ls[1] between record and validate.
 	ls[1].BumpEpoch()
 	ls[1].BumpEpoch()
-	if s.Validate() {
+	if s.Validate(nil) {
 		t.Fatal("validation passed across a committed write")
 	}
 	s.Reset()
 	s.Record(&ls[0])
 	s.Record(&ls[1])
-	if !s.Validate() {
+	if !s.Validate(nil) {
 		t.Fatal("validation failed after Reset with quiescent epochs")
 	}
 }
@@ -51,12 +51,12 @@ func TestReadSetDetectsInFlightWrite(t *testing.T) {
 	if s.Record(&ls[0]) {
 		t.Fatal("record of an odd epoch reported quiescent")
 	}
-	if s.Validate() {
+	if s.Validate(nil) {
 		t.Fatal("validation passed over an in-flight write")
 	}
 	// The write completes; the epoch moved, so the attempt stays invalid.
 	ls[0].BumpEpoch()
-	if s.Validate() {
+	if s.Validate(nil) {
 		t.Fatal("validation passed after the in-flight write completed")
 	}
 }
@@ -68,8 +68,49 @@ func TestReadSetDuplicateRecordsAtDifferentEpochs(t *testing.T) {
 	ls[0].BumpEpoch()
 	ls[0].BumpEpoch()
 	s.Record(&ls[0]) // same lock, later epoch: a write landed mid-read
-	if s.Validate() {
+	if s.Validate(nil) {
 		t.Fatal("validation passed with two records of one lock at different epochs")
+	}
+}
+
+// TestReadSetValidateSelfHoldRule covers the mixed-batch OCC exclusion:
+// entries whose lock the validating transaction itself holds exclusively
+// are skipped, so the transaction's own begin-bumped (odd) cells — and
+// cells it moved by a full write cycle — cannot fail its own validation,
+// while foreign writes under non-held locks still do.
+func TestReadSetValidateSelfHoldRule(t *testing.T) {
+	ls := NewArray(1, 0, rel.KeyOver(nil), 3)
+	own := func(l *Lock) bool { return l == &ls[0] }
+	var s ReadSet
+	s.Record(&ls[0])
+	s.Record(&ls[1])
+	// Our own write begin-bumps ls[0] (odd, in flight).
+	ls[0].BumpEpoch()
+	if s.Validate(nil) {
+		t.Fatal("validation without the own filter passed over an odd cell")
+	}
+	if !s.Validate(own) {
+		t.Fatal("self-held odd cell failed its own transaction's validation")
+	}
+	// A foreign write commits under ls[1]: even the own filter must fail.
+	ls[1].BumpEpoch()
+	ls[1].BumpEpoch()
+	if s.Validate(own) {
+		t.Fatal("own filter masked a foreign committed write")
+	}
+
+	// An odd epoch at record time under a self-held lock must not doom the
+	// set through the stale flag.
+	s.Reset()
+	if s.Record(&ls[0]) {
+		t.Fatal("record of the in-flight self-held cell reported quiescent")
+	}
+	s.Record(&ls[2])
+	if !s.Validate(own) {
+		t.Fatal("stale flag from a self-held record failed validation despite the exclusion")
+	}
+	if s.Validate(nil) {
+		t.Fatal("stale set validated without the own filter")
 	}
 }
 
@@ -101,5 +142,69 @@ func TestHoldsExclusive(t *testing.T) {
 	txn.ReleaseAll()
 	if txn.HoldsExclusive(&b[0]) {
 		t.Fatal("released lock reported held exclusive")
+	}
+}
+
+// TestReadSetLargeSort drives the sort.Slice arm of the read-set sort (17+
+// entries, recorded in descending lock order) and the duplicate-collapse
+// rule on the sorted result.
+func TestReadSetLargeSort(t *testing.T) {
+	const n = 24
+	ls := NewArray(1, 0, rel.KeyOver(nil), n)
+	var s ReadSet
+	for i := n - 1; i >= 0; i-- {
+		s.Record(&ls[i])
+	}
+	s.Record(&ls[0]) // duplicate at the same epoch: collapses, still valid
+	if !s.Validate(nil) {
+		t.Fatal("validation of a large quiescent set failed")
+	}
+	if s.Distinct() != n {
+		t.Fatalf("Distinct = %d, want %d", s.Distinct(), n)
+	}
+}
+
+// TestBeginWriteEpochs pins the writer half of the epoch protocol at the
+// locks layer: begin-bumping covers exactly the exclusively held,
+// not-yet-odd locks of one stripe array, and a second call (a second
+// container write on the same instance) bumps nothing twice.
+func TestBeginWriteEpochs(t *testing.T) {
+	arr := NewArray(1, 2, rel.KeyOver(nil), 4)
+	other := NewArray(1, 1, rel.KeyOver(nil), 1)
+	txn := NewTxn()
+	txn.Acquire([]*Lock{&other[0]}, Exclusive, false)
+	txn.Acquire([]*Lock{&arr[0], &arr[2]}, Exclusive, true)
+	txn.Acquire([]*Lock{&arr[3]}, Shared, false)
+
+	var bumped []*Lock
+	bumped = txn.BeginWriteEpochs(arr, bumped)
+	if len(bumped) != 2 {
+		t.Fatalf("bumped %d locks, want 2 (the exclusive holds of this array)", len(bumped))
+	}
+	for _, l := range []*Lock{&arr[0], &arr[2]} {
+		if !l.EpochOdd() {
+			t.Fatalf("exclusively held %v not begin-bumped", l.ID())
+		}
+	}
+	if arr[1].Epoch() != 0 || arr[3].Epoch() != 0 {
+		t.Fatal("unheld or shared-held stripes were bumped")
+	}
+	if other[0].Epoch() != 0 {
+		t.Fatal("a lock outside the stripe array was bumped")
+	}
+	// Second write on the same instance: already-odd cells are skipped.
+	if again := txn.BeginWriteEpochs(arr, nil); len(again) != 0 {
+		t.Fatalf("second begin-bump touched %d locks, want 0", len(again))
+	}
+	// End-bump and release: everything even, transaction reusable.
+	for _, l := range bumped {
+		l.BumpEpoch()
+	}
+	txn.ReleaseAll()
+	txn.Reset()
+	for i := range arr {
+		if arr[i].EpochOdd() {
+			t.Fatalf("stripe %d left odd", i)
+		}
 	}
 }

@@ -27,8 +27,9 @@ import (
 // the deterministic lock-counting pass run. The grouped discipline still
 // guarantees the cross-relation WRITES land atomically (no reader ever
 // observes the post without its counter bump); closing the
-// read-modify-write race needs the ROADMAP's optimistic/validating read
-// path.
+// read-modify-write race needs in-batch read→write dependencies (the
+// OCC commit validates a group's reads, but members still cannot
+// consume each other's results mid-flight).
 
 // SocialMix is an operation distribution over the composite social
 // operations, in percent.
@@ -60,6 +61,15 @@ func ReadHeavySocialMix() SocialMix {
 	return SocialMix{AddPosts: 3, RemovePosts: 1, Follows: 1, Snapshots: 95}
 }
 
+// MixedSocialMix returns the Follow-heavy distribution of the mixed-batch
+// OCC benchmark: 60% Follows — the canonical MIXED group (insert a
+// follows edge + count the followee's posts), which the grouped
+// discipline commits Silo-style with write locks only — plus enough
+// writes and snapshots to keep every path exercised.
+func MixedSocialMix() SocialMix {
+	return SocialMix{AddPosts: 15, RemovePosts: 5, Follows: 60, Snapshots: 20}
+}
+
 // LockCounts accumulates a run's lock-schedule statistics: how many lock
 // acquisitions the members requested before coalescing, how many physical
 // locks were actually taken, and the optimistic read-only batch counters.
@@ -79,6 +89,23 @@ type LockCounts struct {
 	ReadOnlyAcquired  atomic.Int64
 	ValidationRetries atomic.Int64
 	Fallbacks         atomic.Int64
+
+	// The mixed-batch OCC counters (occ.go): OCCBatches counts mixed
+	// groups that took the Silo-style path; OCCWriteLocks the exclusive
+	// locks those batches' write members acquired (on successful commits —
+	// the benchguard "strictly fewer than sequential" signal rides on the
+	// plain Acquired totals, which include these); OCCSharedLocks the
+	// Shared-mode acquisitions of successful OCC commits, structurally
+	// zero (reads divert into the read-set) and gated at zero by
+	// benchguard; OCCReadSet the distinct epoch cells validated;
+	// OCCRetries the attempts beyond each batch's first; OCCFallbacks the
+	// batches that exhausted their attempts and re-ran under full 2PL.
+	OCCBatches     atomic.Int64
+	OCCWriteLocks  atomic.Int64
+	OCCSharedLocks atomic.Int64
+	OCCReadSet     atomic.Int64
+	OCCRetries     atomic.Int64
+	OCCFallbacks   atomic.Int64
 }
 
 // Harvest folds one batch's trace into the counters.
@@ -93,6 +120,19 @@ func (c *LockCounts) Harvest(tr *core.BatchTrace) {
 		}
 		if tr.FellBack {
 			c.Fallbacks.Add(1)
+		}
+	}
+	if tr.OCC {
+		c.OCCBatches.Add(1)
+		if tr.FellBack {
+			c.OCCFallbacks.Add(1)
+		} else {
+			c.OCCWriteLocks.Add(int64(tr.Acquired))
+			c.OCCSharedLocks.Add(int64(tr.SharedAcquired))
+			c.OCCReadSet.Add(int64(tr.EpochsDistinct))
+		}
+		if tr.Attempts > 1 {
+			c.OCCRetries.Add(int64(tr.Attempts - 1))
 		}
 	}
 }

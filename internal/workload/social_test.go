@@ -106,6 +106,78 @@ func TestSocialWriteCoalescing(t *testing.T) {
 	}
 }
 
+// TestSocialMixedOCC pins the tentpole invariant the PR-4 benchguard
+// exemption papered over: with mixed groups committing Silo-style (write
+// locks + validated lock-free reads), the grouped discipline acquires
+// STRICTLY FEWER physical locks than its sequential decomposition on the
+// Follow-heavy mixed mix — and the OCC path itself takes zero shared
+// locks, zero retries and zero fallbacks on the uncontended deterministic
+// pass.
+func TestSocialMixedOCC(t *testing.T) {
+	core.SetAudit(true)
+	defer core.SetAudit(false)
+	run := func(grouped bool) (uint64, *LockCounts) {
+		s := MustSocial()
+		s.Grouped = grouped
+		s.Counts = &LockCounts{}
+		state := uint64(23)
+		var sum uint64
+		for i := 0; i < 1500; i++ {
+			sum += SocialOp(s, &state, MixedSocialMix(), 16)
+		}
+		return sum, s.Counts
+	}
+	gSum, gCounts := run(true)
+	sSum, sCounts := run(false)
+	if gSum != sSum {
+		t.Fatalf("checksums diverge: grouped %d, sequential %d", gSum, sSum)
+	}
+	if gCounts.OCCBatches.Load() == 0 {
+		t.Fatal("grouped mixed run committed no batches via the OCC path")
+	}
+	if sCounts.OCCBatches.Load() != 0 {
+		t.Fatalf("sequential run reported %d OCC batches; single-member groups are never mixed",
+			sCounts.OCCBatches.Load())
+	}
+	if got := gCounts.OCCSharedLocks.Load(); got != 0 {
+		t.Fatalf("OCC commits acquired %d shared locks, want 0", got)
+	}
+	if got := gCounts.OCCRetries.Load(); got != 0 {
+		t.Fatalf("%d validation retries on an uncontended single-threaded pass", got)
+	}
+	if got := gCounts.OCCFallbacks.Load(); got != 0 {
+		t.Fatalf("%d OCC fallbacks on an uncontended single-threaded pass", got)
+	}
+	if gCounts.OCCReadSet.Load() == 0 || gCounts.OCCWriteLocks.Load() == 0 {
+		t.Fatalf("OCC counters empty: writeLocks=%d readSet=%d",
+			gCounts.OCCWriteLocks.Load(), gCounts.OCCReadSet.Load())
+	}
+	// The restored invariant: a batch never out-locks its sequential
+	// decomposition, mixed groups included.
+	if gCounts.Acquired.Load() >= sCounts.Acquired.Load() {
+		t.Fatalf("grouped mixed run acquired %d locks, sequential %d — OCC must restore batched < sequential",
+			gCounts.Acquired.Load(), sCounts.Acquired.Load())
+	}
+}
+
+// TestSocialMixedConcurrent stresses the Follow-heavy mixed mix across
+// threads (run with -race in CI): every mixed group must converge —
+// validate within its attempt budget or fall back to 2PL — and leave all
+// three relations well-formed.
+func TestSocialMixedConcurrent(t *testing.T) {
+	s := MustSocial()
+	cfg := Config{Threads: 4, OpsPerThread: 200, KeySpace: 6, Seed: 9}
+	res := RunSocial(s, cfg, MixedSocialMix())
+	if res.Ops != 800 {
+		t.Fatalf("ran %d ops", res.Ops)
+	}
+	for _, r := range []*core.Relation{s.Users, s.Posts, s.Follows} {
+		if _, err := r.VerifyWellFormed(); err != nil {
+			t.Fatalf("%s ill-formed: %v", r.Name(), err)
+		}
+	}
+}
+
 // TestSocialConcurrent smokes the registry under concurrent composite
 // operations (run with -race in CI).
 func TestSocialConcurrent(t *testing.T) {
