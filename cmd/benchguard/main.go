@@ -12,6 +12,7 @@
 // Usage:
 //
 //	benchguard -baseline BENCH_3.json -current current.json [-tolerance 0]
+//	           [-min-batch-ratio 0.65 [-ratio-threads 1,2] [-ratio-variants "Stick 1"]]
 //
 // Both documents must carry the bench_schema this guard supports;
 // mismatched or missing schemas fail immediately instead of being
@@ -40,6 +41,21 @@
 //     run must commit at least as many, with ZERO Shared-mode (read)
 //     locks on the OCC path, zero validation retries and zero fallbacks.
 //
+// With -min-batch-ratio set, one throughput gate rides along, designed to
+// survive noisy runners: for every (mix, variant, threads) the CURRENT
+// run measured in both modes, batched ops_per_sec must be at least the
+// given fraction of sequential ops_per_sec. Both numbers come from the
+// same run on the same machine (crsbench interleaves the modes rep by
+// rep), so the ratio self-normalizes against machine drift — absolute
+// throughput is never compared across runs. -ratio-threads and
+// -ratio-variants restrict the gate to specific rows: contended rows
+// measure lock-holding overhead rather than scheduling quality, and
+// speculative-heavy variants (Diamond Spec) pay an irreducible per-round
+// resolution premium, so CI gates the Stick low-thread rows.
+// Skewed rows (skew > 0) are never ratio-gated: the skew sweep exists to
+// expose contention-dependent retry behaviour, which is the opposite of a
+// stable signal.
+//
 // Improvements (fewer acquisitions than the baseline) are reported so the
 // baseline can be refreshed, but do not fail the build.
 package main
@@ -49,12 +65,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 )
 
 // supportedSchema is the crsbench json document schema this guard
 // understands; documents carrying any other version (including none) are
 // rejected rather than silently compared field-by-field.
-const supportedSchema = 3
+const supportedSchema = 4
 
 // benchDoc mirrors crsbench's -format json document (the subset the guard
 // reads).
@@ -74,12 +91,14 @@ type benchConfig struct {
 
 // benchRecord is one measurement row.
 type benchRecord struct {
-	Mix            string `json:"mix"`
-	Variant        string `json:"variant"`
-	Mode           string `json:"mode"`
-	Threads        int    `json:"threads"`
-	LocksRequested int64  `json:"locks_requested"`
-	LocksAcquired  int64  `json:"locks_acquired"`
+	Mix            string  `json:"mix"`
+	Variant        string  `json:"variant"`
+	Mode           string  `json:"mode"`
+	Threads        int     `json:"threads"`
+	Skew           float64 `json:"skew"`
+	OpsPerSec      float64 `json:"ops_per_sec"`
+	LocksRequested int64   `json:"locks_requested"`
+	LocksAcquired  int64   `json:"locks_acquired"`
 	// Optimistic read-only counters (crsbench -optimistic deterministic
 	// pass). ROBatches > 0 marks a record as carrying them.
 	ROBatches         int64 `json:"ro_batches"`
@@ -129,6 +148,9 @@ func main() {
 	baselinePath := flag.String("baseline", "", "committed BENCH_*.json baseline")
 	currentPath := flag.String("current", "", "fresh crsbench -format json output")
 	tolerance := flag.Float64("tolerance", 0, "allowed fractional increase in locks_acquired (0 = none)")
+	minBatchRatio := flag.Float64("min-batch-ratio", 0, "minimum batched/sequential ops_per_sec ratio within the current run (0 = gate off)")
+	ratioThreads := flag.String("ratio-threads", "", "comma-separated thread counts the ratio gate applies to (empty = all)")
+	ratioVariants := flag.String("ratio-variants", "", "comma-separated variant names the ratio gate applies to (empty = all)")
 	flag.Parse()
 	if *baselinePath == "" || *currentPath == "" {
 		fatal(fmt.Errorf("-baseline and -current are both required"))
@@ -267,10 +289,84 @@ func main() {
 				k.Variant, k.Mode, k.Mix, k.Threads, c.OCCBatches)
 		}
 	}
+	// The batched-throughput gate: batched ops_per_sec must reach the
+	// given fraction of sequential ops_per_sec, both taken from the SAME
+	// current run (crsbench interleaves the two modes, so the ratio
+	// cancels machine drift that would swamp any absolute comparison).
+	// Skewed rows are excluded — contention-dependent by design — and
+	// -ratio-threads narrows the gate to the thread counts whose ratio is
+	// a scheduling-quality signal rather than a lock-holding tax.
+	if *minBatchRatio > 0 {
+		wantThreads := map[int]bool{}
+		if *ratioThreads != "" {
+			for _, f := range splitCommas(*ratioThreads) {
+				var n int
+				if _, err := fmt.Sscanf(f, "%d", &n); err != nil {
+					fatal(fmt.Errorf("-ratio-threads: bad thread count %q", f))
+				}
+				wantThreads[n] = true
+			}
+		}
+		wantVariants := map[string]bool{}
+		for _, v := range splitCommas(*ratioVariants) {
+			wantVariants[v] = true
+		}
+		type tkey struct {
+			Mix, Variant string
+			Threads      int
+		}
+		seq := map[tkey]benchRecord{}
+		for _, r := range cur.Results {
+			if r.Mode == "sequential" && r.Skew == 0 {
+				seq[tkey{r.Mix, r.Variant, r.Threads}] = r
+			}
+		}
+		gated := 0
+		for _, r := range cur.Results {
+			if r.Mode != "batched" || r.Skew != 0 {
+				continue
+			}
+			if len(wantThreads) > 0 && !wantThreads[r.Threads] {
+				continue
+			}
+			if len(wantVariants) > 0 && !wantVariants[r.Variant] {
+				continue
+			}
+			s, ok := seq[tkey{r.Mix, r.Variant, r.Threads}]
+			if !ok || s.OpsPerSec <= 0 {
+				continue
+			}
+			gated++
+			ratio := r.OpsPerSec / s.OpsPerSec
+			if ratio < *minBatchRatio {
+				fmt.Printf("FAIL %s %s %dthr: batched %.0f ops/s is %.2fx sequential %.0f — want >= %.2fx\n",
+					r.Variant, r.Mix, r.Threads, r.OpsPerSec, ratio, s.OpsPerSec, *minBatchRatio)
+				failures++
+			} else {
+				fmt.Printf("ok   %s %s %dthr: batched %.0f ops/s is %.2fx sequential %.0f (floor %.2fx)\n",
+					r.Variant, r.Mix, r.Threads, r.OpsPerSec, ratio, s.OpsPerSec, *minBatchRatio)
+			}
+		}
+		if gated == 0 {
+			fmt.Printf("FAIL ratio gate matched no (batched, sequential) row pairs in %s — wrong -ratio-threads/-ratio-variants, or the run measured one mode only\n", *currentPath)
+			failures++
+		}
+	}
 	if failures > 0 {
-		fatal(fmt.Errorf("%d lock-count regression(s) against %s", failures, *baselinePath))
+		fatal(fmt.Errorf("%d bench regression(s) against %s", failures, *baselinePath))
 	}
 	fmt.Printf("benchguard: %d record(s) checked against %s, no regressions\n", len(baseRecs), *baselinePath)
+}
+
+// splitCommas splits a comma-separated list, dropping empty fields.
+func splitCommas(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

@@ -18,10 +18,14 @@
 // another relation — showing the Silo-style commit: exclusive locks on
 // the written relation only, the read relation covered by validated
 // epoch records instead of shared locks.
+// With -rounds it prints each benchmark operation's compiled round map —
+// the flat, pre-classified lock schedule (lock rounds, speculative
+// rounds, step runs with their lock-order gates) that the batched
+// growing phase walks instead of re-classifying plan steps per sweep.
 //
 // Usage:
 //
-//	crsexplain [-variant "Split 4"|dcache] [-dot] [-plans] [-compiled] [-batch] [-registry] [-occ]
+//	crsexplain [-variant "Split 4"|dcache] [-dot] [-plans] [-compiled] [-rounds] [-batch] [-registry] [-occ]
 package main
 
 import (
@@ -41,6 +45,7 @@ func main() {
 	batch := flag.Bool("batch", false, "run a sample batched transaction and print its coalesced lock schedule")
 	registry := flag.Bool("registry", false, "build a two-relation registry and print a cross-relation batch's coalesced lock schedule")
 	occ := flag.Bool("occ", false, "run a mixed batch on optimistic-capable relations and print its Silo-style OCC trace (write locks + validated read epochs)")
+	rounds := flag.Bool("rounds", false, "print each benchmark operation's compiled round map — the flat lock schedule the batched growing phase walks")
 	flag.Parse()
 
 	if *occ {
@@ -84,6 +89,11 @@ func main() {
 			printCompiled(r, "path lookup (parent,name)", []string{"name", "parent"}, []string{"child"}, []string{"name", "parent"})
 		} else {
 			printCompiled(r, "find successors", []string{"src"}, []string{"dst", "weight"}, []string{"dst", "src"})
+		}
+	}
+	if *rounds {
+		if err := printRounds(r, *variant); err != nil {
+			fatal(err)
 		}
 	}
 	if *batch {
@@ -145,6 +155,54 @@ func printCompiled(r *crs.Relation, title string, bound, out, key []string) {
 		fmt.Printf("remove (key %v):\n%s", key, s)
 	}
 	fmt.Println()
+}
+
+// printRounds prints the compiled round map of every benchmark operation:
+// the flat, pre-classified schedule (lock rounds, speculative rounds,
+// step runs) the batched growing phase walks with an integer cursor
+// instead of re-classifying plan steps per sweep — §5's
+// synchronization-is-compiled thesis extended to batched transactions.
+func printRounds(r *crs.Relation, variant string) error {
+	fmt.Println("--- compiled round maps (batched growing-phase schedules) ---")
+	type q struct {
+		title      string
+		bound, out []string
+	}
+	var queries []q
+	var mutCols []string
+	if variant == "dcache" {
+		queries = []q{
+			{"path lookup (parent,name)", []string{"name", "parent"}, []string{"child"}},
+			{"directory listing (parent)", []string{"parent"}, []string{"child", "name"}},
+		}
+		mutCols = []string{"name", "parent"}
+	} else {
+		queries = []q{
+			{"find successors", []string{"src"}, []string{"dst", "weight"}},
+			{"find predecessors", []string{"dst"}, []string{"src", "weight"}},
+		}
+		mutCols = []string{"dst", "src"}
+	}
+	for _, query := range queries {
+		s, err := r.DescribeQueryRounds(query.bound, query.out)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s:\n%s", query.title, s)
+	}
+	if s, err := r.DescribeCountRounds(queries[0].bound); err == nil {
+		fmt.Printf("count (%v):\n%s", queries[0].bound, s)
+	}
+	s, err := r.DescribeInsertRounds(mutCols)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("insert (key %v):\n%s", mutCols, s)
+	if s, err := r.DescribeRemoveRounds(mutCols); err == nil {
+		fmt.Printf("remove (key %v):\n%s", mutCols, s)
+	}
+	fmt.Println()
+	return nil
 }
 
 // printBatch runs a representative batched transaction with tracing and

@@ -237,7 +237,34 @@ type Scored struct {
 // the mix. It is the "static" half of the paper's static + dynamic search
 // (§8).
 func StaticCost(r *core.Relation, mix workload.Mix) (float64, error) {
+	return staticCost(r, mix, nil)
+}
+
+// StaticBatchCost is StaticCost under a batch profile: every plan is
+// costed with its BatchCost — the per-member estimate with the lock
+// portion amortized over the profile's members and discounted by its
+// read fraction — instead of the standalone Cost. It is the batch-aware
+// planner pass: a representation whose lock schedule coalesces well
+// (all-stripe rounds, shared prefixes) ranks better under a batch-heavy
+// profile than the standalone model would suggest.
+func StaticBatchCost(r *core.Relation, mix workload.Mix, prof query.BatchProfile) (float64, error) {
+	return staticCost(r, mix, &prof)
+}
+
+func staticCost(r *core.Relation, mix workload.Mix, prof *query.BatchProfile) (float64, error) {
 	pl := query.NewPlanner(r.Decomposition(), r.Placement())
+	planCost := func(p *query.Plan) float64 {
+		if prof != nil {
+			return p.BatchCost(*prof)
+		}
+		return p.Cost
+	}
+	mutCost := func(m *query.MutationPlan) float64 {
+		if prof != nil {
+			return m.BatchCost(*prof)
+		}
+		return m.Cost
+	}
 	succ, err := pl.PlanQuery([]string{"src"}, []string{"dst", "weight"})
 	if err != nil {
 		return 0, err
@@ -255,15 +282,15 @@ func StaticCost(r *core.Relation, mix workload.Mix) (float64, error) {
 		return 0, err
 	}
 	// The insert also runs its existence query.
-	insCost := ins.Cost
+	insCost := mutCost(ins)
 	exist, err := pl.PlanQuery([]string{"dst", "src"}, r.Spec().Columns)
 	if err == nil {
-		insCost += exist.Cost
+		insCost += planCost(exist)
 	}
-	total := float64(mix.Successors)*succ.Cost +
-		float64(mix.Predecessors)*pred.Cost +
+	total := float64(mix.Successors)*planCost(succ) +
+		float64(mix.Predecessors)*planCost(pred) +
 		float64(mix.Inserts)*insCost +
-		float64(mix.Removes)*rem.Cost
+		float64(mix.Removes)*mutCost(rem)
 	return total / 100, nil
 }
 
@@ -273,6 +300,12 @@ type Options struct {
 	// cost model first and only measures the cheapest TopStatic of them —
 	// the static/dynamic split of §8.
 	TopStatic int
+	// Batch, when non-nil, makes the static ranking batch-aware: every
+	// candidate is costed with StaticBatchCost under this profile instead
+	// of the standalone StaticCost, so the TopStatic cut keeps the
+	// representations whose compiled lock schedules coalesce best for the
+	// expected batch shape.
+	Batch *query.BatchProfile
 }
 
 // Tune measures every candidate under the training configuration and
@@ -286,7 +319,13 @@ func Tune(cands []Candidate, cfg workload.Config, opts Options) ([]Scored, error
 			continue
 		}
 		s := Scored{Candidate: c}
-		if sc, err := StaticCost(r, cfg.Mix); err == nil {
+		var sc float64
+		if opts.Batch != nil {
+			sc, err = StaticBatchCost(r, cfg.Mix, *opts.Batch)
+		} else {
+			sc, err = StaticCost(r, cfg.Mix)
+		}
+		if err == nil {
 			s.Static = sc
 		}
 		scored = append(scored, s)

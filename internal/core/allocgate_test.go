@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/container"
+	"repro/internal/locks"
+	"repro/internal/rel"
+)
+
+// TestSteadyStateBatchZeroAllocs is the CI alloc gate on the round-map
+// growing phase: once the relation's pooled buffers are warm, a batch of
+// prepared already-present inserts plus a prepared count — locks taken
+// and released, round maps walked, members applied, results delivered —
+// must not allocate. The prepared/row API is the measured surface because
+// it is what the batched benchmark drives; the tuple convenience API
+// unions tuples per call and is deliberately outside the gate. Slab
+// refills (Txn and Pending handles are chunk-allocated, never reused)
+// amortize to under one malloc per hundred batches and vanish in
+// AllocsPerRun's integer division; anything that survives it is a real
+// per-batch allocation creeping into the steady state.
+func TestSteadyStateBatchZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the gate measures the production build")
+	}
+	if !useRoundMaps {
+		t.Fatal("round maps disabled; the gate must measure the default scheduler")
+	}
+	// The suite-wide well-lockedness auditor allocates its fresh-instance
+	// map per batch by design; the gate measures the production
+	// configuration, where auditing is off.
+	SetAudit(false)
+	defer SetAudit(true)
+	r := stickRel(t, container.HashMap, container.TreeMap, locks.FineGrained)
+	for i := 0; i < 64; i++ {
+		if _, err := r.Insert(rel.T("src", i%8, "dst", i), rel.T("weight", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ins, err := r.PrepareInsert([]string{"dst", "src"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := r.PrepareQuery([]string{"src"}, []string{"dst", "weight"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := r.Schema()
+	iSrc, _ := schema.IndexOf("src")
+	iDst, _ := schema.IndexOf("dst")
+	iWeight, _ := schema.IndexOf("weight")
+	edge := func(buf []rel.Value, src, dst, w int64) rel.Row {
+		row := rel.RowOver(buf, 0)
+		row.Set(iSrc, src)
+		row.Set(iDst, dst)
+		row.Set(iWeight, w)
+		return row
+	}
+	var b1, b2, b3 [3]rel.Value
+	row1 := edge(b1[:], 1, 9, 9)   // already present: apply is a no-op
+	row2 := edge(b2[:], 2, 10, 10) // already present
+	cntRow := rel.RowOver(b3[:], 0)
+	cntRow.Set(iSrc, 3)
+	var pb1, pb2 *Pending[bool]
+	var pi *Pending[int]
+	fn := func(tx *Txn) error {
+		var err error
+		if pb1, err = tx.ExecRow(ins, row1); err != nil {
+			return err
+		}
+		if pb2, err = tx.ExecRow(ins, row2); err != nil {
+			return err
+		}
+		pi, err = tx.CountRow(cq, cntRow)
+		return err
+	}
+	run := func() {
+		if err := r.Batch(fn); err != nil {
+			t.Fatal(err)
+		}
+		if pb1.Value() || pb2.Value() {
+			t.Fatal("duplicate inserts reported success")
+		}
+		if pi.Value() != 8 {
+			t.Fatalf("count = %d, want 8", pi.Value())
+		}
+	}
+	// Warm the pooled buffer: state pool, arenas, member slots, slabs.
+	for i := 0; i < 200; i++ {
+		run()
+	}
+	if avg := testing.AllocsPerRun(100, run); avg != 0 {
+		t.Fatalf("steady-state batch allocates %.0f objects per run, want 0", avg)
+	}
+}

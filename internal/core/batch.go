@@ -84,15 +84,75 @@ func (p *Pending[T]) Value() T {
 // order, so all acquisitions follow the registry-wide
 // (relation, node, inst, stripe) lock order.
 type Txn struct {
-	reg    *Registry   // owning registry for cross-relation batches, nil for Relation.Batch
-	ltxn   *locks.Txn  // the lock transaction every shard's buffer shares
-	single txnShard    // inline shard for the Relation.Batch fast path (shards stays empty)
-	shards []*txnShard // registry mode only: per-relation shards, first-touch order
-	order  []memberRef // registry mode only: global enqueue order across shards
+	reg  *Registry  // owning registry for cross-relation batches, nil for Relation.Batch
+	ltxn *locks.Txn // the lock transaction every shard's buffer shares
+	// single is the Relation.Batch fast path's only shard (shards stays
+	// empty). It points into the buffer (opBuf.shard), not the Txn: the
+	// Txn handle comes from a never-reused slab so a leaked *Txn stays
+	// sealed forever, and keeping the 6-field shard out of it roughly
+	// halves the bytes that discipline retires per batch. A leaked handle
+	// can never reach the recycled shard — every path to t.single is
+	// behind the sealed check.
+	single *txnShard
+	multi  *txnReg // registry mode only (nil for Relation.Batch): shards + global order
 	sealed bool
 	roOnly bool // BatchReadOnly: mutation enqueues are rejected
 	trace  *BatchTrace
 }
+
+// txnReg is the registry-mode state of a cross-relation transaction: the
+// per-relation shards (first-touch order, sorted by relation id before
+// commit) and the global enqueue order the apply phase replays. It hangs
+// off the Txn behind a pointer so the Relation.Batch fast path — whose
+// Txn handles are slab-retired once per batch, never reused — pays for
+// two words of registry machinery instead of six.
+type txnReg struct {
+	shards []*txnShard
+	order  []memberRef
+}
+
+// pendingSlabSize is the chunk size of the buffer's Pending slabs.
+const pendingSlabSize = 64
+
+// newPB hands out one Pending[bool] from the buffer's slab. Slabs
+// persist across batches — handed-out entries are never reused (the slab
+// only ever advances), so a full slab is abandoned to its holders and
+// replaced. Enqueuing N mutations costs ~N/pendingSlabSize allocations
+// instead of N.
+func (b *opBuf) newPB() *Pending[bool] {
+	if len(b.pbSlab) == cap(b.pbSlab) {
+		b.pbSlab = make([]Pending[bool], 0, pendingSlabSize)
+	}
+	b.pbSlab = b.pbSlab[:len(b.pbSlab)+1]
+	return &b.pbSlab[len(b.pbSlab)-1]
+}
+
+// newPI hands out one Pending[int] from the buffer's slab; see newPB.
+func (b *opBuf) newPI() *Pending[int] {
+	if len(b.piSlab) == cap(b.piSlab) {
+		b.piSlab = make([]Pending[int], 0, pendingSlabSize)
+	}
+	b.piSlab = b.piSlab[:len(b.piSlab)+1]
+	return &b.piSlab[len(b.piSlab)-1]
+}
+
+// newTxn hands out one Txn from the buffer's slab, under the same
+// never-reuse discipline as the Pending slabs: the slab only advances,
+// a full one is abandoned to its holders and replaced. This keeps the
+// sealed guard airtight — a caller that leaks the *Txn past Batch holds
+// a slot no later batch ever touches, so it stays sealed forever, exactly
+// as an individually heap-allocated Txn would — while costing one
+// allocation per txnSlabSize batches instead of one per batch.
+func (b *opBuf) newTxn() *Txn {
+	if len(b.txnSlab) == cap(b.txnSlab) {
+		b.txnSlab = make([]Txn, 0, txnSlabSize)
+	}
+	b.txnSlab = b.txnSlab[:len(b.txnSlab)+1]
+	return &b.txnSlab[len(b.txnSlab)-1]
+}
+
+// txnSlabSize is the chunk size of the buffer's Txn slab.
+const txnSlabSize = 64
 
 // txnShard is one relation's slice of a batched transaction: its pooled
 // operation buffer (whose locks.Txn is displaced by the transaction-wide
@@ -129,12 +189,12 @@ func (t *Txn) shardFor(r *Relation) (*txnShard, error) {
 		if r != t.single.r {
 			return nil, fmt.Errorf("core: operation targets a relation outside this transaction (use Registry.Batch for cross-relation groups)")
 		}
-		return &t.single, nil
+		return t.single, nil
 	}
 	if r.registry != t.reg {
 		return nil, fmt.Errorf("core: relation %q is not registered in this transaction's registry", r.name)
 	}
-	for _, sh := range t.shards {
+	for _, sh := range t.multi.shards {
 		if sh.r == r {
 			return sh, nil
 		}
@@ -142,7 +202,7 @@ func (t *Txn) shardFor(r *Relation) (*txnShard, error) {
 	b := r.getBuf()
 	sh := &txnShard{r: r, b: b, own: b.txn, firstMut: -1}
 	b.txn = t.ltxn
-	t.shards = append(t.shards, sh)
+	t.multi.shards = append(t.multi.shards, sh)
 	return sh, nil
 }
 
@@ -156,7 +216,7 @@ func (t *Txn) defaultShard() (*txnShard, error) {
 	if t.reg != nil {
 		return nil, fmt.Errorf("core: registry transaction needs an explicit relation (use InsertInto/RemoveFrom/CountIn/QueryIn or prepared handles)")
 	}
-	return &t.single, nil
+	return t.single, nil
 }
 
 // memberKind discriminates the operation kinds a batch can hold.
@@ -192,6 +252,10 @@ type member struct {
 	ins       *insertPlan
 	rem       *removePlan
 	mut       *query.MutationPlan
+	// qprog is the compiled round map of a query/count member's plan; its
+	// pointer doubles as the plan-identity key of the round-map scheduler's
+	// memoized grouping (mutations use mut.Prog instead).
+	qprog *query.RoundProgram
 
 	// row is the member-owned dense operation row (arena-backed copy).
 	row rel.Row
@@ -379,12 +443,15 @@ func (r *Relation) BatchReadOnly(fn func(tx *Txn) error) error {
 func (r *Relation) batch(fn func(tx *Txn) error, roOnly bool) error {
 	b := r.getBuf()
 	defer r.putBuf(b)
-	// The Txn is allocated per batch, NOT pooled: a caller that leaks the
-	// *Txn past Batch must hit the sealed guard (an error), and a pooled
-	// handle would be silently un-sealed when a later batch reuses the
-	// buffer — turning the leak into cross-transaction corruption.
-	t := &Txn{ltxn: b.txn, roOnly: roOnly}
-	t.single = txnShard{r: r, b: b, firstMut: -1}
+	// The Txn slot comes from the buffer's never-reused slab (newTxn): a
+	// caller that leaks the *Txn past Batch must hit the sealed guard (an
+	// error), so a slot may never be handed out twice — a recycled handle
+	// would be silently un-sealed by a later batch, turning the leak into
+	// cross-transaction corruption.
+	t := b.newTxn()
+	*t = Txn{ltxn: b.txn, roOnly: roOnly}
+	b.shard = txnShard{r: r, b: b, firstMut: -1}
+	t.single = &b.shard
 	if err := fn(t); err != nil {
 		t.sealed = true
 		return err
@@ -393,13 +460,13 @@ func (r *Relation) batch(fn func(tx *Txn) error, roOnly bool) error {
 	if len(b.members) == 0 {
 		return nil
 	}
-	if t.readOnly() && r.commitReadOnly(t, &t.single) {
+	if t.readOnly() && r.commitReadOnly(t, t.single) {
 		return nil
 	}
-	if r.commitOCC(t, &t.single) {
+	if r.commitOCC(t, t.single) {
 		return nil
 	}
-	r.commitBatch(t, &t.single)
+	r.commitBatch(t, t.single)
 	return nil
 }
 
@@ -443,24 +510,35 @@ func (b *opBuf) copyRow(row rel.Row) rel.Row {
 	return rel.RowOver(vals, row.Mask())
 }
 
-// addMember appends a member to shard sh, tracking the shard's first
-// mutation, whether the shard holds any read member (OCC eligibility) and
-// (for registry transactions) the global enqueue order.
-func (t *Txn) addMember(sh *txnShard, m member) *member {
-	if m.kind == mInsert || m.kind == mRemove {
+// newMember hands out the next member slot of shard sh, tracking the
+// shard's first mutation, whether the shard holds any read member (OCC
+// eligibility) and (for registry transactions) the global enqueue order.
+// The caller stores only the fields its member kind uses: a recycled slot
+// was already zeroed by putBuf's reset (which preserves the states,
+// specOut and xinst backings), and a fresh slot is runtime-zeroed, so no
+// member-sized struct literal is copied on the enqueue hot path.
+func (t *Txn) newMember(sh *txnShard, kind memberKind) *member {
+	if kind == mInsert || kind == mRemove {
 		if sh.firstMut < 0 {
 			sh.firstMut = len(sh.b.members)
 		}
 	} else {
 		sh.hasRead = true
 	}
-	sh.b.members = append(sh.b.members, m)
-	nm := &sh.b.members[len(sh.b.members)-1]
+	bm := sh.b.members
+	if len(bm) < cap(bm) {
+		bm = bm[:len(bm)+1]
+	} else {
+		bm = append(bm, member{})
+	}
+	nm := &bm[len(bm)-1]
+	sh.b.members = bm
+	nm.kind = kind
 	if nm.states == nil {
 		nm.states = []*qstate{}
 	}
 	if t.reg != nil {
-		t.order = append(t.order, memberRef{sh: sh, idx: len(sh.b.members) - 1})
+		t.multi.order = append(t.multi.order, memberRef{sh: sh, idx: len(sh.b.members) - 1})
 	}
 	return nm
 }
@@ -483,8 +561,9 @@ func (p *PreparedInsert) batchEnqueue(t *Txn, x rel.Row) (*Pending[bool], error)
 	if err := p.r.checkRow(x, p.r.fullMask); err != nil {
 		return nil, err
 	}
-	pb := &Pending[bool]{}
-	t.addMember(sh, member{kind: mInsert, ins: p.plan, mut: p.plan.mut, row: sh.b.copyRow(x), pb: pb})
+	pb := sh.b.newPB()
+	m := t.newMember(sh, mInsert)
+	m.ins, m.mut, m.row, m.pb = p.plan, p.plan.mut, sh.b.copyRow(x), pb
 	return pb, nil
 }
 
@@ -500,8 +579,9 @@ func (p *PreparedRemove) batchEnqueue(t *Txn, s rel.Row) (*Pending[bool], error)
 	if err := p.r.checkRow(s, p.plan.mut.BoundMask); err != nil {
 		return nil, err
 	}
-	pb := &Pending[bool]{}
-	t.addMember(sh, member{kind: mRemove, rem: p.plan, mut: p.plan.mut, row: sh.b.copyRow(s), pb: pb})
+	pb := sh.b.newPB()
+	m := t.newMember(sh, mRemove)
+	m.rem, m.mut, m.row, m.pb = p.plan, p.plan.mut, sh.b.copyRow(s), pb
 	return pb, nil
 }
 
@@ -523,9 +603,10 @@ func (t *Txn) CountRow(q *PreparedQuery, s rel.Row) (*Pending[int], error) {
 	if err := q.r.checkRow(s, q.plan.BoundMask); err != nil {
 		return nil, err
 	}
-	pi := &Pending[int]{}
-	t.addMember(sh, member{kind: mCount, steps: q.countPlan.Steps, boundMask: q.countPlan.BoundMask,
-		row: sh.b.copyRow(s), pi: pi})
+	pi := sh.b.newPI()
+	m := t.newMember(sh, mCount)
+	m.steps, m.boundMask, m.qprog = q.countPlan.Steps, q.countPlan.BoundMask, q.countPlan.Prog
+	m.row, m.pi = sh.b.copyRow(s), pi
 	return pi, nil
 }
 
@@ -541,8 +622,10 @@ func (t *Txn) ExecRows(q *PreparedQuery, s rel.Row, yield func(rel.Row) bool) er
 	if err := q.r.checkRow(s, q.plan.BoundMask); err != nil {
 		return err
 	}
-	t.addMember(sh, member{kind: mQuery, steps: q.plan.Steps, boundMask: q.plan.BoundMask,
-		outIdx: q.plan.OutIdx, outCols: q.plan.OutCols, row: sh.b.copyRow(s), yield: yield})
+	m := t.newMember(sh, mQuery)
+	m.steps, m.boundMask, m.qprog = q.plan.Steps, q.plan.BoundMask, q.plan.Prog
+	m.outIdx, m.outCols = q.plan.OutIdx, q.plan.OutCols
+	m.row, m.yield = sh.b.copyRow(s), yield
 	return nil
 }
 
@@ -593,8 +676,9 @@ func (t *Txn) insertInto(sh *txnShard, s, tup rel.Tuple) (*Pending[bool], error)
 	if err != nil {
 		return nil, err
 	}
-	pb := &Pending[bool]{}
-	t.addMember(sh, member{kind: mInsert, ins: plan, mut: plan.mut, row: row, pb: pb})
+	pb := sh.b.newPB()
+	m := t.newMember(sh, mInsert)
+	m.ins, m.mut, m.row, m.pb = plan, plan.mut, row, pb
 	return pb, nil
 }
 
@@ -634,8 +718,9 @@ func (t *Txn) removeFrom(sh *txnShard, s rel.Tuple) (*Pending[bool], error) {
 	if err != nil {
 		return nil, err
 	}
-	pb := &Pending[bool]{}
-	t.addMember(sh, member{kind: mRemove, rem: plan, mut: plan.mut, row: row, pb: pb})
+	pb := sh.b.newPB()
+	m := t.newMember(sh, mRemove)
+	m.rem, m.mut, m.row, m.pb = plan, plan.mut, row, pb
 	return pb, nil
 }
 
@@ -674,8 +759,10 @@ func (t *Txn) countIn(sh *txnShard, s rel.Tuple) (*Pending[int], error) {
 	if row.Mask() != plan.BoundMask {
 		return nil, fmt.Errorf("core: tuple %v does not bind the plan's columns", s)
 	}
-	pi := &Pending[int]{}
-	t.addMember(sh, member{kind: mCount, steps: plan.Steps, boundMask: plan.BoundMask, row: row, pi: pi})
+	pi := sh.b.newPI()
+	m := t.newMember(sh, mCount)
+	m.steps, m.boundMask, m.qprog = plan.Steps, plan.BoundMask, plan.Prog
+	m.row, m.pi = row, pi
 	return pi, nil
 }
 
@@ -716,8 +803,9 @@ func (t *Txn) queryIn(sh *txnShard, s rel.Tuple, out []string) (*Pending[[]rel.T
 		return nil, err
 	}
 	pt := &Pending[[]rel.Tuple]{}
-	t.addMember(sh, member{kind: mQuery, steps: plan.Steps, boundMask: plan.BoundMask,
-		outIdx: plan.OutIdx, outCols: plan.OutCols, row: row, pt: pt})
+	m := t.newMember(sh, mQuery)
+	m.steps, m.boundMask, m.qprog = plan.Steps, plan.BoundMask, plan.Prog
+	m.outIdx, m.outCols, m.row, m.pt = plan.OutIdx, plan.OutCols, row, pt
 	return pt, nil
 }
 
@@ -734,14 +822,17 @@ func (r *Relation) commitBatch(t *Txn, sh *txnShard) {
 	// log so a panic mid-apply restores the pre-batch representation
 	// before the locks are released (all-or-nothing).
 	b.apply = true
-	var undo undoLog
-	b.undo = &undo
+	undo := &b.undoPool // buffer-resident: a stack undoLog would escape via b.undo
+	undo.recs = undo.recs[:0]
+	b.undo = undo
 	defer func() {
 		b.undo = nil
 		if p := recover(); p != nil {
 			undo.rollback()
 			panic(p)
 		}
+		clear(undo.recs)
+		undo.recs = undo.recs[:0]
 	}()
 	for i := range b.members {
 		r.applyMember(b, &b.members[i], i, sh.firstMut)
@@ -789,14 +880,22 @@ func (r *Relation) initBatchMembers(b *opBuf) {
 		}
 	}
 
+	b.detectRounds()
+
 	// Detach the single-op ping-pong arrays. Single operations may leave
 	// b.pipe and b.spare aliased (a scan step on an already-dead pipeline
 	// donates the pipe array to spare), which is benign when nothing
 	// outlives the operation — but batch members RETAIN their final state
 	// lists across the whole transaction, so the scan ping-pong and the
 	// apply phase's runSteps must start from storage that cannot alias a
-	// member's retention.
-	b.pipe, b.spare = nil, nil
+	// member's retention. The round-map scheduler pipes member states
+	// through member-owned arrays only, so it keeps the pair (their
+	// capacity serves apply-phase re-execution) and merely de-aliases it.
+	if !b.rounds {
+		b.pipe, b.spare = nil, nil
+	} else if sameBacking(b.pipe, b.spare) {
+		b.spare = nil
+	}
 }
 
 // growBatch runs the growing phase for one relation's members: per-node
@@ -807,12 +906,28 @@ func (r *Relation) initBatchMembers(b *opBuf) {
 func (r *Relation) growBatch(t *Txn, b *opBuf) {
 	nNodes := len(r.decomp.Nodes)
 	b.collect = &b.set
+	if b.rounds {
+		b.buildGroups()
+	}
 	for v := 0; v < nNodes; v++ {
 		for {
 			progress := false
-			for i := range b.members {
-				if r.advanceMember(b, &b.members[i], v) {
-					progress = true
+			if b.rounds {
+				// Members sweep in plan-identity groups: same-plan members
+				// advance back to back, so their per-node lock and spec
+				// contributions merge while round-hot data stays cached. The
+				// coalescing set and the sorted spec waves make the order
+				// trace-invariant.
+				for _, mi := range b.groupOrder {
+					if r.advanceMemberRounds(b, &b.members[mi], v) {
+						progress = true
+					}
+				}
+			} else {
+				for i := range b.members {
+					if r.advanceMember(b, &b.members[i], v) {
+						progress = true
+					}
 				}
 			}
 			if len(b.specs) > 0 {
@@ -1278,6 +1393,10 @@ func (r *Relation) rowLocate(b *opBuf, m *member, nd *query.NodeDirective) {
 // find the lock held and merely re-validate. Survivors are delivered to
 // their members, which resume at the next scheduler sweep.
 func (r *Relation) resolveBatchSpecs(t *Txn, b *opBuf) {
+	if b.rounds {
+		r.resolveBatchSpecsBucketed(t, b)
+		return
+	}
 	specs := b.specs
 	// Sort by (node, key): closure-free insertion sort for the typical
 	// small pool, sort.Slice beyond (quadratic insertion would dominate
@@ -1307,22 +1426,7 @@ func (r *Relation) resolveBatchSpecs(t *Txn, b *opBuf) {
 			}
 		}
 		for k := i; k < j; k++ {
-			req := &specs[k]
-			inst, ok := r.specLocate(b, req.edge, req.colIdx, req.src, req.row, mode)
-			switch {
-			case req.st != nil && ok:
-				req.st.insts[req.edge.Dst.Index] = inst
-				req.m.specOut = append(req.m.specOut, req.st)
-			case req.st != nil:
-				r.auditAccess(b, req.edge, req.st.insts, req.st.row, nil, b.fresh, false)
-			case ok:
-				if req.m.specFound != nil && req.m.specFound != inst {
-					panic(fmt.Sprintf("core: inconsistent instances of %s via speculative in-edges", req.edge.Dst.Name))
-				}
-				req.m.specFound = inst
-			default:
-				r.auditAccess(b, req.edge, req.m.xinst, req.row, nil, b.fresh, false)
-			}
+			r.resolveOneSpec(b, &specs[k], mode)
 		}
 		i = j
 	}
@@ -1337,6 +1441,27 @@ func (r *Relation) resolveBatchSpecs(t *Txn, b *opBuf) {
 			m.wait = wNone
 			m.specResolved = true
 		}
+	}
+}
+
+// resolveOneSpec runs the §4.5 protocol body for one pending request in
+// the (already upgraded) mode of its (node, key) run, delivering survivors
+// to the member's specOut list or its located-instance slot.
+func (r *Relation) resolveOneSpec(b *opBuf, req *batchSpecReq, mode locks.Mode) {
+	inst, ok := r.specLocate(b, req.edge, req.colIdx, req.src, req.row, mode)
+	switch {
+	case req.st != nil && ok:
+		req.st.insts[req.edge.Dst.Index] = inst
+		req.m.specOut = append(req.m.specOut, req.st)
+	case req.st != nil:
+		r.auditAccess(b, req.edge, req.st.insts, req.st.row, nil, b.fresh, false)
+	case ok:
+		if req.m.specFound != nil && req.m.specFound != inst {
+			panic(fmt.Sprintf("core: inconsistent instances of %s via speculative in-edges", req.edge.Dst.Name))
+		}
+		req.m.specFound = inst
+	default:
+		r.auditAccess(b, req.edge, req.m.xinst, req.row, nil, b.fresh, false)
 	}
 }
 
@@ -1448,7 +1573,11 @@ func (r *Relation) computeMember(b *opBuf, m *member, idx, firstMut int) {
 	case mQuery:
 		m.recomputed = !reuse
 		if !reuse {
-			m.states = r.runSteps(b, m.steps, m.row, m.boundMask)
+			if b.rounds {
+				r.runMemberRounds(b, m)
+			} else {
+				m.states = r.runSteps(b, m.steps, m.row, m.boundMask)
+			}
 		}
 	case mCount:
 		switch {
@@ -1456,6 +1585,9 @@ func (r *Relation) computeMember(b *opBuf, m *member, idx, firstMut int) {
 			// m.count already holds the growing/read-phase result.
 		case reuse:
 			m.count = len(m.states)
+		case b.rounds:
+			m.count = r.runMemberCountRounds(b, m)
+			m.states = m.states[:0]
 		default:
 			m.count = r.applyCount(b, m)
 		}
@@ -1517,8 +1649,14 @@ func (r *Relation) deliverMember(b *opBuf, m *member) {
 			}
 			m.pt.set(results)
 		}
-		if m.recomputed {
+		if m.recomputed && !b.rounds {
+			// Legacy apply ran runSteps on the shared ping-pong pair; hand
+			// the capacity back and sever the member's reference so a later
+			// round-mode batch never sees b.pipe aliasing a member slab
+			// entry. Round-mode recomputation used the member's own arrays,
+			// which the member simply keeps.
 			b.recycle(states)
+			m.states = nil
 		}
 	case mCount:
 		m.pi.set(m.count)
@@ -1620,5 +1758,6 @@ func (u *undoLog) rollback() {
 			rec.c.Write(rec.key, nil)
 		}
 	}
-	u.recs = nil
+	clear(u.recs)
+	u.recs = u.recs[:0]
 }

@@ -136,8 +136,16 @@ func (r *Relation) execOptimisticLookup(b *opBuf, e *decomp.Edge, colIdx []int, 
 // membership"), so each discovered entry only needs its target's epoch
 // recorded before later steps read the target's subtree.
 func (r *Relation) execOptimisticScanSpec(b *opBuf, step *query.Step, states []*qstate) []*qstate {
+	out := r.execOptimisticScanSpecInto(b, b.spare[:0], step, states)
+	b.spare = states[:0]
+	return out
+}
+
+// execOptimisticScanSpecInto is execOptimisticScanSpec building onto a
+// caller-supplied output array; the round-map scheduler passes member-owned
+// arrays here instead of the shared ping-pong pair.
+func (r *Relation) execOptimisticScanSpecInto(b *opBuf, out []*qstate, step *query.Step, states []*qstate) []*qstate {
 	e := step.Edge
-	out := b.spare[:0]
 	for _, st := range states {
 		src := st.insts[e.Src.Index]
 		if src == nil {
@@ -161,7 +169,6 @@ func (r *Relation) execOptimisticScanSpec(b *opBuf, step *query.Step, states []*
 			return true
 		})
 	}
-	b.spare = states[:0]
 	return out
 }
 
@@ -309,30 +316,63 @@ func (r *Relation) execLookup(b *opBuf, e *decomp.Edge, colIdx []int, states []*
 // state. Filter positions compare entry values against row slots bound by
 // the operation.
 func (r *Relation) execScan(b *opBuf, e *decomp.Edge, colIdx, filterPos, filterIdx []int, states []*qstate) []*qstate {
-	out := b.spare[:0]
+	out := r.execScanInto(b, b.spare[:0], e, colIdx, filterPos, filterIdx, states)
+	b.spare = states[:0]
+	return out
+}
+
+// execScanInto is execScan building onto a caller-supplied output array;
+// the round-map scheduler passes member-owned arrays here instead of the
+// shared ping-pong pair.
+func (r *Relation) execScanInto(b *opBuf, out []*qstate, e *decomp.Edge, colIdx, filterPos, filterIdx []int, states []*qstate) []*qstate {
+	// The visitor closure is created once per buffer and parameterized
+	// through b.scan: a fresh closure per (call × state) is the hottest
+	// allocation in a scan-heavy batch, and Scan's indirect call makes it
+	// escape unconditionally.
+	sc := &b.scan
+	if b.scanFn == nil {
+		b.scanFn = func(k rel.Key, v any) bool {
+			st := sc.st
+			for fi, p := range sc.filterPos {
+				if !rel.Equal(k.At(p), st.row.At(sc.filterIdx[fi])) {
+					return true
+				}
+			}
+			ns := sc.b.clone(sc.r, st)
+			for p, ci := range sc.colIdx {
+				ns.row.Set(ci, k.At(p))
+			}
+			ns.insts[sc.e.Dst.Index] = v.(*Instance)
+			sc.out = append(sc.out, ns)
+			return true
+		}
+	}
+	sc.r, sc.b, sc.e = r, b, e
+	sc.colIdx, sc.filterPos, sc.filterIdx = colIdx, filterPos, filterIdx
+	sc.out = out
 	for _, st := range states {
 		src := st.insts[e.Src.Index]
 		if src == nil {
 			continue
 		}
 		r.auditAccess(b, e, st.insts, st.row, nil, b.fresh, len(filterPos) == 0)
-		r.container(src, e).Scan(func(k rel.Key, v any) bool {
-			for fi, p := range filterPos {
-				if !rel.Equal(k.At(p), st.row.At(filterIdx[fi])) {
-					return true
-				}
-			}
-			ns := b.clone(r, st)
-			for p, ci := range colIdx {
-				ns.row.Set(ci, k.At(p))
-			}
-			ns.insts[e.Dst.Index] = v.(*Instance)
-			out = append(out, ns)
-			return true
-		})
+		sc.st = st
+		r.container(src, e).Scan(b.scanFn)
 	}
-	b.spare = states[:0]
+	out = sc.out
+	sc.out, sc.st = nil, nil // release retained states
 	return out
+}
+
+// scanCtx carries execScanInto's per-call parameters to the buffer's
+// cached visitor closure.
+type scanCtx struct {
+	r                            *Relation
+	b                            *opBuf
+	e                            *decomp.Edge
+	colIdx, filterPos, filterIdx []int
+	st                           *qstate
+	out                          []*qstate
 }
 
 // execSpecLookup advances states across a speculatively placed edge
@@ -369,6 +409,7 @@ func (r *Relation) execSpecLookup(b *opBuf, e *decomp.Edge, colIdx, targetIdx []
 			r.auditAccess(b, e, st.insts, st.row, nil, b.fresh, false)
 		}
 	}
+	clear(reqs) // drop state/key pointers now, so putBuf need not sweep capacity
 	b.reqs = reqs[:0]
 	b.spare = states[:0]
 	return out
@@ -452,6 +493,7 @@ func (r *Relation) execScanSpec(b *opBuf, step *query.Step, states []*qstate) []
 			out = append(out, ns)
 		}
 	}
+	clear(cands)
 	b.reqs = cands[:0]
 	b.spare = states[:0]
 	return out

@@ -117,8 +117,9 @@ func (r *Relation) commitOCC(t *Txn, sh *txnShard) bool {
 // the shrink.
 func (r *Relation) occApply(b *opBuf, firstMut int, deliver func()) (ok bool) {
 	b.apply = true
-	var undo undoLog
-	b.undo = &undo
+	undo := &b.undoPool // buffer-resident: a stack undoLog would escape via b.undo
+	undo.recs = undo.recs[:0]
+	b.undo = undo
 	defer func() {
 		b.undo = nil
 		b.apply = false
@@ -126,12 +127,19 @@ func (r *Relation) occApply(b *opBuf, firstMut int, deliver func()) (ok bool) {
 			undo.rollback()
 			panic(p)
 		}
+		clear(undo.recs)
+		undo.recs = undo.recs[:0]
 	}()
 	for i := range b.members {
-		// Detach the ping-pong arrays before every compute: staged query
-		// states must survive until post-validation delivery, so no later
-		// member's pipeline may alias their backing array.
-		b.pipe, b.spare = nil, nil
+		if !b.rounds {
+			// Detach the ping-pong arrays before every compute: staged query
+			// states must survive until post-validation delivery, so no later
+			// member's pipeline may alias their backing array. (Round-mode
+			// recomputation runs on member-owned arrays; the shared pair only
+			// serves applyInsert/applyRemove transients, which nothing
+			// retains.)
+			b.pipe, b.spare = nil, nil
+		}
 		r.computeMember(b, &b.members[i], i, firstMut)
 	}
 	if b.reads.Validate(b.txn.HoldsExclusive) {
@@ -187,7 +195,7 @@ func (r *Relation) occFallback(t *Txn, b *opBuf) {
 // non-capable relation vetoes the whole batch (false, nothing executed).
 func (g *Registry) commitOCC(t *Txn) bool {
 	hasRead, hasMut := false, false
-	for _, sh := range t.shards {
+	for _, sh := range t.multi.shards {
 		if !occEligible(sh) {
 			return false
 		}
@@ -204,11 +212,11 @@ func (g *Registry) commitOCC(t *Txn) bool {
 	if tr := t.trace; tr != nil {
 		tr.OCC = true
 	}
-	for _, sh := range t.shards {
+	for _, sh := range t.multi.shards {
 		sh.b.occ = true
 		sh.r.initBatchMembers(sh.b)
 	}
-	for _, sh := range t.shards { // shards pre-sorted by relation id (Registry.batch)
+	for _, sh := range t.multi.shards { // shards pre-sorted by relation id (Registry.batch)
 		sh.r.growBatch(t, sh.b)
 		sh.mark = sh.b.n
 	}
@@ -219,7 +227,7 @@ func (g *Registry) commitOCC(t *Txn) bool {
 		if tr := t.trace; tr != nil {
 			tr.Attempts++
 		}
-		for _, sh := range t.shards {
+		for _, sh := range t.multi.shards {
 			sh.b.n = sh.mark
 			sh.r.runShardOptimistic(sh.b)
 		}
@@ -228,23 +236,23 @@ func (g *Registry) commitOCC(t *Txn) bool {
 		}
 		if g.occApply(t, func() {
 			if tr := t.trace; tr != nil {
-				for _, sh := range t.shards {
+				for _, sh := range t.multi.shards {
 					tr.EpochsRecorded += sh.b.reads.Len()
 					tr.EpochsDistinct += sh.b.reads.Distinct()
 				}
 			}
-			for _, ref := range t.order {
+			for _, ref := range t.multi.order {
 				ref.sh.r.deliverMember(ref.sh.b, &ref.sh.b.members[ref.idx])
 			}
 		}) {
-			for _, sh := range t.shards {
+			for _, sh := range t.multi.shards {
 				sh.b.occ = false
 			}
 			return true
 		}
 	}
 	occFallbackTrace(t)
-	for _, sh := range t.shards {
+	for _, sh := range t.multi.shards {
 		occResetBuf(sh.b)
 	}
 	t.ltxn.ReleaseAll()
@@ -259,12 +267,12 @@ func (g *Registry) commitOCC(t *Txn) bool {
 // the undo log so a panicking yield unwinds every relation's writes.
 func (g *Registry) occApply(t *Txn, deliver func()) (ok bool) {
 	var undo undoLog
-	for _, sh := range t.shards {
+	for _, sh := range t.multi.shards {
 		sh.b.apply = true
 		sh.b.undo = &undo
 	}
 	defer func() {
-		for _, sh := range t.shards {
+		for _, sh := range t.multi.shards {
 			sh.b.undo = nil
 			sh.b.apply = false
 		}
@@ -273,15 +281,17 @@ func (g *Registry) occApply(t *Txn, deliver func()) (ok bool) {
 			panic(p)
 		}
 	}()
-	for pos, ref := range t.order {
+	for pos, ref := range t.multi.order {
 		if registryApplyHook != nil {
 			registryApplyHook(ref.sh.r.name, pos)
 		}
-		ref.sh.b.pipe, ref.sh.b.spare = nil, nil
+		if !ref.sh.b.rounds {
+			ref.sh.b.pipe, ref.sh.b.spare = nil, nil
+		}
 		ref.sh.r.computeMember(ref.sh.b, &ref.sh.b.members[ref.idx], ref.idx, ref.sh.firstMut)
 	}
 	valid := true
-	for _, sh := range t.shards {
+	for _, sh := range t.multi.shards {
 		if !sh.b.reads.Validate(t.ltxn.HoldsExclusive) {
 			valid = false
 			break
@@ -292,7 +302,7 @@ func (g *Registry) occApply(t *Txn, deliver func()) (ok bool) {
 		return true
 	}
 	undo.rollback()
-	for _, sh := range t.shards {
+	for _, sh := range t.multi.shards {
 		sh.b.finishEpochs()
 	}
 	return false

@@ -93,6 +93,41 @@ type opBuf struct {
 	// well-lockedness auditor accepts EITHER a held lock or a recorded
 	// epoch as coverage.
 	occ bool
+
+	// Round-map scheduler state (rounds.go). rounds marks a batch whose
+	// every member carries a compiled round program, so the growing phase
+	// walks flat round arrays over member-owned state lists instead of the
+	// generic cursor machine. groupKey/groupOrder memoize the plan-identity
+	// grouping of the member list across batches (groupKey[i] is member i's
+	// program pointer); specIdx holds the per-node index buckets of the
+	// bucketed speculative resolution; undoPool is the buffer-resident
+	// apply-phase undo log (a stack undoLog escapes through b.undo, so
+	// reusing this one saves an allocation per batch).
+	rounds     bool
+	groupKey   []any
+	groupOrder []int32
+	specIdx    [][]int32
+	undoPool   undoLog
+
+	// scan/scanFn are the cached scan-visitor closure and its per-call
+	// parameter block (exec.go execScanInto): one closure allocation per
+	// buffer lifetime instead of one per scanned state.
+	scan   scanCtx
+	scanFn func(k rel.Key, v any) bool
+
+	// pbSlab/piSlab/txnSlab chunk-allocate Pending and Txn handles
+	// (batch.go newPB/newPI/newTxn); they persist across batches, so a
+	// slab's already-handed-out prefix stays untouched while later batches
+	// keep filling the tail.
+	pbSlab  []Pending[bool]
+	piSlab  []Pending[int]
+	txnSlab []Txn
+
+	// shard is the Relation.Batch transaction's single shard, recycled
+	// across batches (Txn.single points here). Unlike the Txn handle it
+	// may be reused freely: every path from a leaked *Txn to its shard is
+	// behind the sealed check.
+	shard txnShard
 }
 
 // specReq pairs a state with its speculative target key so acquisitions
@@ -140,9 +175,11 @@ func (r *Relation) putBuf(b *opBuf) {
 	}
 	clear(b.karena)
 	b.karena = b.karena[:0]
-	full := b.reqs[:cap(b.reqs)]
-	clear(full)
-	b.reqs = full[:0]
+	// Every reqs/specs consumer clears its used prefix before truncating,
+	// so only panic leftovers (len > 0) can hold stale pointers here — a
+	// length-only clear suffices, not a capacity sweep.
+	clear(b.reqs)
+	b.reqs = b.reqs[:0]
 	clear(b.seen) // b.seen is normally clean; a recovered panic mid-dedup must not leak entries
 	b.collect = nil
 	b.apply = false
@@ -152,7 +189,7 @@ func (r *Relation) putBuf(b *opBuf) {
 		b.members[i].reset()
 	}
 	b.members = b.members[:0]
-	clear(b.specs[:cap(b.specs)])
+	clear(b.specs)
 	b.specs = b.specs[:0]
 	b.set.Reset()
 	clear(b.rowArena)
@@ -160,6 +197,12 @@ func (r *Relation) putBuf(b *opBuf) {
 	b.optimistic = false
 	b.occ = false
 	b.reads.Reset()
+	b.rounds = false
+	// groupKey/groupOrder persist: they memoize the plan-identity grouping
+	// and are revalidated against the member list before every use.
+	for i := range b.specIdx {
+		b.specIdx[i] = b.specIdx[i][:0] // normally empty; a recovered panic mid-wave must not leak indices
+	}
 	r.bufPool.Put(b)
 }
 

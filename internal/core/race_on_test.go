@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in. The alloc
+// gate skips under -race: instrumentation allocates shadow state per
+// synchronization event, which is not the production configuration the
+// gate measures.
+const raceEnabled = true

@@ -68,7 +68,7 @@ func (t *Txn) readOnly() bool {
 	if t.reg == nil {
 		return t.single.firstMut < 0
 	}
-	for _, sh := range t.shards {
+	for _, sh := range t.multi.shards {
 		if sh.firstMut >= 0 {
 			return false
 		}
@@ -84,6 +84,7 @@ func (r *Relation) commitReadOnly(t *Txn, sh *txnShard) bool {
 		return false
 	}
 	b := sh.b
+	b.detectRounds() // read-only commits skip initBatchMembers, so decide here
 	if tr := t.trace; tr != nil {
 		tr.Optimistic = true
 	}
@@ -123,10 +124,13 @@ func (r *Relation) commitReadOnly(t *Txn, sh *txnShard) bool {
 // validation pass follows the registry-wide global lock order exactly as
 // a pessimistic growing phase would.
 func (g *Registry) commitReadOnly(t *Txn) bool {
-	for _, sh := range t.shards {
+	for _, sh := range t.multi.shards {
 		if !sh.r.optimisticOK {
 			return false
 		}
+	}
+	for _, sh := range t.multi.shards {
+		sh.b.detectRounds() // read-only commits skip initBatchMembers, so decide here
 	}
 	if tr := t.trace; tr != nil {
 		tr.Optimistic = true
@@ -138,7 +142,7 @@ func (g *Registry) commitReadOnly(t *Txn) bool {
 		if tr := t.trace; tr != nil {
 			tr.Attempts++
 		}
-		for _, sh := range t.shards {
+		for _, sh := range t.multi.shards {
 			sh.b.n = 0
 			sh.r.runShardOptimistic(sh.b)
 		}
@@ -146,7 +150,7 @@ func (g *Registry) commitReadOnly(t *Txn) bool {
 			hook(attempt)
 		}
 		valid := true
-		for _, sh := range t.shards {
+		for _, sh := range t.multi.shards {
 			if !sh.b.reads.Validate(nil) {
 				valid = false
 				break
@@ -154,12 +158,12 @@ func (g *Registry) commitReadOnly(t *Txn) bool {
 		}
 		if valid {
 			if tr := t.trace; tr != nil {
-				for _, sh := range t.shards {
+				for _, sh := range t.multi.shards {
 					tr.EpochsRecorded += sh.b.reads.Len()
 					tr.EpochsDistinct += sh.b.reads.Distinct()
 				}
 			}
-			for _, ref := range t.order {
+			for _, ref := range t.multi.order {
 				ref.sh.r.applyMember(ref.sh.b, &ref.sh.b.members[ref.idx], ref.idx, -1)
 			}
 			return true
@@ -168,7 +172,7 @@ func (g *Registry) commitReadOnly(t *Txn) bool {
 	if tr := t.trace; tr != nil {
 		tr.FellBack = true
 	}
-	for _, sh := range t.shards {
+	for _, sh := range t.multi.shards {
 		sh.b.reads.Reset()
 		sh.b.n = 0
 	}
@@ -197,6 +201,19 @@ func (r *Relation) runShardOptimistic(b *opBuf) {
 				// misclassified it: silently skipping would later apply the
 				// mutation with no locks, no epochs and no undo log.
 				panic("core: mutation member in a read-only batch")
+			}
+			continue
+		}
+		if b.rounds {
+			// Round mode pipes each member through its own arrays; the
+			// shared pair is never touched, so nothing needs detaching.
+			switch m.kind {
+			case mQuery:
+				r.runMemberRounds(b, m)
+			case mCount:
+				m.count = r.runMemberCountRounds(b, m)
+				m.counted = true
+				m.states = m.states[:0]
 			}
 			continue
 		}

@@ -133,7 +133,7 @@ func (g *Registry) BatchReadOnly(fn func(tx *Txn) error) error {
 // batch is the shared body of Batch and BatchReadOnly.
 func (g *Registry) batch(fn func(tx *Txn) error, roOnly bool) error {
 	lt := g.getTxn()
-	t := &Txn{reg: g, ltxn: lt, roOnly: roOnly}
+	t := &Txn{reg: g, ltxn: lt, roOnly: roOnly, multi: &txnReg{}}
 	defer func() {
 		// Shrinking phase: end-bump every shard's begin-bumped epoch cells
 		// while the locks are still held (optimistic readers must see the
@@ -141,11 +141,11 @@ func (g *Registry) batch(fn func(tx *Txn) error, roOnly bool) error {
 		// release the whole transaction's locks, restore each buffer's own
 		// locks.Txn, and return the buffers to their relations' pools.
 		// Runs on panic too (after commitTxn's rollback).
-		for _, sh := range t.shards {
+		for _, sh := range t.multi.shards {
 			sh.b.finishEpochs()
 		}
 		lt.ReleaseAll()
-		for _, sh := range t.shards {
+		for _, sh := range t.multi.shards {
 			sh.b.txn = sh.own
 			sh.r.putBuf(sh.b)
 		}
@@ -156,7 +156,7 @@ func (g *Registry) batch(fn func(tx *Txn) error, roOnly bool) error {
 		return err
 	}
 	t.sealed = true
-	if len(t.order) == 0 {
+	if len(t.multi.order) == 0 {
 		return nil
 	}
 	// Every commit path — the lock-free read-only validation, the OCC
@@ -164,7 +164,7 @@ func (g *Registry) batch(fn func(tx *Txn) error, roOnly bool) error {
 	// the shards in the registry-wide lock order, so sort them by relation
 	// id once here; this is the ONLY sort (commitTxn and commitOCC rely
 	// on it and never reorder the shards).
-	sort.Slice(t.shards, func(i, j int) bool { return t.shards[i].r.regID < t.shards[j].r.regID })
+	sort.Slice(t.multi.shards, func(i, j int) bool { return t.multi.shards[i].r.regID < t.multi.shards[j].r.regID })
 	if t.readOnly() {
 		if g.commitReadOnly(t) {
 			return nil
@@ -182,10 +182,10 @@ func (g *Registry) batch(fn func(tx *Txn) error, roOnly bool) error {
 // them), then one apply phase replaying every member in global enqueue
 // order under a shared undo log.
 func (g *Registry) commitTxn(t *Txn) {
-	for _, sh := range t.shards {
+	for _, sh := range t.multi.shards {
 		sh.r.initBatchMembers(sh.b)
 	}
-	for _, sh := range t.shards {
+	for _, sh := range t.multi.shards {
 		sh.r.growBatch(t, sh.b)
 	}
 
@@ -193,12 +193,12 @@ func (g *Registry) commitTxn(t *Txn) {
 	// member's apply unwinds the writes of EVERY relation before the
 	// locks are released — cross-relation all-or-nothing.
 	var undo undoLog
-	for _, sh := range t.shards {
+	for _, sh := range t.multi.shards {
 		sh.b.apply = true
 		sh.b.undo = &undo
 	}
 	defer func() {
-		for _, sh := range t.shards {
+		for _, sh := range t.multi.shards {
 			sh.b.undo = nil
 		}
 		if p := recover(); p != nil {
@@ -206,13 +206,13 @@ func (g *Registry) commitTxn(t *Txn) {
 			panic(p)
 		}
 	}()
-	for pos, ref := range t.order {
+	for pos, ref := range t.multi.order {
 		if registryApplyHook != nil {
 			registryApplyHook(ref.sh.r.name, pos)
 		}
 		ref.sh.r.applyMember(ref.sh.b, &ref.sh.b.members[ref.idx], ref.idx, ref.sh.firstMut)
 	}
-	for _, sh := range t.shards {
+	for _, sh := range t.multi.shards {
 		sh.b.apply = false
 	}
 }

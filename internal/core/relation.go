@@ -419,6 +419,47 @@ func (r *Relation) DescribeRemove(sCols []string) (string, error) {
 	return p.mut.Describe(), nil
 }
 
+// DescribeQueryRounds renders the compiled round map of a query plan —
+// the flat lock schedule the batched growing phase walks (§5's
+// synchronization-is-compiled thesis applied to batches).
+func (r *Relation) DescribeQueryRounds(bound, out []string) (string, error) {
+	plan, err := r.queryPlanFor(bound, out)
+	if err != nil {
+		return "", err
+	}
+	return plan.DescribeRounds(), nil
+}
+
+// DescribeCountRounds renders the compiled round map of the
+// count-pushdown plan binding the given columns.
+func (r *Relation) DescribeCountRounds(bound []string) (string, error) {
+	plan, err := r.countPlanFor(bound)
+	if err != nil {
+		return "", err
+	}
+	return plan.DescribeRounds(), nil
+}
+
+// DescribeInsertRounds renders the compiled round map of an insert's
+// growing phase (existence-check probes appear as their own rounds).
+func (r *Relation) DescribeInsertRounds(sCols []string) (string, error) {
+	p, err := r.insertPlanFor(sCols)
+	if err != nil {
+		return "", err
+	}
+	return p.mut.DescribeRounds(), nil
+}
+
+// DescribeRemoveRounds renders the compiled round map of a remove's
+// growing phase.
+func (r *Relation) DescribeRemoveRounds(sCols []string) (string, error) {
+	p, err := r.removePlanFor(sCols)
+	if err != nil {
+		return "", err
+	}
+	return p.mut.DescribeRounds(), nil
+}
+
 func (r *Relation) checkCols(cols []string) error {
 	for _, c := range cols {
 		if !r.spec.HasColumn(c) {

@@ -33,6 +33,7 @@ func (pl *Planner) compilePlan(p *Plan) {
 	for i := range p.Steps {
 		pl.compileStep(&p.Steps[i])
 	}
+	pl.compileRounds(p)
 }
 
 // compileStep resolves one step's column names to schema offsets.
@@ -96,6 +97,7 @@ func (pl *Planner) compileMutation(m *MutationPlan) {
 			nd.SpecTargetIdx = append(nd.SpecTargetIdx, pl.Schema.Indices(e.Dst.A))
 		}
 	}
+	pl.compileMutationRounds(m)
 }
 
 // dedupSorted returns a sorted, duplicate-free copy of cols.

@@ -99,3 +99,46 @@ func (m *MutationPlan) Describe() string {
 	}
 	return b.String()
 }
+
+// DescribeRounds renders the plan's compiled round map: the flat,
+// pre-classified schedule the batched growing phase walks instead of
+// re-inspecting steps (roundmap.go). Gates are lock-order node indices.
+func (p *Plan) DescribeRounds() string {
+	if p.Prog == nil {
+		return "rounds: none compiled\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "round map (%d rounds):\n", len(p.Prog.Rounds))
+	for i, rd := range p.Prog.Rounds {
+		switch rd.Kind {
+		case RoundSteps:
+			fmt.Fprintf(&b, "  %2d: steps %d..%d\n", i+1, rd.Lo+1, rd.Hi)
+		case RoundLock:
+			fmt.Fprintf(&b, "  %2d: lock step %d, gate node %d\n", i+1, rd.Lo+1, rd.Gate)
+		case RoundSpec:
+			fmt.Fprintf(&b, "  %2d: speculative step %d, gate node %d\n", i+1, rd.Lo+1, rd.Gate)
+		}
+	}
+	return b.String()
+}
+
+// DescribeRounds renders the mutation plan's compiled round map: one to
+// four pre-classified rounds per growing-phase directive.
+func (m *MutationPlan) DescribeRounds() string {
+	if m.Prog == nil {
+		return "rounds: none compiled\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "round map (%d rounds):\n", len(m.Prog.Rounds))
+	for i, rd := range m.Prog.Rounds {
+		kind := map[MutationRoundKind]string{
+			MRoundSpecIn: "speculative in-edges",
+			MRoundLocate: "locate via resolved targets",
+			MRoundAccess: "plain access",
+			MRoundExist:  "existence check",
+			MRoundLock:   "exclusive locks",
+		}[rd.Kind]
+		fmt.Fprintf(&b, "  %2d: %s, directive %d, gate node %d\n", i+1, kind, rd.Dir+1, rd.Gate)
+	}
+	return b.String()
+}

@@ -70,6 +70,13 @@ type MutationPlan struct {
 	// order.
 	PerNode []NodeDirective
 	Cost    float64
+	// LockPortion / AllStripePortion split Cost as on Plan; BatchCost
+	// amortizes them against a BatchProfile.
+	LockPortion      float64
+	AllStripePortion float64
+	// Prog is the compiled round map of the growing phase; its pointer is
+	// the plan-identity key of the batch executor (roundmap.go).
+	Prog *MutationProgram
 
 	// BoundMask is the schema-resolved bound-column bitmask, filled by
 	// the planner (see Plan).
@@ -140,6 +147,7 @@ func (pl *Planner) PlanMutation(kind OpKind, bound []string) (*MutationPlan, err
 	// Observed columns grow as scans run, in topo order.
 	observed := append([]string(nil), bound...)
 	cost := 0.0
+	lockPortion, allStripe := 0.0, 0.0
 	for _, n := range pl.D.Nodes {
 		nd := NodeDirective{Node: n, Selectors: selectors[n.Index]}
 		if n != pl.D.Root {
@@ -173,6 +181,7 @@ func (pl *Planner) PlanMutation(kind OpKind, bound []string) (*MutationPlan, err
 			case len(nd.SpecIns) > 0:
 				// Located purely via speculative in-edges.
 				cost += pl.Model.lookupCost(nd.SpecIns[0].Container) + pl.Model.LockCost
+				lockPortion += pl.Model.LockCost
 			default:
 				return nil, fmt.Errorf("query: node %s has no usable access edge for %s over %v", n.Name, kind, bound)
 			}
@@ -182,14 +191,19 @@ func (pl *Planner) PlanMutation(kind OpKind, bound []string) (*MutationPlan, err
 		// Lock cost at this node.
 		for _, s := range nd.Selectors {
 			if s.All {
-				cost += pl.Model.LockCost * float64(pl.P.StripeCount(n))
+				c := pl.Model.LockCost * float64(pl.P.StripeCount(n))
+				cost += c
+				lockPortion += c
+				allStripe += c
 			} else {
 				cost += pl.Model.LockCost
+				lockPortion += pl.Model.LockCost
 			}
 		}
 		m.PerNode = append(m.PerNode, nd)
 	}
 	m.Cost = cost
+	m.LockPortion, m.AllStripePortion = lockPortion, allStripe
 	pl.compileMutation(m)
 	return m, nil
 }

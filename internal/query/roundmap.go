@@ -1,0 +1,235 @@
+package query
+
+// Round maps: the compiled lock schedules of the batched growing phase.
+//
+// The paper's thesis is that synchronization is COMPILED, not interpreted
+// (§5): the generated code for an operation is a fixed sequence of lock
+// acquisitions and container accesses. The batched executor in
+// internal/core, however, grew a generic per-member cursor machine — each
+// sweep of the growing phase re-inspects every member's current step,
+// re-classifies it (lock? speculative? plain access?) and re-derives its
+// gate from the step's fields. That classification is a pure function of
+// the PLAN, so this file moves it to plan-compile time: every Plan and
+// MutationPlan carries a *RoundProgram / *MutationProgram, a flat array of
+// pre-classified rounds the executor walks with an integer cursor and two
+// comparisons per sweep. The program pointer doubles as the plan's
+// identity: members of one batch that share a compiled plan share the
+// pointer, which is what the executor's memoized member grouping and the
+// per-plan merge of speculative requests key on.
+//
+// A round is one of:
+//
+//   - RoundSteps: a maximal run of non-waiting access steps (lookups,
+//     plain scans, the terminal count). The executor runs Steps[Lo:Hi]
+//     back-to-back without yielding to the sweep.
+//   - RoundLock: Steps[Lo] is a lock step. Gated on the node's position in
+//     the global lock order (§5.1); executing it registers the member's
+//     stripe locks in the batch's coalesced lock set and yields until the
+//     wave's AcquireSet completes.
+//   - RoundSpec: Steps[Lo] is a speculative access (§4.5) — a keyed
+//     speculative lookup or an unkeyed speculative scan. Gated on the
+//     TARGET node's lock position; executing it registers speculative
+//     target requests and yields until the wave resolves them.
+type RoundKind uint8
+
+// The three round kinds; see the package comment above for semantics.
+const (
+	// RoundSteps runs Steps[Lo:Hi] back-to-back without yielding.
+	RoundSteps RoundKind = iota
+	// RoundLock acquires Steps[Lo]'s stripe locks, gated on lock order.
+	RoundLock
+	// RoundSpec resolves Steps[Lo]'s speculative target (§4.5).
+	RoundSpec
+)
+
+// Round is one pre-classified schedule entry of a query plan.
+type Round struct {
+	Kind RoundKind
+	// Gate is the decomposition-node index this round waits for: the
+	// executor may run the round only once the sweep has reached Gate.
+	// RoundSteps rounds never wait (Gate 0).
+	Gate int
+	// Lo:Hi is the covered range of Plan.Steps (Hi = Lo+1 for waiting
+	// rounds).
+	Lo, Hi int
+}
+
+// RoundProgram is the compiled schedule of one query plan. The pointer is
+// stable across recompilation (count pushdown re-invokes compilePlan after
+// appending steps), so it serves as the plan-identity key for the
+// executor's memoized batch grouping.
+type RoundProgram struct {
+	Rounds []Round
+}
+
+// MutationRoundKind discriminates the schedule entries of a mutation's
+// growing phase. One NodeDirective expands to one to four rounds.
+type MutationRoundKind uint8
+
+const (
+	// MRoundSpecIn registers the §4.5 speculative target requests for the
+	// directive's speculative in-edges and yields until the wave resolves
+	// them.
+	MRoundSpecIn MutationRoundKind = iota
+	// MRoundLocate consumes resolved speculative targets and completes the
+	// directive's instance location (for removes: row-directed locate).
+	MRoundLocate
+	// MRoundAccess locates the directive's instances through its plain
+	// access edge (lookup or filtered scan); never waits.
+	MRoundAccess
+	// MRoundExist runs an insert's existence-check step at this node (the
+	// put-if-absent probe); never waits. Emitted for every insert
+	// directive; the executor skips it when the node has no existence
+	// step.
+	MRoundExist
+	// MRoundLock acquires the directive's exclusive stripe locks; yields
+	// for the wave's AcquireSet iff the directive carries selectors.
+	MRoundLock
+)
+
+// MutationRound is one pre-classified schedule entry of a mutation plan.
+type MutationRound struct {
+	Kind MutationRoundKind
+	// Gate is the directive node's lock-order index.
+	Gate int
+	// Dir indexes MutationPlan.PerNode.
+	Dir int
+}
+
+// MutationProgram is the compiled schedule of one mutation plan; like
+// RoundProgram, its pointer is the plan-identity key.
+type MutationProgram struct {
+	Rounds []MutationRound
+}
+
+// compileRounds (re)builds p.Prog from p.Steps. The Rounds slice is
+// rebuilt from scratch — assembleCount appends steps and recompiles — but
+// the RoundProgram pointer is reused so plan identity survives
+// recompilation.
+func (pl *Planner) compileRounds(p *Plan) {
+	if p.Prog == nil {
+		p.Prog = &RoundProgram{}
+	}
+	rounds := p.Prog.Rounds[:0]
+	runLo := -1 // start of the current RoundSteps run, -1 when none
+	flush := func(hi int) {
+		if runLo >= 0 {
+			rounds = append(rounds, Round{Kind: RoundSteps, Lo: runLo, Hi: hi})
+			runLo = -1
+		}
+	}
+	for i := range p.Steps {
+		s := &p.Steps[i]
+		switch {
+		case s.Kind == StepLock:
+			flush(i)
+			rounds = append(rounds, Round{Kind: RoundLock, Gate: s.Node.Index, Lo: i, Hi: i + 1})
+		case s.Kind == StepSpecLookup,
+			s.Kind == StepScan && pl.P.RuleFor(s.Edge).Speculative:
+			flush(i)
+			rounds = append(rounds, Round{Kind: RoundSpec, Gate: s.Edge.Dst.Index, Lo: i, Hi: i + 1})
+		default: // StepLookup, plain StepScan, StepCount
+			if runLo < 0 {
+				runLo = i
+			}
+		}
+	}
+	flush(len(p.Steps))
+	p.Prog.Rounds = rounds
+}
+
+// compileMutationRounds builds m.Prog from m.PerNode. Directive order is
+// topological node order, so round gates are non-decreasing — the same
+// monotone schedule the per-member cursor machine derived sweep by sweep.
+func (pl *Planner) compileMutationRounds(m *MutationPlan) {
+	if m.Prog == nil {
+		m.Prog = &MutationProgram{}
+	}
+	rounds := m.Prog.Rounds[:0]
+	for d := range m.PerNode {
+		nd := &m.PerNode[d]
+		g := nd.Node.Index
+		if nd.Node != pl.D.Root {
+			// Non-root directives locate their instances first; the root's
+			// instance is pinned at enqueue, so it goes straight to its lock.
+			if len(nd.SpecIns) > 0 {
+				rounds = append(rounds,
+					MutationRound{Kind: MRoundSpecIn, Gate: g, Dir: d},
+					MutationRound{Kind: MRoundLocate, Gate: g, Dir: d})
+			} else {
+				rounds = append(rounds, MutationRound{Kind: MRoundAccess, Gate: g, Dir: d})
+			}
+			if m.Kind == OpInsert {
+				rounds = append(rounds, MutationRound{Kind: MRoundExist, Gate: g, Dir: d})
+			}
+		}
+		rounds = append(rounds, MutationRound{Kind: MRoundLock, Gate: g, Dir: d})
+	}
+	m.Prog.Rounds = rounds
+}
+
+// BatchProfile characterizes the batches a plan will execute under, the
+// input of the batch-aware costing pass: the growing phase coalesces the
+// lock schedules of all members of a batch, so the effective lock cost of
+// a plan is its solo lock cost divided by how well its acquisitions merge
+// with its cohort's.
+type BatchProfile struct {
+	// Members is the expected number of members per batch sharing this
+	// plan's schedule (1 = solo execution; batch costing degenerates to
+	// Plan.Cost).
+	Members int
+	// SharedPrefix is the expected fraction [0,1] of keyed (single-stripe)
+	// lock acquisitions that coincide with another member's — the shared
+	// lock-prefix of the batch. All-stripe selectors always coalesce
+	// fully and ignore it.
+	SharedPrefix float64
+	// ReadFrac is the read fraction [0,1] of the workload. On an
+	// optimistic-capable representation, shared-mode lock acquisitions
+	// are elided for that fraction of executions (the read-only and OCC
+	// paths validate epochs instead), so it discounts a query plan's lock
+	// portion. Mutation plans ignore it.
+	ReadFrac float64
+}
+
+// amortize returns the batch-effective lock cost given the solo lock cost
+// split into its all-stripe and keyed portions.
+func (prof BatchProfile) amortize(allStripe, keyed float64) float64 {
+	n := float64(prof.Members)
+	if n < 1 {
+		n = 1
+	}
+	// All-stripe selectors lock the same k stripes for every member: a
+	// batch of n pays them once.
+	out := allStripe / n
+	// Keyed selectors coalesce only when two members hit the same stripe.
+	share := prof.SharedPrefix
+	if share < 0 {
+		share = 0
+	} else if share > 1 {
+		share = 1
+	}
+	out += keyed / (1 + (n-1)*share)
+	return out
+}
+
+// BatchCost estimates the per-member cost of executing p as one member of
+// a batch matching prof: the access portion is unchanged, the lock
+// portion is amortized over the members it coalesces with, and — for this
+// shared-mode plan — discounted by the read fraction served lock-free.
+func (p *Plan) BatchCost(prof BatchProfile) float64 {
+	lockFrac := 1 - prof.ReadFrac
+	if lockFrac < 0 {
+		lockFrac = 0
+	}
+	all := p.AllStripePortion * lockFrac
+	keyed := (p.LockPortion - p.AllStripePortion) * lockFrac
+	return (p.Cost - p.LockPortion) + prof.amortize(all, keyed)
+}
+
+// BatchCost estimates the per-member cost of executing m as one member of
+// a batch matching prof. Mutations always lock, so ReadFrac does not
+// apply.
+func (m *MutationPlan) BatchCost(prof BatchProfile) float64 {
+	return (m.Cost - m.LockPortion) +
+		prof.amortize(m.AllStripePortion, m.LockPortion-m.AllStripePortion)
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file adds skewed key generation to the workload drivers. The §6.2
+// methodology draws node ids uniformly, which understates contention:
+// real access distributions are Zipf-like, concentrating traffic on a few
+// hot keys whose epoch cells then invalidate concurrent OCC read-sets.
+// SkewedKey biases the uniform draw toward low ids with a power-law
+// inverse-CDF transform — a cheap stand-in for exact Zipf sampling that
+// needs no per-keyspace precomputation and degenerates exactly to the
+// historical uniform draw at skew 0, so archived BENCH_*.json checksums
+// are unchanged when the -skew flag is off.
+
+// SkewedKey maps one uniform 64-bit draw onto [0, keySpace). skew in
+// [0, 1) controls the bias: 0 reproduces the uniform modular draw bit for
+// bit; as skew approaches 1 the mass concentrates on the lowest ids (the
+// hot keys), with exponent 1/(1-skew) — skew 0.5 squares the uniform
+// fraction, skew 0.9 raises it to the 10th power, etc.
+func SkewedKey(u uint64, keySpace int64, skew float64) int64 {
+	if skew <= 0 {
+		return int64(u % uint64(keySpace))
+	}
+	x := float64(u%uint64(keySpace)) / float64(keySpace)
+	id := int64(math.Pow(x, 1/(1-skew)) * float64(keySpace))
+	if id >= keySpace {
+		id = keySpace - 1
+	}
+	return id
+}
+
+// validSkew panics unless skew is in the supported [0, 1) range.
+func validSkew(skew float64) {
+	if skew < 0 || skew >= 1 || math.IsNaN(skew) {
+		panic(fmt.Sprintf("workload: skew %v outside [0, 1)", skew))
+	}
+}
+
+// SocialOpSkewed is SocialOp with the operand node ids drawn through
+// SkewedKey instead of the uniform modular draw. At skew 0 it is
+// bit-for-bit SocialOp.
+func SocialOpSkewed(s *Social, state *uint64, mix SocialMix, keySpace int64, skew float64) uint64 {
+	r := splitmix64(state)
+	choice := int(r % 100)
+	a := SkewedKey(r>>32, keySpace, skew)
+	b := SkewedKey(r>>16, keySpace, skew)
+	var sum uint64
+	switch {
+	case choice < mix.AddPosts:
+		if s.AddPost(a, b, int64(r>>40)) {
+			sum++
+		}
+	case choice < mix.AddPosts+mix.RemovePosts:
+		if s.RemovePost(a, b) {
+			sum++
+		}
+	case choice < mix.AddPosts+mix.RemovePosts+mix.Follows:
+		sum += uint64(s.Follow(a, b, int64(r>>40)))
+	default:
+		sum += uint64(s.ProfileSnapshot(a))
+	}
+	return sum
+}
+
+// RunSocialSkewed executes the cross-relation benchmark with skewed key
+// draws: identical to RunSocial except every operand id passes through
+// SkewedKey. Under skew, concurrent Follows pile onto the same followees,
+// so the OCC validation-retry and fallback counters — flat at zero on the
+// uniform uncontended pass — become the observable signal.
+func RunSocialSkewed(s *Social, cfg Config, mix SocialMix, skew float64) Result {
+	validSkew(skew)
+	if !mix.valid() {
+		panic(fmt.Sprintf("workload: social mix %s does not sum to 100", mix))
+	}
+	return runWorkers(cfg, func(state *uint64) uint64 {
+		return SocialOpSkewed(s, state, mix, cfg.KeySpace, skew)
+	})
+}

@@ -1,0 +1,68 @@
+package workload
+
+import "testing"
+
+// TestSkewedKeyUniformIdentity: skew 0 must reproduce the historical
+// modular draw exactly — archived benchmark checksums depend on it.
+func TestSkewedKeyUniformIdentity(t *testing.T) {
+	state := uint64(42)
+	for i := 0; i < 10000; i++ {
+		u := splitmix64(&state)
+		if got, want := SkewedKey(u, 512, 0), int64(u%512); got != want {
+			t.Fatalf("SkewedKey(%d, 512, 0) = %d, want %d", u, got, want)
+		}
+	}
+}
+
+// TestSkewedKeyConcentration: higher skew must concentrate strictly more
+// mass on the hot (low-id) end, and every draw must stay in range.
+func TestSkewedKeyConcentration(t *testing.T) {
+	const keySpace = 512
+	const draws = 200000
+	hotMass := func(skew float64) float64 {
+		state := uint64(7)
+		hot := 0
+		for i := 0; i < draws; i++ {
+			id := SkewedKey(splitmix64(&state), keySpace, skew)
+			if id < 0 || id >= keySpace {
+				t.Fatalf("skew %v: id %d outside [0, %d)", skew, id, keySpace)
+			}
+			if id < keySpace/10 {
+				hot++
+			}
+		}
+		return float64(hot) / draws
+	}
+	uniform := hotMass(0)
+	mid := hotMass(0.5)
+	high := hotMass(0.9)
+	if uniform < 0.08 || uniform > 0.12 {
+		t.Errorf("uniform hot mass %.3f, want ~0.10", uniform)
+	}
+	if mid <= uniform {
+		t.Errorf("skew 0.5 hot mass %.3f not above uniform %.3f", mid, uniform)
+	}
+	if high <= mid {
+		t.Errorf("skew 0.9 hot mass %.3f not above skew 0.5 %.3f", high, mid)
+	}
+	// skew 0.9 (exponent 10) should put well over half the mass on the
+	// hottest decile.
+	if high < 0.5 {
+		t.Errorf("skew 0.9 hot mass %.3f, want > 0.5", high)
+	}
+}
+
+// TestSocialOpSkewZeroMatches: the skewed dispatch at skew 0 must follow
+// the exact RNG/operand path of SocialOp — same checksums, same state.
+func TestSocialOpSkewZeroMatches(t *testing.T) {
+	s1, s2 := MustSocial(), MustSocial()
+	mix := MixedSocialMix()
+	st1, st2 := uint64(99), uint64(99)
+	for i := 0; i < 500; i++ {
+		a := SocialOp(s1, &st1, mix, 64)
+		b := SocialOpSkewed(s2, &st2, mix, 64, 0)
+		if a != b || st1 != st2 {
+			t.Fatalf("op %d: sums %d/%d states %d/%d diverge", i, a, b, st1, st2)
+		}
+	}
+}

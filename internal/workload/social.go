@@ -79,6 +79,13 @@ type LockCounts struct {
 	Requested atomic.Int64
 	Acquired  atomic.Int64
 
+	// Members counts the relational operations (batch members) the
+	// composites issued — the denominator of crsbench's deterministic
+	// ns_per_member rows. Both disciplines count identically (the
+	// sequential baseline issues the same relational operations, one
+	// transaction each), so per-member timings are directly comparable.
+	Members atomic.Int64
+
 	// ReadOnlyBatches counts batches that attempted the lock-free
 	// optimistic path; ReadOnlyAcquired the physical locks those batches
 	// ended up taking (zero unless validation failures forced the

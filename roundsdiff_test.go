@@ -1,0 +1,126 @@
+package crs
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestRoundMapTraceDifferential pins the round-map batch scheduler
+// against the generic cursor machine it replaced: the same deterministic
+// stream of composite batches, run once with round maps on and once off,
+// must produce byte-identical lock-schedule traces (same rounds, same
+// coalesced IDs, same modes, same request counts), identical member
+// results and identical final contents on every benchmark variant. The
+// round walkers are supposed to be the cursor machine move for move —
+// this is the test that makes "supposed to" enforceable.
+func TestRoundMapTraceDifferential(t *testing.T) {
+	for _, name := range []string{"Stick 1", "Split 4", "Diamond Spec"} {
+		t.Run(name, func(t *testing.T) {
+			on := runTracedScript(t, name, true)
+			off := runTracedScript(t, name, false)
+			if len(on) != len(off) {
+				t.Fatalf("round maps on produced %d trace lines, off %d", len(on), len(off))
+			}
+			for i := range on {
+				if on[i] != off[i] {
+					t.Fatalf("batch %d diverges:\nround maps ON:\n%s\nround maps OFF:\n%s", i, on[i], off[i])
+				}
+			}
+		})
+	}
+}
+
+// runTracedScript executes a fixed script of composite batches against a
+// fresh build of the named variant and returns one rendered record per
+// batch — the BatchTrace rendering followed by every member result — plus
+// a final sorted-snapshot record.
+func runTracedScript(t *testing.T, variant string, roundMaps bool) []string {
+	t.Helper()
+	prev := core.SetRoundMaps(roundMaps)
+	defer core.SetRoundMaps(prev)
+	v, err := GraphVariantByName(variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := v.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	state := uint64(0xC0FFEE)
+	for n := 0; n < 200; n++ {
+		u := splitmixDiff(&state)
+		a := int64(u % 64)
+		b := int64((u >> 16) % 64)
+		c := int64((u >> 32) % 64)
+		w := int64(u >> 48)
+		var tr *core.BatchTrace
+		var pb1, pb2 *Pending[bool]
+		var pi1, pi2 *Pending[int]
+		var pq *Pending[[]Tuple]
+		err := r.Batch(func(tx *Txn) error {
+			tx.EnableTrace()
+			tr = tx.Trace()
+			var err error
+			switch u % 4 {
+			case 0: // insert pair
+				if pb1, err = tx.Insert(T("src", a, "dst", b), T("weight", w)); err != nil {
+					return err
+				}
+				pb2, err = tx.Insert(T("src", a, "dst", c), T("weight", w+1))
+			case 1: // move
+				if pb1, err = tx.Remove(T("src", a, "dst", b)); err != nil {
+					return err
+				}
+				pb2, err = tx.Insert(T("src", a, "dst", c), T("weight", w))
+			case 2: // count pair
+				if pi1, err = tx.Count(T("src", a)); err != nil {
+					return err
+				}
+				pi2, err = tx.Count(T("src", b))
+			default: // successor query
+				pq, err = tx.Query(T("src", a), "dst", "weight")
+			}
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res string
+		switch u % 4 {
+		case 0, 1:
+			res = fmt.Sprintf("bool %v %v", pb1.Value(), pb2.Value())
+		case 2:
+			res = fmt.Sprintf("count %d %d", pi1.Value(), pi2.Value())
+		default:
+			rows := pq.Value()
+			sortTupleList(rows)
+			res = fmt.Sprintf("query %v", rows)
+		}
+		out = append(out, tr.String()+res)
+	}
+	snap, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortTupleList(snap)
+	out = append(out, fmt.Sprintf("snapshot %d rows: %v", len(snap), snap))
+	return out
+}
+
+func sortTupleList(ts []Tuple) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+}
+
+// splitmixDiff is the usual splitmix64 draw, local to this test so the
+// script stays frozen even if shared helpers change.
+func splitmixDiff(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
