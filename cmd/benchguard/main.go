@@ -39,7 +39,12 @@
 //     regressions, not noise;
 //   - wherever the baseline committed mixed batches via OCC, the current
 //     run must commit at least as many, with ZERO Shared-mode (read)
-//     locks on the OCC path, zero validation retries and zero fallbacks.
+//     locks on the OCC path, zero validation retries and zero fallbacks;
+//   - with -min-wire-batch set, every current batched row of the -wire
+//     benchmark (wire_batches > 0) must report a mean coalesced batch
+//     size (wire_requests / wire_batches) of at least the given floor —
+//     the cross-client group-commit property itself. The lockstep wire
+//     pass is deterministic, so the mean is exact, not a noisy average.
 //
 // With -min-batch-ratio set, one throughput gate rides along, designed to
 // survive noisy runners: for every (mix, variant, threads) the CURRENT
@@ -71,7 +76,7 @@ import (
 // supportedSchema is the crsbench json document schema this guard
 // understands; documents carrying any other version (including none) are
 // rejected rather than silently compared field-by-field.
-const supportedSchema = 4
+const supportedSchema = 5
 
 // benchDoc mirrors crsbench's -format json document (the subset the guard
 // reads).
@@ -111,6 +116,10 @@ type benchRecord struct {
 	OCCShared    int64 `json:"occ_shared_locks"`
 	OCCRetries   int64 `json:"occ_validation_retries"`
 	OCCFallbacks int64 `json:"occ_fallbacks"`
+	// Cross-client group-commit counters (crsbench -wire deterministic
+	// pass). WireBatches > 0 marks a record as carrying them.
+	WireBatches  int64 `json:"wire_batches"`
+	WireRequests int64 `json:"wire_requests"`
 }
 
 // key identifies a comparable record across runs.
@@ -137,7 +146,7 @@ func load(path string) (*benchDoc, error) {
 func counted(doc *benchDoc) map[key]benchRecord {
 	m := map[key]benchRecord{}
 	for _, r := range doc.Results {
-		if r.LocksAcquired > 0 || r.ROBatches > 0 || r.OCCBatches > 0 {
+		if r.LocksAcquired > 0 || r.ROBatches > 0 || r.OCCBatches > 0 || r.WireBatches > 0 {
 			m[key{r.Mix, r.Variant, r.Mode, r.Threads}] = r
 		}
 	}
@@ -149,6 +158,7 @@ func main() {
 	currentPath := flag.String("current", "", "fresh crsbench -format json output")
 	tolerance := flag.Float64("tolerance", 0, "allowed fractional increase in locks_acquired (0 = none)")
 	minBatchRatio := flag.Float64("min-batch-ratio", 0, "minimum batched/sequential ops_per_sec ratio within the current run (0 = gate off)")
+	minWireBatch := flag.Float64("min-wire-batch", 0, "minimum mean coalesced batch size (wire_requests/wire_batches) for the current run's batched -wire rows (0 = gate off)")
 	ratioThreads := flag.String("ratio-threads", "", "comma-separated thread counts the ratio gate applies to (empty = all)")
 	ratioVariants := flag.String("ratio-variants", "", "comma-separated variant names the ratio gate applies to (empty = all)")
 	flag.Parse()
@@ -349,6 +359,45 @@ func main() {
 		}
 		if gated == 0 {
 			fmt.Printf("FAIL ratio gate matched no (batched, sequential) row pairs in %s — wrong -ratio-threads/-ratio-variants, or the run measured one mode only\n", *currentPath)
+			failures++
+		}
+	}
+	// The wire group-commit gate: every batched -wire row of the current
+	// run must have coalesced to at least the floor. The lockstep pass
+	// commits K clients per group deterministically, so a shortfall means
+	// the dispatcher window stopped coalescing across connections, never
+	// that the machine was slow. Baseline wire rows additionally pin that
+	// the mean batch size must not shrink (their lock totals are already
+	// guarded by the rules above).
+	if *minWireBatch > 0 {
+		gated := 0
+		for _, r := range cur.Results {
+			if r.Mode != "batched" || r.WireBatches == 0 {
+				continue
+			}
+			gated++
+			mean := float64(r.WireRequests) / float64(r.WireBatches)
+			if mean < *minWireBatch {
+				fmt.Printf("FAIL %s %s %dthr: mean coalesced batch %.2f (%d requests in %d group commits) — want >= %.2f\n",
+					r.Variant, r.Mix, r.Threads, mean, r.WireRequests, r.WireBatches, *minWireBatch)
+				failures++
+				continue
+			}
+			k := key{r.Mix, r.Variant, r.Mode, r.Threads}
+			if b, ok := baseRecs[k]; ok && b.WireBatches > 0 {
+				baseMean := float64(b.WireRequests) / float64(b.WireBatches)
+				if mean < baseMean {
+					fmt.Printf("FAIL %s %s %dthr: mean coalesced batch %.2f below baseline %.2f\n",
+						r.Variant, r.Mix, r.Threads, mean, baseMean)
+					failures++
+					continue
+				}
+			}
+			fmt.Printf("ok   %s %s %dthr: mean coalesced batch %.2f (%d requests in %d group commits, floor %.2f)\n",
+				r.Variant, r.Mix, r.Threads, mean, r.WireRequests, r.WireBatches, *minWireBatch)
+		}
+		if gated == 0 {
+			fmt.Printf("FAIL wire gate matched no batched wire rows in %s — the run was not crsbench -wire, or it measured the sequential mode only\n", *currentPath)
 			failures++
 		}
 	}

@@ -41,8 +41,10 @@ import (
 // changes meaning (schema 2 added the optimistic read-only counters,
 // schema 3 the mixed-batch OCC counters of the -mixed pass, schema 4 the
 // deterministic -batch rows: ns_per_member/members/counters_absent, plus
-// the skew field of the -mixed -skew sweep).
-const benchSchema = 4
+// the skew field of the -mixed -skew sweep; schema 5 the -wire rows'
+// cross-client group-commit counters: wire_batches/wire_requests/
+// wire_max_batch).
+const benchSchema = 5
 
 // jsonDoc is the -format json output document.
 type jsonDoc struct {
@@ -122,6 +124,15 @@ type jsonResult struct {
 	OCCReadSet    int64 `json:"occ_read_set,omitempty"`
 	OCCRetries    int64 `json:"occ_validation_retries,omitempty"`
 	OCCFallbacks  int64 `json:"occ_fallbacks,omitempty"`
+	// The cross-client group-commit counters of the -wire deterministic
+	// counting pass: group commits the dispatcher performed and the client
+	// requests they carried (wire_requests / wire_batches is the mean
+	// coalesced batch size benchguard gates ≥ 2 for the batched rows), plus
+	// the largest group. K lockstep clients against a MaxBatch-K window
+	// commit in groups of exactly K, so these are deterministic.
+	WireBatches  int64 `json:"wire_batches,omitempty"`
+	WireRequests int64 `json:"wire_requests,omitempty"`
+	WireMaxBatch int64 `json:"wire_max_batch,omitempty"`
 }
 
 func main() {
@@ -136,6 +147,7 @@ func main() {
 	registry := flag.Bool("registry", false, "run the cross-relation registry benchmark (users/posts/follows composite groups over Registry.Batch, batched vs sequential, with deterministic lock-acquisition counts) instead of Figure 5")
 	optimistic := flag.Bool("optimistic", false, "run the optimistic read-only batch benchmark (read-heavy mixes over optimistic-capable representations, with deterministic zero-lock/retry/fallback counts) instead of Figure 5")
 	mixed := flag.Bool("mixed", false, "run the mixed-batch OCC benchmark (Follow-heavy social mix, batched vs sequential, with deterministic write-lock/read-set/retry/fallback counts) instead of Figure 5")
+	wire := flag.Bool("wire", false, "run the wire group-commit benchmark (lockstep HTTP clients against an in-process crsd, cross-client coalescing vs per-request commits, with deterministic batch-size and lock counts) instead of Figure 5; -threads is the client counts, -ops the requests per client")
 	skewFlag := flag.String("skew", "", "comma-separated Zipf-like skew levels in [0,1) for -mixed (e.g. 0,0.6,0.9): repeats the benchmark per level with hot-key-biased draws, recording the OCC retry/fallback counters per level; empty keeps the uniform draws")
 	flag.Parse()
 
@@ -167,13 +179,13 @@ func main() {
 		GoVersion:    runtime.Version(),
 	}}
 	modes := 0
-	for _, m := range []bool{*batch, *registry, *optimistic, *mixed} {
+	for _, m := range []bool{*batch, *registry, *optimistic, *mixed, *wire} {
 		if m {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fatal(fmt.Errorf("-batch, -registry, -optimistic and -mixed are mutually exclusive benchmarks; pick one"))
+		fatal(fmt.Errorf("-batch, -registry, -optimistic, -mixed and -wire are mutually exclusive benchmarks; pick one"))
 	}
 	skews, err := parseSkews(*skewFlag)
 	if err != nil {
@@ -181,6 +193,13 @@ func main() {
 	}
 	if len(skews) > 0 && !*mixed {
 		fatal(fmt.Errorf("-skew applies only to the -mixed benchmark (the OCC retry/fallback counters are its signal)"))
+	}
+	if *wire {
+		if *mixesFlag != "all" || *variantsFlag != "all" {
+			fatal(fmt.Errorf("-mixes/-variants do not apply to -wire: it runs the social mix %s over the users/posts/follows registry served by an in-process crsd", workload.DefaultSocialMix()))
+		}
+		runWireBench(&doc, threads, *ops, *keyspace, *seed, *format)
+		return
 	}
 	if *mixed {
 		if *mixesFlag != "all" || *variantsFlag != "all" {

@@ -1,0 +1,172 @@
+package main
+
+// The -wire benchmark: cross-client group commit measured end to end.
+// K lockstep HTTP clients (each blocks on its reply before sending the
+// next request) stream composite social requests at an in-process crsd.
+// In the batched discipline the dispatcher window is MaxBatch = K with a
+// far-off timer, so every round commits as ONE group of exactly K
+// cross-client requests; the sequential discipline is MaxBatch = 1 —
+// the same K clients, every request committing alone. Disjoint
+// per-client key partitions (client c of K draws keys ≡ c mod K) make
+// per-request results and the traced lock totals independent of arrival
+// order inside a window, so the counting pass is deterministic: group
+// commits never overlap in time (all clients are parked until the group
+// commits), hence zero OCC retries and zero read-only fallbacks, and the
+// coalesced lock schedule is a pure function of the seed.
+//
+// Per client count and discipline the benchmark runs a traced counting
+// pass — lock totals, read-only/OCC counters, and the dispatcher's
+// batch statistics (wire_batches/wire_requests/wire_max_batch) — whose
+// timing is discarded, then an untraced throughput pass timed over the
+// full client run (requests per second, HTTP round trips included).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/workload"
+)
+
+// wirePass runs one complete client run: K lockstep clients, ops
+// requests each, against a fresh social registry served over loopback
+// HTTP. It returns the run's wall time, the fold-checksum of every
+// reply, and the dispatcher's stats snapshot.
+func wirePass(clients, ops int, keyspace int64, seed uint64, cfg server.Config) (time.Duration, uint64, server.Stats) {
+	srv := server.New(workload.MustSocial().Reg, cfg)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		fatal(fmt.Errorf("wire: %v", err))
+	}
+	base := "http://" + srv.Addr()
+	mix := workload.DefaultSocialMix()
+
+	sums := make([]uint64, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := client.New(base)
+			gen := server.NewSocialTraffic(seed, mix, keyspace, int64(clients), int64(c))
+			var sum uint64
+			for i := 0; i < ops; i++ {
+				resp, err := cl.Do(gen.Next())
+				if err != nil {
+					fatal(fmt.Errorf("wire: client %d request %d: %v", c, i, err))
+				}
+				sum = server.FoldResponse(sum, resp)
+			}
+			sums[c] = sum
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := srv.Dispatcher().Stats()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fatal(fmt.Errorf("wire: shutdown: %v", err))
+	}
+	var checksum uint64
+	for _, s := range sums {
+		checksum += s
+	}
+	return elapsed, checksum, st
+}
+
+// wireConfig builds the dispatcher configuration of one discipline: the
+// batched window closes only on the MaxBatch = clients cutoff (the timer
+// is parked far away — lockstep clients always fill the window), the
+// sequential discipline commits every request alone.
+func wireConfig(mode string, clients int, counts *workload.LockCounts) server.Config {
+	if mode == "batched" {
+		return server.Config{Window: 30 * time.Second, MaxBatch: clients, Counts: counts}
+	}
+	return server.Config{MaxBatch: 1, Counts: counts}
+}
+
+// runWireBench runs the wire group-commit comparison for every requested
+// client count.
+func runWireBench(doc *jsonDoc, threads []int, ops int, keyspace int64, seed uint64, format string) {
+	mix := workload.DefaultSocialMix()
+	if format == "csv" {
+		fmt.Println("mix,mode,clients,requests,seconds,requests_per_sec,wire_batches,wire_requests,wire_max_batch,locks_requested,locks_acquired")
+	}
+	if format == "table" {
+		fmt.Printf("\nWire group commit, social mix %s over loopback HTTP (GOMAXPROCS=%d)\n",
+			mix, runtime.GOMAXPROCS(0))
+	}
+	for _, mode := range []string{"batched", "sequential"} {
+		for _, k := range threads {
+			if mode == "batched" && k == 1 {
+				// One client has nothing to coalesce with: the discipline
+				// degenerates to MaxBatch 1 and would tie the sequential
+				// lock totals, which benchguard's strict coalescing rule
+				// (batched < sequential) rightly rejects.
+				continue
+			}
+			// Counting pass: tracing on, timing discarded (tracing
+			// allocates per batch).
+			counts := &workload.LockCounts{}
+			_, checksum, st := wirePass(k, ops, keyspace, seed, wireConfig(mode, k, counts))
+			if mode == "batched" && k > 1 && st.MeanBatchSize < 2 {
+				fatal(fmt.Errorf("wire: %d lockstep clients coalesced to mean batch %.2f — the window is broken", k, st.MeanBatchSize))
+			}
+			// Throughput pass: untraced, timed end to end.
+			elapsed, checksum2, _ := wirePass(k, ops, keyspace, seed, wireConfig(mode, k, nil))
+			if checksum2 != checksum {
+				fatal(fmt.Errorf("wire: traced and untraced passes diverged (%d vs %d) — the workload is not deterministic", checksum, checksum2))
+			}
+			total := k * ops
+			row := jsonResult{
+				Mix: mix.String(), Variant: "social-wire", Mode: mode, Threads: k,
+				Ops: total, Seconds: elapsed.Seconds(),
+				OpsPerSec:      float64(total) / elapsed.Seconds(),
+				Checksum:       checksum,
+				WireBatches:    int64(st.Batches),
+				WireRequests:   int64(st.Requests),
+				WireMaxBatch:   int64(st.MaxBatchSize),
+				LocksRequested: counts.Requested.Load(),
+				LocksAcquired:  counts.Acquired.Load(),
+			}
+			row.ROBatches = counts.ReadOnlyBatches.Load()
+			row.ROLocksAcquired = counts.ReadOnlyAcquired.Load()
+			row.ValidationRetries = counts.ValidationRetries.Load()
+			row.ROFallbacks = counts.Fallbacks.Load()
+			row.OCCBatches = counts.OCCBatches.Load()
+			row.OCCWriteLocks = counts.OCCWriteLocks.Load()
+			row.OCCShared = counts.OCCSharedLocks.Load()
+			row.OCCReadSet = counts.OCCReadSet.Load()
+			row.OCCRetries = counts.OCCRetries.Load()
+			row.OCCFallbacks = counts.OCCFallbacks.Load()
+			switch format {
+			case "table":
+				fmt.Printf("%-12s %d clients: %8.0f req/s, %d batches for %d requests (mean %.2f, max %d), locks %d -> %d\n",
+					mode, k, row.OpsPerSec, row.WireBatches, row.WireRequests,
+					float64(row.WireRequests)/float64(row.WireBatches), row.WireMaxBatch,
+					row.LocksRequested, row.LocksAcquired)
+			case "csv":
+				fmt.Printf("%s,%s,%d,%d,%.3f,%.0f,%d,%d,%d,%d,%d\n", mix, mode, k, total,
+					elapsed.Seconds(), row.OpsPerSec, row.WireBatches, row.WireRequests,
+					row.WireMaxBatch, row.LocksRequested, row.LocksAcquired)
+			case "json":
+				doc.Results = append(doc.Results, row)
+			}
+		}
+	}
+	if format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal(err)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command crsd serves a synthesized registry over HTTP+JSON with
+// cross-client group commit: requests arriving from different connections
+// within a short window are coalesced into one registry batch (coalesced
+// lock schedule, lock-free read-only groups, Silo-style OCC for mixed
+// groups), and each client receives its own members' results after the
+// group commits. It is the step from "library" to "system": the batching
+// wins of the core scale with traffic instead of with caller discipline.
+//
+// crsd serves the built-in social registry (users, posts, follows — the
+// same three relations the cross-relation benchmarks run); embedding
+// internal/server.New over a custom registry is the library route to
+// serving any schema.
+//
+// Usage:
+//
+//	crsd [-addr :7070] [-window 500us] [-max-batch 64]
+//
+// Endpoints (see internal/server for the wire model):
+//
+//	POST /v1/txn /v1/insert /v1/remove /v1/count /v1/query
+//	GET  /v1/stats /v1/relations /healthz
+//
+// SIGINT/SIGTERM shut down gracefully: the in-flight window drains and
+// every accepted request is answered before the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address")
+	window := flag.Duration("window", server.DefaultWindow, "group-commit coalescing window (time the first request of a batch waits for company)")
+	maxBatch := flag.Int("max-batch", server.DefaultMaxBatch, "close a window early at this many requests (1 disables coalescing)")
+	flag.Parse()
+
+	social, err := workload.NewSocial()
+	if err != nil {
+		fatal(err)
+	}
+	srv := server.New(social.Reg, server.Config{Window: *window, MaxBatch: *maxBatch})
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "crsd: serving users/posts/follows on %s (window %s, max batch %d)\n",
+			*addr, *window, *maxBatch)
+		done <- srv.ListenAndServe(*addr)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			fatal(err)
+		}
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "crsd: %s — draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fatal(err)
+		}
+		st := srv.Dispatcher().Stats()
+		fmt.Fprintf(os.Stderr, "crsd: served %d requests in %d batches (mean batch %.2f, max %d)\n",
+			st.Requests, st.Batches, st.MeanBatchSize, st.MaxBatchSize)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "crsd:", err)
+	os.Exit(1)
+}

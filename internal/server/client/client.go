@@ -1,0 +1,156 @@
+// Package client is the Go client of the crsd wire protocol: a thin
+// typed wrapper over the HTTP+JSON endpoints of internal/server, used by
+// the e2e tests and the crsbench -wire benchmark. One Client is safe for
+// concurrent use by many goroutines (it shares one http.Client and its
+// connection pool).
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Client talks to one crsd server.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:7070".
+	BaseURL string
+	// HTTP is the underlying client; nil uses a default with a generous
+	// timeout (group commits deliberately delay replies by the window).
+	HTTP *http.Client
+}
+
+// New returns a client for the server at baseURL.
+func New(baseURL string) *Client {
+	return &Client{
+		BaseURL: baseURL,
+		HTTP:    &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// Do submits a multi-op transaction and returns its committed response.
+// A non-2xx status becomes an error carrying the server's message.
+func (c *Client) Do(req *server.Request) (*server.Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	httpResp, err := c.client().Post(c.BaseURL+"/v1/txn", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	data, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, decodeError(httpResp.StatusCode, data)
+	}
+	var resp server.Response
+	if err := unmarshalNumbers(data, &resp); err != nil {
+		return nil, fmt.Errorf("client: bad response: %w", err)
+	}
+	return &resp, nil
+}
+
+// Insert submits insert rel s t as a one-op transaction and reports the
+// put-if-absent outcome.
+func (c *Client) Insert(rel string, s, t map[string]any) (bool, error) {
+	resp, err := c.Do(&server.Request{Ops: []server.Op{{Kind: server.OpInsert, Rel: rel, S: s, T: t}}})
+	if err != nil {
+		return false, err
+	}
+	return *resp.Results[0].Applied, nil
+}
+
+// Remove submits remove rel s and reports whether anything existed.
+func (c *Client) Remove(rel string, s map[string]any) (bool, error) {
+	resp, err := c.Do(&server.Request{Ops: []server.Op{{Kind: server.OpRemove, Rel: rel, S: s}}})
+	if err != nil {
+		return false, err
+	}
+	return *resp.Results[0].Applied, nil
+}
+
+// Count submits |query rel s| and returns the cardinality.
+func (c *Client) Count(rel string, s map[string]any) (int, error) {
+	resp, err := c.Do(&server.Request{Ops: []server.Op{{Kind: server.OpCount, Rel: rel, S: s}}})
+	if err != nil {
+		return 0, err
+	}
+	return *resp.Results[0].Count, nil
+}
+
+// Query submits query rel s out and returns the projected rows.
+func (c *Client) Query(rel string, s map[string]any, out ...string) ([]map[string]any, error) {
+	resp, err := c.Do(&server.Request{Ops: []server.Op{{Kind: server.OpQuery, Rel: rel, S: s, Out: out}}})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results[0].Rows, nil
+}
+
+// Stats fetches the dispatcher's coalescing counters.
+func (c *Client) Stats() (*server.Stats, error) {
+	httpResp, err := c.client().Get(c.BaseURL + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	data, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, decodeError(httpResp.StatusCode, data)
+	}
+	var s server.Stats
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Healthy reports whether the server answers its liveness probe.
+func (c *Client) Healthy() bool {
+	resp, err := c.client().Get(c.BaseURL + "/healthz")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// client applies the HTTP default.
+func (c *Client) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// unmarshalNumbers unmarshals with UseNumber so row values keep integer
+// identity (int64, not float64) across the wire — the same discipline the
+// server applies to request bodies.
+func unmarshalNumbers(data []byte, into any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	return dec.Decode(into)
+}
+
+// decodeError turns an error reply into a Go error.
+func decodeError(status int, data []byte) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return fmt.Errorf("client: server returned %d: %s", status, e.Error)
+	}
+	return fmt.Errorf("client: server returned %d", status)
+}

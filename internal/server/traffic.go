@@ -1,0 +1,172 @@
+package server
+
+// The wire workload: composite social requests expressible as ONE
+// multi-op Request each — no request depends on another request's reply,
+// so any number of clients can stream them concurrently and the
+// dispatcher is free to coalesce across clients. The four composites
+// mirror the registry benchmark's social mix shapes (workload.SocialMix)
+// while staying read-independent:
+//
+//   - add-post:    ensure the author's profile row exists, insert the
+//     post, count the author's posts — a MIXED group (OCC commit).
+//   - remove-post: remove the post, count the author's posts — mixed.
+//   - follow:      insert the follows edge, count the followee's posts —
+//     the canonical mixed group.
+//   - snapshot:    count profile row, posts and follows of one user — a
+//     pure read-only group (lock-free optimistic commit).
+//
+// Determinism: SocialTraffic draws with the same SplitMix64 discipline as
+// the in-process workload drivers, and the Stride/Offset fields partition
+// the key space among clients (client c of K uses keys ≡ c mod K), so
+// concurrent streams commute — the final registry state and every
+// client's own reply stream are independent of cross-client interleaving,
+// which is what lets the e2e tests compare against a sequential oracle.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// SocialTraffic deterministically generates composite social requests
+// for one client.
+type SocialTraffic struct {
+	// Mix is the composite distribution (the same percentages as the
+	// registry benchmark's SocialMix).
+	Mix workload.SocialMix
+	// KeySpace bounds the DISTINCT keys this client draws (its private
+	// key universe has KeySpace ids before striding).
+	KeySpace int64
+	// Stride and Offset embed this client's keys into the shared space:
+	// every key is Offset + Stride*draw. Stride = number of clients and
+	// Offset = client id give disjoint per-client key sets; Stride 1,
+	// Offset 0 is the unpartitioned single-client layout.
+	Stride, Offset int64
+	// state is the SplitMix64 draw state.
+	state uint64
+}
+
+// NewSocialTraffic returns a generator seeded for one client. Clients of
+// the same run must use distinct seeds (or distinct offsets) to produce
+// distinct streams.
+func NewSocialTraffic(seed uint64, mix workload.SocialMix, keySpace int64, stride, offset int64) *SocialTraffic {
+	if stride < 1 || offset < 0 || offset >= stride {
+		panic(fmt.Sprintf("server: bad stride/offset %d/%d", stride, offset))
+	}
+	if keySpace < 1 {
+		panic("server: keyspace must be positive")
+	}
+	return &SocialTraffic{
+		Mix:      mix,
+		KeySpace: keySpace,
+		Stride:   stride,
+		Offset:   offset,
+		state:    seed*0x9e3779b97f4a7c15 + uint64(offset)*0xdeadbeefcafef00d + 1,
+	}
+}
+
+// key embeds a raw draw into this client's key partition.
+func (g *SocialTraffic) key(raw uint64) int64 {
+	return g.Offset + g.Stride*int64(raw%uint64(g.KeySpace))
+}
+
+// Next draws the next composite request. The sequence is a pure function
+// of the seed, so replaying a client's stream reproduces it exactly.
+func (g *SocialTraffic) Next() *Request {
+	r := workload.SplitMix64(&g.state)
+	choice := int(r % 100)
+	a := g.key(r >> 32)
+	b := g.key(r >> 16)
+	ts := int64(r >> 40)
+	m := g.Mix
+	switch {
+	case choice < m.AddPosts:
+		return AddPostRequest(a, b, ts)
+	case choice < m.AddPosts+m.RemovePosts:
+		return RemovePostRequest(a, b)
+	case choice < m.AddPosts+m.RemovePosts+m.Follows:
+		return FollowRequest(a, b, ts)
+	default:
+		return SnapshotRequest(a)
+	}
+}
+
+// AddPostRequest builds the add-post composite: seed the author's
+// profile row (put-if-absent), insert the post, count the author's
+// posts. One mixed cross-relation group.
+func AddPostRequest(author, post, ts int64) *Request {
+	return &Request{Ops: []Op{
+		{Kind: OpInsert, Rel: "users", S: map[string]any{"user": author}, T: map[string]any{"posts": int64(0)}},
+		{Kind: OpInsert, Rel: "posts", S: map[string]any{"author": author, "post": post}, T: map[string]any{"ts": ts}},
+		{Kind: OpCount, Rel: "posts", S: map[string]any{"author": author}},
+	}}
+}
+
+// RemovePostRequest builds the remove-post composite: remove the post,
+// count the author's remaining posts.
+func RemovePostRequest(author, post int64) *Request {
+	return &Request{Ops: []Op{
+		{Kind: OpRemove, Rel: "posts", S: map[string]any{"author": author, "post": post}},
+		{Kind: OpCount, Rel: "posts", S: map[string]any{"author": author}},
+	}}
+}
+
+// FollowRequest builds the follow composite: insert the follows edge and
+// read the followee's post count in the same consistent group.
+func FollowRequest(src, dst, since int64) *Request {
+	return &Request{Ops: []Op{
+		{Kind: OpInsert, Rel: "follows", S: map[string]any{"dst": dst, "src": src}, T: map[string]any{"since": since}},
+		{Kind: OpCount, Rel: "posts", S: map[string]any{"author": dst}},
+	}}
+}
+
+// SnapshotRequest builds the profile-snapshot composite: count the
+// user's profile row, posts and follows — a pure read-only group.
+func SnapshotRequest(user int64) *Request {
+	return &Request{Ops: []Op{
+		{Kind: OpCount, Rel: "users", S: map[string]any{"user": user}},
+		{Kind: OpCount, Rel: "posts", S: map[string]any{"author": user}},
+		{Kind: OpCount, Rel: "follows", S: map[string]any{"src": user}},
+	}}
+}
+
+// FoldResponse folds one reply into a running checksum the same way the
+// workload drivers fold operation results: applied mutations count 1,
+// counts and row cardinalities add, so two runs returning identical
+// results produce identical checksums.
+func FoldResponse(sum uint64, resp *Response) uint64 {
+	for _, res := range resp.Results {
+		switch {
+		case res.Applied != nil:
+			if *res.Applied {
+				sum++
+			}
+		case res.Count != nil:
+			sum += uint64(*res.Count)
+		default:
+			sum += uint64(len(res.Rows))
+		}
+	}
+	return sum
+}
+
+// RegistryChecksum fingerprints the full contents of every registered
+// relation: each relation's snapshot is sorted into the canonical tuple
+// order and hashed, so two registries hold identical data iff their
+// checksums match. Quiescent callers only (it uses plain queries).
+func RegistryChecksum(reg *core.Registry) (uint64, error) {
+	var h uint64 = 1469598103934665603 // FNV offset basis
+	for _, r := range reg.Relations() {
+		tuples, err := r.Snapshot()
+		if err != nil {
+			return 0, fmt.Errorf("server: snapshot %s: %w", r.Name(), err)
+		}
+		sort.Slice(tuples, func(i, j int) bool { return tuples[i].Compare(tuples[j]) < 0 })
+		for _, t := range tuples {
+			h = h*1099511628211 ^ t.Hash()
+		}
+	}
+	return h, nil
+}

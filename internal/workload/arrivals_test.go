@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestPoissonDeterministic pins that a Poisson generator is a pure
+// function of its seed: same seed → identical gap sequence, different
+// seed → a different one.
+func TestPoissonDeterministic(t *testing.T) {
+	const n = 1000
+	a := NewPoissonArrivals(42, time.Millisecond)
+	b := NewPoissonArrivals(42, time.Millisecond)
+	c := NewPoissonArrivals(43, time.Millisecond)
+	same, diff := true, false
+	for i := 0; i < n; i++ {
+		ga, gb, gc := a.Next(), b.Next(), c.Next()
+		if ga != gb {
+			same = false
+		}
+		if ga != gc {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different gap sequences")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical gap sequences")
+	}
+}
+
+// TestPoissonDistribution sanity-checks the exponential shape under a
+// fixed seed: positive gaps, sample mean near the configured mean, and
+// roughly 1-1/e of gaps below the mean (exponential CDF at the mean).
+func TestPoissonDistribution(t *testing.T) {
+	const n = 200_000
+	mean := time.Millisecond
+	g := NewPoissonArrivals(7, mean)
+	var sum time.Duration
+	below := 0
+	for i := 0; i < n; i++ {
+		gap := g.Next()
+		if gap < 0 {
+			t.Fatalf("draw %d: negative gap %v", i, gap)
+		}
+		sum += gap
+		if gap < mean {
+			below++
+		}
+	}
+	sampleMean := float64(sum) / n
+	if ratio := sampleMean / float64(mean); ratio < 0.98 || ratio > 1.02 {
+		t.Fatalf("sample mean %.0fns is %.3f of configured mean %v", sampleMean, ratio, mean)
+	}
+	want := 1 - 1/math.E
+	if got := float64(below) / n; math.Abs(got-want) > 0.01 {
+		t.Fatalf("fraction of gaps below the mean = %.4f, want ≈ %.4f", got, want)
+	}
+}
+
+// TestBurstyDeterministic pins seed-determinism of the burst process,
+// including the burst-size draws (the zero-gap runs must line up, not
+// just the idle gaps).
+func TestBurstyDeterministic(t *testing.T) {
+	const n = 1000
+	a := NewBurstyArrivals(9, 4, time.Millisecond)
+	b := NewBurstyArrivals(9, 4, time.Millisecond)
+	for i := 0; i < n; i++ {
+		if ga, gb := a.Next(), b.Next(); ga != gb {
+			t.Fatalf("draw %d: %v != %v", i, ga, gb)
+		}
+	}
+}
+
+// TestBurstyShape checks the on/off structure under a fixed seed: every
+// gap is zero (within a burst) or positive (burst boundary), mean burst
+// size tracks the configured geometric mean, and the idle gaps keep
+// their exponential mean.
+func TestBurstyShape(t *testing.T) {
+	const n = 200_000
+	meanBurst := 4.0
+	meanGap := time.Millisecond
+	g := NewBurstyArrivals(11, meanBurst, meanGap)
+	bursts := 0
+	var idle time.Duration
+	for i := 0; i < n; i++ {
+		gap := g.Next()
+		if gap < 0 {
+			t.Fatalf("draw %d: negative gap %v", i, gap)
+		}
+		if gap > 0 {
+			bursts++
+			idle += gap
+		}
+	}
+	if bursts == 0 {
+		t.Fatal("no burst boundaries in the sample")
+	}
+	if got := float64(n) / float64(bursts); got < meanBurst*0.95 || got > meanBurst*1.05 {
+		t.Fatalf("mean burst size %.3f, want ≈ %.1f", got, meanBurst)
+	}
+	gapMean := float64(idle) / float64(bursts)
+	if ratio := gapMean / float64(meanGap); ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("mean idle gap %.0fns is %.3f of configured %v", gapMean, ratio, meanGap)
+	}
+}
+
+// TestBurstyMeanBurstOne pins the degenerate case: mean burst 1 is a
+// plain Poisson process — every gap positive, no zero-gap runs.
+func TestBurstyMeanBurstOne(t *testing.T) {
+	g := NewBurstyArrivals(3, 1, time.Millisecond)
+	for i := 0; i < 10_000; i++ {
+		if gap := g.Next(); gap <= 0 {
+			t.Fatalf("draw %d: gap %v, want positive", i, gap)
+		}
+	}
+}
+
+// TestArrivalValidation pins constructor panics on nonsense parameters.
+func TestArrivalValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"poisson zero mean", func() { NewPoissonArrivals(1, 0) }},
+		{"bursty small burst", func() { NewBurstyArrivals(1, 0.5, time.Millisecond) }},
+		{"bursty zero gap", func() { NewBurstyArrivals(1, 2, 0) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}

@@ -86,6 +86,12 @@ type Result struct {
 	Checksum uint64
 }
 
+// SplitMix64 advances a SplitMix64 state and returns the next draw — the
+// package's single deterministic generator, exported so the wire traffic
+// generators (internal/server) draw from exactly the same stream
+// discipline as the in-process drivers.
+func SplitMix64(state *uint64) uint64 { return splitmix64(state) }
+
 // splitmix64 advances a SplitMix64 state; a tiny, fast, seedable generator
 // so benchmark threads never contend on a shared RNG.
 func splitmix64(state *uint64) uint64 {
