@@ -13,6 +13,7 @@
 //
 //	benchguard -baseline BENCH_3.json -current current.json [-tolerance 0]
 //	           [-min-batch-ratio 0.65 [-ratio-threads 1,2] [-ratio-variants "Stick 1"]]
+//	           [-min-wire-batch 2] [-min-wal-ratio 0.1]
 //
 // Both documents must carry the bench_schema this guard supports;
 // mismatched or missing schemas fail immediately instead of being
@@ -44,7 +45,14 @@
 //     benchmark (wire_batches > 0) must report a mean coalesced batch
 //     size (wire_requests / wire_batches) of at least the given floor —
 //     the cross-client group-commit property itself. The lockstep wire
-//     pass is deterministic, so the mean is exact, not a noisy average.
+//     pass is deterministic, so the mean is exact, not a noisy average;
+//   - with -min-wal-ratio set, the -wal durability identities are
+//     enforced: every WAL-carrying row must report wal_fsyncs ==
+//     wal_appends (exactly one fsync per committed mutating group),
+//     batched rows must fsync strictly less than their sequential twins
+//     and append no more records than the baseline (group commit IS
+//     fsync batching), and WAL-on throughput must reach the given
+//     fraction of the same run's WAL-off throughput on the batched rows.
 //
 // With -min-batch-ratio set, one throughput gate rides along, designed to
 // survive noisy runners: for every (mix, variant, threads) the CURRENT
@@ -120,6 +128,10 @@ type benchRecord struct {
 	// pass). WireBatches > 0 marks a record as carrying them.
 	WireBatches  int64 `json:"wire_batches"`
 	WireRequests int64 `json:"wire_requests"`
+	// Durability counters (crsbench -wal deterministic pass, variant
+	// "social-wire-wal"). WALAppends > 0 marks a record as carrying them.
+	WALAppends int64 `json:"wal_appends"`
+	WALFsyncs  int64 `json:"wal_fsyncs"`
 }
 
 // key identifies a comparable record across runs.
@@ -159,6 +171,7 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0, "allowed fractional increase in locks_acquired (0 = none)")
 	minBatchRatio := flag.Float64("min-batch-ratio", 0, "minimum batched/sequential ops_per_sec ratio within the current run (0 = gate off)")
 	minWireBatch := flag.Float64("min-wire-batch", 0, "minimum mean coalesced batch size (wire_requests/wire_batches) for the current run's batched -wire rows (0 = gate off)")
+	minWalRatio := flag.Float64("min-wal-ratio", 0, "minimum WAL-on/WAL-off ops_per_sec ratio for the current run's batched -wal row pairs (0 = gate off; also arms the fsyncs==appends and batched-fewer-fsyncs gates)")
 	ratioThreads := flag.String("ratio-threads", "", "comma-separated thread counts the ratio gate applies to (empty = all)")
 	ratioVariants := flag.String("ratio-variants", "", "comma-separated variant names the ratio gate applies to (empty = all)")
 	flag.Parse()
@@ -398,6 +411,95 @@ func main() {
 		}
 		if gated == 0 {
 			fmt.Printf("FAIL wire gate matched no batched wire rows in %s — the run was not crsbench -wire, or it measured the sequential mode only\n", *currentPath)
+			failures++
+		}
+	}
+	// The durability gates (-min-wal-ratio arms all three): the -wal run's
+	// deterministic identities plus a coarse overhead bound.
+	//
+	//   (a) fsyncs == appends on every WAL-carrying row: the dispatcher
+	//       syncs exactly once per committed mutating group — never twice
+	//       for one window, never zero before a reply;
+	//   (b) the batched discipline fsyncs strictly less than the
+	//       sequential one, and no more than the baseline did: group
+	//       commit IS fsync batching, and losing the amortization is a
+	//       regression even if throughput happens to survive it;
+	//   (c) WAL-on throughput must reach the given fraction of WAL-off
+	//       throughput for the batched rows of the SAME run — a guard
+	//       against the commit path regressing to per-request durability
+	//       work, deliberately loose because absolute fsync cost is the
+	//       runner's, not the scheduler's.
+	if *minWalRatio > 0 {
+		walRows := 0
+		for _, r := range cur.Results {
+			if r.WALAppends == 0 {
+				continue
+			}
+			walRows++
+			if r.WALFsyncs != r.WALAppends {
+				fmt.Printf("FAIL %s/%s %s %dthr: %d fsyncs for %d appends — want exactly one fsync per committed group\n",
+					r.Variant, r.Mode, r.Mix, r.Threads, r.WALFsyncs, r.WALAppends)
+				failures++
+			}
+		}
+		if walRows == 0 {
+			fmt.Printf("FAIL wal gate found no WAL-carrying rows in %s — the run was not crsbench -wal\n", *currentPath)
+			failures++
+		}
+		for k, c := range curRecs {
+			if c.WALAppends == 0 || k.Mode != "batched" {
+				continue
+			}
+			sk := k
+			sk.Mode = "sequential"
+			if s, ok := curRecs[sk]; ok && s.WALAppends > 0 {
+				if c.WALFsyncs >= s.WALFsyncs {
+					fmt.Printf("FAIL %s %s %dthr: batched %d fsyncs, sequential %d — group commit must amortize the sync\n",
+						k.Variant, k.Mix, k.Threads, c.WALFsyncs, s.WALFsyncs)
+					failures++
+				} else {
+					fmt.Printf("ok   %s %s %dthr: batched %d fsyncs vs sequential %d\n",
+						k.Variant, k.Mix, k.Threads, c.WALFsyncs, s.WALFsyncs)
+				}
+			}
+			if b, ok := baseRecs[k]; ok && b.WALAppends > 0 && c.WALAppends > b.WALAppends {
+				fmt.Printf("FAIL %s/%s %s %dthr: %d appends > baseline %d — groups stopped coalescing into single records\n",
+					k.Variant, k.Mode, k.Mix, k.Threads, c.WALAppends, b.WALAppends)
+				failures++
+			}
+		}
+		type wkey struct {
+			Mix, Mode string
+			Threads   int
+		}
+		plain := map[wkey]benchRecord{}
+		for _, r := range cur.Results {
+			if r.Variant == "social-wire" {
+				plain[wkey{r.Mix, r.Mode, r.Threads}] = r
+			}
+		}
+		gated := 0
+		for _, r := range cur.Results {
+			if r.Variant != "social-wire-wal" || r.Mode != "batched" {
+				continue
+			}
+			p, ok := plain[wkey{r.Mix, r.Mode, r.Threads}]
+			if !ok || p.OpsPerSec <= 0 {
+				continue
+			}
+			gated++
+			ratio := r.OpsPerSec / p.OpsPerSec
+			if ratio < *minWalRatio {
+				fmt.Printf("FAIL %s %s %dthr: WAL-on %.0f req/s is %.2fx WAL-off %.0f — want >= %.2fx\n",
+					r.Variant, r.Mix, r.Threads, r.OpsPerSec, ratio, p.OpsPerSec, *minWalRatio)
+				failures++
+			} else {
+				fmt.Printf("ok   %s %s %dthr: WAL-on %.0f req/s is %.2fx WAL-off %.0f (floor %.2fx)\n",
+					r.Variant, r.Mix, r.Threads, r.OpsPerSec, ratio, p.OpsPerSec, *minWalRatio)
+			}
+		}
+		if gated == 0 {
+			fmt.Printf("FAIL wal ratio gate matched no (WAL-on, WAL-off) row pairs in %s — the run measured one configuration only\n", *currentPath)
 			failures++
 		}
 	}

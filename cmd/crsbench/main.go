@@ -8,7 +8,7 @@
 //
 //	crsbench [-mixes all|70-0-20-10,...] [-threads 1,2,4] [-ops 500000]
 //	         [-keyspace 512] [-variants all|Stick 1,...] [-format table|csv|json]
-//	         [-batch] [-registry] [-optimistic] [-mixed]
+//	         [-batch] [-registry] [-optimistic] [-mixed] [-wire] [-wal]
 //
 // The json format emits one machine-readable document (configuration plus
 // one record per mix/variant/thread-count with ops/s) so successive runs
@@ -133,6 +133,15 @@ type jsonResult struct {
 	WireBatches  int64 `json:"wire_batches,omitempty"`
 	WireRequests int64 `json:"wire_requests,omitempty"`
 	WireMaxBatch int64 `json:"wire_max_batch,omitempty"`
+	// The durability counters of the -wal counting pass (variant
+	// "social-wire-wal"): redo records appended (one per committed
+	// mutating group) and fsyncs of the log. The dispatcher syncs once
+	// per group commit, so fsyncs == appends exactly and the batched
+	// discipline's fsync total is the sequential discipline's divided by
+	// the group size — group commit IS fsync batching, and benchguard
+	// gates both identities.
+	WALAppends int64 `json:"wal_appends,omitempty"`
+	WALFsyncs  int64 `json:"wal_fsyncs,omitempty"`
 }
 
 func main() {
@@ -148,6 +157,7 @@ func main() {
 	optimistic := flag.Bool("optimistic", false, "run the optimistic read-only batch benchmark (read-heavy mixes over optimistic-capable representations, with deterministic zero-lock/retry/fallback counts) instead of Figure 5")
 	mixed := flag.Bool("mixed", false, "run the mixed-batch OCC benchmark (Follow-heavy social mix, batched vs sequential, with deterministic write-lock/read-set/retry/fallback counts) instead of Figure 5")
 	wire := flag.Bool("wire", false, "run the wire group-commit benchmark (lockstep HTTP clients against an in-process crsd, cross-client coalescing vs per-request commits, with deterministic batch-size and lock counts) instead of Figure 5; -threads is the client counts, -ops the requests per client")
+	walBench := flag.Bool("wal", false, "run the durability benchmark (the wire workload with a write-ahead log attached vs without, batched vs sequential, with deterministic append/fsync counts) instead of Figure 5; -threads is the client counts, -ops the requests per client")
 	skewFlag := flag.String("skew", "", "comma-separated Zipf-like skew levels in [0,1) for -mixed (e.g. 0,0.6,0.9): repeats the benchmark per level with hot-key-biased draws, recording the OCC retry/fallback counters per level; empty keeps the uniform draws")
 	flag.Parse()
 
@@ -179,13 +189,13 @@ func main() {
 		GoVersion:    runtime.Version(),
 	}}
 	modes := 0
-	for _, m := range []bool{*batch, *registry, *optimistic, *mixed, *wire} {
+	for _, m := range []bool{*batch, *registry, *optimistic, *mixed, *wire, *walBench} {
 		if m {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fatal(fmt.Errorf("-batch, -registry, -optimistic, -mixed and -wire are mutually exclusive benchmarks; pick one"))
+		fatal(fmt.Errorf("-batch, -registry, -optimistic, -mixed, -wire and -wal are mutually exclusive benchmarks; pick one"))
 	}
 	skews, err := parseSkews(*skewFlag)
 	if err != nil {
@@ -199,6 +209,13 @@ func main() {
 			fatal(fmt.Errorf("-mixes/-variants do not apply to -wire: it runs the social mix %s over the users/posts/follows registry served by an in-process crsd", workload.DefaultSocialMix()))
 		}
 		runWireBench(&doc, threads, *ops, *keyspace, *seed, *format)
+		return
+	}
+	if *walBench {
+		if *mixesFlag != "all" || *variantsFlag != "all" {
+			fatal(fmt.Errorf("-mixes/-variants do not apply to -wal: it runs the social mix %s over the users/posts/follows registry served by an in-process crsd", workload.DefaultSocialMix()))
+		}
+		runWalBench(&doc, threads, *ops, *keyspace, *seed, *format)
 		return
 	}
 	if *mixed {

@@ -1,0 +1,139 @@
+package main
+
+// The -wal benchmark: the wire group-commit workload run twice per
+// discipline and client count — once with a write-ahead log attached
+// (variant "social-wire-wal") and once without ("social-wire") — so the
+// cost of durability is measured against its exact non-durable twin in
+// the same run.
+//
+// The durable configuration is crsd's default: fsync policy "batch",
+// one redo record per committed group, one fsync per window before any
+// reply. That yields two deterministic identities the counting pass
+// records and cmd/benchguard gates:
+//
+//   - wal_fsyncs == wal_appends: exactly one fsync per committed
+//     mutating group — the dispatcher never syncs twice for one window
+//     and never acknowledges ahead of the sync;
+//   - batched wal_fsyncs < sequential wal_fsyncs: the sequential
+//     discipline pays one fsync per mutating request, the batched
+//     discipline one per K-client group — group commit above IS fsync
+//     batching below, the durability tentpole's measurable form.
+//
+// Throughput rows additionally let benchguard bound the WAL-on vs
+// WAL-off ratio within the run (-min-wal-ratio), a coarse guard against
+// the commit path regressing to per-request durability work.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// walPass runs one durable wire pass in a throwaway WAL directory.
+func walPass(clients, ops int, keyspace int64, seed uint64, cfg server.Config) (time.Duration, uint64, server.Stats) {
+	dir, err := os.MkdirTemp("", "crsbench-wal-")
+	if err != nil {
+		fatal(fmt.Errorf("wal: %v", err))
+	}
+	defer os.RemoveAll(dir)
+	return wirePass(clients, ops, keyspace, seed, cfg, dir)
+}
+
+// runWalBench runs the durability comparison for every requested client
+// count: per discipline, a traced WAL-on counting pass (lock totals,
+// batch statistics, append/fsync counts; timing discarded), then an
+// untraced WAL-on throughput pass and an untraced WAL-off throughput
+// pass. All passes replay the identical deterministic streams, verified
+// by reply checksums.
+func runWalBench(doc *jsonDoc, threads []int, ops int, keyspace int64, seed uint64, format string) {
+	mix := workload.DefaultSocialMix()
+	if format == "csv" {
+		fmt.Println("mix,variant,mode,clients,requests,seconds,requests_per_sec,wire_batches,wire_requests,wal_appends,wal_fsyncs,locks_requested,locks_acquired")
+	}
+	if format == "table" {
+		fmt.Printf("\nDurability over the wire, social mix %s over loopback HTTP (GOMAXPROCS=%d)\n",
+			mix, runtime.GOMAXPROCS(0))
+	}
+	for _, mode := range []string{"batched", "sequential"} {
+		for _, k := range threads {
+			if mode == "batched" && k == 1 {
+				continue // one client cannot coalesce; see runWireBench
+			}
+			// Counting pass: WAL on, tracing on, timing discarded.
+			counts := &workload.LockCounts{}
+			_, checksum, st := walPass(k, ops, keyspace, seed, wireConfig(mode, k, counts))
+			if st.WAL == nil || st.WAL.Appends == 0 {
+				fatal(fmt.Errorf("wal: the counting pass logged nothing — the commit hook is detached"))
+			}
+			if st.WAL.Fsyncs != st.WAL.Appends {
+				fatal(fmt.Errorf("wal: %d fsyncs for %d appends — the dispatcher must sync exactly once per committed group", st.WAL.Fsyncs, st.WAL.Appends))
+			}
+			// Throughput passes: untraced, WAL on then WAL off, identical
+			// streams.
+			durElapsed, sum2, _ := walPass(k, ops, keyspace, seed, wireConfig(mode, k, nil))
+			offElapsed, sum3, _ := wirePass(k, ops, keyspace, seed, wireConfig(mode, k, nil), "")
+			if sum2 != checksum || sum3 != checksum {
+				fatal(fmt.Errorf("wal: durable and plain passes diverged (%d / %d / %d) — the workload is not deterministic", checksum, sum2, sum3))
+			}
+			total := k * ops
+			durable := jsonResult{
+				Mix: mix.String(), Variant: "social-wire-wal", Mode: mode, Threads: k,
+				Ops: total, Seconds: durElapsed.Seconds(),
+				OpsPerSec:      float64(total) / durElapsed.Seconds(),
+				Checksum:       checksum,
+				WireBatches:    int64(st.Batches),
+				WireRequests:   int64(st.Requests),
+				WireMaxBatch:   int64(st.MaxBatchSize),
+				WALAppends:     int64(st.WAL.Appends),
+				WALFsyncs:      int64(st.WAL.Fsyncs),
+				LocksRequested: counts.Requested.Load(),
+				LocksAcquired:  counts.Acquired.Load(),
+			}
+			durable.ROBatches = counts.ReadOnlyBatches.Load()
+			durable.ROLocksAcquired = counts.ReadOnlyAcquired.Load()
+			durable.ValidationRetries = counts.ValidationRetries.Load()
+			durable.ROFallbacks = counts.Fallbacks.Load()
+			durable.OCCBatches = counts.OCCBatches.Load()
+			durable.OCCWriteLocks = counts.OCCWriteLocks.Load()
+			durable.OCCShared = counts.OCCSharedLocks.Load()
+			durable.OCCReadSet = counts.OCCReadSet.Load()
+			durable.OCCRetries = counts.OCCRetries.Load()
+			durable.OCCFallbacks = counts.OCCFallbacks.Load()
+			// The WAL-off twin: throughput only (its counters are the -wire
+			// benchmark's business), present so the overhead ratio compares
+			// rows of one run.
+			plain := jsonResult{
+				Mix: mix.String(), Variant: "social-wire", Mode: mode, Threads: k,
+				Ops: total, Seconds: offElapsed.Seconds(),
+				OpsPerSec: float64(total) / offElapsed.Seconds(),
+				Checksum:  checksum,
+			}
+			switch format {
+			case "table":
+				fmt.Printf("%-12s %d clients: wal %8.0f req/s vs plain %8.0f (%.2fx), %d appends / %d fsyncs over %d groups\n",
+					mode, k, durable.OpsPerSec, plain.OpsPerSec, durable.OpsPerSec/plain.OpsPerSec,
+					durable.WALAppends, durable.WALFsyncs, durable.WireBatches)
+			case "csv":
+				for _, row := range []jsonResult{durable, plain} {
+					fmt.Printf("%s,%s,%s,%d,%d,%.3f,%.0f,%d,%d,%d,%d,%d,%d\n", mix, row.Variant, mode, k, total,
+						row.Seconds, row.OpsPerSec, row.WireBatches, row.WireRequests,
+						row.WALAppends, row.WALFsyncs, row.LocksRequested, row.LocksAcquired)
+				}
+			case "json":
+				doc.Results = append(doc.Results, durable, plain)
+			}
+		}
+	}
+	if format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal(err)
+		}
+	}
+}

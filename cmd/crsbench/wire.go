@@ -31,15 +31,32 @@ import (
 
 	"repro/internal/server"
 	"repro/internal/server/client"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
 // wirePass runs one complete client run: K lockstep clients, ops
 // requests each, against a fresh social registry served over loopback
-// HTTP. It returns the run's wall time, the fold-checksum of every
-// reply, and the dispatcher's stats snapshot.
-func wirePass(clients, ops int, keyspace int64, seed uint64, cfg server.Config) (time.Duration, uint64, server.Stats) {
-	srv := server.New(workload.MustSocial().Reg, cfg)
+// HTTP. A non-empty walDir attaches a fresh write-ahead log (the -wal
+// benchmark's durable configuration; the dispatcher then fsyncs once
+// per group commit before replying). It returns the run's wall time,
+// the fold-checksum of every reply, and the dispatcher's stats snapshot
+// (carrying the WAL counters when durable).
+func wirePass(clients, ops int, keyspace int64, seed uint64, cfg server.Config, walDir string) (time.Duration, uint64, server.Stats) {
+	soc := workload.MustSocial()
+	var m *wal.Manager
+	if walDir != "" {
+		var err error
+		// SnapshotEvery 0: no background snapshots, so the append and
+		// fsync totals are pure functions of the workload.
+		m, err = wal.Open(walDir, soc.Reg, wal.Options{})
+		if err != nil {
+			fatal(fmt.Errorf("wire: wal: %v", err))
+		}
+		soc.Reg.SetCommitLogger(m)
+		cfg.WAL = m
+	}
+	srv := server.New(soc.Reg, cfg)
 	if err := srv.Start("127.0.0.1:0"); err != nil {
 		fatal(fmt.Errorf("wire: %v", err))
 	}
@@ -74,6 +91,11 @@ func wirePass(clients, ops int, keyspace int64, seed uint64, cfg server.Config) 
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		fatal(fmt.Errorf("wire: shutdown: %v", err))
+	}
+	if m != nil {
+		if err := m.Close(); err != nil {
+			fatal(fmt.Errorf("wire: wal close: %v", err))
+		}
 	}
 	var checksum uint64
 	for _, s := range sums {
@@ -116,12 +138,12 @@ func runWireBench(doc *jsonDoc, threads []int, ops int, keyspace int64, seed uin
 			// Counting pass: tracing on, timing discarded (tracing
 			// allocates per batch).
 			counts := &workload.LockCounts{}
-			_, checksum, st := wirePass(k, ops, keyspace, seed, wireConfig(mode, k, counts))
+			_, checksum, st := wirePass(k, ops, keyspace, seed, wireConfig(mode, k, counts), "")
 			if mode == "batched" && k > 1 && st.MeanBatchSize < 2 {
 				fatal(fmt.Errorf("wire: %d lockstep clients coalesced to mean batch %.2f — the window is broken", k, st.MeanBatchSize))
 			}
 			// Throughput pass: untraced, timed end to end.
-			elapsed, checksum2, _ := wirePass(k, ops, keyspace, seed, wireConfig(mode, k, nil))
+			elapsed, checksum2, _ := wirePass(k, ops, keyspace, seed, wireConfig(mode, k, nil), "")
 			if checksum2 != checksum {
 				fatal(fmt.Errorf("wire: traced and untraced passes diverged (%d vs %d) — the workload is not deterministic", checksum, checksum2))
 			}

@@ -11,9 +11,17 @@
 // internal/server.New over a custom registry is the library route to
 // serving any schema.
 //
+// With -wal-dir the registry is durable: every committed batch appends
+// one CRC-checked redo record to a write-ahead log before any client in
+// its window is answered, the window closer fsyncs once per coalesced
+// batch (group commit and fsync batching are one mechanism), and on boot
+// crsd recovers the directory — latest valid snapshot plus the redo
+// tail — before serving. kill -9 loses nothing that was acknowledged.
+//
 // Usage:
 //
 //	crsd [-addr :7070] [-window 500us] [-max-batch 64]
+//	     [-wal-dir DIR] [-fsync none|batch|always] [-snapshot-every N]
 //
 // Endpoints (see internal/server for the wire model):
 //
@@ -34,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -41,13 +50,35 @@ func main() {
 	addr := flag.String("addr", ":7070", "listen address")
 	window := flag.Duration("window", server.DefaultWindow, "group-commit coalescing window (time the first request of a batch waits for company)")
 	maxBatch := flag.Int("max-batch", server.DefaultMaxBatch, "close a window early at this many requests (1 disables coalescing)")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory; empty runs without durability")
+	fsync := flag.String("fsync", "batch", "fsync policy with -wal-dir: none (no fsync), batch (once per group commit, before replies), always (every append)")
+	snapEvery := flag.Int("snapshot-every", 4096, "with -wal-dir, snapshot and truncate the log every N committed batches (0 disables)")
 	flag.Parse()
 
 	social, err := workload.NewSocial()
 	if err != nil {
 		fatal(err)
 	}
-	srv := server.New(social.Reg, server.Config{Window: *window, MaxBatch: *maxBatch})
+	cfg := server.Config{Window: *window, MaxBatch: *maxBatch}
+	var m *wal.Manager
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			fatal(err)
+		}
+		// Recovery runs inside Open — the registry is rebuilt from the
+		// latest valid snapshot plus the redo tail before the logger is
+		// attached, so recovered batches are never re-logged.
+		m, err = wal.Open(*walDir, social.Reg, wal.Options{Policy: policy, SnapshotEvery: *snapEvery})
+		if err != nil {
+			fatal(err)
+		}
+		social.Reg.SetCommitLogger(m)
+		cfg.WAL = m
+		fmt.Fprintf(os.Stderr, "crsd: wal %s (fsync %s, snapshot every %d): recovered %d batches through lsn %d\n",
+			*walDir, policy, *snapEvery, m.Stats().RecoveredBatches, m.Stats().LastLSN)
+	}
+	srv := server.New(social.Reg, cfg)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
@@ -72,6 +103,14 @@ func main() {
 		st := srv.Dispatcher().Stats()
 		fmt.Fprintf(os.Stderr, "crsd: served %d requests in %d batches (mean batch %.2f, max %d)\n",
 			st.Requests, st.Batches, st.MeanBatchSize, st.MaxBatchSize)
+		if m != nil {
+			ws := m.Stats()
+			if err := m.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "crsd: wal %d appends, %d fsyncs, %d snapshots (last lsn %d)\n",
+				ws.Appends, ws.Fsyncs, ws.Snapshots, ws.LastLSN)
+		}
 	}
 }
 

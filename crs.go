@@ -101,6 +101,20 @@
 // acquires more locks than its sequential decomposition (the rare
 // contention-forced 2PL fallback pays the pessimistic schedule instead).
 //
+// # Durability
+//
+// A Registry can log every committed batch to a write-ahead redo log
+// (internal/wal) through the Registry.SetCommitLogger seam: the record
+// is appended at the commit point — after the locks are held and the
+// writes validated, before any result is delivered — so replaying the
+// log through Registry.Batch reproduces exactly the committed history.
+// The wal.Manager adds CRC-checked framing, group-commit fsync
+// batching, periodic snapshots with log truncation, and crash recovery
+// that tolerates a torn tail; cmd/crsd wires it up behind -wal-dir so
+// an acknowledged request survives kill -9 and (under the default
+// fsync policy) power loss. With no logger attached the commit path is
+// untouched — the steady-state batch loop still allocates nothing.
+//
 // Or let the autotuner pick the representation for your workload:
 //
 //	best, _ := crs.Tune(crs.EnumerateGraphCandidates(), cfg, crs.TuneOptions{TopStatic: 32})

@@ -463,11 +463,10 @@ func (r *Relation) batch(fn func(tx *Txn) error, roOnly bool) error {
 	if t.readOnly() && r.commitReadOnly(t, t.single) {
 		return nil
 	}
-	if r.commitOCC(t, t.single) {
-		return nil
+	if ok, err := r.commitOCC(t, t.single); ok || err != nil {
+		return err
 	}
-	r.commitBatch(t, t.single)
-	return nil
+	return r.commitBatch(t, t.single)
 }
 
 // errTxnSealed guards against enqueueing outside the Batch callback.
@@ -812,8 +811,11 @@ func (t *Txn) queryIn(sh *txnShard, s rel.Tuple, out []string) (*Pending[[]rel.T
 // commitBatch executes a single-relation batch: growing phase (coalesced
 // lock acquisition), apply phase (in-order execution under held locks),
 // then release (putBuf, in the caller). Registry batches run the same
-// phases across shards; see Registry.commitTxn.
-func (r *Relation) commitBatch(t *Txn, sh *txnShard) {
+// phases across shards; see Registry.commitTxn. With a commit logger
+// attached (redo.go) the batch's redo record is appended after the apply
+// phase, still under the held locks; a logging failure rolls the batch
+// back and is returned from Batch.
+func (r *Relation) commitBatch(t *Txn, sh *txnShard) error {
 	b := sh.b
 	r.initBatchMembers(b)
 	r.growBatch(t, b)
@@ -837,7 +839,18 @@ func (r *Relation) commitBatch(t *Txn, sh *txnShard) {
 	for i := range b.members {
 		r.applyMember(b, &b.members[i], i, sh.firstMut)
 	}
+	// Commit point: fully applied, locks still held (see redo.go).
+	if lg := r.commitLogger(); lg != nil {
+		if ops := r.shardRedo(b); ops != nil {
+			if err := lg.LogCommit(ops); err != nil {
+				undo.rollback()
+				b.apply = false
+				return err
+			}
+		}
+	}
 	b.apply = false
+	return nil
 }
 
 // initBatchMembers sets up every member's growing-phase pipeline and the

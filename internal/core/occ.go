@@ -62,10 +62,13 @@ func occEligible(sh *txnShard) bool { return sh.r.optimisticOK }
 // batch, reporting success. It declines (false, nothing executed) unless
 // the batch holds both mutations and reads on an OptimisticCapable
 // relation; after declining or exhausting its attempts the caller must
-// run the pessimistic commitBatch — the buffer has been reset for it.
-func (r *Relation) commitOCC(t *Txn, sh *txnShard) bool {
+// run the pessimistic commitBatch — the buffer has been reset for it. A
+// non-nil error is a commit-logger failure (redo.go): the attempt's
+// writes were rolled back and the caller must surface the error rather
+// than fall back — the disk, not contention, rejected the batch.
+func (r *Relation) commitOCC(t *Txn, sh *txnShard) (bool, error) {
 	if !occEligible(sh) || sh.firstMut < 0 || !sh.hasRead {
-		return false
+		return false, nil
 	}
 	b := sh.b
 	if tr := t.trace; tr != nil {
@@ -87,7 +90,7 @@ func (r *Relation) commitOCC(t *Txn, sh *txnShard) bool {
 		if hook := optimisticValidateHook; hook != nil {
 			hook(attempt)
 		}
-		if r.occApply(b, sh.firstMut, func() {
+		ok, err := r.occApply(b, sh.firstMut, func() {
 			if tr := t.trace; tr != nil {
 				tr.EpochsRecorded += b.reads.Len()
 				tr.EpochsDistinct += b.reads.Distinct()
@@ -95,27 +98,37 @@ func (r *Relation) commitOCC(t *Txn, sh *txnShard) bool {
 			for i := range b.members {
 				r.deliverMember(b, &b.members[i])
 			}
-		}) {
+		})
+		if err != nil {
+			// Logging failure, not a validation conflict: the writes were
+			// rolled back and the epochs end-bumped; putBuf (in batch)
+			// releases the write locks. No pessimistic fallback — retrying
+			// against a failed log would just fail again.
+			return false, err
+		}
+		if ok {
 			b.occ = false
-			return true
+			return true, nil
 		}
 	}
 	r.occFallback(t, b)
-	return false
+	return false, nil
 }
 
 // occApply runs one OCC attempt's apply-and-validate step: every member
 // computes its staged result under the undo log (mutations write,
 // overlapping reads re-execute), then the read-set is validated under the
-// self-hold rule, and on success deliver runs — still under the undo log,
+// self-hold rule, and on success the batch's redo record is appended
+// (commit point, redo.go) before deliver runs — still under the undo log,
 // so a panicking yield callback unwinds the whole batch all-or-nothing
 // exactly like the pessimistic apply phase. On validation failure the
 // writes are rolled back and the begin-bumped epoch cells end-bumped —
 // the representation is restored, so leaving them odd would wrongly doom
-// concurrent readers — and the next attempt starts from a clean slate. A
+// concurrent readers — and the next attempt starts from a clean slate; a
+// logging failure rolls back the same way but returns the error. A
 // panic rolls back and unwinds; putBuf's finishEpochs/ReleaseAll complete
 // the shrink.
-func (r *Relation) occApply(b *opBuf, firstMut int, deliver func()) (ok bool) {
+func (r *Relation) occApply(b *opBuf, firstMut int, deliver func()) (ok bool, err error) {
 	b.apply = true
 	undo := &b.undoPool // buffer-resident: a stack undoLog would escape via b.undo
 	undo.recs = undo.recs[:0]
@@ -143,12 +156,21 @@ func (r *Relation) occApply(b *opBuf, firstMut int, deliver func()) (ok bool) {
 		r.computeMember(b, &b.members[i], i, firstMut)
 	}
 	if b.reads.Validate(b.txn.HoldsExclusive) {
+		// Commit point: validation succeeded, write locks held, nothing
+		// delivered yet — exactly where a replayed prefix must cut.
+		if lg := r.commitLogger(); lg != nil {
+			if lerr := lg.LogCommit(r.shardRedo(b)); lerr != nil {
+				undo.rollback()
+				b.finishEpochs()
+				return false, lerr
+			}
+		}
 		deliver()
-		return true
+		return true, nil
 	}
 	undo.rollback()
 	b.finishEpochs()
-	return false
+	return false, nil
 }
 
 // occFallbackTrace marks the trace fallen-back and clears the
@@ -193,11 +215,13 @@ func (r *Relation) occFallback(t *Txn, b *opBuf) {
 // relation-id order — so the validation pass follows the registry-wide
 // global lock order exactly as the read-only path does. Any shard on a
 // non-capable relation vetoes the whole batch (false, nothing executed).
-func (g *Registry) commitOCC(t *Txn) bool {
+// A non-nil error is a commit-logger failure, surfaced without falling
+// back (see the single-relation commitOCC).
+func (g *Registry) commitOCC(t *Txn) (bool, error) {
 	hasRead, hasMut := false, false
 	for _, sh := range t.multi.shards {
 		if !occEligible(sh) {
-			return false
+			return false, nil
 		}
 		if sh.hasRead {
 			hasRead = true
@@ -207,7 +231,7 @@ func (g *Registry) commitOCC(t *Txn) bool {
 		}
 	}
 	if !hasRead || !hasMut {
-		return false
+		return false, nil
 	}
 	if tr := t.trace; tr != nil {
 		tr.OCC = true
@@ -234,7 +258,7 @@ func (g *Registry) commitOCC(t *Txn) bool {
 		if hook := optimisticValidateHook; hook != nil {
 			hook(attempt)
 		}
-		if g.occApply(t, func() {
+		ok, err := g.occApply(t, func() {
 			if tr := t.trace; tr != nil {
 				for _, sh := range t.multi.shards {
 					tr.EpochsRecorded += sh.b.reads.Len()
@@ -244,11 +268,17 @@ func (g *Registry) commitOCC(t *Txn) bool {
 			for _, ref := range t.multi.order {
 				ref.sh.r.deliverMember(ref.sh.b, &ref.sh.b.members[ref.idx])
 			}
-		}) {
+		})
+		if err != nil {
+			// Logging failure: writes rolled back, epochs end-bumped; the
+			// deferred shrink in Registry.batch releases the locks.
+			return false, err
+		}
+		if ok {
 			for _, sh := range t.multi.shards {
 				sh.b.occ = false
 			}
-			return true
+			return true, nil
 		}
 	}
 	occFallbackTrace(t)
@@ -257,15 +287,17 @@ func (g *Registry) commitOCC(t *Txn) bool {
 	}
 	t.ltxn.ReleaseAll()
 	t.ltxn.Reset()
-	return false
+	return false, nil
 }
 
 // occApply is the registry counterpart of Relation.occApply: one undo log
 // spans every shard, members compute in global enqueue order, every
 // shard's read-set must validate (in relation-id = global lock order)
-// under the shared transaction's self-hold rule, and deliver runs under
-// the undo log so a panicking yield unwinds every relation's writes.
-func (g *Registry) occApply(t *Txn, deliver func()) (ok bool) {
+// under the shared transaction's self-hold rule, the redo record is
+// appended at the post-validation commit point (redo.go), and deliver
+// runs under the undo log so a panicking yield unwinds every relation's
+// writes.
+func (g *Registry) occApply(t *Txn, deliver func()) (ok bool, err error) {
 	var undo undoLog
 	for _, sh := range t.multi.shards {
 		sh.b.apply = true
@@ -298,12 +330,23 @@ func (g *Registry) occApply(t *Txn, deliver func()) (ok bool) {
 		}
 	}
 	if valid {
+		// Commit point: every shard validated, all locks held, nothing
+		// delivered yet (see redo.go).
+		if lg := g.logger; lg != nil {
+			if lerr := lg.LogCommit(t.registryRedo()); lerr != nil {
+				undo.rollback()
+				for _, sh := range t.multi.shards {
+					sh.b.finishEpochs()
+				}
+				return false, lerr
+			}
+		}
 		deliver()
-		return true
+		return true, nil
 	}
 	undo.rollback()
 	for _, sh := range t.multi.shards {
 		sh.b.finishEpochs()
 	}
-	return false
+	return false, nil
 }

@@ -1,0 +1,148 @@
+package core
+
+// This file is the durability seam of the commit path: the registry can
+// carry a CommitLogger (internal/wal's Manager in production), and every
+// commit path that mutates a relation — pessimistic single-relation
+// batches (commitBatch), pessimistic registry batches (commitTxn) and
+// both Silo-style OCC commits (occ.go) — hands the logger one logical
+// redo record per committed batch at its commit point: after the apply
+// phase has fully staged the batch (2PL) or after read-set validation has
+// succeeded (OCC), but before any result is delivered and, crucially,
+// while every lock the batch holds is still held. Holding the locks
+// across the append means the log order of two CONFLICTING batches is
+// exactly their serialization order (the second cannot reach its commit
+// point before the first releases), so a replayed log prefix is always a
+// serializable prefix of committed batches. If the logger fails, the
+// batch rolls back through the same undo log that serves mid-apply
+// panics and the error surfaces from Batch — a batch is either durable
+// and delivered, or neither.
+//
+// Read-only batches never log (there is nothing to redo), and a nil
+// logger costs the hot path one pointer test — the steady-state
+// zero-allocation guarantee of the batch path is unchanged when
+// durability is off.
+
+import "repro/internal/rel"
+
+// RedoOp is one logical mutation of a committed batch, in enqueue order:
+// the unit of the write-ahead redo log. Vals holds the operation row's
+// values in schema column-index order (entries outside RowMask are nil);
+// for an insert RowMask covers every column and BoundMask is the s-side
+// of the insert's s/t split (the put-if-absent key columns), for a remove
+// RowMask == BoundMask covers the bound search columns. Replaying the
+// op through Txn.InsertInto/RemoveFrom with the same split re-executes
+// the original decision procedure, so replay is idempotent: re-applying
+// a suffix of already-applied ops is a no-op.
+type RedoOp struct {
+	// Rel is the registered name of the relation the op targets.
+	Rel string
+	// Insert discriminates insert (true) from remove (false).
+	Insert bool
+	// Vals are the operation row's values, indexed by schema column.
+	Vals []rel.Value
+	// RowMask marks the columns Vals binds.
+	RowMask uint64
+	// BoundMask is the insert's s-column split (RowMask for removes).
+	BoundMask uint64
+}
+
+// CommitLogger is the hook a durability layer implements to persist
+// committed batches. LogCommit is called once per committed mutating
+// batch, at the commit point, with the batch's mutations in enqueue
+// order; the ops slice and the Vals it references are only valid for the
+// duration of the call (rows are arena-backed and recycled). A non-nil
+// error aborts the commit: the caller rolls the batch back and surfaces
+// the error from Batch, so delivery and durability cannot disagree.
+//
+// LogCommit runs with the batch's locks held — implementations must not
+// re-enter the registry (no Batch calls) and should append quickly;
+// fsync policy is the implementation's business (see internal/wal).
+type CommitLogger interface {
+	LogCommit(ops []RedoOp) error
+}
+
+// SetCommitLogger attaches (or, with nil, detaches) the registry's
+// commit logger. Attach before the registry serves traffic: the field is
+// read on every commit without synchronization, so mutating it
+// concurrently with batches is a race. Recovery (internal/wal's Open)
+// replays into the registry BEFORE attaching the logger, so replayed
+// batches are never re-logged.
+func (g *Registry) SetCommitLogger(l CommitLogger) { g.logger = l }
+
+// commitLogger returns the logger charged with this relation's commits:
+// the owning registry's, or nil for standalone relations.
+func (r *Relation) commitLogger() CommitLogger {
+	if r.registry == nil {
+		return nil
+	}
+	return r.registry.logger
+}
+
+// appendMemberRedo appends m's redo op to ops; the caller filtered m to
+// mutation kinds. Vals alias the member's arena-backed row storage, which
+// outlives the LogCommit call per the CommitLogger contract.
+func appendMemberRedo(ops []RedoOp, relName string, m *member) []RedoOp {
+	row := m.row
+	w := row.Width()
+	vals := make([]rel.Value, w)
+	mask := row.Mask()
+	for i := 0; i < w; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			vals[i] = row.At(i)
+		}
+	}
+	return append(ops, RedoOp{
+		Rel:       relName,
+		Insert:    m.kind == mInsert,
+		Vals:      vals,
+		RowMask:   mask,
+		BoundMask: m.mut.BoundMask,
+	})
+}
+
+// shardRedo builds the redo ops of a single-relation batch in member
+// (= enqueue) order; nil when the batch holds no mutations.
+func (r *Relation) shardRedo(b *opBuf) []RedoOp {
+	n := 0
+	for i := range b.members {
+		if k := b.members[i].kind; k == mInsert || k == mRemove {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	ops := make([]RedoOp, 0, n)
+	for i := range b.members {
+		m := &b.members[i]
+		if m.kind != mInsert && m.kind != mRemove {
+			continue
+		}
+		ops = appendMemberRedo(ops, r.name, m)
+	}
+	return ops
+}
+
+// registryRedo builds the redo ops of a registry batch in global enqueue
+// order (t.multi.order, spanning all shards); nil when the batch holds no
+// mutations.
+func (t *Txn) registryRedo() []RedoOp {
+	n := 0
+	for _, ref := range t.multi.order {
+		if k := ref.sh.b.members[ref.idx].kind; k == mInsert || k == mRemove {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	ops := make([]RedoOp, 0, n)
+	for _, ref := range t.multi.order {
+		m := &ref.sh.b.members[ref.idx]
+		if m.kind != mInsert && m.kind != mRemove {
+			continue
+		}
+		ops = appendMemberRedo(ops, ref.sh.r.name, m)
+	}
+	return ops
+}

@@ -31,6 +31,10 @@ type Registry struct {
 	// txnPool recycles the transaction-wide locks.Txn of registry batches
 	// (per-relation operation buffers are pooled on their relations).
 	txnPool sync.Pool
+
+	// logger, when non-nil, persists every committed mutating batch at its
+	// commit point (redo.go). Set via SetCommitLogger before traffic.
+	logger CommitLogger
 }
 
 // registryApplyHook, when non-nil, runs before each member of a registry
@@ -169,19 +173,21 @@ func (g *Registry) batch(fn func(tx *Txn) error, roOnly bool) error {
 		if g.commitReadOnly(t) {
 			return nil
 		}
-	} else if g.commitOCC(t) {
-		return nil
+	} else if ok, err := g.commitOCC(t); ok || err != nil {
+		return err
 	}
-	g.commitTxn(t)
-	return nil
+	return g.commitTxn(t)
 }
 
 // commitTxn executes an assembled registry transaction: shard growing
 // phases in relation-id order on the shared locks.Txn (Registry.batch
 // sorted the shards before dispatching, and no commit path reorders
 // them), then one apply phase replaying every member in global enqueue
-// order under a shared undo log.
-func (g *Registry) commitTxn(t *Txn) {
+// order under a shared undo log. With a commit logger attached the
+// batch's redo record is appended after the apply phase completes, still
+// under every held lock; a logging failure rolls the whole batch back
+// and is returned from Batch.
+func (g *Registry) commitTxn(t *Txn) error {
 	for _, sh := range t.multi.shards {
 		sh.r.initBatchMembers(sh.b)
 	}
@@ -212,7 +218,23 @@ func (g *Registry) commitTxn(t *Txn) {
 		}
 		ref.sh.r.applyMember(ref.sh.b, &ref.sh.b.members[ref.idx], ref.idx, ref.sh.firstMut)
 	}
+	// Commit point: the batch is fully applied, its locks are still held.
+	// Append the redo record now, so the log order of conflicting batches
+	// is their serialization order; failure unwinds through the same undo
+	// log a mid-apply panic would use.
+	if lg := g.logger; lg != nil {
+		if ops := t.registryRedo(); ops != nil {
+			if err := lg.LogCommit(ops); err != nil {
+				undo.rollback()
+				for _, sh := range t.multi.shards {
+					sh.b.apply = false
+				}
+				return err
+			}
+		}
+	}
 	for _, sh := range t.multi.shards {
 		sh.b.apply = false
 	}
+	return nil
 }

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -62,6 +63,14 @@ type Config struct {
 	// benchmark reports the identical deterministic signals benchguard
 	// gates everywhere else.
 	Counts *workload.LockCounts
+	// WAL, when non-nil, is the write-ahead log attached to the served
+	// registry (via Registry.SetCommitLogger). The dispatcher becomes the
+	// fsync batcher: after each window's group commit it calls WAL.Sync
+	// ONCE and only then wakes the submitters, so a whole window of
+	// requests shares one fsync and no request is acknowledged before its
+	// redo record is durable. Group commit above and fsync batching below
+	// are the same mechanism at two layers.
+	WAL *wal.Manager
 }
 
 // window applies the Window default.
@@ -98,6 +107,11 @@ type Stats struct {
 	// statistic: 1.0 means no cross-client batching happened, K means the
 	// average lock schedule amortized over K clients.
 	MeanBatchSize float64
+	// WAL carries the write-ahead log's counters when durability is
+	// enabled (Config.WAL non-nil); nil otherwise. Under group commit
+	// WAL.Fsyncs tracks Batches, not Requests — that ratio is the fsync
+	// amortization the dispatcher exists to provide.
+	WAL *wal.Stats `json:",omitempty"`
 }
 
 // call is one parked request: the compiled ops and the channel its
@@ -282,6 +296,10 @@ func (d *Dispatcher) Stats() Stats {
 	if s.Batches > 0 {
 		s.MeanBatchSize = float64(s.Requests) / float64(s.Batches)
 	}
+	if d.cfg.WAL != nil {
+		ws := d.cfg.WAL.Stats()
+		s.WAL = &ws
+	}
 	return s
 }
 
@@ -315,6 +333,17 @@ func (d *Dispatcher) commitGroup(batch []*call) {
 	if err != nil {
 		d.degraded.Add(1)
 		d.commitEach(batch)
+		return
+	}
+	if serr := d.syncWAL(); serr != nil {
+		// The group committed in memory but its redo record may not be on
+		// stable storage: acknowledging now could ack work a crash would
+		// lose. Every submitter in the window gets the sync error instead
+		// of a result.
+		for _, c := range batch {
+			c.err = serr
+			close(c.done)
+		}
 		return
 	}
 	if tr != nil {
@@ -357,6 +386,11 @@ func (d *Dispatcher) commitEach(batch []*call) {
 			close(c.done)
 			continue
 		}
+		if serr := d.syncWAL(); serr != nil {
+			c.err = serr
+			close(c.done)
+			continue
+		}
 		if tr != nil {
 			d.cfg.Counts.Harvest(tr)
 		}
@@ -371,6 +405,18 @@ func (d *Dispatcher) commitEach(batch []*call) {
 		}
 		close(c.done)
 	}
+}
+
+// syncWAL is the durability barrier between commit and reply: one fsync
+// for however many requests the window held. No-op without a WAL.
+func (d *Dispatcher) syncWAL() error {
+	if d.cfg.WAL == nil {
+		return nil
+	}
+	if err := d.cfg.WAL.Sync(); err != nil {
+		return fmt.Errorf("server: wal sync: %w", err)
+	}
+	return nil
 }
 
 // recordBatch folds one committed group into the batch-size counters.

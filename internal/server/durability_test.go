@@ -1,0 +1,275 @@
+package server_test
+
+// The kill -9 e2e: a child copy of the test binary runs a real
+// WAL-enabled crsd-shaped server, the parent drives it over HTTP and
+// then SIGKILLs the process — no drain, no Close, the same cut an
+// operator's kill -9 makes. The parent recovers the WAL directory into
+// a fresh registry and checks the durability contract from the
+// client's side of the wire:
+//
+//   - quiescent kill: every request was acknowledged before the kill,
+//     so the recovered RegistryChecksum must equal a never-crashed
+//     sequential oracle's exactly.
+//   - mid-flight kill: clients are streaming unique-key inserts when
+//     the process dies, so the recovered rows must contain every
+//     acknowledged insert (replies come only after the group fsync)
+//     and nothing that was never issued.
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// crashServerEnvDir, when set, diverts the test binary into a child
+// server process whose WAL lives in the named directory.
+const crashServerEnvDir = "SERVER_CRASH_WAL_DIR"
+
+// TestMain diverts to the durable child server when the harness env var
+// is set; otherwise the package tests run normally.
+func TestMain(m *testing.M) {
+	if dir := os.Getenv(crashServerEnvDir); dir != "" {
+		crashServerChild(dir)
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// crashServerChild is the process the parent kills: a social registry
+// with a WAL attached (fsync once per coalesced window, the default
+// policy), served on a random port printed to stdout. It recovers
+// whatever the directory already holds before serving — restarting the
+// child IS the recovery path — and then runs until SIGKILL.
+func crashServerChild(dir string) {
+	soc := workload.MustSocial()
+	m, err := wal.Open(dir, soc.Reg, wal.Options{SnapshotEvery: 32})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "child wal:", err)
+		os.Exit(3)
+	}
+	soc.Reg.SetCommitLogger(m)
+	srv := server.New(soc.Reg, server.Config{Window: 200 * time.Microsecond, WAL: m})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		fmt.Fprintln(os.Stderr, "child start:", err)
+		os.Exit(3)
+	}
+	fmt.Printf("ADDR=%s\n", srv.Addr())
+	select {} // hold the process open for the kill
+}
+
+// crashServer is a running child and its base URL.
+type crashServer struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+// startCrashServer launches the child over dir and waits for its
+// address line.
+func startCrashServer(t *testing.T, dir string) *crashServer {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), crashServerEnvDir+"="+dir)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start child: %v", err)
+	}
+	t.Cleanup(func() { _ = cmd.Process.Kill() })
+	sc := bufio.NewScanner(out)
+	for sc.Scan() {
+		if addr, ok := strings.CutPrefix(sc.Text(), "ADDR="); ok {
+			return &crashServer{cmd: cmd, base: "http://" + addr}
+		}
+	}
+	t.Fatalf("child exited before printing its address (scan err %v)", sc.Err())
+	return nil
+}
+
+// kill SIGKILLs the child — the process dies between two instructions,
+// exactly like kill -9 from a shell — and reaps it.
+func (cs *crashServer) kill(t *testing.T) {
+	t.Helper()
+	if err := cs.cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	_ = cs.cmd.Wait()
+}
+
+// recoverRegistry replays the WAL directory into a fresh social
+// registry, exactly as a crsd restart with -wal-dir would.
+func recoverRegistry(t *testing.T, dir string) (*workload.Social, wal.Stats) {
+	t.Helper()
+	soc := workload.MustSocial()
+	m, err := wal.Open(dir, soc.Reg, wal.Options{})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	st := m.Stats()
+	if err := m.Close(); err != nil {
+		t.Fatalf("close recovered wal: %v", err)
+	}
+	return soc, st
+}
+
+// TestE2EKillRecoverQuiescent is the headline durability e2e: K clients
+// run the deterministic social streams to completion (every reply
+// received), the server is killed -9, and the recovered registry must
+// checksum identically to a never-crashed sequential oracle that served
+// the same streams — acknowledged means durable, with nothing extra.
+func TestE2EKillRecoverQuiescent(t *testing.T) {
+	const clients, rounds = 3, 25
+	dir := t.TempDir()
+	cs := startCrashServer(t, dir)
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := client.New(cs.base)
+			gen := trafficFor(c, clients)
+			for i := 0; i < rounds; i++ {
+				if _, err := cl.Do(gen.Next()); err != nil {
+					t.Errorf("client %d round %d: %v", c, i, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	cs.kill(t)
+
+	rsoc, st := recoverRegistry(t, dir)
+	if st.LastLSN == 0 {
+		t.Fatal("recovery found an empty log after a full run")
+	}
+	got, err := server.RegistryChecksum(rsoc.Reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The oracle: same streams, sequentially, no WAL, no crash. Disjoint
+	// key partitions make the streams commute, so sequential replay
+	// reaches the concurrent run's final state.
+	oSrv, oBase := startServer(t, server.Config{MaxBatch: 1})
+	oCl := client.New(oBase)
+	for c := 0; c < clients; c++ {
+		gen := trafficFor(c, clients)
+		for i := 0; i < rounds; i++ {
+			if _, err := oCl.Do(gen.Next()); err != nil {
+				t.Fatalf("oracle client %d round %d: %v", c, i, err)
+			}
+		}
+	}
+	want, err := server.RegistryChecksum(oSrv.Registry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("recovered checksum %x != oracle %x", got, want)
+	}
+}
+
+// TestE2EKillMidFlightUniqueKeys kills the server while clients are
+// mid-stream, so requests die in every stage: unsent, parked in a
+// window, committed-unsynced, synced-unacknowledged. Unique keys make
+// each request identifiable in the recovered state, pinning both halves
+// of the contract: acknowledged ⊆ recovered (no acked commit is lost)
+// and recovered ⊆ issued (nothing the clients never sent appears).
+func TestE2EKillMidFlightUniqueKeys(t *testing.T) {
+	const (
+		clients   = 4
+		minAcked  = 5 // per client, before the kill fires
+		ackWaitMs = 10_000
+	)
+	dir := t.TempDir()
+	cs := startCrashServer(t, dir)
+
+	type key struct{ author, post int64 }
+	acked := make([]map[key]bool, clients)
+	issued := make([]map[key]bool, clients)
+	var ackTotal atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		acked[c] = make(map[key]bool)
+		issued[c] = make(map[key]bool)
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := client.New(cs.base)
+			for i := 0; ; i++ {
+				k := key{author: int64(1000 + c), post: int64(c*1_000_000 + i)}
+				issued[c][k] = true
+				applied, err := cl.Insert("posts",
+					map[string]any{"author": k.author, "post": k.post},
+					map[string]any{"ts": int64(i)})
+				if err != nil {
+					return // the kill severed this request
+				}
+				if !applied {
+					t.Errorf("client %d: unique insert %v not applied", c, k)
+					return
+				}
+				acked[c][k] = true
+				ackTotal.Add(1)
+			}
+		}(c)
+	}
+
+	// Kill once every client has acknowledged traffic in flight — the
+	// streams are still running, so the SIGKILL lands mid-window.
+	deadline := time.Now().Add(ackWaitMs * time.Millisecond)
+	for ackTotal.Load() < clients*minAcked {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d acks before deadline", ackTotal.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cs.kill(t)
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	rsoc, _ := recoverRegistry(t, dir)
+	tuples, err := rsoc.Posts.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	present := make(map[key]bool, len(tuples))
+	for _, tp := range tuples {
+		present[key{
+			author: tp.MustGet("author").(int64),
+			post:   tp.MustGet("post").(int64),
+		}] = true
+	}
+	for c := 0; c < clients; c++ {
+		for k := range acked[c] {
+			if !present[k] {
+				t.Errorf("acked insert %v lost by the crash", k)
+			}
+		}
+	}
+	for k := range present {
+		if !issued[k.author-1000][k] {
+			t.Errorf("recovered row %v was never issued", k)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package wal
+
+// Segment files and record framing. A segment is named wal-%016x.log
+// after the LSN of its first record and starts with a 16-byte header
+// (8-byte magic, 8-byte first LSN little-endian). Each record is
+//
+//	[8B LSN LE] [4B payload length LE] [4B CRC32-C] [payload]
+//
+// with the CRC (Castagnoli) taken over the 12 LSN+length bytes and the
+// payload, so neither a torn length field nor a torn payload can frame a
+// bogus record. LSNs are assigned densely (first record of the log is
+// LSN 1) and checked for continuity on scan: inside the FINAL segment a
+// short header, short payload, CRC mismatch or LSN discontinuity marks
+// the torn tail of an interrupted append — everything from there on is
+// truncated, which is safe because an append only precedes the reply
+// sync. The same damage in any earlier segment is corruption of
+// acknowledged history and fails recovery instead.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	segMagic  = "CRSWAL01"
+	segHdrLen = 16
+	recHdrLen = 16
+	// maxRecordLen bounds a record payload; a "length" beyond it in the
+	// final segment is torn-tail garbage, not a real record.
+	maxRecordLen = 1 << 28
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// segName renders the segment file name of a first LSN.
+func segName(firstLSN uint64) string {
+	return fmt.Sprintf("wal-%016x.log", firstLSN)
+}
+
+// parseSegName extracts the first LSN of a segment file name.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 16, 64)
+	return n, err == nil
+}
+
+// listSegments returns the directory's segment file names sorted by
+// first LSN.
+func listSegments(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []string
+	for _, e := range ents {
+		if _, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, e.Name())
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool {
+		a, _ := parseSegName(segs[i])
+		b, _ := parseSegName(segs[j])
+		return a < b
+	})
+	return segs, nil
+}
+
+// writeSegHeader appends a fresh segment header to b.
+func writeSegHeader(b []byte, firstLSN uint64) []byte {
+	b = append(b, segMagic...)
+	return binary.LittleEndian.AppendUint64(b, firstLSN)
+}
+
+// frameRecord appends the framed record — header, CRC, payload — to b.
+func frameRecord(b []byte, lsn uint64, payload []byte) []byte {
+	off := len(b)
+	b = binary.LittleEndian.AppendUint64(b, lsn)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	crc := crc32.Update(crc32.Checksum(b[off:off+12], crcTable), crcTable, payload)
+	b = binary.LittleEndian.AppendUint32(b, crc)
+	return append(b, payload...)
+}
+
+// scanResult is what scanSegment reports about one segment file.
+type scanResult struct {
+	firstLSN uint64
+	lastLSN  uint64 // last valid record's LSN; firstLSN-1 if none
+	validEnd int64  // byte offset just past the last valid record
+	torn     bool   // the segment ends in a torn/corrupt tail past validEnd
+	tornErr  error  // what the first bad record looked like
+}
+
+// scanSegment reads a segment, calling apply for each valid record's
+// (lsn, payload) in order. prevLSN is the last LSN seen before this
+// segment (the record stream must continue at prevLSN+1; records at or
+// below skipBelow are skipped without replay but still validated). The
+// scan stops at the first damaged record, reporting it via the result's
+// torn fields — the caller decides whether that is a truncatable tail
+// (final segment) or fatal corruption (earlier segment).
+func scanSegment(path string, prevLSN, skipBelow uint64, apply func(lsn uint64, payload []byte) error) (scanResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return scanResult{}, err
+	}
+	defer f.Close()
+	var res scanResult
+	hdr := make([]byte, segHdrLen)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		// A header-short file can only be a segment whose creation was
+		// interrupted before any record existed: a truncatable tail.
+		res.torn, res.tornErr = true, fmt.Errorf("wal: %s: short segment header", filepath.Base(path))
+		return res, nil
+	}
+	if string(hdr[:8]) != segMagic {
+		return res, fmt.Errorf("wal: %s: bad segment magic", filepath.Base(path))
+	}
+	res.firstLSN = binary.LittleEndian.Uint64(hdr[8:])
+	if res.firstLSN != prevLSN+1 {
+		return res, fmt.Errorf("wal: %s: segment starts at LSN %d, want %d (missing segment?)",
+			filepath.Base(path), res.firstLSN, prevLSN+1)
+	}
+	res.lastLSN = res.firstLSN - 1
+	res.validEnd = segHdrLen
+	rhdr := make([]byte, recHdrLen)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, rhdr); err != nil {
+			if err == io.EOF {
+				return res, nil // clean end
+			}
+			res.torn, res.tornErr = true, fmt.Errorf("wal: %s: short record header at %d", filepath.Base(path), res.validEnd)
+			return res, nil
+		}
+		lsn := binary.LittleEndian.Uint64(rhdr[:8])
+		plen := binary.LittleEndian.Uint32(rhdr[8:12])
+		crc := binary.LittleEndian.Uint32(rhdr[12:16])
+		if plen > maxRecordLen || lsn != res.lastLSN+1 {
+			res.torn, res.tornErr = true, fmt.Errorf("wal: %s: bad record frame at %d (lsn %d, len %d)",
+				filepath.Base(path), res.validEnd, lsn, plen)
+			return res, nil
+		}
+		if cap(payload) < int(plen) {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			res.torn, res.tornErr = true, fmt.Errorf("wal: %s: short record payload at %d", filepath.Base(path), res.validEnd)
+			return res, nil
+		}
+		got := crc32.Update(crc32.Checksum(rhdr[:12], crcTable), crcTable, payload)
+		if got != crc {
+			res.torn, res.tornErr = true, fmt.Errorf("wal: %s: CRC mismatch at %d (lsn %d)", filepath.Base(path), res.validEnd, lsn)
+			return res, nil
+		}
+		if lsn > skipBelow {
+			if err := apply(lsn, payload); err != nil {
+				return res, err
+			}
+		}
+		res.lastLSN = lsn
+		res.validEnd += int64(recHdrLen) + int64(plen)
+	}
+}

@@ -1,0 +1,89 @@
+package wal
+
+// Concurrent durability stress: several writer goroutines hammer a
+// WAL-enabled registry while snapshots run underneath them, then the
+// directory is recovered into a fresh registry and compared
+// byte-for-byte against the live one — the never-crashed oracle IS the
+// live registry, so the check proves that what the log and snapshots
+// captured under real concurrency replays to exactly the state the
+// locks serialized. Run under -race in CI's durability job.
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rel"
+	"repro/internal/workload"
+)
+
+func TestConcurrentStressRecovery(t *testing.T) {
+	const (
+		writers = 4
+		perG    = 120
+	)
+	dir := t.TempDir()
+	soc := workload.MustSocial()
+	m, err := Open(dir, soc.Reg, Options{SnapshotEvery: 64})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	soc.Reg.SetCommitLogger(m)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Disjoint author partition per goroutine: concurrency is
+			// real (shared users rows, shared lock arrays) but the final
+			// state is reached whatever the interleaving.
+			for i := 0; i < perG; i++ {
+				u := int64(g*1000 + i%13)
+				err := soc.Reg.Batch(func(tx *core.Txn) error {
+					if _, err := tx.InsertInto(soc.Users, rel.T("user", u), rel.T("posts", int64(i))); err != nil {
+						return err
+					}
+					if _, err := tx.InsertInto(soc.Posts, rel.T("author", u, "post", int64(i)), rel.T("ts", int64(i))); err != nil {
+						return err
+					}
+					if i%3 == 0 {
+						if _, err := tx.RemoveFrom(soc.Posts, rel.T("author", u, "post", int64(i-1))); err != nil {
+							return err
+						}
+					}
+					_, err := tx.CountIn(soc.Posts, rel.T("author", u))
+					return err
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := m.Sync(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("writer: %v", err)
+	}
+	// One final explicit snapshot races nothing and exercises seal+prune
+	// after the storm; then close and recover.
+	if err := m.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	rsoc, rm := recoverSocial(t, dir, Options{})
+	defer rm.Close()
+	if !bytes.Equal(stateBytes(t, soc.Reg), stateBytes(t, rsoc.Reg)) {
+		t.Fatal("recovered state differs from the live registry after concurrent stress")
+	}
+}
