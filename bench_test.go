@@ -169,7 +169,7 @@ func buildStickStriped(b *testing.B, k int) *crs.Relation {
 	} else {
 		p.Place(d.EdgeByName("ρu"), d.Root)
 	}
-	r, err := crs.Synthesize(d, p)
+	r, err := crs.Synthesize(d.Spec, crs.WithDecomposition(d), crs.WithPlacement(p))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -222,7 +222,7 @@ func BenchmarkAblationSpeculative(b *testing.B) {
 			p.PlaceSpeculative(d.EdgeByName("ρx"), d.Root, "src")
 			p.PlaceSpeculative(d.EdgeByName("ρy"), d.Root, "dst")
 		}
-		r, err := crs.Synthesize(d, p)
+		r, err := crs.Synthesize(d.Spec, crs.WithDecomposition(d), crs.WithPlacement(p))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -250,7 +250,7 @@ func BenchmarkAblationSortElision(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		r, err := crs.Synthesize(d, crs.FineGrainedPlacement(d))
+		r, err := crs.Synthesize(d.Spec, crs.WithDecomposition(d))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -308,7 +308,7 @@ func BenchmarkAblationContainers(b *testing.B) {
 			p := crs.NewPlacement(d)
 			p.SetStripes(d.Root, 1024)
 			p.Place(d.EdgeByName("ρu"), d.Root, "src")
-			r, err := crs.Synthesize(d, p)
+			r, err := crs.Synthesize(d.Spec, crs.WithDecomposition(d), crs.WithPlacement(p))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -412,7 +412,7 @@ func BenchmarkBatchedVsSequential(b *testing.B) {
 		p := crs.NewPlacement(d)
 		p.SetStripes(d.Root, 1024)
 		p.Place(d.EdgeByName("ρu"), d.Root, "src")
-		r, err := crs.Synthesize(d, p)
+		r, err := crs.Synthesize(d.Spec, crs.WithDecomposition(d), crs.WithPlacement(p))
 		if err != nil {
 			b.Fatal(err)
 		}

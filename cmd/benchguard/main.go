@@ -13,7 +13,7 @@
 //
 //	benchguard -baseline BENCH_3.json -current current.json [-tolerance 0]
 //	           [-min-batch-ratio 0.65 [-ratio-threads 1,2] [-ratio-variants "Stick 1"]]
-//	           [-min-wire-batch 2] [-min-wal-ratio 0.1]
+//	           [-min-wire-batch 2] [-min-wal-ratio 0.1] [-min-migrate-ratio 0.9]
 //
 // Both documents must carry the bench_schema this guard supports;
 // mismatched or missing schemas fail immediately instead of being
@@ -52,7 +52,18 @@
 //     batched rows must fsync strictly less than their sequential twins
 //     and append no more records than the baseline (group commit IS
 //     fsync batching), and WAL-on throughput must reach the given
-//     fraction of the same run's WAL-off throughput on the batched rows.
+//     fraction of the same run's WAL-off throughput on the batched rows;
+//   - with -min-migrate-ratio set, the live-migration payoff is gated:
+//     for every (mix, variant, threads) the current -migrate run measured
+//     in both phases, the migrated steady state ("migrate-post") must
+//     reach the given fraction of the pre-migration throughput
+//     ("migrate-pre") — both from the SAME run, so the ratio
+//     self-normalizes against machine drift. The gate fails if no
+//     matching row pairs exist (the run was not crsbench -migrate). The
+//     migrate rows' deterministic threads=1 lock totals also ride the
+//     baseline rules above: pre-migration rows pin the pessimistic 2PL
+//     acquisition count, post-migration rows pin the lock-free read-only
+//     batches at zero locks.
 //
 // With -min-batch-ratio set, one throughput gate rides along, designed to
 // survive noisy runners: for every (mix, variant, threads) the CURRENT
@@ -172,7 +183,8 @@ func main() {
 	minBatchRatio := flag.Float64("min-batch-ratio", 0, "minimum batched/sequential ops_per_sec ratio within the current run (0 = gate off)")
 	minWireBatch := flag.Float64("min-wire-batch", 0, "minimum mean coalesced batch size (wire_requests/wire_batches) for the current run's batched -wire rows (0 = gate off)")
 	minWalRatio := flag.Float64("min-wal-ratio", 0, "minimum WAL-on/WAL-off ops_per_sec ratio for the current run's batched -wal row pairs (0 = gate off; also arms the fsyncs==appends and batched-fewer-fsyncs gates)")
-	ratioThreads := flag.String("ratio-threads", "", "comma-separated thread counts the ratio gate applies to (empty = all)")
+	minMigrateRatio := flag.Float64("min-migrate-ratio", 0, "minimum migrate-post/migrate-pre ops_per_sec ratio for the current run's -migrate row pairs (0 = gate off)")
+	ratioThreads := flag.String("ratio-threads", "", "comma-separated thread counts the -min-batch-ratio and -min-migrate-ratio gates apply to (empty = all)")
 	ratioVariants := flag.String("ratio-variants", "", "comma-separated variant names the ratio gate applies to (empty = all)")
 	flag.Parse()
 	if *baselinePath == "" || *currentPath == "" {
@@ -319,17 +331,17 @@ func main() {
 	// Skewed rows are excluded — contention-dependent by design — and
 	// -ratio-threads narrows the gate to the thread counts whose ratio is
 	// a scheduling-quality signal rather than a lock-holding tax.
-	if *minBatchRatio > 0 {
-		wantThreads := map[int]bool{}
-		if *ratioThreads != "" {
-			for _, f := range splitCommas(*ratioThreads) {
-				var n int
-				if _, err := fmt.Sscanf(f, "%d", &n); err != nil {
-					fatal(fmt.Errorf("-ratio-threads: bad thread count %q", f))
-				}
-				wantThreads[n] = true
+	wantThreads := map[int]bool{}
+	if *ratioThreads != "" {
+		for _, f := range splitCommas(*ratioThreads) {
+			var n int
+			if _, err := fmt.Sscanf(f, "%d", &n); err != nil {
+				fatal(fmt.Errorf("-ratio-threads: bad thread count %q", f))
 			}
+			wantThreads[n] = true
 		}
+	}
+	if *minBatchRatio > 0 {
 		wantVariants := map[string]bool{}
 		for _, v := range splitCommas(*ratioVariants) {
 			wantVariants[v] = true
@@ -500,6 +512,54 @@ func main() {
 		}
 		if gated == 0 {
 			fmt.Printf("FAIL wal ratio gate matched no (WAL-on, WAL-off) row pairs in %s — the run measured one configuration only\n", *currentPath)
+			failures++
+		}
+	}
+	// The live-migration gate: migrate-post throughput must reach the
+	// given fraction of migrate-pre throughput per (mix, variant,
+	// threads), both halves from the SAME current run (crsbench -migrate
+	// runs them back to back on one registry), so the ratio cancels
+	// machine drift. A migration that costs steady-state throughput is a
+	// regression even when every lock count above still holds.
+	// -ratio-threads scopes this gate too: contended rows on oversubscribed
+	// runners measure scheduler luck, so CI gates the 1-thread pair, whose
+	// pre/post margin is structural (lock-free reads vs 2PL).
+	if *minMigrateRatio > 0 {
+		type tkey struct {
+			Mix, Variant string
+			Threads      int
+		}
+		pre := map[tkey]benchRecord{}
+		for _, r := range cur.Results {
+			if r.Mode == "migrate-pre" {
+				pre[tkey{r.Mix, r.Variant, r.Threads}] = r
+			}
+		}
+		gated := 0
+		for _, r := range cur.Results {
+			if r.Mode != "migrate-post" {
+				continue
+			}
+			if len(wantThreads) > 0 && !wantThreads[r.Threads] {
+				continue
+			}
+			p, ok := pre[tkey{r.Mix, r.Variant, r.Threads}]
+			if !ok || p.OpsPerSec <= 0 {
+				continue
+			}
+			gated++
+			ratio := r.OpsPerSec / p.OpsPerSec
+			if ratio < *minMigrateRatio {
+				fmt.Printf("FAIL %s %s %dthr: migrated steady state %.0f ops/s is %.2fx pre-migration %.0f — want >= %.2fx\n",
+					r.Variant, r.Mix, r.Threads, r.OpsPerSec, ratio, p.OpsPerSec, *minMigrateRatio)
+				failures++
+			} else {
+				fmt.Printf("ok   %s %s %dthr: migrated steady state %.0f ops/s is %.2fx pre-migration %.0f (floor %.2fx)\n",
+					r.Variant, r.Mix, r.Threads, r.OpsPerSec, ratio, p.OpsPerSec, *minMigrateRatio)
+			}
+		}
+		if gated == 0 {
+			fmt.Printf("FAIL migrate gate matched no (migrate-pre, migrate-post) row pairs in %s — the run was not crsbench -migrate\n", *currentPath)
 			failures++
 		}
 	}

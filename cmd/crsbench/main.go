@@ -8,7 +8,7 @@
 //
 //	crsbench [-mixes all|70-0-20-10,...] [-threads 1,2,4] [-ops 500000]
 //	         [-keyspace 512] [-variants all|Stick 1,...] [-format table|csv|json]
-//	         [-batch] [-registry] [-optimistic] [-mixed] [-wire] [-wal]
+//	         [-batch] [-registry] [-optimistic] [-mixed] [-wire] [-wal] [-migrate]
 //
 // The json format emits one machine-readable document (configuration plus
 // one record per mix/variant/thread-count with ops/s) so successive runs
@@ -18,7 +18,12 @@
 // against the committed baseline in CI; -optimistic records the read-only
 // zero-lock counters, and -mixed the mixed-batch OCC counters (write
 // locks, read-set size, retries, fallbacks) over the Follow-heavy social
-// mix.
+// mix. -migrate measures live representation migration: the read-heavy
+// social mix on the pessimistic boot representation ("migrate-pre" rows),
+// then — after Registry.Migrate upgrades every relation to the concurrent
+// container archetypes — the identical workload on the migrated registry
+// ("migrate-post" rows); cmd/benchguard's -min-migrate-ratio gates the
+// post/pre throughput ratio within the one run.
 package main
 
 import (
@@ -31,7 +36,9 @@ import (
 	"strings"
 
 	crs "repro"
+	"repro/internal/autotune"
 	"repro/internal/cli"
+	"repro/internal/core"
 	"repro/internal/handcoded"
 	"repro/internal/workload"
 )
@@ -158,6 +165,7 @@ func main() {
 	mixed := flag.Bool("mixed", false, "run the mixed-batch OCC benchmark (Follow-heavy social mix, batched vs sequential, with deterministic write-lock/read-set/retry/fallback counts) instead of Figure 5")
 	wire := flag.Bool("wire", false, "run the wire group-commit benchmark (lockstep HTTP clients against an in-process crsd, cross-client coalescing vs per-request commits, with deterministic batch-size and lock counts) instead of Figure 5; -threads is the client counts, -ops the requests per client")
 	walBench := flag.Bool("wal", false, "run the durability benchmark (the wire workload with a write-ahead log attached vs without, batched vs sequential, with deterministic append/fsync counts) instead of Figure 5; -threads is the client counts, -ops the requests per client")
+	migrate := flag.Bool("migrate", false, "run the live-migration benchmark (read-heavy social mix on the pessimistic boot representation, then the identical workload after Registry.Migrate upgrades every relation to the concurrent containers, with deterministic lock/zero-lock counts) instead of Figure 5")
 	skewFlag := flag.String("skew", "", "comma-separated Zipf-like skew levels in [0,1) for -mixed (e.g. 0,0.6,0.9): repeats the benchmark per level with hot-key-biased draws, recording the OCC retry/fallback counters per level; empty keeps the uniform draws")
 	flag.Parse()
 
@@ -189,13 +197,13 @@ func main() {
 		GoVersion:    runtime.Version(),
 	}}
 	modes := 0
-	for _, m := range []bool{*batch, *registry, *optimistic, *mixed, *wire, *walBench} {
+	for _, m := range []bool{*batch, *registry, *optimistic, *mixed, *wire, *walBench, *migrate} {
 		if m {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fatal(fmt.Errorf("-batch, -registry, -optimistic, -mixed, -wire and -wal are mutually exclusive benchmarks; pick one"))
+		fatal(fmt.Errorf("-batch, -registry, -optimistic, -mixed, -wire, -wal and -migrate are mutually exclusive benchmarks; pick one"))
 	}
 	skews, err := parseSkews(*skewFlag)
 	if err != nil {
@@ -203,6 +211,13 @@ func main() {
 	}
 	if len(skews) > 0 && !*mixed {
 		fatal(fmt.Errorf("-skew applies only to the -mixed benchmark (the OCC retry/fallback counters are its signal)"))
+	}
+	if *migrate {
+		if *mixesFlag != "all" || *variantsFlag != "all" {
+			fatal(fmt.Errorf("-mixes/-variants do not apply to -migrate: it runs the read-heavy social mix %s over the users/posts/follows registry, pre- and post-migration", workload.ReadHeavySocialMix()))
+		}
+		runMigrateBench(&doc, threads, *ops, *keyspace, *seed, *format)
+		return
 	}
 	if *wire {
 		if *mixesFlag != "all" || *variantsFlag != "all" {
@@ -785,6 +800,134 @@ func runOptimisticBench(doc *jsonDoc, threads []int, ops int, keyspace int64, se
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(doc); err != nil {
 			fatal(err)
+		}
+	}
+}
+
+// runMigrateBench measures what live migration buys: the read-heavy
+// social mix first on the PESSIMISTIC boot representation (HashMap roots,
+// TreeMap middles — every group takes the 2PL paths), then — after
+// Registry.Migrate upgrades all three relations to the concurrent
+// container archetypes, exactly the hop crsd -adapt's advisor performs —
+// the identical workload on the SAME, now-migrated registry. Rows carry
+// Mode "migrate-pre" and "migrate-post"; benchguard's -min-migrate-ratio
+// gates the post/pre ops_per_sec ratio per thread count, self-normalized
+// against machine drift because both rows come from one run.
+//
+// One deterministic threads=1 counting-pass pair (fixed seed, tracing
+// on, timing discarded) additionally records the structural signal on
+// the 1-thread rows: pre-migration the optimistic path is structurally
+// unavailable (ro_batches = 0, every group locks — thousands of
+// acquisitions), post-migration the same read-only groups run lock-free
+// (ro_batches > 0 with zero locks/retries/fallbacks, and two orders of
+// magnitude fewer total acquisitions), which benchguard's optimistic
+// gate then pins against the committed baseline.
+func runMigrateBench(doc *jsonDoc, threads []int, ops int, keyspace int64, seed uint64, format string) {
+	mix := workload.ReadHeavySocialMix()
+	threads = withThread1(threads)
+	if format == "csv" {
+		fmt.Println("mix,mode,threads,ops,seconds,throughput_groups_per_sec,locks_requested,locks_acquired,ro_batches,ro_locks_acquired")
+	}
+	if format == "table" {
+		fmt.Printf("\nLive migration, read-heavy social mix %s (GOMAXPROCS=%d)\n", mix, runtime.GOMAXPROCS(0))
+	}
+
+	// Counting passes: one pessimistic, then — after the migration — one
+	// on the upgraded representation, both threads=1 with tracing on.
+	cfg1 := crs.BenchConfig{Threads: 1, OpsPerThread: ops, KeySpace: keyspace, Seed: seed}
+	sc := mustSocialPessimistic()
+	sc.Counts = &workload.LockCounts{}
+	workload.RunSocial(sc, cfg1, mix)
+	preCounts := sc.Counts
+	upgradeSocial(sc, format == "table")
+	sc.Counts = &workload.LockCounts{}
+	workload.RunSocial(sc, cfg1, mix)
+	postCounts := sc.Counts
+
+	countsFor := map[string]*workload.LockCounts{"migrate-pre": preCounts, "migrate-post": postCounts}
+	for _, k := range threads {
+		// Throughput passes (no tracing): a fresh pessimistic registry per
+		// thread count; the post pass reruns the identical streams on the
+		// same registry right after the migration — the steady state an
+		// adaptive server reaches.
+		s := mustSocialPessimistic()
+		cfg := crs.BenchConfig{Threads: k, OpsPerThread: ops, KeySpace: keyspace, Seed: seed}
+		pre := workload.RunSocial(s, cfg, mix)
+		upgradeSocial(s, false)
+		post := workload.RunSocial(s, cfg, mix)
+		for _, half := range []struct {
+			mode string
+			res  crs.BenchResult
+		}{{"migrate-pre", pre}, {"migrate-post", post}} {
+			row := jsonResult{
+				Mix: mix.String(), Variant: "social-adapt", Mode: half.mode, Threads: k,
+				Ops: half.res.Ops, Seconds: half.res.Duration.Seconds(), OpsPerSec: half.res.Throughput,
+				Checksum: half.res.Checksum,
+			}
+			if k == 1 {
+				c := countsFor[half.mode]
+				row.LocksRequested = c.Requested.Load()
+				row.LocksAcquired = c.Acquired.Load()
+				row.ROBatches = c.ReadOnlyBatches.Load()
+				row.ROLocksAcquired = c.ReadOnlyAcquired.Load()
+				row.ValidationRetries = c.ValidationRetries.Load()
+				row.ROFallbacks = c.Fallbacks.Load()
+			}
+			switch format {
+			case "table":
+				fmt.Printf("%-13s %d thr: %8.0f groups/s", half.mode, k, half.res.Throughput)
+				if k == 1 {
+					fmt.Printf(", locks %d -> %d, ro batches %d -> %d locks",
+						row.LocksRequested, row.LocksAcquired, row.ROBatches, row.ROLocksAcquired)
+				}
+				fmt.Println()
+			case "csv":
+				fmt.Printf("%s,%s,%d,%d,%.3f,%.0f,%d,%d,%d,%d\n", mix, half.mode, k, half.res.Ops,
+					half.res.Duration.Seconds(), half.res.Throughput, row.LocksRequested, row.LocksAcquired,
+					row.ROBatches, row.ROLocksAcquired)
+			case "json":
+				doc.Results = append(doc.Results, row)
+			}
+		}
+	}
+	if format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// mustSocialPessimistic builds the HashMap/TreeMap social registry the
+// adaptive server boots on, fataling on error.
+func mustSocialPessimistic() *workload.Social {
+	s, err := workload.NewSocialPessimistic()
+	if err != nil {
+		fatal(err)
+	}
+	return s
+}
+
+// upgradeSocial live-migrates every relation of the social registry to
+// its concurrent container archetypes — the same Materialize + Migrate
+// pair the online advisor runs, under no traffic here (crsbench measures
+// the representations; the under-traffic correctness is the e2e suite's
+// job). verbose prints each migration's event line.
+func upgradeSocial(s *workload.Social, verbose bool) {
+	for _, r := range []*core.Relation{s.Users, s.Posts, s.Follows} {
+		rec := &autotune.Recommendation{Relation: r.Name()}
+		d2, p2, err := autotune.Materialize(r, rec)
+		if err != nil {
+			fatal(fmt.Errorf("materialize %s: %w", r.Name(), err))
+		}
+		ev, err := s.Reg.Migrate(r.Name(), core.WithDecomposition(d2), core.WithPlacement(p2))
+		if err != nil {
+			fatal(fmt.Errorf("migrate %s: %w", r.Name(), err))
+		}
+		if verbose {
+			fmt.Printf("migrated %-8s %s -> %s (backfilled %d, catch-up %d, pause %dus)\n",
+				ev.Relation, ev.From, ev.To, ev.Backfilled, ev.CatchupOps, ev.PauseNS/1000)
 		}
 	}
 }

@@ -18,10 +18,20 @@
 // crsd recovers the directory — latest valid snapshot plus the redo
 // tail — before serving. kill -9 loses nothing that was acknowledged.
 //
+// With -adapt crsd becomes self-tuning: the registry boots on the
+// conservative non-concurrent representation (HashMap/TreeMap
+// containers), an online advisor periodically harvests the always-on
+// operation counters, and when the observed read fraction makes the
+// lock-free optimistic paths worth having, it live-migrates relations to
+// their concurrent container archetypes — under traffic, with no dropped
+// or duplicated acknowledged requests. Completed migrations appear in
+// GET /v1/stats under registry.migrations.
+//
 // Usage:
 //
 //	crsd [-addr :7070] [-window 500us] [-max-batch 64]
 //	     [-wal-dir DIR] [-fsync none|batch|always] [-snapshot-every N]
+//	     [-adapt] [-adapt-interval 1s] [-adapt-min-ops 1000]
 //
 // Endpoints (see internal/server for the wire model):
 //
@@ -41,6 +51,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/autotune"
+	"repro/internal/core"
 	"repro/internal/server"
 	"repro/internal/wal"
 	"repro/internal/workload"
@@ -53,9 +65,18 @@ func main() {
 	walDir := flag.String("wal-dir", "", "write-ahead log directory; empty runs without durability")
 	fsync := flag.String("fsync", "batch", "fsync policy with -wal-dir: none (no fsync), batch (once per group commit, before replies), always (every append)")
 	snapEvery := flag.Int("snapshot-every", 4096, "with -wal-dir, snapshot and truncate the log every N committed batches (0 disables)")
+	adapt := flag.Bool("adapt", false, "boot on non-concurrent containers and let the online advisor live-migrate relations as the workload warrants")
+	adaptInterval := flag.Duration("adapt-interval", time.Second, "with -adapt, how often the advisor harvests counters and reconsiders")
+	adaptMinOps := flag.Uint64("adapt-min-ops", 1000, "with -adapt, observed operations required on a relation before migrating it")
 	flag.Parse()
 
-	social, err := workload.NewSocial()
+	var social *workload.Social
+	var err error
+	if *adapt {
+		social, err = workload.NewSocialPessimistic()
+	} else {
+		social, err = workload.NewSocial()
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -79,6 +100,29 @@ func main() {
 			*walDir, policy, *snapEvery, m.Stats().RecoveredBatches, m.Stats().LastLSN)
 	}
 	srv := server.New(social.Reg, cfg)
+
+	var adv *autotune.Advisor
+	if *adapt {
+		advCfg := autotune.DefaultConfig()
+		advCfg.MinOps = *adaptMinOps
+		adv = &autotune.Advisor{
+			Registry: social.Reg,
+			Config:   advCfg,
+			Interval: *adaptInterval,
+			OnMigrate: func(rec *autotune.Recommendation, ev *core.MigrationEvent, err error) {
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "crsd: advisor: migrate %s: %v\n", rec.Relation, err)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "crsd: advisor: migrated %s: %s -> %s (%s; backfilled %d, catch-up %d, pause %s)\n",
+					ev.Relation, ev.From, ev.To, rec.Reason, ev.Backfilled, ev.CatchupOps, time.Duration(ev.PauseNS))
+			},
+		}
+		adv.Start()
+		defer adv.Stop()
+		fmt.Fprintf(os.Stderr, "crsd: adaptive mode: booted on non-concurrent containers, advisor every %s (min ops %d)\n",
+			*adaptInterval, *adaptMinOps)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)

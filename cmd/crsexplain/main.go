@@ -22,18 +22,25 @@
 // the flat, pre-classified lock schedule (lock rounds, speculative
 // rounds, step runs with their lock-order gates) that the batched
 // growing phase walks instead of re-classifying plan steps per sweep.
+// With -migrate it narrates one live representation migration end to
+// end: a pessimistic relation accumulates a read-heavy counter profile,
+// the online advisor's decision rule recommends the concurrent container
+// archetypes, Registry.Migrate re-synthesizes and cuts over, and the
+// same read-only batch is traced before (locks) and after (lock-free).
 //
 // Usage:
 //
-//	crsexplain [-variant "Split 4"|dcache] [-dot] [-plans] [-compiled] [-rounds] [-batch] [-registry] [-occ]
+//	crsexplain [-variant "Split 4"|dcache] [-dot] [-plans] [-compiled] [-rounds] [-batch] [-registry] [-occ] [-migrate]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	crs "repro"
+	"repro/internal/autotune"
 )
 
 func main() {
@@ -46,8 +53,15 @@ func main() {
 	registry := flag.Bool("registry", false, "build a two-relation registry and print a cross-relation batch's coalesced lock schedule")
 	occ := flag.Bool("occ", false, "run a mixed batch on optimistic-capable relations and print its Silo-style OCC trace (write locks + validated read epochs)")
 	rounds := flag.Bool("rounds", false, "print each benchmark operation's compiled round map — the flat lock schedule the batched growing phase walks")
+	migrate := flag.Bool("migrate", false, "narrate one live representation migration: counter harvest, advisor verdict, side synthesis, backfill, catch-up, cutover, and the before/after lock traces")
 	flag.Parse()
 
+	if *migrate {
+		if err := printMigrate(); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *occ {
 		if err := printOCC(); err != nil {
 			fatal(err)
@@ -288,7 +302,7 @@ func printRegistry() error {
 	if err != nil {
 		return err
 	}
-	users, err := db.Synthesize("users", ud, crs.FineGrainedPlacement(ud))
+	users, err := db.Synthesize("users", uspec, crs.WithDecomposition(ud))
 	if err != nil {
 		return err
 	}
@@ -302,7 +316,7 @@ func printRegistry() error {
 	if err != nil {
 		return err
 	}
-	posts, err := db.Synthesize("posts", pd, crs.FineGrainedPlacement(pd))
+	posts, err := db.Synthesize("posts", pspec, crs.WithDecomposition(pd))
 	if err != nil {
 		return err
 	}
@@ -388,7 +402,7 @@ func printOCC() error {
 	if err != nil {
 		return err
 	}
-	follows, err := db.Synthesize("follows", fd, crs.FineGrainedPlacement(fd))
+	follows, err := db.Synthesize("follows", fspec, crs.WithDecomposition(fd))
 	if err != nil {
 		return err
 	}
@@ -402,7 +416,7 @@ func printOCC() error {
 	if err != nil {
 		return err
 	}
-	posts, err := db.Synthesize("posts", pd, crs.FineGrainedPlacement(pd))
+	posts, err := db.Synthesize("posts", pspec, crs.WithDecomposition(pd))
 	if err != nil {
 		return err
 	}
@@ -473,6 +487,105 @@ func printOCC() error {
 	return nil
 }
 
+// printMigrate narrates one live representation migration end to end on
+// the §2 graph relation: boot pessimistic (HashMap/TreeMap — the 2PL-only
+// representation), accumulate a read-heavy counter profile, show the
+// online advisor's verdict (the same RecommendKinds rule crsd -adapt and
+// crstune -live run), execute Registry.Migrate, and trace the identical
+// read-only batch before (locks) and after (lock-free) the cutover.
+func printMigrate() error {
+	db := crs.NewRegistry()
+	spec := crs.MustSpec([]string{"src", "dst", "weight"},
+		crs.FD{From: []string{"src", "dst"}, To: []string{"weight"}})
+	d, err := crs.NewBuilder(spec, "ρ").
+		Edge("ρu", "ρ", "u", []string{"src"}, crs.HashMap).
+		Edge("uv", "u", "v", []string{"dst"}, crs.TreeMap).
+		Edge("vw", "v", "w", []string{"weight"}, crs.Cell).
+		Build()
+	if err != nil {
+		return err
+	}
+	edges, err := db.Synthesize("edges", spec, crs.WithDecomposition(d))
+	if err != nil {
+		return err
+	}
+	fmt.Println("=== live migration: edges, pessimistic boot representation ===")
+	fmt.Printf("\nrelation %d: edges (OptimisticCapable=%v)\n%s", edges.RegistryID(), edges.OptimisticCapable(), edges.Decomposition())
+
+	for i := int64(0); i < 32; i++ {
+		if _, err := edges.Insert(crs.T("src", i%8, "dst", i), crs.T("weight", i)); err != nil {
+			return err
+		}
+	}
+	// A read-heavy warm-up: the always-on counters are the advisor's only
+	// input, so the observed profile — not a config file — drives the
+	// verdict below.
+	for i := int64(0); i < 2000; i++ {
+		if _, err := edges.Query(crs.T("src", i%8), "dst"); err != nil {
+			return err
+		}
+	}
+
+	rc := edges.Harvest()
+	fmt.Printf("\n--- harvested counters ---\nreads %d, writes %d, read fraction %.2f, optimistic-capable %v\n",
+		rc.Reads, rc.Writes, float64(rc.Reads)/float64(rc.Reads+rc.Writes), rc.OptimisticCapable)
+	rec, ok := autotune.RecommendKinds(rc, autotune.DefaultConfig())
+	if !ok {
+		return fmt.Errorf("advisor declined to migrate the warmed-up relation")
+	}
+	fmt.Printf("advisor verdict (same rule as crsd -adapt / crstune -live):\n  MIGRATE %v -> %v\n  %s\n", rec.From, rec.To, rec.Reason)
+
+	// The identical read-only batch, traced on each side of the cutover.
+	traceRO := func() (*crs.BatchTrace, error) {
+		var tr *crs.BatchTrace
+		err := edges.BatchReadOnly(func(tx *crs.Txn) error {
+			tx.EnableTrace()
+			tr = tx.Trace()
+			for s := int64(0); s < 4; s++ {
+				if _, err := tx.Count(crs.T("src", s)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		return tr, err
+	}
+	before, err := traceRO()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nread-only batch BEFORE: optimistic=%v, %d lock requests -> %d acquired\n",
+		before.Optimistic, before.Requested, before.Acquired)
+
+	d2, p2, err := autotune.Materialize(edges, rec)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n--- Registry.Migrate: side synthesis, backfill, catch-up, cutover ---")
+	ev, err := db.Migrate("edges", crs.WithDecomposition(d2), crs.WithPlacement(p2))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  side synthesis: %s (same relation id %d, so the §5.1 global\n", ev.To, edges.RegistryID())
+	fmt.Println("  lock order is preserved — new lock IDs re-base onto the old slot)")
+	fmt.Printf("  backfill: %d rows replayed from the snapshot\n", ev.Backfilled)
+	fmt.Printf("  catch-up: %d concurrent mutations drained from the commit tap\n", ev.CatchupOps)
+	fmt.Printf("  cutover: exclusive latch held %s (total migration %s)\n",
+		time.Duration(ev.PauseNS), time.Duration(ev.TotalNS))
+
+	after, err := traceRO()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nread-only batch AFTER: optimistic=%v, %d lock requests -> %d acquired (epochs validated: %d)\n",
+		after.Optimistic, after.Requested, after.Acquired, after.EpochsDistinct)
+	if !after.Optimistic || after.Acquired != 0 {
+		return fmt.Errorf("post-migration read-only batch still locking (optimistic=%v, acquired %d)", after.Optimistic, after.Acquired)
+	}
+	fmt.Printf("\nmigration events now served under /v1/stats registry.migrations: %d\n\n", len(db.Harvest().Migrations))
+	return nil
+}
+
 func printPlan(r *crs.Relation, title string, bound, out []string) {
 	s, err := r.ExplainQuery(bound, out)
 	if err != nil {
@@ -503,7 +616,7 @@ func buildRelation(name string) (*crs.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		return crs.Synthesize(d, crs.FineGrainedPlacement(d))
+		return crs.Synthesize(spec, crs.WithDecomposition(d))
 	}
 	v, err := crs.GraphVariantByName(name)
 	if err != nil {

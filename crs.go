@@ -25,9 +25,13 @@
 //	p := crs.NewPlacement(d)
 //	p.SetStripes(d.Root, 1024)
 //	p.Place(d.EdgeByName("ρu"), d.Root, "src")
-//	r, _ := crs.Synthesize(d, p)
+//	r, _ := crs.Synthesize(spec, crs.WithDecomposition(d), crs.WithPlacement(p))
 //	r.Insert(crs.T("src", 1, "dst", 2), crs.T("weight", 42))
 //	succs, _ := r.Query(crs.T("src", 1), "dst", "weight")
+//
+// Omitting WithPlacement defaults to the fine-grain placement ψ2, and
+// crs.WithAutotune lets the §6.1 enumerator pick the representation from
+// the specification alone.
 //
 // # Prepared row execution
 //
@@ -286,8 +290,8 @@ type Pending[T any] = core.Pending[T]
 // relations:
 //
 //	db := crs.NewRegistry()
-//	users, _ := db.Synthesize("users", ud, crs.FineGrainedPlacement(ud))
-//	posts, _ := db.Synthesize("posts", pd, crs.FineGrainedPlacement(pd))
+//	users, _ := db.Synthesize("users", uspec, crs.WithDecomposition(ud))
+//	posts, _ := db.Synthesize("posts", pspec, crs.WithDecomposition(pd))
 //	db.Batch(func(tx *crs.Txn) error {
 //	    tx.InsertInto(posts, crs.T("author", 1, "post", 9), crs.T("ts", 4))
 //	    tx.RemoveFrom(users, crs.T("user", 1))        // bump the counter:
@@ -299,10 +303,61 @@ type Registry = core.Registry
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry { return core.NewRegistry() }
 
-// Synthesize compiles a decomposition and lock placement into a concurrent
-// relation — the paper's compiler entry point. Use Registry.Synthesize
-// instead when transactions must span several relations.
-func Synthesize(d *Decomposition, p *Placement) (*Relation, error) { return core.Synthesize(d, p) }
+// SynthOption configures a Synthesize, Registry.Synthesize or
+// Registry.Migrate call: pass an explicit representation with
+// WithDecomposition / WithPlacement, or let a picker derive one from the
+// specification (WithAutotune, WithPicker).
+type SynthOption = core.SynthOption
+
+// WithDecomposition selects an explicit decomposition.
+func WithDecomposition(d *Decomposition) SynthOption { return core.WithDecomposition(d) }
+
+// WithPlacement selects an explicit lock placement; omitted, the
+// fine-grain default placement ψ2 of the resolved decomposition is used.
+func WithPlacement(p *Placement) SynthOption { return core.WithPlacement(p) }
+
+// WithPicker installs a custom representation picker deriving the
+// decomposition (and optionally the placement) from the specification.
+// Explicit WithDecomposition / WithPlacement options take precedence.
+func WithPicker(pick func(Spec) (*Decomposition, *Placement, error)) SynthOption {
+	return core.WithPicker(pick)
+}
+
+// WithAutotune lets the §6.1 enumerator pick the representation: adequate
+// structures are enumerated from the specification (at most structLimit
+// per sharing mode; ≤ 0 means the default bound) and scored statically,
+// preferring representations whose containers keep the lock-free
+// optimistic read path available. Explicit options still win.
+func WithAutotune(structLimit int) SynthOption {
+	return core.WithPicker(autotune.PickGeneric(structLimit))
+}
+
+// Synthesize compiles a representation of spec into a concurrent relation
+// — the paper's compiler entry point. The representation comes from the
+// options: an explicit decomposition and placement, or a picker such as
+// WithAutotune. Use Registry.Synthesize instead when transactions must
+// span several relations.
+func Synthesize(spec Spec, opts ...SynthOption) (*Relation, error) {
+	return core.SynthesizeSpec(spec, opts...)
+}
+
+// SynthesizeDP is the positional form of Synthesize.
+//
+// Deprecated: use Synthesize with WithDecomposition and WithPlacement.
+func SynthesizeDP(d *Decomposition, p *Placement) (*Relation, error) { return core.Synthesize(d, p) }
+
+// Counters and migration (adaptive operation).
+type (
+	// Counters is a registry-wide harvested counter snapshot — aggregate
+	// totals, per-relation breakdowns and the migration event history;
+	// see Registry.Harvest and Relation.Harvest.
+	Counters = core.Counters
+	// RelationCounters is one relation's harvested counter snapshot.
+	RelationCounters = core.RelationCounters
+	// MigrationEvent describes one completed live representation
+	// migration; see Registry.Migrate.
+	MigrationEvent = core.MigrationEvent
+)
 
 // NewReference returns the coarsely locked reference implementation of the
 // relational operations, for differential testing.

@@ -23,7 +23,7 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	p := crs.NewPlacement(d)
 	p.SetStripes(d.Root, 64)
 	p.Place(d.EdgeByName("ρu"), d.Root, "src")
-	r, err := crs.Synthesize(d, p)
+	r, err := crs.Synthesize(d.Spec, crs.WithDecomposition(d), crs.WithPlacement(p))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func ExampleNewBuilder() {
 		Edge("ρy", "ρ", "y", []string{"parent", "name"}, crs.ConcurrentHashMap).
 		Edge("yz", "y", "z", []string{"child"}, crs.Cell).
 		Build()
-	dcache, _ := crs.Synthesize(d, crs.FineGrainedPlacement(d))
+	dcache, _ := crs.Synthesize(d.Spec, crs.WithDecomposition(d))
 	dcache.Insert(crs.T("parent", 1, "name", "a"), crs.T("child", 2))
 	child, _ := dcache.Query(crs.T("parent", 1, "name", "a"), "child")
 	fmt.Println(child[0])

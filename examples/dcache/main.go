@@ -32,7 +32,7 @@ func buildDcache() (*crs.Relation, *crs.Decomposition) {
 	}
 	// Fine-grain placement: one lock per directory (Figure 2(a)'s edge
 	// labels ρ, x, y are exactly these placements).
-	r, err := crs.Synthesize(d, crs.FineGrainedPlacement(d))
+	r, err := crs.Synthesize(spec, crs.WithDecomposition(d))
 	if err != nil {
 		log.Fatal(err)
 	}

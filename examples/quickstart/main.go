@@ -35,7 +35,7 @@ func main() {
 
 	// 3. Synthesize: the compiler validates everything, plans each
 	//    operation, and returns a serializable, deadlock-free relation.
-	graph, err := crs.Synthesize(d, p)
+	graph, err := crs.Synthesize(spec, crs.WithDecomposition(d), crs.WithPlacement(p))
 	if err != nil {
 		log.Fatal(err)
 	}

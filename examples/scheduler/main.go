@@ -52,7 +52,7 @@ func buildScheduler() *crs.Relation {
 	p.SetStripes(d.Root, 64)
 	p.Place(d.EdgeByName("ρa"), d.Root, "pid")
 	p.Place(d.EdgeByName("ρc"), d.Root)
-	r, err := crs.Synthesize(d, p)
+	r, err := crs.Synthesize(spec, crs.WithDecomposition(d), crs.WithPlacement(p))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -441,6 +441,12 @@ func (r *Relation) BatchReadOnly(fn func(tx *Txn) error) error {
 
 // batch is the shared body of Batch and BatchReadOnly.
 func (r *Relation) batch(fn func(tx *Txn) error, roOnly bool) error {
+	// Representation latch, held shared across the whole batch including
+	// the deferred buffer release (registered after the RUnlock, so it
+	// runs before it): a migration cutover is strictly ordered against
+	// every in-flight batch (migrate.go).
+	r.lockRep()
+	defer r.unlockRep()
 	b := r.getBuf()
 	defer r.putBuf(b)
 	// The Txn slot comes from the buffer's never-reused slab (newTxn): a
@@ -461,12 +467,29 @@ func (r *Relation) batch(fn func(tx *Txn) error, roOnly bool) error {
 		return nil
 	}
 	if t.readOnly() && r.commitReadOnly(t, t.single) {
+		r.ctr.batches.Add(1)
+		r.ctr.roOptimistic.Add(1)
+		r.ctr.noteMembers(b.members)
 		return nil
 	}
 	if ok, err := r.commitOCC(t, t.single); ok || err != nil {
+		if ok && err == nil {
+			// Counted before the deferred putBuf releases the locks, so
+			// HeldCount still reflects the commit's write-lock set.
+			r.ctr.batches.Add(1)
+			r.ctr.occCommits.Add(1)
+			r.ctr.locksAcquired.Add(uint64(b.txn.HeldCount()))
+			r.ctr.noteMembers(b.members)
+		}
 		return err
 	}
-	return r.commitBatch(t, t.single)
+	if err := r.commitBatch(t, t.single); err != nil {
+		return err
+	}
+	r.ctr.batches.Add(1)
+	r.ctr.locksAcquired.Add(uint64(b.txn.HeldCount()))
+	r.ctr.noteMembers(b.members)
+	return nil
 }
 
 // errTxnSealed guards against enqueueing outside the Batch callback.
@@ -557,12 +580,16 @@ func (p *PreparedInsert) batchEnqueue(t *Txn, x rel.Row) (*Pending[bool], error)
 	if err != nil {
 		return nil, err
 	}
+	plan, err := p.resolve() // under the batch's representation latch
+	if err != nil {
+		return nil, err
+	}
 	if err := p.r.checkRow(x, p.r.fullMask); err != nil {
 		return nil, err
 	}
 	pb := sh.b.newPB()
 	m := t.newMember(sh, mInsert)
-	m.ins, m.mut, m.row, m.pb = p.plan, p.plan.mut, sh.b.copyRow(x), pb
+	m.ins, m.mut, m.row, m.pb = plan, plan.mut, sh.b.copyRow(x), pb
 	return pb, nil
 }
 
@@ -575,12 +602,16 @@ func (p *PreparedRemove) batchEnqueue(t *Txn, s rel.Row) (*Pending[bool], error)
 	if err != nil {
 		return nil, err
 	}
-	if err := p.r.checkRow(s, p.plan.mut.BoundMask); err != nil {
+	plan, err := p.resolve() // under the batch's representation latch
+	if err != nil {
+		return nil, err
+	}
+	if err := p.r.checkRow(s, plan.mut.BoundMask); err != nil {
 		return nil, err
 	}
 	pb := sh.b.newPB()
 	m := t.newMember(sh, mRemove)
-	m.rem, m.mut, m.row, m.pb = p.plan, p.plan.mut, sh.b.copyRow(s), pb
+	m.rem, m.mut, m.row, m.pb = plan, plan.mut, sh.b.copyRow(s), pb
 	return pb, nil
 }
 
@@ -599,12 +630,16 @@ func (t *Txn) CountRow(q *PreparedQuery, s rel.Row) (*Pending[int], error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := q.r.checkRow(s, q.plan.BoundMask); err != nil {
+	ps, err := q.plans() // under the batch's representation latch
+	if err != nil {
+		return nil, err
+	}
+	if err := q.r.checkRow(s, ps.plan.BoundMask); err != nil {
 		return nil, err
 	}
 	pi := sh.b.newPI()
 	m := t.newMember(sh, mCount)
-	m.steps, m.boundMask, m.qprog = q.countPlan.Steps, q.countPlan.BoundMask, q.countPlan.Prog
+	m.steps, m.boundMask, m.qprog = ps.countPlan.Steps, ps.countPlan.BoundMask, ps.countPlan.Prog
 	m.row, m.pi = sh.b.copyRow(s), pi
 	return pi, nil
 }
@@ -618,12 +653,16 @@ func (t *Txn) ExecRows(q *PreparedQuery, s rel.Row, yield func(rel.Row) bool) er
 	if err != nil {
 		return err
 	}
-	if err := q.r.checkRow(s, q.plan.BoundMask); err != nil {
+	ps, err := q.plans() // under the batch's representation latch
+	if err != nil {
+		return err
+	}
+	if err := q.r.checkRow(s, ps.plan.BoundMask); err != nil {
 		return err
 	}
 	m := t.newMember(sh, mQuery)
-	m.steps, m.boundMask, m.qprog = q.plan.Steps, q.plan.BoundMask, q.plan.Prog
-	m.outIdx, m.outCols = q.plan.OutIdx, q.plan.OutCols
+	m.steps, m.boundMask, m.qprog = ps.plan.Steps, ps.plan.BoundMask, ps.plan.Prog
+	m.outIdx, m.outCols = ps.plan.OutIdx, ps.plan.OutCols
 	m.row, m.yield = sh.b.copyRow(s), yield
 	return nil
 }
@@ -840,12 +879,19 @@ func (r *Relation) commitBatch(t *Txn, sh *txnShard) error {
 		r.applyMember(b, &b.members[i], i, sh.firstMut)
 	}
 	// Commit point: fully applied, locks still held (see redo.go).
-	if lg := r.commitLogger(); lg != nil {
+	if lg, tp := r.commitLogger(), r.commitTap(); lg != nil || tp != nil {
 		if ops := r.shardRedo(b); ops != nil {
-			if err := lg.LogCommit(ops); err != nil {
-				undo.rollback()
-				b.apply = false
-				return err
+			if lg != nil {
+				if err := lg.LogCommit(ops); err != nil {
+					undo.rollback()
+					b.apply = false
+					return err
+				}
+			}
+			// Migration tap: durable commits only, under the held locks
+			// (migrate.go).
+			if tp != nil {
+				tp.record(ops)
 			}
 		}
 	}

@@ -327,6 +327,18 @@ func TestBatchLockAudit(t *testing.T) {
 // the same per-operation results and final contents as the same sequence
 // executed one operation at a time against the §2 reference.
 func TestBatchDifferentialQuick(t *testing.T) {
+	runBatchDifferentialQuick(t)
+}
+
+// TestBatchDifferentialQuickCursorMachine re-runs the same differential
+// with the round-map scheduler disabled, so the generic cursor machine
+// (the fallback scheduler) stays pinned to the sequential oracle too.
+func TestBatchDifferentialQuickCursorMachine(t *testing.T) {
+	defer SetRoundMaps(SetRoundMaps(false))
+	runBatchDifferentialQuick(t)
+}
+
+func runBatchDifferentialQuick(t *testing.T) {
 	for _, name := range []string{"stick/fine/tree+tree", "split/striped/chm+hash", "diamond/speculative"} {
 		var v *variant
 		vars := graphVariants()

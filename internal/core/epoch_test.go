@@ -141,7 +141,7 @@ func TestEpochRollbackNoStaleValidation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		r, err := g.Synthesize(name, d, locks.FineGrained(d))
+		r, err := g.Synthesize(name, d.Spec, WithDecomposition(d), WithPlacement(locks.FineGrained(d)))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -54,11 +54,17 @@ func (r *Relation) runInsert(plan *insertPlan, x rel.Row) bool {
 	// i.e. some tuple matches s — the insert must not happen.
 	if len(estates) > 0 {
 		b.recycle(estates)
+		r.ctr.writes.Add(1)
 		return false
 	}
 	b.recycle(estates)
 
 	r.insertWrite(b, xinst, x)
+	r.ctr.writes.Add(1)
+	// Migration tap (migrate.go): the deferred putBuf still holds this
+	// operation's locks here, so the recorded order is the serialization
+	// order.
+	r.tapDirect(true, plan.mut.BoundMask, x)
 	return true
 }
 
@@ -138,6 +144,11 @@ func (r *Relation) runRemove(plan *removePlan, s rel.Row) bool {
 		removed = true
 	}
 	b.recycle(states)
+	r.ctr.writes.Add(1)
+	if removed {
+		// Migration tap (migrate.go): locks still held (putBuf deferred).
+		r.tapDirect(false, plan.mut.BoundMask, s)
+	}
 	return removed
 }
 

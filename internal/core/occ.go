@@ -81,6 +81,7 @@ func (r *Relation) commitOCC(t *Txn, sh *txnShard) (bool, error) {
 	for attempt := 0; attempt < optimisticMaxAttempts; attempt++ {
 		if attempt > 0 {
 			optimisticBackoff(attempt)
+			r.ctr.occRetries.Add(1)
 		}
 		if tr := t.trace; tr != nil {
 			tr.Attempts++
@@ -158,11 +159,19 @@ func (r *Relation) occApply(b *opBuf, firstMut int, deliver func()) (ok bool, er
 	if b.reads.Validate(b.txn.HoldsExclusive) {
 		// Commit point: validation succeeded, write locks held, nothing
 		// delivered yet — exactly where a replayed prefix must cut.
-		if lg := r.commitLogger(); lg != nil {
-			if lerr := lg.LogCommit(r.shardRedo(b)); lerr != nil {
-				undo.rollback()
-				b.finishEpochs()
-				return false, lerr
+		if lg, tp := r.commitLogger(), r.commitTap(); lg != nil || tp != nil {
+			ops := r.shardRedo(b)
+			if lg != nil && ops != nil {
+				if lerr := lg.LogCommit(ops); lerr != nil {
+					undo.rollback()
+					b.finishEpochs()
+					return false, lerr
+				}
+			}
+			// Migration tap: durable commits only, under the held write
+			// locks (migrate.go).
+			if tp != nil && ops != nil {
+				tp.record(ops)
 			}
 		}
 		deliver()
@@ -202,6 +211,7 @@ func occResetBuf(b *opBuf) {
 // rolled back and their epoch cells end-bumped, so releasing here exposes
 // exactly the pre-batch state.
 func (r *Relation) occFallback(t *Txn, b *opBuf) {
+	r.ctr.occFallbacks.Add(1)
 	occFallbackTrace(t)
 	occResetBuf(b)
 	b.txn.ReleaseAll()
@@ -247,6 +257,7 @@ func (g *Registry) commitOCC(t *Txn) (bool, error) {
 	for attempt := 0; attempt < optimisticMaxAttempts; attempt++ {
 		if attempt > 0 {
 			optimisticBackoff(attempt)
+			g.ctr.occRetries.Add(1)
 		}
 		if tr := t.trace; tr != nil {
 			tr.Attempts++
@@ -281,6 +292,7 @@ func (g *Registry) commitOCC(t *Txn) (bool, error) {
 			return true, nil
 		}
 	}
+	g.ctr.occFallbacks.Add(1)
 	occFallbackTrace(t)
 	for _, sh := range t.multi.shards {
 		occResetBuf(sh.b)
@@ -332,13 +344,21 @@ func (g *Registry) occApply(t *Txn, deliver func()) (ok bool, err error) {
 	if valid {
 		// Commit point: every shard validated, all locks held, nothing
 		// delivered yet (see redo.go).
-		if lg := g.logger; lg != nil {
-			if lerr := lg.LogCommit(t.registryRedo()); lerr != nil {
-				undo.rollback()
-				for _, sh := range t.multi.shards {
-					sh.b.finishEpochs()
+		if lg, tp := g.logger, g.tap.Load(); lg != nil || tp != nil {
+			ops := t.registryRedo()
+			if lg != nil && ops != nil {
+				if lerr := lg.LogCommit(ops); lerr != nil {
+					undo.rollback()
+					for _, sh := range t.multi.shards {
+						sh.b.finishEpochs()
+					}
+					return false, lerr
 				}
-				return false, lerr
+			}
+			// Migration tap: durable commits only, under the held locks
+			// (migrate.go).
+			if tp != nil && ops != nil {
+				tp.record(ops)
 			}
 		}
 		deliver()

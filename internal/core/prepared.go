@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/query"
 	"repro/internal/rel"
@@ -18,44 +19,90 @@ import (
 //   - the Row API (ExecRow/ExecRows/CountRow), which accepts
 //     schema-indexed rel.Row values directly and performs no column-name
 //     work at all — the §6.2 benchmark adapters use it.
+//
+// A handle survives live migration (migrate.go): it stores its SIGNATURE
+// plus an atomically published plan bundle stamped with the relation's
+// representation version. Every execution — running under the shared
+// representation latch — compares the stamp against the current version;
+// on the steady state that is one atomic load and an integer compare, and
+// after a cutover bumped the version the handle transparently recompiles
+// through the relation's (already warm) plan caches.
+
+// preparedQueryPlans is one representation's compiled plans for a query
+// signature.
+type preparedQueryPlans struct {
+	ver  uint64
+	plan *query.Plan
+	// countPlan is the count-pushdown plan (internal/query/count.go),
+	// falling back to the full plan when no counting frontier exists.
+	countPlan *query.Plan
+}
 
 // PreparedQuery is a compiled query handle for one (bound columns, output
 // columns) signature.
 type PreparedQuery struct {
-	r    *Relation
-	plan *query.Plan
-	// countPlan is the count-pushdown plan (internal/query/count.go),
-	// compiled lazily-eagerly here since preparation is one-time.
-	countPlan *query.Plan
+	r     *Relation
+	bound []string
+	out   []string
+	pl    atomic.Pointer[preparedQueryPlans]
 }
 
 // PrepareQuery compiles the query signature once. The tuple or row passed
-// to Exec/Count must bind exactly the prepared bound columns.
+// to Exec/Count must bind exactly the prepared bound columns. The handle
+// stays valid across live migrations.
 func (r *Relation) PrepareQuery(bound, out []string) (*PreparedQuery, error) {
+	r.lockRep()
+	defer r.unlockRep()
 	if err := r.checkCols(bound); err != nil {
 		return nil, err
 	}
 	if err := r.checkCols(out); err != nil {
 		return nil, err
 	}
-	plan, err := r.queryPlanFor(bound, out)
+	q := &PreparedQuery{r: r, bound: append([]string(nil), bound...), out: append([]string(nil), out...)}
+	if _, err := q.plans(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// plans returns the handle's plan bundle for the CURRENT representation,
+// recompiling through the relation's plan caches when a migration bumped
+// the version since the bundle was stamped. Callers hold the
+// representation latch (directly or via their enclosing batch), which is
+// what makes the version compare meaningful.
+func (q *PreparedQuery) plans() (*preparedQueryPlans, error) {
+	r := q.r
+	ver := r.repVer
+	if ps := q.pl.Load(); ps != nil && ps.ver == ver {
+		return ps, nil
+	}
+	plan, err := r.queryPlanFor(q.bound, q.out)
 	if err != nil {
 		return nil, err
 	}
-	countPlan, err := r.countPlanFor(bound)
+	countPlan, err := r.countPlanFor(q.bound)
 	if err != nil {
 		countPlan = plan // fall back to the full plan
 	}
-	return &PreparedQuery{r: r, plan: plan, countPlan: countPlan}, nil
+	ps := &preparedQueryPlans{ver: ver, plan: plan, countPlan: countPlan}
+	q.pl.Store(ps)
+	return ps, nil
 }
 
 // Exec runs the prepared query for the bound tuple s.
 func (q *PreparedQuery) Exec(s rel.Tuple) ([]rel.Tuple, error) {
-	row, err := q.r.rowForTuple(s, q.plan.BoundMask)
+	q.r.lockRep()
+	defer q.r.unlockRep()
+	ps, err := q.plans()
 	if err != nil {
 		return nil, err
 	}
-	return q.r.runQueryTuples(q.plan, row), nil
+	row, err := q.r.rowForTuple(s, ps.plan.BoundMask)
+	if err != nil {
+		return nil, err
+	}
+	return q.r.runQueryTuples(ps.plan, row), nil
 }
 
 // ExecRows runs the prepared query for the bound row s and yields each
@@ -67,19 +114,26 @@ func (q *PreparedQuery) Exec(s rel.Tuple) ([]rel.Tuple, error) {
 // the query's shared locks are held for the duration of the iteration.
 // Either way the yielded rows are a validated consistent snapshot.
 func (q *PreparedQuery) ExecRows(s rel.Row, yield func(rel.Row) bool) error {
-	if err := q.r.checkRow(s, q.plan.BoundMask); err != nil {
+	q.r.lockRep()
+	defer q.r.unlockRep()
+	ps, err := q.plans()
+	if err != nil {
 		return err
 	}
+	if err := q.r.checkRow(s, ps.plan.BoundMask); err != nil {
+		return err
+	}
+	q.r.ctr.reads.Add(1)
 	b := q.r.getBuf()
 	defer q.r.putBuf(b)
 	states, ok := []*qstate(nil), false
 	if q.r.optimisticOK {
 		// Lock-free single-operation read path: yields run only after the
 		// recorded epochs validated, so callers never see torn rows.
-		states, ok = q.r.runStatesOptimistic(b, q.plan.Steps, s, q.plan.BoundMask)
+		states, ok = q.r.runStatesOptimistic(b, ps.plan.Steps, s, ps.plan.BoundMask)
 	}
 	if !ok {
-		states = q.r.runSteps(b, q.plan.Steps, s, q.plan.BoundMask)
+		states = q.r.runSteps(b, ps.plan.Steps, s, ps.plan.BoundMask)
 	}
 	for _, st := range states {
 		if !yield(st.row) {
@@ -95,20 +149,32 @@ func (q *PreparedQuery) ExecRows(s rel.Row, yield func(rel.Row) bool) error {
 // entries are keyed tuples are counted by container size under the
 // already-required locks instead of being traversed.
 func (q *PreparedQuery) Count(s rel.Tuple) (int, error) {
-	row, err := q.r.rowForTuple(s, q.plan.BoundMask)
+	q.r.lockRep()
+	defer q.r.unlockRep()
+	ps, err := q.plans()
 	if err != nil {
 		return 0, err
 	}
-	return q.r.runCount(q.countPlan, row), nil
+	row, err := q.r.rowForTuple(s, ps.plan.BoundMask)
+	if err != nil {
+		return 0, err
+	}
+	return q.r.runCount(ps.countPlan, row), nil
 }
 
 // CountRow is Count over a schema-indexed row, the zero-name-resolution
 // fast path.
 func (q *PreparedQuery) CountRow(s rel.Row) (int, error) {
-	if err := q.r.checkRow(s, q.plan.BoundMask); err != nil {
+	q.r.lockRep()
+	defer q.r.unlockRep()
+	ps, err := q.plans()
+	if err != nil {
 		return 0, err
 	}
-	return q.r.runCount(q.countPlan, s), nil
+	if err := q.r.checkRow(s, ps.plan.BoundMask); err != nil {
+		return 0, err
+	}
+	return q.r.runCount(ps.countPlan, s), nil
 }
 
 // runQueryTuples executes a compiled plan and materializes the results as
@@ -117,6 +183,7 @@ func (q *PreparedQuery) CountRow(s rel.Row) (int, error) {
 // (materialization happens only after a successful validation), falling
 // back to the locking execution otherwise.
 func (r *Relation) runQueryTuples(plan *query.Plan, op rel.Row) []rel.Tuple {
+	r.ctr.reads.Add(1)
 	b := r.getBuf()
 	defer r.putBuf(b)
 	states, ok := []*qstate(nil), false
@@ -143,6 +210,7 @@ func (r *Relation) runQueryTuples(plan *query.Plan, op rel.Row) []rel.Tuple {
 // On OptimisticCapable relations the count runs lock-free with epoch
 // validation, falling back to the locking execution otherwise.
 func (r *Relation) runCount(plan *query.Plan, op rel.Row) int {
+	r.ctr.reads.Add(1)
 	b := r.getBuf()
 	defer r.putBuf(b)
 	if r.optimisticOK {
@@ -179,7 +247,8 @@ func (r *Relation) checkRow(s rel.Row, want uint64) error {
 	return nil
 }
 
-// maskCols renders a bound mask as its column names, for error messages.
+// maskCols renders a bound mask as its column names (error messages, and
+// the signature key of migration replay's plan lookups; migrate.go).
 func (r *Relation) maskCols(mask uint64) []string {
 	cols := make([]string, 0, r.schema.Len())
 	for i := 0; i < r.schema.Len(); i++ {
@@ -190,24 +259,55 @@ func (r *Relation) maskCols(mask uint64) []string {
 	return cols
 }
 
-// PreparedInsert is a compiled insert handle for one key-column split.
-type PreparedInsert struct {
-	r    *Relation
+// preparedInsertPlan is one representation's compiled insert plan.
+type preparedInsertPlan struct {
+	ver  uint64
 	plan *insertPlan
 }
 
-// PrepareInsert compiles insert r s t for dom(s) = sCols.
+// PreparedInsert is a compiled insert handle for one key-column split.
+type PreparedInsert struct {
+	r     *Relation
+	sCols []string
+	pl    atomic.Pointer[preparedInsertPlan]
+}
+
+// PrepareInsert compiles insert r s t for dom(s) = sCols. The handle
+// stays valid across live migrations.
 func (r *Relation) PrepareInsert(sCols []string) (*PreparedInsert, error) {
-	plan, err := r.insertPlanFor(sCols)
+	r.lockRep()
+	defer r.unlockRep()
+	p := &PreparedInsert{r: r, sCols: append([]string(nil), sCols...)}
+	if _, err := p.resolve(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// resolve returns the handle's insert plan for the current
+// representation; see PreparedQuery.plans.
+func (p *PreparedInsert) resolve() (*insertPlan, error) {
+	ver := p.r.repVer
+	if ps := p.pl.Load(); ps != nil && ps.ver == ver {
+		return ps.plan, nil
+	}
+	plan, err := p.r.insertPlanFor(p.sCols)
 	if err != nil {
 		return nil, err
 	}
-	return &PreparedInsert{r: r, plan: plan}, nil
+	p.pl.Store(&preparedInsertPlan{ver: ver, plan: plan})
+	return plan, nil
 }
 
 // Exec runs the prepared insert; s must bind the prepared key columns and
 // s ∪ t must bind every column.
 func (p *PreparedInsert) Exec(s, t rel.Tuple) (bool, error) {
+	p.r.lockRep()
+	defer p.r.unlockRep()
+	plan, err := p.resolve()
+	if err != nil {
+		return false, err
+	}
 	x, err := s.Union(t)
 	if err != nil {
 		return false, err
@@ -216,47 +316,90 @@ func (p *PreparedInsert) Exec(s, t rel.Tuple) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return p.r.runInsert(p.plan, row), nil
+	return p.r.runInsert(plan, row), nil
 }
 
 // ExecRow runs the prepared insert for a fully bound row x; the key
 // columns s of the put-if-absent check are the prepared subset of x.
 func (p *PreparedInsert) ExecRow(x rel.Row) (bool, error) {
+	p.r.lockRep()
+	defer p.r.unlockRep()
+	plan, err := p.resolve()
+	if err != nil {
+		return false, err
+	}
 	if err := p.r.checkRow(x, p.r.fullMask); err != nil {
 		return false, err
 	}
-	return p.r.runInsert(p.plan, x), nil
+	return p.r.runInsert(plan, x), nil
+}
+
+// preparedRemovePlan is one representation's compiled remove plan.
+type preparedRemovePlan struct {
+	ver  uint64
+	plan *removePlan
 }
 
 // PreparedRemove is a compiled remove handle for one key signature.
 type PreparedRemove struct {
-	r    *Relation
-	plan *removePlan
+	r     *Relation
+	sCols []string
+	pl    atomic.Pointer[preparedRemovePlan]
 }
 
-// PrepareRemove compiles remove r s for dom(s) = sCols (a key).
+// PrepareRemove compiles remove r s for dom(s) = sCols (a key). The
+// handle stays valid across live migrations.
 func (r *Relation) PrepareRemove(sCols []string) (*PreparedRemove, error) {
-	plan, err := r.removePlanFor(sCols)
+	r.lockRep()
+	defer r.unlockRep()
+	p := &PreparedRemove{r: r, sCols: append([]string(nil), sCols...)}
+	if _, err := p.resolve(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// resolve returns the handle's remove plan for the current
+// representation; see PreparedQuery.plans.
+func (p *PreparedRemove) resolve() (*removePlan, error) {
+	ver := p.r.repVer
+	if ps := p.pl.Load(); ps != nil && ps.ver == ver {
+		return ps.plan, nil
+	}
+	plan, err := p.r.removePlanFor(p.sCols)
 	if err != nil {
 		return nil, err
 	}
-	return &PreparedRemove{r: r, plan: plan}, nil
+	p.pl.Store(&preparedRemovePlan{ver: ver, plan: plan})
+	return plan, nil
 }
 
 // Exec runs the prepared remove; s must bind the prepared key columns.
 func (p *PreparedRemove) Exec(s rel.Tuple) (bool, error) {
-	row, err := p.r.rowForTuple(s, p.plan.mut.BoundMask)
+	p.r.lockRep()
+	defer p.r.unlockRep()
+	plan, err := p.resolve()
 	if err != nil {
 		return false, err
 	}
-	return p.r.runRemove(p.plan, row), nil
+	row, err := p.r.rowForTuple(s, plan.mut.BoundMask)
+	if err != nil {
+		return false, err
+	}
+	return p.r.runRemove(plan, row), nil
 }
 
 // ExecRow runs the prepared remove for a row binding exactly the prepared
 // key columns.
 func (p *PreparedRemove) ExecRow(s rel.Row) (bool, error) {
-	if err := p.r.checkRow(s, p.plan.mut.BoundMask); err != nil {
+	p.r.lockRep()
+	defer p.r.unlockRep()
+	plan, err := p.resolve()
+	if err != nil {
 		return false, err
 	}
-	return p.r.runRemove(p.plan, s), nil
+	if err := p.r.checkRow(s, plan.mut.BoundMask); err != nil {
+		return false, err
+	}
+	return p.r.runRemove(plan, s), nil
 }

@@ -512,7 +512,7 @@ func TestRegistryReadOnlyLockFree(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		r, err := g.Synthesize(name, d, locks.FineGrained(d))
+		r, err := g.Synthesize(name, d.Spec, WithDecomposition(d), WithPlacement(locks.FineGrained(d)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -600,7 +600,7 @@ func TestRegistryOptimisticConcurrentStress(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		r, err := g.Synthesize(name, d, locks.FineGrained(d))
+		r, err := g.Synthesize(name, d.Spec, WithDecomposition(d), WithPlacement(locks.FineGrained(d)))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/decomp"
 	"repro/internal/locks"
+	"repro/internal/rel"
 )
 
 // Registry is a set of synthesized relations sharing one transactional
@@ -35,6 +37,25 @@ type Registry struct {
 	// logger, when non-nil, persists every committed mutating batch at its
 	// commit point (redo.go). Set via SetCommitLogger before traffic.
 	logger CommitLogger
+
+	// migrMu is the representation latch (migrate.go): every operation
+	// entry point holds it shared for the operation's full duration;
+	// Migrate's cutover holds it exclusive, so exclusivity means no
+	// operation is in flight and none can start. It precedes every data
+	// lock in the acquisition order and so cannot close a deadlock cycle.
+	migrMu sync.RWMutex
+	// migrateMu serializes whole migrations (one at a time per registry).
+	migrateMu sync.Mutex
+	// tap, when non-nil, records committed mutations against the relation
+	// under migration; checked (one atomic load) beside the commit logger
+	// at every commit point (migrate.go).
+	tap atomic.Pointer[migrationTap]
+
+	// ctr holds the registry-level live counter cells (counters.go).
+	ctr regCounters
+	// evMu guards events, the completed-migration history Harvest copies.
+	evMu   sync.Mutex
+	events []MigrationEvent
 }
 
 // registryApplyHook, when non-nil, runs before each member of a registry
@@ -48,13 +69,29 @@ func NewRegistry() *Registry {
 	return &Registry{}
 }
 
-// Synthesize compiles a decomposition and lock placement into a relation
-// registered under name — the multi-relation analog of the package-level
-// Synthesize. The returned relation's id is its registration order (first
-// relation gets 1; id 0 is reserved for standalone relations), fixed
-// before any lock array exists so every lock ID carries it. Names must be
-// unique and non-empty.
-func (g *Registry) Synthesize(name string, d *decomp.Decomposition, p *locks.Placement) (*Relation, error) {
+// Synthesize compiles a representation for spec and registers it under
+// name — the multi-relation analog of the package-level Synthesize. The
+// representation comes from the options: an explicit decomposition
+// (WithDecomposition, optionally WithPlacement) or a picker
+// (WithPicker); a missing placement defaults to the fine-grain ψ2. The
+// same option vocabulary drives Migrate, so creating a relation and
+// re-synthesizing a live one read identically. The returned relation's
+// id is its registration order (first relation gets 1; id 0 is reserved
+// for standalone relations), fixed before any lock array exists so every
+// lock ID carries it. Names must be unique and non-empty.
+func (g *Registry) Synthesize(name string, spec rel.Spec, opts ...SynthOption) (*Relation, error) {
+	d, p, err := resolveSynth(spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	return g.SynthesizeDP(name, d, p)
+}
+
+// SynthesizeDP is the positional predecessor of Synthesize: an explicit
+// decomposition + placement pair.
+//
+// Deprecated: use Synthesize with WithDecomposition and WithPlacement.
+func (g *Registry) SynthesizeDP(name string, d *decomp.Decomposition, p *locks.Placement) (*Relation, error) {
 	if name == "" {
 		return nil, fmt.Errorf("core: registry relations need a name")
 	}
@@ -136,6 +173,12 @@ func (g *Registry) BatchReadOnly(fn func(tx *Txn) error) error {
 
 // batch is the shared body of Batch and BatchReadOnly.
 func (g *Registry) batch(fn func(tx *Txn) error, roOnly bool) error {
+	// Representation latch, held shared across the whole batch — assembly,
+	// commit AND the deferred shrink below (registered after the RUnlock,
+	// so it runs before it) — keeping a migration cutover strictly ordered
+	// against every in-flight batch (migrate.go).
+	g.migrMu.RLock()
+	defer g.migrMu.RUnlock()
 	lt := g.getTxn()
 	t := &Txn{reg: g, ltxn: lt, roOnly: roOnly, multi: &txnReg{}}
 	defer func() {
@@ -171,12 +214,20 @@ func (g *Registry) batch(fn func(tx *Txn) error, roOnly bool) error {
 	sort.Slice(t.multi.shards, func(i, j int) bool { return t.multi.shards[i].r.regID < t.multi.shards[j].r.regID })
 	if t.readOnly() {
 		if g.commitReadOnly(t) {
+			g.noteBatch(t, true, false)
 			return nil
 		}
 	} else if ok, err := g.commitOCC(t); ok || err != nil {
+		if ok && err == nil {
+			g.noteBatch(t, false, true)
+		}
 		return err
 	}
-	return g.commitTxn(t)
+	if err := g.commitTxn(t); err != nil {
+		return err
+	}
+	g.noteBatch(t, false, false)
+	return nil
 }
 
 // commitTxn executes an assembled registry transaction: shard growing
@@ -222,14 +273,22 @@ func (g *Registry) commitTxn(t *Txn) error {
 	// Append the redo record now, so the log order of conflicting batches
 	// is their serialization order; failure unwinds through the same undo
 	// log a mid-apply panic would use.
-	if lg := g.logger; lg != nil {
+	if lg, tp := g.logger, g.tap.Load(); lg != nil || tp != nil {
 		if ops := t.registryRedo(); ops != nil {
-			if err := lg.LogCommit(ops); err != nil {
-				undo.rollback()
-				for _, sh := range t.multi.shards {
-					sh.b.apply = false
+			if lg != nil {
+				if err := lg.LogCommit(ops); err != nil {
+					undo.rollback()
+					for _, sh := range t.multi.shards {
+						sh.b.apply = false
+					}
+					return err
 				}
-				return err
+			}
+			// The migration tap records only durable commits, after the
+			// logger accepted the batch and still under every held lock
+			// (migrate.go).
+			if tp != nil {
+				tp.record(ops)
 			}
 		}
 	}

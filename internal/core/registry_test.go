@@ -38,7 +38,7 @@ func testRegistry(t *testing.T) (*Registry, *Relation, *Relation) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	users, err := g.Synthesize("users", ud, locks.FineGrained(ud))
+	users, err := g.Synthesize("users", ud.Spec, WithDecomposition(ud), WithPlacement(locks.FineGrained(ud)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func testRegistry(t *testing.T) (*Registry, *Relation, *Relation) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	posts, err := g.Synthesize("posts", pd, locks.FineGrained(pd))
+	posts, err := g.Synthesize("posts", pd.Spec, WithDecomposition(pd), WithPlacement(locks.FineGrained(pd)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,10 +78,10 @@ func TestRegistrySynthesize(t *testing.T) {
 		Edge("ρu", "ρ", "u", []string{"user"}, container.HashMap).
 		Edge("uc", "u", "c", []string{"posts"}, container.Cell).
 		Build()
-	if _, err := g.Synthesize("users", ud, locks.FineGrained(ud)); err == nil {
+	if _, err := g.Synthesize("users", ud.Spec, WithDecomposition(ud), WithPlacement(locks.FineGrained(ud))); err == nil {
 		t.Fatal("duplicate name accepted")
 	}
-	if _, err := g.Synthesize("", ud, locks.FineGrained(ud)); err == nil {
+	if _, err := g.Synthesize("", ud.Spec, WithDecomposition(ud)); err == nil {
 		t.Fatal("empty name accepted")
 	}
 	standalone, err := Synthesize(ud, locks.FineGrained(ud))

@@ -56,8 +56,19 @@ type Relation struct {
 	optimisticOK bool
 
 	// bufPool recycles operation buffers (transaction, query states, key
-	// arena) across operations; see opBuf.
-	bufPool sync.Pool
+	// arena) across operations; see opBuf. A pointer so a migration can
+	// adopt the replacement representation's pool wholesale (buffers are
+	// shaped by the decomposition; migrate.go).
+	bufPool *sync.Pool
+
+	// repVer counts representation adoptions (migrate.go): bumped under
+	// the exclusive representation latch at each cutover, read under the
+	// shared latch by prepared handles to re-resolve their plans.
+	repVer uint64
+
+	// ctr holds the relation's live counter cells (counters.go). On the
+	// Relation, not the representation: counts survive migrations.
+	ctr relCounters
 
 	// Plan caches: the paper compiles each syntactic operation once; the
 	// library equivalent compiles per operation signature on first use.
@@ -121,6 +132,7 @@ func synthesize(g *Registry, regID int, name string, d *decomp.Decomposition, p 
 		name:        name,
 		schema:      schema,
 		fullMask:    schema.FullMask(),
+		bufPool:     &sync.Pool{},
 		queryPlans:  map[string]*query.Plan{},
 		countPlans:  map[string]*query.Plan{},
 		insertPlans: map[string]*insertPlan{},
@@ -165,19 +177,34 @@ func (r *Relation) RegistryID() int { return r.regID }
 // to build rel.Row values for the prepared row API.
 func (r *Relation) Schema() *rel.Schema { return r.schema }
 
-// Decomposition returns the static decomposition backing the relation.
-func (r *Relation) Decomposition() *decomp.Decomposition { return r.decomp }
+// Decomposition returns the decomposition currently backing the
+// relation (a migration may replace it; migrate.go).
+func (r *Relation) Decomposition() *decomp.Decomposition {
+	r.lockRep()
+	defer r.unlockRep()
+	return r.decomp
+}
 
-// Placement returns the lock placement backing the relation.
-func (r *Relation) Placement() *locks.Placement { return r.placement }
+// Placement returns the lock placement currently backing the relation
+// (a migration may replace it; migrate.go).
+func (r *Relation) Placement() *locks.Placement {
+	r.lockRep()
+	defer r.unlockRep()
+	return r.placement
+}
 
 // OptimisticCapable reports whether read-only batches against this
 // relation may run lock-free under the optimistic epoch-validation
 // protocol: true iff every container in the decomposition is
 // concurrency-safe (Figure 1). Batch and BatchReadOnly fall back to
 // pessimistic two-phase locking — with identical results — when this is
-// false.
-func (r *Relation) OptimisticCapable() bool { return r.optimisticOK }
+// false. A migration can change the answer (that unlock is the point of
+// a TreeMap → ConcurrentSkipListMap migration).
+func (r *Relation) OptimisticCapable() bool {
+	r.lockRep()
+	defer r.unlockRep()
+	return r.optimisticOK
+}
 
 func planKey(bound, out []string) string {
 	return strings.Join(bound, ",") + "|" + strings.Join(out, ",")
@@ -279,6 +306,8 @@ func (r *Relation) removePlanFor(sCols []string) (*removePlan, error) {
 // every tuple in the relation extending s. The result order is
 // unspecified.
 func (r *Relation) Query(s rel.Tuple, out ...string) ([]rel.Tuple, error) {
+	r.lockRep()
+	defer r.unlockRep()
 	if err := r.checkCols(s.Dom()); err != nil {
 		return nil, err
 	}
@@ -303,6 +332,8 @@ func (r *Relation) Query(s rel.Tuple, out ...string) ([]rel.Tuple, error) {
 // functional dependencies is the client's obligation, which the s/t split
 // makes checkable: bind the FD's left-hand side in s.
 func (r *Relation) Insert(s, t rel.Tuple) (bool, error) {
+	r.lockRep()
+	defer r.unlockRep()
 	x, err := s.Union(t)
 	if err != nil {
 		return false, err
@@ -328,6 +359,8 @@ func (r *Relation) Insert(s, t rel.Tuple) (bool, error) {
 // and reports whether any tuple was removed. As in the paper's
 // implementation, s must be a key for the relation.
 func (r *Relation) Remove(s rel.Tuple) (bool, error) {
+	r.lockRep()
+	defer r.unlockRep()
 	if err := r.checkCols(s.Dom()); err != nil {
 		return false, err
 	}
@@ -351,6 +384,8 @@ func (r *Relation) Snapshot() ([]rel.Tuple, error) {
 // ExplainQuery renders the chosen plan for a query signature in the
 // paper's let-notation (Figure 4 / §5.2).
 func (r *Relation) ExplainQuery(bound []string, out []string) (string, error) {
+	r.lockRep()
+	defer r.unlockRep()
 	plan, err := r.queryPlanFor(bound, out)
 	if err != nil {
 		return "", err
@@ -361,6 +396,8 @@ func (r *Relation) ExplainQuery(bound []string, out []string) (string, error) {
 // ExplainInsert renders the growing-phase directives for an insert keyed
 // by sCols.
 func (r *Relation) ExplainInsert(sCols []string) (string, error) {
+	r.lockRep()
+	defer r.unlockRep()
 	p, err := r.insertPlanFor(sCols)
 	if err != nil {
 		return "", err
@@ -371,6 +408,8 @@ func (r *Relation) ExplainInsert(sCols []string) (string, error) {
 // ExplainRemove renders the growing-phase directives for a remove keyed by
 // sCols.
 func (r *Relation) ExplainRemove(sCols []string) (string, error) {
+	r.lockRep()
+	defer r.unlockRep()
 	p, err := r.removePlanFor(sCols)
 	if err != nil {
 		return "", err
@@ -382,6 +421,8 @@ func (r *Relation) ExplainRemove(sCols []string) (string, error) {
 // plan: the integer offsets the executor runs on. Pair with ExplainQuery
 // (the paper's let-notation) to see both views of the same plan.
 func (r *Relation) DescribeQuery(bound, out []string) (string, error) {
+	r.lockRep()
+	defer r.unlockRep()
 	plan, err := r.queryPlanFor(bound, out)
 	if err != nil {
 		return "", err
@@ -392,6 +433,8 @@ func (r *Relation) DescribeQuery(bound, out []string) (string, error) {
 // DescribeCount renders the compiled count-pushdown plan for a
 // cardinality query binding the given columns.
 func (r *Relation) DescribeCount(bound []string) (string, error) {
+	r.lockRep()
+	defer r.unlockRep()
 	plan, err := r.countPlanFor(bound)
 	if err != nil {
 		return "", err
@@ -402,6 +445,8 @@ func (r *Relation) DescribeCount(bound []string) (string, error) {
 // DescribeInsert renders the compiled growing-phase directives of an
 // insert keyed by sCols.
 func (r *Relation) DescribeInsert(sCols []string) (string, error) {
+	r.lockRep()
+	defer r.unlockRep()
 	p, err := r.insertPlanFor(sCols)
 	if err != nil {
 		return "", err
@@ -412,6 +457,8 @@ func (r *Relation) DescribeInsert(sCols []string) (string, error) {
 // DescribeRemove renders the compiled growing-phase directives of a
 // remove keyed by sCols.
 func (r *Relation) DescribeRemove(sCols []string) (string, error) {
+	r.lockRep()
+	defer r.unlockRep()
 	p, err := r.removePlanFor(sCols)
 	if err != nil {
 		return "", err
@@ -423,6 +470,8 @@ func (r *Relation) DescribeRemove(sCols []string) (string, error) {
 // the flat lock schedule the batched growing phase walks (§5's
 // synchronization-is-compiled thesis applied to batches).
 func (r *Relation) DescribeQueryRounds(bound, out []string) (string, error) {
+	r.lockRep()
+	defer r.unlockRep()
 	plan, err := r.queryPlanFor(bound, out)
 	if err != nil {
 		return "", err
@@ -433,6 +482,8 @@ func (r *Relation) DescribeQueryRounds(bound, out []string) (string, error) {
 // DescribeCountRounds renders the compiled round map of the
 // count-pushdown plan binding the given columns.
 func (r *Relation) DescribeCountRounds(bound []string) (string, error) {
+	r.lockRep()
+	defer r.unlockRep()
 	plan, err := r.countPlanFor(bound)
 	if err != nil {
 		return "", err
@@ -443,6 +494,8 @@ func (r *Relation) DescribeCountRounds(bound []string) (string, error) {
 // DescribeInsertRounds renders the compiled round map of an insert's
 // growing phase (existence-check probes appear as their own rounds).
 func (r *Relation) DescribeInsertRounds(sCols []string) (string, error) {
+	r.lockRep()
+	defer r.unlockRep()
 	p, err := r.insertPlanFor(sCols)
 	if err != nil {
 		return "", err
@@ -453,6 +506,8 @@ func (r *Relation) DescribeInsertRounds(sCols []string) (string, error) {
 // DescribeRemoveRounds renders the compiled round map of a remove's
 // growing phase.
 func (r *Relation) DescribeRemoveRounds(sCols []string) (string, error) {
+	r.lockRep()
+	defer r.unlockRep()
 	p, err := r.removePlanFor(sCols)
 	if err != nil {
 		return "", err

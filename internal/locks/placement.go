@@ -107,6 +107,59 @@ func (p *Placement) SetStripes(n *decomp.Node, k int) *Placement {
 	return p
 }
 
+// Rebase clones placement p onto a structurally identical decomposition
+// d2 — typically the output of Decomposition.WithContainers, which
+// reassigns container kinds but preserves node and edge order. Every
+// rule's placement nodes are remapped by index (names are checked to
+// guard against shape drift) and the result is validated, since the new
+// container kinds may make a previously legal rule illegal (e.g.
+// entry-level striping on a container that is no longer concurrency-safe
+// never happens on upgrades, but downgrades exist too). The online
+// advisor uses Rebase to carry a tuned placement across a container
+// migration.
+func Rebase(p *Placement, d2 *decomp.Decomposition) (*Placement, error) {
+	d := p.D
+	if len(p.Rules) != len(d2.Edges) || len(p.Stripes) != len(d2.Nodes) {
+		return nil, fmt.Errorf("locks: Rebase shape mismatch: %d rules / %d edges, %d stripes / %d nodes",
+			len(p.Rules), len(d2.Edges), len(p.Stripes), len(d2.Nodes))
+	}
+	remap := func(n *decomp.Node) (*decomp.Node, error) {
+		if n == nil {
+			return nil, nil
+		}
+		m := d2.Nodes[n.Index]
+		if m.Name != n.Name {
+			return nil, fmt.Errorf("locks: Rebase node order drift: %s vs %s at index %d", n.Name, m.Name, n.Index)
+		}
+		return m, nil
+	}
+	q := &Placement{
+		D:       d2,
+		Rules:   make([]Rule, len(p.Rules)),
+		Stripes: append([]int(nil), p.Stripes...),
+	}
+	for i, r := range p.Rules {
+		if i < len(d.Edges) && d.Edges[i].Name != d2.Edges[i].Name {
+			return nil, fmt.Errorf("locks: Rebase edge order drift: %s vs %s at index %d", d.Edges[i].Name, d2.Edges[i].Name, i)
+		}
+		nr := r
+		var err error
+		if nr.At, err = remap(r.At); err != nil {
+			return nil, err
+		}
+		if nr.FallbackAt, err = remap(r.FallbackAt); err != nil {
+			return nil, err
+		}
+		nr.StripeBy = append([]string(nil), r.StripeBy...)
+		nr.FallbackStripeBy = append([]string(nil), r.FallbackStripeBy...)
+		q.Rules[i] = nr
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
 // RuleFor returns the rule protecting edge e.
 func (p *Placement) RuleFor(e *decomp.Edge) Rule { return p.Rules[e.Index] }
 

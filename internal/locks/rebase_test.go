@@ -1,0 +1,136 @@
+package locks
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/container"
+	"repro/internal/decomp"
+)
+
+// upgrade maps the non-concurrent archetypes onto their concurrent
+// counterparts, the hop the online advisor takes.
+func upgrade(e *decomp.Edge) container.Kind {
+	switch e.Container {
+	case container.HashMap:
+		return container.ConcurrentHashMap
+	case container.TreeMap:
+		return container.ConcurrentSkipListMap
+	}
+	return e.Container
+}
+
+func TestRebaseCarriesTunedPlacement(t *testing.T) {
+	// A tuned ψ3 placement — striped root, every edge routed to the root
+	// lock — must survive a container upgrade verbatim: same stripe
+	// counts, same rules, but every node pointer remapped into the new
+	// decomposition.
+	d, err := stick(container.ConcurrentHashMap, container.TreeMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlacement(d)
+	p.SetStripes(d.Root, 8)
+	p.Place(d.EdgeByName("ρu"), d.Root, "src")
+	p.Place(d.EdgeByName("uv"), d.Root, "src")
+	p.Place(d.EdgeByName("vw"), d.Root, "src")
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := d.WithContainers(upgrade)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Rebase(p, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.D != d2 {
+		t.Fatal("rebased placement not bound to the new decomposition")
+	}
+	if got := q.StripeCount(d2.Root); got != 8 {
+		t.Fatalf("stripe count not carried: got %d, want 8", got)
+	}
+	for _, e := range d2.Edges {
+		r := q.RuleFor(e)
+		if r.At != d2.Root {
+			t.Fatalf("rule for %s not remapped onto d2's root", e.Name)
+		}
+		if len(r.StripeBy) != 1 || r.StripeBy[0] != "src" {
+			t.Fatalf("rule for %s lost its stripe selector: %v", e.Name, r.StripeBy)
+		}
+	}
+	// The original placement must be untouched (Rebase clones).
+	if p.RuleFor(d.EdgeByName("uv")).At != d.Root {
+		t.Fatal("Rebase mutated its input")
+	}
+}
+
+func TestRebaseSpeculativeRule(t *testing.T) {
+	// ψ4 rules carry a fallback node; Rebase must remap it too.
+	d, err := stick(container.ConcurrentHashMap, container.ConcurrentSkipListMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := FineGrained(d)
+	p.PlaceSpeculative(d.EdgeByName("uv"), d.Root)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := d.WithContainers(func(e *decomp.Edge) container.Kind { return e.Container })
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Rebase(p, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := q.RuleFor(d2.EdgeByName("uv"))
+	if !r.Speculative || r.FallbackAt != d2.Root {
+		t.Fatalf("speculative rule not carried: %+v", r)
+	}
+}
+
+func TestRebaseShapeMismatchRejected(t *testing.T) {
+	ds, err := stick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd, err := diamond(container.ConcurrentHashMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := FineGrained(ds)
+	if _, err := Rebase(p, dd); err == nil || !strings.Contains(err.Error(), "shape mismatch") {
+		t.Fatalf("want shape mismatch, got %v", err)
+	}
+}
+
+func TestRebaseDowngradeRevalidates(t *testing.T) {
+	// Entry-level striping is legal on a ConcurrentHashMap root but not
+	// on a plain HashMap (Figure 1: W/W unsafe). Rebasing such a
+	// placement onto the downgraded decomposition must fail validation,
+	// not silently produce an unsound lock assignment.
+	d, err := stick(container.ConcurrentHashMap, container.TreeMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlacement(d)
+	p.SetStripes(d.Root, 8)
+	p.Place(d.EdgeByName("ρu"), d.Root, "src")
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := d.WithContainers(func(e *decomp.Edge) container.Kind {
+		if e.Container == container.ConcurrentHashMap {
+			return container.HashMap
+		}
+		return e.Container
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Rebase(p, d2); err == nil || !strings.Contains(err.Error(), "concurrency-safe") {
+		t.Fatalf("want taxonomy rejection after downgrade, got %v", err)
+	}
+}

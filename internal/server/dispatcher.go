@@ -112,6 +112,12 @@ type Stats struct {
 	// WAL.Fsyncs tracks Batches, not Requests — that ratio is the fsync
 	// amortization the dispatcher exists to provide.
 	WAL *wal.Stats `json:",omitempty"`
+	// Registry is the served registry's harvested counter snapshot
+	// (core.Registry.Harvest): per-relation read/write shapes, the
+	// optimistic-path counters, and the migration event history the
+	// -adapt advisor appends to. /v1/stats re-serializes exactly this
+	// document — crstune -live consumes it.
+	Registry *core.Counters `json:"registry,omitempty"`
 }
 
 // call is one parked request: the compiled ops and the channel its
@@ -300,6 +306,8 @@ func (d *Dispatcher) Stats() Stats {
 		ws := d.cfg.WAL.Stats()
 		s.WAL = &ws
 	}
+	rc := d.reg.Harvest()
+	s.Registry = &rc
 	return s
 }
 

@@ -26,6 +26,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/decomp"
 	"repro/internal/server"
 	"repro/internal/server/client"
 	"repro/internal/wal"
@@ -35,6 +38,12 @@ import (
 // crashServerEnvDir, when set, diverts the test binary into a child
 // server process whose WAL lives in the named directory.
 const crashServerEnvDir = "SERVER_CRASH_WAL_DIR"
+
+// crashServerEnvMigrate, when additionally set, makes the child churn
+// live representation migrations (concurrent ⇄ non-concurrent container
+// families) under the served traffic, so the SIGKILL can land in any
+// migration phase: mid-backfill, mid-catch-up, inside the cutover latch.
+const crashServerEnvMigrate = "SERVER_CRASH_MIGRATE"
 
 // TestMain diverts to the durable child server when the harness env var
 // is set; otherwise the package tests run normally.
@@ -64,8 +73,52 @@ func crashServerChild(dir string) {
 		fmt.Fprintln(os.Stderr, "child start:", err)
 		os.Exit(3)
 	}
+	if os.Getenv(crashServerEnvMigrate) != "" {
+		go migrateChurn(soc)
+	}
 	fmt.Printf("ADDR=%s\n", srv.Addr())
 	select {} // hold the process open for the kill
+}
+
+// migrateChurn endlessly live-migrates the written relations back and
+// forth between the concurrent and non-concurrent container families.
+// The representation choice is deliberately NOT persisted (the WAL is
+// logical redo), so whichever rep the kill interrupts, recovery rebuilds
+// the boot-time one — "old or new, never a mix" holds by construction,
+// and this loop exists to prove the LOGICAL state survives the churn.
+func migrateChurn(soc *workload.Social) {
+	flip := true // the social boot rep is concurrent; first hop downgrades
+	for {
+		for _, r := range []*core.Relation{soc.Posts, soc.Follows} {
+			target, err := r.Decomposition().WithContainers(func(e *decomp.Edge) container.Kind {
+				if flip {
+					switch e.Container {
+					case container.ConcurrentHashMap:
+						return container.HashMap
+					case container.ConcurrentSkipListMap:
+						return container.TreeMap
+					}
+				} else {
+					switch e.Container {
+					case container.HashMap:
+						return container.ConcurrentHashMap
+					case container.TreeMap:
+						return container.ConcurrentSkipListMap
+					}
+				}
+				return e.Container
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "child churn decomp:", err)
+				continue
+			}
+			if _, err := soc.Reg.Migrate(r.Name(), core.WithDecomposition(target)); err != nil {
+				fmt.Fprintln(os.Stderr, "child churn migrate:", err)
+			}
+		}
+		flip = !flip
+		time.Sleep(time.Millisecond) // let a few windows commit between hops
+	}
 }
 
 // crashServer is a running child and its base URL.
@@ -75,11 +128,12 @@ type crashServer struct {
 }
 
 // startCrashServer launches the child over dir and waits for its
-// address line.
-func startCrashServer(t *testing.T, dir string) *crashServer {
+// address line. extraEnv entries ("KEY=VALUE") select child variants.
+func startCrashServer(t *testing.T, dir string, extraEnv ...string) *crashServer {
 	t.Helper()
 	cmd := exec.Command(os.Args[0])
 	cmd.Env = append(os.Environ(), crashServerEnvDir+"="+dir)
+	cmd.Env = append(cmd.Env, extraEnv...)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.StdoutPipe()
 	if err != nil {

@@ -201,39 +201,58 @@ func FollowsSpec() rel.Spec {
 // makes all three relations OptimisticCapable: read-only groups run
 // lock-free), Cell leaves — under fine-grained placement.
 func NewSocial() (*Social, error) {
+	return NewSocialWith(container.ConcurrentHashMap, container.ConcurrentSkipListMap)
+}
+
+// NewSocialPessimistic is NewSocial built on non-concurrency-safe
+// containers (HashMap roots, TreeMap middles): every operation takes the
+// pessimistic 2PL paths. Functionally identical to NewSocial — it exists
+// as the starting point for live-migration scenarios (crsd -adapt), where
+// the advisor upgrades these containers to unlock the optimistic paths.
+func NewSocialPessimistic() (*Social, error) {
+	return NewSocialWith(container.HashMap, container.TreeMap)
+}
+
+// NewSocialWith is NewSocial parameterized by the container kinds of the
+// map edges: root for the top-level point lookups (user/author/src), mid
+// for the sorted scans below (post/dst). Leaves stay Cells.
+func NewSocialWith(root, mid container.Kind) (*Social, error) {
 	g := core.NewRegistry()
 	ud, err := decomp.NewBuilder(UsersSpec(), "ρ").
-		Edge("ρu", "ρ", "u", []string{"user"}, container.ConcurrentHashMap).
+		Edge("ρu", "ρ", "u", []string{"user"}, root).
 		Edge("uc", "u", "c", []string{"posts"}, container.Cell).
 		Build()
 	if err != nil {
 		return nil, err
 	}
-	users, err := g.Synthesize("users", ud, locks.FineGrained(ud))
+	users, err := g.Synthesize("users", UsersSpec(),
+		core.WithDecomposition(ud), core.WithPlacement(locks.FineGrained(ud)))
 	if err != nil {
 		return nil, err
 	}
 	pd, err := decomp.NewBuilder(PostsSpec(), "ρ").
-		Edge("ρa", "ρ", "a", []string{"author"}, container.ConcurrentHashMap).
-		Edge("ap", "a", "p", []string{"post"}, container.ConcurrentSkipListMap).
+		Edge("ρa", "ρ", "a", []string{"author"}, root).
+		Edge("ap", "a", "p", []string{"post"}, mid).
 		Edge("pt", "p", "t", []string{"ts"}, container.Cell).
 		Build()
 	if err != nil {
 		return nil, err
 	}
-	posts, err := g.Synthesize("posts", pd, locks.FineGrained(pd))
+	posts, err := g.Synthesize("posts", PostsSpec(),
+		core.WithDecomposition(pd), core.WithPlacement(locks.FineGrained(pd)))
 	if err != nil {
 		return nil, err
 	}
 	fd, err := decomp.NewBuilder(FollowsSpec(), "ρ").
-		Edge("ρs", "ρ", "s", []string{"src"}, container.ConcurrentHashMap).
-		Edge("sd", "s", "d", []string{"dst"}, container.ConcurrentSkipListMap).
+		Edge("ρs", "ρ", "s", []string{"src"}, root).
+		Edge("sd", "s", "d", []string{"dst"}, mid).
 		Edge("dw", "d", "w", []string{"since"}, container.Cell).
 		Build()
 	if err != nil {
 		return nil, err
 	}
-	follows, err := g.Synthesize("follows", fd, locks.FineGrained(fd))
+	follows, err := g.Synthesize("follows", FollowsSpec(),
+		core.WithDecomposition(fd), core.WithPlacement(locks.FineGrained(fd)))
 	if err != nil {
 		return nil, err
 	}
