@@ -14,10 +14,15 @@
 //	benchguard -baseline BENCH_3.json -current current.json [-tolerance 0]
 //	           [-min-batch-ratio 0.65 [-ratio-threads 1,2] [-ratio-variants "Stick 1"]]
 //	           [-min-wire-batch 2] [-min-wal-ratio 0.1] [-min-migrate-ratio 0.9]
+//	           [-max-openloop-p99 1s]
 //
 // Both documents must carry the bench_schema this guard supports;
 // mismatched or missing schemas fail immediately instead of being
-// silently compared field-by-field.
+// silently compared field-by-field. Schema 6 additionally echoes the
+// run's full configuration into EVERY result row; the guard fails any
+// row whose echo disagrees with its own document's config block, so a
+// row from a differently parameterized run can never be spliced into a
+// baseline unnoticed.
 //
 // Rules enforced, per (mix, variant, mode, threads) record carrying lock
 // or optimistic counts:
@@ -53,6 +58,16 @@
 //     and append no more records than the baseline (group commit IS
 //     fsync batching), and WAL-on throughput must reach the given
 //     fraction of the same run's WAL-off throughput on the batched rows;
+//   - with -max-openloop-p99 set, the -openloop window-knob tradeoff is
+//     gated on the current run's open-loop rows: every cell's
+//     client-side p99 (measured from the SCHEDULED arrival, so
+//     coordinated omission cannot hide a stall) must stay within the
+//     given bound plus four times the cell's dispatcher window; every
+//     window-0 cell must report a mean coalesced batch of exactly 1
+//     (coalescing off is really off); and under BURSTY arrivals the mean
+//     batch must STRICTLY increase along the window sweep per client
+//     count — the reason the window exists. The p99 bound is deliberately
+//     loose (shared runners stall), the batch gates are structural;
 //   - with -min-migrate-ratio set, the live-migration payoff is gated:
 //     for every (mix, variant, threads) the current -migrate run measured
 //     in both phases, the migrated steady state ("migrate-post") must
@@ -89,13 +104,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 )
 
 // supportedSchema is the crsbench json document schema this guard
 // understands; documents carrying any other version (including none) are
 // rejected rather than silently compared field-by-field.
-const supportedSchema = 5
+const supportedSchema = 6
 
 // benchDoc mirrors crsbench's -format json document (the subset the guard
 // reads).
@@ -105,12 +121,20 @@ type benchDoc struct {
 	Results     []benchRecord `json:"results"`
 }
 
-// benchConfig is the workload configuration stamped into each document;
-// lock counts are only comparable between runs with identical workloads.
+// benchConfig is the workload configuration stamped into each document
+// AND (schema 6) echoed into each row — crsbench's RunConfig. Lock
+// counts are only comparable between runs with identical workloads, and
+// open-loop latency cells only between runs with identical arrival
+// parameters, so the guard compares the whole struct with ==.
 type benchConfig struct {
-	OpsPerThread int    `json:"ops_per_thread"`
-	KeySpace     int64  `json:"keyspace"`
-	Seed         uint64 `json:"seed"`
+	Bench        string  `json:"bench"`
+	OpsPerThread int     `json:"ops_per_thread"`
+	KeySpace     int64   `json:"keyspace"`
+	Seed         uint64  `json:"seed"`
+	Windows      string  `json:"windows"`
+	ArrivalGapUS int64   `json:"arrival_gap_us"`
+	BurstMean    float64 `json:"burst_mean"`
+	InFlight     int     `json:"inflight"`
 }
 
 // benchRecord is one measurement row.
@@ -143,12 +167,37 @@ type benchRecord struct {
 	// "social-wire-wal"). WALAppends > 0 marks a record as carrying them.
 	WALAppends int64 `json:"wal_appends"`
 	WALFsyncs  int64 `json:"wal_fsyncs"`
+	// The schema-6 per-row configuration echo; must equal the document's
+	// own config block.
+	Config *benchConfig `json:"config"`
+	// Open-loop cell coordinates and measurements (crsbench -openloop;
+	// Mode "openloop" marks the rows). WindowUS is a pointer because the
+	// no-coalescing window 0 is a meaningful swept value.
+	Arrival   string  `json:"arrival"`
+	WindowUS  *int64  `json:"window_us"`
+	MeanBatch float64 `json:"mean_batch"`
+	P99NS     int64   `json:"p99_ns"`
 }
 
-// key identifies a comparable record across runs.
+// key identifies a comparable record across runs. Arrival/WindowUS are
+// the -openloop cell coordinates (empty and -1 for every other mode —
+// the sentinel keeps the struct comparable while never colliding with a
+// real microsecond window).
 type key struct {
 	Mix, Variant, Mode string
 	Threads            int
+	Arrival            string
+	WindowUS           int64
+}
+
+// recKey builds a record's comparison key, folding a nil window into the
+// -1 sentinel.
+func recKey(r benchRecord) key {
+	w := int64(-1)
+	if r.WindowUS != nil {
+		w = *r.WindowUS
+	}
+	return key{r.Mix, r.Variant, r.Mode, r.Threads, r.Arrival, w}
 }
 
 func load(path string) (*benchDoc, error) {
@@ -170,10 +219,19 @@ func counted(doc *benchDoc) map[key]benchRecord {
 	m := map[key]benchRecord{}
 	for _, r := range doc.Results {
 		if r.LocksAcquired > 0 || r.ROBatches > 0 || r.OCCBatches > 0 || r.WireBatches > 0 {
-			m[key{r.Mix, r.Variant, r.Mode, r.Threads}] = r
+			m[recKey(r)] = r
 		}
 	}
 	return m
+}
+
+// cell renders a key's openloop coordinates for failure messages; empty
+// for the classic modes.
+func cell(k key) string {
+	if k.Arrival == "" && k.WindowUS < 0 {
+		return ""
+	}
+	return fmt.Sprintf(" %s@%dus", k.Arrival, k.WindowUS)
 }
 
 func main() {
@@ -184,6 +242,7 @@ func main() {
 	minWireBatch := flag.Float64("min-wire-batch", 0, "minimum mean coalesced batch size (wire_requests/wire_batches) for the current run's batched -wire rows (0 = gate off)")
 	minWalRatio := flag.Float64("min-wal-ratio", 0, "minimum WAL-on/WAL-off ops_per_sec ratio for the current run's batched -wal row pairs (0 = gate off; also arms the fsyncs==appends and batched-fewer-fsyncs gates)")
 	minMigrateRatio := flag.Float64("min-migrate-ratio", 0, "minimum migrate-post/migrate-pre ops_per_sec ratio for the current run's -migrate row pairs (0 = gate off)")
+	maxOpenLoopP99 := flag.Duration("max-openloop-p99", 0, "p99 bound for the current run's -openloop rows, each cell allowed the bound plus 4x its window (0 = gate off; also arms the window-0 mean-batch==1 and bursty batch-monotonicity gates)")
 	ratioThreads := flag.String("ratio-threads", "", "comma-separated thread counts the -min-batch-ratio and -min-migrate-ratio gates apply to (empty = all)")
 	ratioVariants := flag.String("ratio-variants", "", "comma-separated variant names the ratio gate applies to (empty = all)")
 	flag.Parse()
@@ -203,6 +262,18 @@ func main() {
 			fatal(fmt.Errorf("%s carries bench_schema %d, this guard understands %d — regenerate the file with the current crsbench",
 				path, doc.BenchSchema, supportedSchema))
 		}
+		// The schema-6 per-row echo: every row must carry the document's
+		// own config verbatim, so a spliced-in row from a differently
+		// parameterized run is refused before any comparison.
+		for i, r := range doc.Results {
+			if r.Config == nil {
+				fatal(fmt.Errorf("%s result %d carries no config echo — regenerate the file with the current crsbench", path, i))
+			}
+			if *r.Config != doc.Config {
+				fatal(fmt.Errorf("%s result %d echoes config %+v but the document's is %+v — the row comes from a different run",
+					path, i, *r.Config, doc.Config))
+			}
+		}
 	}
 	if base.Config != cur.Config {
 		fatal(fmt.Errorf("workload configs differ (baseline %+v, current %+v): lock counts are only comparable for identical workloads — rerun crsbench with the baseline's flags",
@@ -216,8 +287,13 @@ func main() {
 	for k, b := range baseRecs {
 		c, ok := curRecs[k]
 		if !ok {
-			fmt.Printf("FAIL %s/%s %s %dthr: record with lock counts missing from current run\n", k.Variant, k.Mode, k.Mix, k.Threads)
+			fmt.Printf("FAIL %s/%s %s %dthr%s: record with lock counts missing from current run\n", k.Variant, k.Mode, k.Mix, k.Threads, cell(k))
 			failures++
+			continue
+		}
+		if k.Mode == "openloop" {
+			// Open-loop cells carry no deterministic lock totals; existence
+			// (above) plus the -max-openloop-p99 gates are their rules.
 			continue
 		}
 		limit := int64(float64(b.LocksAcquired) * (1 + *tolerance))
@@ -408,7 +484,7 @@ func main() {
 				failures++
 				continue
 			}
-			k := key{r.Mix, r.Variant, r.Mode, r.Threads}
+			k := recKey(r)
 			if b, ok := baseRecs[k]; ok && b.WireBatches > 0 {
 				baseMean := float64(b.WireRequests) / float64(b.WireBatches)
 				if mean < baseMean {
@@ -561,6 +637,77 @@ func main() {
 		if gated == 0 {
 			fmt.Printf("FAIL migrate gate matched no (migrate-pre, migrate-post) row pairs in %s — the run was not crsbench -migrate\n", *currentPath)
 			failures++
+		}
+	}
+	// The open-loop window-knob gates (-max-openloop-p99 arms all three):
+	//
+	//   (a) every openloop cell's client-side p99 stays within the bound
+	//       plus 4x the cell's window — coordinated-omission-free, so a
+	//       dispatcher that parks a request past its window cannot hide;
+	//       the bound is loose by design because shared runners stall;
+	//   (b) every window-0 cell reports a mean coalesced batch of exactly
+	//       1 — MaxBatch 1 really disables coalescing;
+	//   (c) under bursty arrivals the mean batch STRICTLY increases along
+	//       the window sweep per (mix, clients) — the structural payoff the
+	//       window exists for, robust on noisy runners because a longer
+	//       window can only gather more of a burst.
+	if *maxOpenLoopP99 > 0 {
+		type okey struct {
+			Mix, Arrival string
+			Threads      int
+		}
+		cells := map[okey][]benchRecord{}
+		gated := 0
+		for _, r := range cur.Results {
+			if r.Mode != "openloop" {
+				continue
+			}
+			if r.WindowUS == nil {
+				fmt.Printf("FAIL %s %s %dthr: openloop row carries no window_us\n", r.Variant, r.Mix, r.Threads)
+				failures++
+				continue
+			}
+			gated++
+			w := *r.WindowUS
+			bound := maxOpenLoopP99.Nanoseconds() + 4*w*1000
+			if r.P99NS > bound {
+				fmt.Printf("FAIL %s %s %dthr %s@%dus: p99 %.2fms over the %.2fms bound (%v + 4x window)\n",
+					r.Variant, r.Mix, r.Threads, r.Arrival, w, float64(r.P99NS)/1e6, float64(bound)/1e6, *maxOpenLoopP99)
+				failures++
+			}
+			if w == 0 && r.MeanBatch != 1 {
+				fmt.Printf("FAIL %s %s %dthr %s@0us: mean batch %.2f with coalescing disabled — want exactly 1\n",
+					r.Variant, r.Mix, r.Threads, r.Arrival, r.MeanBatch)
+				failures++
+			}
+			cells[okey{r.Mix, r.Arrival, r.Threads}] = append(cells[okey{r.Mix, r.Arrival, r.Threads}], r)
+		}
+		if gated == 0 {
+			fmt.Printf("FAIL openloop gate matched no openloop rows in %s — the run was not crsbench -openloop\n", *currentPath)
+			failures++
+		}
+		for ck, rows := range cells {
+			if ck.Arrival != "bursty" {
+				continue
+			}
+			sort.Slice(rows, func(i, j int) bool { return *rows[i].WindowUS < *rows[j].WindowUS })
+			mono := true
+			for i := 1; i < len(rows); i++ {
+				if rows[i].MeanBatch <= rows[i-1].MeanBatch {
+					fmt.Printf("FAIL %s %dthr bursty: mean batch %.2f at window %dus does not exceed %.2f at %dus — widening the window stopped gathering bursts\n",
+						ck.Mix, ck.Threads, rows[i].MeanBatch, *rows[i].WindowUS, rows[i-1].MeanBatch, *rows[i-1].WindowUS)
+					failures++
+					mono = false
+				}
+			}
+			if mono {
+				batches := make([]string, len(rows))
+				for i, r := range rows {
+					batches[i] = fmt.Sprintf("%.2f@%dus", r.MeanBatch, *r.WindowUS)
+				}
+				fmt.Printf("ok   %s %dthr bursty: mean batch strictly increasing across windows (%s)\n",
+					ck.Mix, ck.Threads, strings.Join(batches, " < "))
+			}
 		}
 	}
 	if failures > 0 {

@@ -34,6 +34,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	crs "repro"
 	"repro/internal/autotune"
@@ -50,8 +51,40 @@ import (
 // deterministic -batch rows: ns_per_member/members/counters_absent, plus
 // the skew field of the -mixed -skew sweep; schema 5 the -wire rows'
 // cross-client group-commit counters: wire_batches/wire_requests/
-// wire_max_batch).
-const benchSchema = 5
+// wire_max_batch; schema 6 the RunConfig block echoed into every row and
+// the -openloop rows' arrival/window/latency fields).
+const benchSchema = 6
+
+// RunConfig is the one parameter block every benchmark mode shares: the
+// workload shape (-ops/-keyspace/-seed) plus the open-loop arrival knobs
+// (zero-valued for the other modes). It appears once at the document's
+// config level and is echoed VERBATIM into every result row, so
+// cmd/benchguard can validate arrival and window parameters exactly the
+// way it validates ops/keyspace/seed — a row from a differently
+// parameterized run can never masquerade as comparable. The struct is
+// comparable (no slices/maps) so the guard checks it with ==.
+type RunConfig struct {
+	// Bench names the mode that produced the document: figure5, batch,
+	// registry, optimistic, mixed, wire, wal, migrate or openloop.
+	Bench string `json:"bench"`
+	// OpsPerThread, KeySpace and Seed are the classic workload knobs
+	// (-ops is requests per client for the wire-family benches).
+	OpsPerThread int    `json:"ops_per_thread"`
+	KeySpace     int64  `json:"keyspace"`
+	Seed         uint64 `json:"seed"`
+	// Windows is the -openloop window sweep verbatim (e.g.
+	// "0,200us,500us,2ms"); empty for other modes.
+	Windows string `json:"windows,omitempty"`
+	// ArrivalGapUS is the target mean inter-arrival gap per client in
+	// microseconds — identical for both arrival processes, which is what
+	// "matched offered load" means.
+	ArrivalGapUS int64 `json:"arrival_gap_us,omitempty"`
+	// BurstMean is the bursty process's mean burst size; its idle gap is
+	// BurstMean×ArrivalGapUS so the long-run rate matches Poisson's.
+	BurstMean float64 `json:"burst_mean,omitempty"`
+	// InFlight is the per-client in-flight cap of the open-loop driver.
+	InFlight int `json:"inflight,omitempty"`
+}
 
 // jsonDoc is the -format json output document.
 type jsonDoc struct {
@@ -61,11 +94,9 @@ type jsonDoc struct {
 }
 
 type jsonConfig struct {
-	OpsPerThread int    `json:"ops_per_thread"`
-	KeySpace     int64  `json:"keyspace"`
-	Seed         uint64 `json:"seed"`
-	GOMAXPROCS   int    `json:"gomaxprocs"`
-	GoVersion    string `json:"go_version"`
+	RunConfig
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
 }
 
 type jsonResult struct {
@@ -149,6 +180,35 @@ type jsonResult struct {
 	// gates both identities.
 	WALAppends int64 `json:"wal_appends,omitempty"`
 	WALFsyncs  int64 `json:"wal_fsyncs,omitempty"`
+	// Config echoes the run's RunConfig verbatim into the row (schema 6);
+	// benchguard refuses rows whose echo disagrees with the document's or
+	// the baseline's config.
+	Config *RunConfig `json:"config,omitempty"`
+	// The -openloop cell coordinates: the arrival process ("poisson" or
+	// "bursty") and the swept dispatcher window in microseconds (pointer,
+	// so the meaningful window 0 still serializes). Ops on these rows is
+	// the SCHEDULED arrival count; ops_per_sec the achieved completion
+	// rate.
+	Arrival  string `json:"arrival,omitempty"`
+	WindowUS *int64 `json:"window_us,omitempty"`
+	// OfferedPerSec is the schedule's aggregate arrival rate (a property
+	// of the generators); Dropped and Errors the open-loop driver's
+	// overload accounting — nonzero values mean achieved < offered for a
+	// visible reason, never silent back-pressure.
+	OfferedPerSec float64 `json:"offered_per_sec,omitempty"`
+	Dropped       int     `json:"dropped,omitempty"`
+	Errors        int     `json:"errors,omitempty"`
+	// MeanBatch is the server's mean coalesced batch size for the cell
+	// (wire_requests/wire_batches as a float; the window-knob payoff).
+	MeanBatch float64 `json:"mean_batch,omitempty"`
+	// The client-side coordinated-omission-free latency quantiles in
+	// nanoseconds (measured from each request's SCHEDULED arrival), and
+	// the server-side commit p99 for cross-checking.
+	P50NS       int64 `json:"p50_ns,omitempty"`
+	P95NS       int64 `json:"p95_ns,omitempty"`
+	P99NS       int64 `json:"p99_ns,omitempty"`
+	MaxNS       int64 `json:"max_ns,omitempty"`
+	ServerP99NS int64 `json:"server_p99_ns,omitempty"`
 }
 
 func main() {
@@ -166,6 +226,11 @@ func main() {
 	wire := flag.Bool("wire", false, "run the wire group-commit benchmark (lockstep HTTP clients against an in-process crsd, cross-client coalescing vs per-request commits, with deterministic batch-size and lock counts) instead of Figure 5; -threads is the client counts, -ops the requests per client")
 	walBench := flag.Bool("wal", false, "run the durability benchmark (the wire workload with a write-ahead log attached vs without, batched vs sequential, with deterministic append/fsync counts) instead of Figure 5; -threads is the client counts, -ops the requests per client")
 	migrate := flag.Bool("migrate", false, "run the live-migration benchmark (read-heavy social mix on the pessimistic boot representation, then the identical workload after Registry.Migrate upgrades every relation to the concurrent containers, with deterministic lock/zero-lock counts) instead of Figure 5")
+	openLoop := flag.Bool("openloop", false, "run the open-loop arrival-driven wire benchmark (K clients firing on Poisson and bursty schedules at matched offered load, sweeping the dispatcher window, with coordinated-omission-free latency quantiles) instead of Figure 5; -threads is the client counts, -ops the scheduled requests per client")
+	windowsFlag := flag.String("windows", "0,200us,500us,2ms", "comma-separated dispatcher windows the -openloop benchmark sweeps; 0 disables coalescing (MaxBatch 1)")
+	arrivalGap := flag.Duration("arrival-gap", 2*time.Millisecond, "-openloop target mean inter-arrival gap per client (both arrival processes run at this long-run rate)")
+	burstMean := flag.Float64("burst", 8, "-openloop mean burst size of the bursty arrival process (its idle gap is burst×arrival-gap, matching Poisson's offered load)")
+	inFlight := flag.Int("inflight", 32, "-openloop per-client in-flight cap; arrivals past the cap are dropped and counted, never queued")
 	skewFlag := flag.String("skew", "", "comma-separated Zipf-like skew levels in [0,1) for -mixed (e.g. 0,0.6,0.9): repeats the benchmark per level with hot-key-biased draws, recording the OCC retry/fallback counters per level; empty keeps the uniform draws")
 	flag.Parse()
 
@@ -189,22 +254,31 @@ func main() {
 	if *format == "csv" && !*batch {
 		fmt.Println("mix,variant,threads,ops,seconds,throughput_ops_per_sec")
 	}
-	doc := jsonDoc{BenchSchema: benchSchema, Config: jsonConfig{
-		OpsPerThread: *ops,
-		KeySpace:     *keyspace,
-		Seed:         *seed,
-		GOMAXPROCS:   runtime.GOMAXPROCS(0),
-		GoVersion:    runtime.Version(),
-	}}
-	modes := 0
-	for _, m := range []bool{*batch, *registry, *optimistic, *mixed, *wire, *walBench, *migrate} {
-		if m {
-			modes++
+	rc := RunConfig{Bench: "figure5", OpsPerThread: *ops, KeySpace: *keyspace, Seed: *seed}
+	for name, on := range map[string]bool{
+		"batch": *batch, "registry": *registry, "optimistic": *optimistic,
+		"mixed": *mixed, "wire": *wire, "wal": *walBench, "migrate": *migrate,
+		"openloop": *openLoop,
+	} {
+		if !on {
+			continue
 		}
+		if rc.Bench != "figure5" {
+			fatal(fmt.Errorf("-batch, -registry, -optimistic, -mixed, -wire, -wal, -migrate and -openloop are mutually exclusive benchmarks; pick one"))
+		}
+		rc.Bench = name
 	}
-	if modes > 1 {
-		fatal(fmt.Errorf("-batch, -registry, -optimistic, -mixed, -wire, -wal and -migrate are mutually exclusive benchmarks; pick one"))
+	if *openLoop {
+		rc.Windows = *windowsFlag
+		rc.ArrivalGapUS = arrivalGap.Microseconds()
+		rc.BurstMean = *burstMean
+		rc.InFlight = *inFlight
 	}
+	doc := jsonDoc{BenchSchema: benchSchema, Config: jsonConfig{
+		RunConfig:  rc,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}}
 	skews, err := parseSkews(*skewFlag)
 	if err != nil {
 		fatal(err)
@@ -212,32 +286,39 @@ func main() {
 	if len(skews) > 0 && !*mixed {
 		fatal(fmt.Errorf("-skew applies only to the -mixed benchmark (the OCC retry/fallback counters are its signal)"))
 	}
+	if *openLoop {
+		if *mixesFlag != "all" || *variantsFlag != "all" {
+			fatal(fmt.Errorf("-mixes/-variants do not apply to -openloop: it runs the social mix %s over the users/posts/follows registry served by an in-process crsd", workload.DefaultSocialMix()))
+		}
+		runOpenLoopBench(&doc, rc, threads, *format)
+		return
+	}
 	if *migrate {
 		if *mixesFlag != "all" || *variantsFlag != "all" {
 			fatal(fmt.Errorf("-mixes/-variants do not apply to -migrate: it runs the read-heavy social mix %s over the users/posts/follows registry, pre- and post-migration", workload.ReadHeavySocialMix()))
 		}
-		runMigrateBench(&doc, threads, *ops, *keyspace, *seed, *format)
+		runMigrateBench(&doc, rc, threads, *format)
 		return
 	}
 	if *wire {
 		if *mixesFlag != "all" || *variantsFlag != "all" {
 			fatal(fmt.Errorf("-mixes/-variants do not apply to -wire: it runs the social mix %s over the users/posts/follows registry served by an in-process crsd", workload.DefaultSocialMix()))
 		}
-		runWireBench(&doc, threads, *ops, *keyspace, *seed, *format)
+		runWireBench(&doc, rc, threads, *format)
 		return
 	}
 	if *walBench {
 		if *mixesFlag != "all" || *variantsFlag != "all" {
 			fatal(fmt.Errorf("-mixes/-variants do not apply to -wal: it runs the social mix %s over the users/posts/follows registry served by an in-process crsd", workload.DefaultSocialMix()))
 		}
-		runWalBench(&doc, threads, *ops, *keyspace, *seed, *format)
+		runWalBench(&doc, rc, threads, *format)
 		return
 	}
 	if *mixed {
 		if *mixesFlag != "all" || *variantsFlag != "all" {
 			fatal(fmt.Errorf("-mixes/-variants do not apply to -mixed: it runs the Follow-heavy social mix %s over the users/posts/follows registry", workload.MixedSocialMix()))
 		}
-		runMixedBench(&doc, threads, *ops, *keyspace, *seed, *format, skews)
+		runMixedBench(&doc, rc, threads, *format, skews)
 		return
 	}
 	if *optimistic {
@@ -245,14 +326,14 @@ func main() {
 			fatal(fmt.Errorf("-mixes/-variants do not apply to -optimistic: it runs the read-heavy mixes %s (graph) and %s (social) over optimistic-capable representations",
 				workload.ReadHeavyBatchMix(), workload.ReadHeavySocialMix()))
 		}
-		runOptimisticBench(&doc, threads, *ops, *keyspace, *seed, *format)
+		runOptimisticBench(&doc, rc, threads, *format)
 		return
 	}
 	if *registry {
 		if *mixesFlag != "all" || *variantsFlag != "all" {
 			fatal(fmt.Errorf("-mixes/-variants do not apply to -registry: it runs the social mix %s over the users/posts/follows registry", workload.DefaultSocialMix()))
 		}
-		runRegistryBench(&doc, threads, *ops, *keyspace, *seed, *format)
+		runRegistryBench(&doc, rc, threads, *format)
 		return
 	}
 	if *batch {
@@ -266,7 +347,7 @@ func main() {
 				}
 			}
 		}
-		runBatchBench(&doc, variants, threads, *ops, *keyspace, *seed, *format)
+		runBatchBench(&doc, rc, variants, threads, *format)
 		return
 	}
 	for _, mix := range mixes {
@@ -312,12 +393,25 @@ func main() {
 			}
 		}
 	}
-	if *format == "json" {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(doc); err != nil {
-			fatal(err)
-		}
+	emitJSON(&doc, *format)
+}
+
+// emitJSON stamps the run's RunConfig into every result row — the
+// schema-6 per-row echo cmd/benchguard validates against both the
+// document's own config and the committed baseline's — and writes the
+// document to stdout. No-op for the table/csv formats.
+func emitJSON(doc *jsonDoc, format string) {
+	if format != "json" {
+		return
+	}
+	for i := range doc.Results {
+		c := doc.Config.RunConfig
+		doc.Results[i].Config = &c
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatal(err)
 	}
 }
 
@@ -345,7 +439,8 @@ func main() {
 // noticeably (the counting passes dominate at small -ops).
 const benchReps = 3
 
-func runBatchBench(doc *jsonDoc, variants []string, threads []int, ops int, keyspace int64, seed uint64, format string) {
+func runBatchBench(doc *jsonDoc, rc RunConfig, variants []string, threads []int, format string) {
+	ops, keyspace, seed := rc.OpsPerThread, rc.KeySpace, rc.Seed
 	mix := crs.DefaultBatchMix()
 	threads = withThread1(threads)
 	if format == "csv" {
@@ -474,13 +569,7 @@ func runBatchBench(doc *jsonDoc, variants []string, threads []int, ops int, keys
 			}
 		}
 	}
-	if format == "json" {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(doc); err != nil {
-			fatal(err)
-		}
-	}
+	emitJSON(doc, format)
 }
 
 // runRegistryBench runs the cross-relation comparison over the social
@@ -501,7 +590,8 @@ func withThread1(threads []int) []int {
 	return append([]int{1}, threads...)
 }
 
-func runRegistryBench(doc *jsonDoc, threads []int, ops int, keyspace int64, seed uint64, format string) {
+func runRegistryBench(doc *jsonDoc, rc RunConfig, threads []int, format string) {
+	ops, keyspace, seed := rc.OpsPerThread, rc.KeySpace, rc.Seed
 	mix := workload.DefaultSocialMix()
 	threads = withThread1(threads)
 	if format == "csv" {
@@ -562,13 +652,7 @@ func runRegistryBench(doc *jsonDoc, threads []int, ops int, keyspace int64, seed
 			}
 		}
 	}
-	if format == "json" {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(doc); err != nil {
-			fatal(err)
-		}
-	}
+	emitJSON(doc, format)
 }
 
 // runMixedBench runs the mixed-batch OCC benchmark over the social
@@ -590,7 +674,8 @@ func runRegistryBench(doc *jsonDoc, threads []int, ops int, keyspace int64, seed
 // concurrency, and only there does skew show its effect — those rows are
 // NOT deterministic (benchguard only gates threads=1 rows). An empty
 // skews runs the historical uniform benchmark unchanged.
-func runMixedBench(doc *jsonDoc, threads []int, ops int, keyspace int64, seed uint64, format string, skews []float64) {
+func runMixedBench(doc *jsonDoc, rc RunConfig, threads []int, format string, skews []float64) {
+	ops, keyspace, seed := rc.OpsPerThread, rc.KeySpace, rc.Seed
 	mix := workload.MixedSocialMix()
 	threads = withThread1(threads)
 	sweep := len(skews) > 0
@@ -669,13 +754,7 @@ func runMixedBench(doc *jsonDoc, threads []int, ops int, keyspace int64, seed ui
 			}
 		}
 	}
-	if format == "json" {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(doc); err != nil {
-			fatal(err)
-		}
-	}
+	emitJSON(doc, format)
 }
 
 // parseSkews parses the -skew flag: a comma-separated list of levels in
@@ -706,7 +785,8 @@ func parseSkews(s string) ([]float64, error) {
 // read-only batches attempted, locks they acquired (0 expected),
 // validation retries (0 expected uncontended) and fallbacks (0 expected)
 // — followed by throughput passes over the requested thread counts.
-func runOptimisticBench(doc *jsonDoc, threads []int, ops int, keyspace int64, seed uint64, format string) {
+func runOptimisticBench(doc *jsonDoc, rc RunConfig, threads []int, format string) {
+	ops, keyspace, seed := rc.OpsPerThread, rc.KeySpace, rc.Seed
 	threads = withThread1(threads)
 	if format == "csv" {
 		fmt.Println("mix,variant,threads,ops,seconds,throughput_groups_per_sec,locks_requested,locks_acquired,ro_batches,ro_locks_acquired,validation_retries,ro_fallbacks")
@@ -795,13 +875,7 @@ func runOptimisticBench(doc *jsonDoc, threads []int, ops int, keyspace int64, se
 		}
 	}
 
-	if format == "json" {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(doc); err != nil {
-			fatal(err)
-		}
-	}
+	emitJSON(doc, format)
 }
 
 // runMigrateBench measures what live migration buys: the read-heavy
@@ -822,7 +896,8 @@ func runOptimisticBench(doc *jsonDoc, threads []int, ops int, keyspace int64, se
 // (ro_batches > 0 with zero locks/retries/fallbacks, and two orders of
 // magnitude fewer total acquisitions), which benchguard's optimistic
 // gate then pins against the committed baseline.
-func runMigrateBench(doc *jsonDoc, threads []int, ops int, keyspace int64, seed uint64, format string) {
+func runMigrateBench(doc *jsonDoc, rc RunConfig, threads []int, format string) {
+	ops, keyspace, seed := rc.OpsPerThread, rc.KeySpace, rc.Seed
 	mix := workload.ReadHeavySocialMix()
 	threads = withThread1(threads)
 	if format == "csv" {
@@ -890,13 +965,7 @@ func runMigrateBench(doc *jsonDoc, threads []int, ops int, keyspace int64, seed 
 			}
 		}
 	}
-	if format == "json" {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(doc); err != nil {
-			fatal(err)
-		}
-	}
+	emitJSON(doc, format)
 }
 
 // mustSocialPessimistic builds the HashMap/TreeMap social registry the

@@ -1,0 +1,188 @@
+package main
+
+// The -openloop benchmark: the wire front end driven by ARRIVING traffic
+// instead of lockstep clients. K open-loop clients each fire requests on
+// their own deterministic arrival schedule (internal/server/openloop);
+// the benchmark sweeps the dispatcher window over -windows for two
+// arrival processes at matched offered load — Poisson (independent
+// clients) and bursty (clumped front-end fan-out, mean burst -burst,
+// idle gap burst×-arrival-gap so the long-run rate equals Poisson's).
+//
+// Each (arrival, window, clients) cell reports offered vs achieved
+// throughput, the drop/error accounting (overload is visible, never
+// silently closed-loop), the server's mean coalesced batch size, and the
+// coordinated-omission-free p50/p95/p99 measured from each request's
+// SCHEDULED arrival time. Window 0 disables coalescing (MaxBatch 1) —
+// the no-batching baseline whose mean batch is exactly 1. This is the
+// window-knob tradeoff made measurable: under bursty arrivals the mean
+// batch must GROW with the window (cmd/benchguard gates it strictly)
+// while p99 stays bounded relative to the window (-max-openloop-p99).
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/server/openloop"
+	"repro/internal/workload"
+)
+
+// openLoopArrivals are the two arrival processes every cell pair
+// compares; both run at the same long-run offered rate.
+var openLoopArrivals = []string{"poisson", "bursty"}
+
+// parseWindows parses the -windows sweep: comma-separated Go durations
+// ("0" allowed for the no-coalescing baseline), at least one, all
+// distinct and non-negative.
+func parseWindows(s string) ([]time.Duration, error) {
+	var out []time.Duration
+	seen := map[time.Duration]bool{}
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "0" {
+			f = "0s"
+		}
+		w, err := time.ParseDuration(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad -windows entry %q: %v", f, err)
+		}
+		if w < 0 {
+			return nil, fmt.Errorf("-windows entry %v is negative", w)
+		}
+		if seen[w] {
+			return nil, fmt.Errorf("-windows entry %v repeats", w)
+		}
+		seen[w] = true
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-windows is empty")
+	}
+	return out, nil
+}
+
+// openLoopGen builds client c's arrival generator for one cell. Seeds
+// derive from the workload seed and the client index so every cell of a
+// run replays the same schedules.
+func openLoopGen(arrival string, rc RunConfig, c int) workload.ArrivalGen {
+	gap := time.Duration(rc.ArrivalGapUS) * time.Microsecond
+	seed := rc.Seed + uint64(c+1)
+	if arrival == "bursty" {
+		// Mean burst B separated by idle gaps of mean B×gap: one arrival
+		// per gap in the long run — Poisson's offered load, clumped.
+		return workload.NewBurstyArrivals(seed, rc.BurstMean, time.Duration(rc.BurstMean*float64(gap)))
+	}
+	return workload.NewPoissonArrivals(seed, gap)
+}
+
+// openLoopServerConfig maps a swept window to a dispatcher config:
+// window 0 disables coalescing entirely (MaxBatch 1), a positive window
+// coalesces up to the default MaxBatch cutoff.
+func openLoopServerConfig(window time.Duration) server.Config {
+	if window == 0 {
+		return server.Config{MaxBatch: 1}
+	}
+	return server.Config{Window: window}
+}
+
+// runOpenLoopBench sweeps (arrival process × window × client count),
+// one fresh server and one open-loop pass per cell.
+func runOpenLoopBench(doc *jsonDoc, rc RunConfig, threads []int, format string) {
+	windows, err := parseWindows(rc.Windows)
+	if err != nil {
+		fatal(err)
+	}
+	mix := workload.DefaultSocialMix()
+	if format == "csv" {
+		fmt.Println("mix,arrival,window_us,clients,scheduled,offered_per_sec,achieved_per_sec,dropped,errors,mean_batch,p50_us,p95_us,p99_us")
+	}
+	if format == "table" {
+		fmt.Printf("\nOpen-loop arrivals, social mix %s over loopback HTTP (GOMAXPROCS=%d, gap %dus/client, burst %g, inflight %d)\n",
+			mix, runtime.GOMAXPROCS(0), rc.ArrivalGapUS, rc.BurstMean, rc.InFlight)
+	}
+	for _, arrival := range openLoopArrivals {
+		for _, window := range windows {
+			for _, k := range threads {
+				res, st := openLoopPass(arrival, window, k, rc)
+				windowUS := window.Microseconds()
+				row := jsonResult{
+					Mix: mix.String(), Variant: "social-openloop", Mode: "openloop",
+					Threads: k, Arrival: arrival, WindowUS: &windowUS,
+					Ops: res.Scheduled, Seconds: res.Elapsed.Seconds(),
+					OpsPerSec:     res.AchievedPerSec,
+					OfferedPerSec: res.OfferedPerSec,
+					Dropped:       res.Dropped,
+					Errors:        res.Errors,
+					Checksum:      res.Checksum,
+					WireBatches:   int64(st.Batches),
+					WireRequests:  int64(st.Requests),
+					WireMaxBatch:  int64(st.MaxBatchSize),
+					MeanBatch:     st.MeanBatchSize,
+					P50NS:         res.Latency.Quantile(0.50),
+					P95NS:         res.Latency.Quantile(0.95),
+					P99NS:         res.Latency.Quantile(0.99),
+					MaxNS:         res.Latency.Quantile(1),
+				}
+				if st.CommitLatency != nil {
+					row.ServerP99NS = st.CommitLatency.P99
+				}
+				switch format {
+				case "table":
+					fmt.Printf("%-8s window %8v, %d clients: offered %7.0f req/s, achieved %7.0f, drop %3d, err %3d, mean batch %5.2f, p50 %7.0fus p95 %7.0fus p99 %7.0fus\n",
+						arrival, window, k, row.OfferedPerSec, row.OpsPerSec, row.Dropped, row.Errors,
+						row.MeanBatch, float64(row.P50NS)/1e3, float64(row.P95NS)/1e3, float64(row.P99NS)/1e3)
+				case "csv":
+					fmt.Printf("%s,%s,%d,%d,%d,%.0f,%.0f,%d,%d,%.3f,%.0f,%.0f,%.0f\n",
+						mix, arrival, windowUS, k, row.Ops, row.OfferedPerSec, row.OpsPerSec,
+						row.Dropped, row.Errors, row.MeanBatch,
+						float64(row.P50NS)/1e3, float64(row.P95NS)/1e3, float64(row.P99NS)/1e3)
+				case "json":
+					doc.Results = append(doc.Results, row)
+				}
+			}
+		}
+	}
+	emitJSON(doc, format)
+}
+
+// openLoopPass runs one cell: fresh social registry served over
+// loopback, K open-loop clients on the cell's arrival schedules, stats
+// snapshot before shutdown. Drops and errors are reported in the row,
+// not fatal: overload is a measurement, not a failure — but a server
+// that breaks (every request erroring) still aborts the run.
+func openLoopPass(arrival string, window time.Duration, clients int, rc RunConfig) (*openloop.Result, server.Stats) {
+	soc := workload.MustSocial()
+	srv := server.New(soc.Reg, openLoopServerConfig(window))
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		fatal(fmt.Errorf("openloop: %v", err))
+	}
+	res, err := openloop.Run(openloop.Config{
+		BaseURL:  "http://" + srv.Addr(),
+		Clients:  clients,
+		Requests: rc.OpsPerThread,
+		InFlight: rc.InFlight,
+		Timeout:  10 * time.Second,
+		NewArrivals: func(c int) workload.ArrivalGen {
+			return openLoopGen(arrival, rc, c)
+		},
+		NewTraffic: func(c int) *server.SocialTraffic {
+			return server.NewSocialTraffic(rc.Seed+uint64(c), workload.DefaultSocialMix(), rc.KeySpace, int64(clients), int64(c))
+		},
+	})
+	if err != nil {
+		fatal(fmt.Errorf("openloop: %v", err))
+	}
+	if res.Sent > 0 && res.Errors == res.Sent {
+		fatal(fmt.Errorf("openloop: every one of %d sent requests failed — the server is broken, not overloaded", res.Sent))
+	}
+	st := srv.Dispatcher().Stats()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fatal(fmt.Errorf("openloop: shutdown: %v", err))
+	}
+	return res, st
+}

@@ -24,7 +24,6 @@ package main
 // the commit path regressing to per-request durability work.
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
@@ -50,7 +49,8 @@ func walPass(clients, ops int, keyspace int64, seed uint64, cfg server.Config) (
 // untraced WAL-on throughput pass and an untraced WAL-off throughput
 // pass. All passes replay the identical deterministic streams, verified
 // by reply checksums.
-func runWalBench(doc *jsonDoc, threads []int, ops int, keyspace int64, seed uint64, format string) {
+func runWalBench(doc *jsonDoc, rc RunConfig, threads []int, format string) {
+	ops, keyspace, seed := rc.OpsPerThread, rc.KeySpace, rc.Seed
 	mix := workload.DefaultSocialMix()
 	if format == "csv" {
 		fmt.Println("mix,variant,mode,clients,requests,seconds,requests_per_sec,wire_batches,wire_requests,wal_appends,wal_fsyncs,locks_requested,locks_acquired")
@@ -129,11 +129,5 @@ func runWalBench(doc *jsonDoc, threads []int, ops int, keyspace int64, seed uint
 			}
 		}
 	}
-	if format == "json" {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(doc); err != nil {
-			fatal(err)
-		}
-	}
+	emitJSON(doc, format)
 }

@@ -22,9 +22,7 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -74,7 +72,7 @@ func wirePass(clients, ops int, keyspace int64, seed uint64, cfg server.Config, 
 			gen := server.NewSocialTraffic(seed, mix, keyspace, int64(clients), int64(c))
 			var sum uint64
 			for i := 0; i < ops; i++ {
-				resp, err := cl.Do(gen.Next())
+				resp, err := cl.Do(context.Background(), gen.Next())
 				if err != nil {
 					fatal(fmt.Errorf("wire: client %d request %d: %v", c, i, err))
 				}
@@ -117,7 +115,8 @@ func wireConfig(mode string, clients int, counts *workload.LockCounts) server.Co
 
 // runWireBench runs the wire group-commit comparison for every requested
 // client count.
-func runWireBench(doc *jsonDoc, threads []int, ops int, keyspace int64, seed uint64, format string) {
+func runWireBench(doc *jsonDoc, rc RunConfig, threads []int, format string) {
+	ops, keyspace, seed := rc.OpsPerThread, rc.KeySpace, rc.Seed
 	mix := workload.DefaultSocialMix()
 	if format == "csv" {
 		fmt.Println("mix,mode,clients,requests,seconds,requests_per_sec,wire_batches,wire_requests,wire_max_batch,locks_requested,locks_acquired")
@@ -184,11 +183,5 @@ func runWireBench(doc *jsonDoc, threads []int, ops int, keyspace int64, seed uin
 			}
 		}
 	}
-	if format == "json" {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(doc); err != nil {
-			fatal(err)
-		}
-	}
+	emitJSON(doc, format)
 }

@@ -1,0 +1,222 @@
+// Package latency is a fixed-bucket log-scale histogram for recording
+// latencies (or any non-negative int64 values, e.g. window occupancies)
+// on hot paths. Recording is one atomic increment into a fixed array —
+// no allocation, no locks — so many goroutines can record into one
+// histogram concurrently and histograms merge lock-free by bucket-wise
+// addition. Quantiles are deterministic: a bucket's reported value is
+// its inclusive upper bound, so the same fills always produce the same
+// quantiles, which is what lets tests assert them exactly.
+//
+// Bucket layout: values below subCount (16) get exact unit buckets;
+// above that, each power of two is split into subCount linear
+// sub-buckets, bounding the relative rounding error of any reported
+// quantile at 1/subCount (6.25%). The full int64 range fits in 960
+// buckets (~7.5 KiB of counters per histogram).
+package latency
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// subBits is the per-octave resolution: 2^subBits linear sub-buckets
+	// per power of two.
+	subBits  = 4
+	subCount = 1 << subBits
+	// numBuckets covers [0, 2^63): subCount exact unit buckets, then
+	// subCount sub-buckets for each exponent subBits..62.
+	numBuckets = (63 - subBits + 1) * subCount
+)
+
+// Histogram is a concurrent fixed-bucket log-scale histogram. The zero
+// value is ready to use; copying a Histogram that is being recorded into
+// is not (use Merge into a fresh one instead).
+type Histogram struct {
+	counts [numBuckets]atomic.Uint64
+	n      atomic.Uint64
+	sum    atomic.Uint64
+}
+
+// New returns an empty histogram.
+func New() *Histogram { return &Histogram{} }
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < subCount {
+		return int(v)
+	}
+	exp := 63 - bits.LeadingZeros64(uint64(v)) // subBits..62
+	scale := exp - subBits
+	sub := int(uint64(v)>>uint(scale)) & (subCount - 1)
+	return (exp-subBits+1)*subCount + sub
+}
+
+// bucketUpper is the inclusive upper bound of bucket idx — the value
+// Quantile reports for it.
+func bucketUpper(idx int) int64 {
+	if idx < subCount {
+		return int64(idx)
+	}
+	exp := subBits + idx/subCount - 1
+	scale := uint(exp - subBits)
+	sub := uint64(idx % subCount)
+	return int64(((subCount + sub + 1) << scale) - 1) // top bucket: 2^63-1 exactly
+}
+
+// BucketBounds reports the inclusive [lo, hi] range of the bucket a
+// value lands in. Exported for tests and for documenting the resolution
+// contract: hi-lo+1 is at most max(1, v/subCount) rounded to a power of
+// two, so any reported quantile is within 1/subCount of a recorded
+// value. Negative values clamp to 0.
+func BucketBounds(v int64) (lo, hi int64) {
+	if v < 0 {
+		v = 0
+	}
+	idx := bucketIndex(v)
+	hi = bucketUpper(idx)
+	if idx < subCount {
+		return hi, hi
+	}
+	exp := subBits + idx/subCount - 1
+	scale := uint(exp - subBits)
+	sub := uint64(idx % subCount)
+	return int64((subCount + sub) << scale), hi
+}
+
+// RecordValue folds one non-negative value into the histogram.
+// Negative values clamp to 0 (a latency measured across a clock step
+// should count as instantaneous, not vanish).
+func (h *Histogram) RecordValue(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.n.Add(1)
+	h.sum.Add(uint64(v))
+}
+
+// Record folds one duration into the histogram (in nanoseconds).
+func (h *Histogram) Record(d time.Duration) { h.RecordValue(int64(d)) }
+
+// Merge adds o's counts into h bucket-wise. Both histograms may be
+// concurrently recorded into during the merge; the result is some valid
+// interleaving (each recorded value lands in exactly one histogram's
+// totals). Merging is associative and commutative, so per-worker
+// histograms can be folded in any order.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o == h {
+		return
+	}
+	for i := range o.counts {
+		if c := o.counts[i].Load(); c > 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.n.Add(o.n.Load())
+	h.sum.Add(o.sum.Load())
+}
+
+// Count reports how many values have been recorded.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Mean reports the exact arithmetic mean of the recorded values (the
+// running sum is kept outside the buckets, so the mean does not suffer
+// bucket rounding). Zero when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile reports the q-quantile (q in (0, 1]) as the inclusive upper
+// bound of the lowest bucket whose cumulative count reaches
+// ceil(q·Count) — deterministic for a given fill, monotone in q, and
+// never below a recorded value of that rank. q outside (0, 1] clamps;
+// an empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.n.Load()
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 1 / float64(total) // the minimum's rank
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if float64(rank) < q*float64(total) { // ceil
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	// Concurrent recording can grow n between the Load above and the
+	// walk; the largest occupied bucket is then the honest answer.
+	for i := numBuckets - 1; i >= 0; i-- {
+		if h.counts[i].Load() > 0 {
+			return bucketUpper(i)
+		}
+	}
+	return 0
+}
+
+// QuantileDuration is Quantile for duration-valued histograms.
+func (h *Histogram) QuantileDuration(q float64) time.Duration {
+	return time.Duration(h.Quantile(q))
+}
+
+// Summary is the compact serializable digest of a histogram: the count,
+// exact mean, and the standard tail quantiles, all in the recorded unit
+// (nanoseconds for Record, dimensionless for RecordValue).
+type Summary struct {
+	// Count is the number of recorded values.
+	Count uint64 `json:"count"`
+	// Mean is the exact arithmetic mean.
+	Mean float64 `json:"mean"`
+	// P50, P95 and P99 are deterministic bucket-upper-bound quantiles.
+	P50 int64 `json:"p50"`
+	P95 int64 `json:"p95"`
+	P99 int64 `json:"p99"`
+	// Max is the 100th percentile (the largest occupied bucket's upper
+	// bound).
+	Max int64 `json:"max"`
+}
+
+// Summarize digests the histogram; nil when nothing has been recorded
+// (so JSON-embedded summaries disappear instead of reporting zeros).
+func (h *Histogram) Summarize() *Summary {
+	n := h.Count()
+	if n == 0 {
+		return nil
+	}
+	return &Summary{
+		Count: n,
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Max:   h.Quantile(1),
+	}
+}
+
+// String renders the digest for logs.
+func (s *Summary) String() string {
+	if s == nil {
+		return "empty"
+	}
+	return fmt.Sprintf("n=%d mean=%.0f p50=%d p95=%d p99=%d max=%d",
+		s.Count, s.Mean, s.P50, s.P95, s.P99, s.Max)
+}

@@ -1,0 +1,224 @@
+package latency
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestExactSmallValues(t *testing.T) {
+	h := New()
+	// Values below 16 are exact: fill 0..15 once each.
+	for v := int64(0); v < 16; v++ {
+		h.RecordValue(v)
+	}
+	if got := h.Count(); got != 16 {
+		t.Fatalf("Count = %d, want 16", got)
+	}
+	if got := h.Quantile(0.5); got != 7 {
+		t.Fatalf("p50 of 0..15 = %d, want 7", got)
+	}
+	if got := h.Quantile(1); got != 15 {
+		t.Fatalf("max of 0..15 = %d, want 15", got)
+	}
+	if got := h.Quantile(0.0001); got != 0 {
+		t.Fatalf("min of 0..15 = %d, want 0", got)
+	}
+	if got := h.Mean(); got != 7.5 {
+		t.Fatalf("Mean = %v, want 7.5", got)
+	}
+}
+
+func TestQuantileBucketUpperBound(t *testing.T) {
+	h := New()
+	// 1000 lands in the bucket [992, 1023] (exp=9, scale=5, sub=15):
+	// every quantile must report the bucket's upper bound 1023.
+	h.RecordValue(1000)
+	for _, q := range []float64{0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 1023 {
+			t.Fatalf("Quantile(%v) of {1000} = %d, want 1023", q, got)
+		}
+	}
+	lo, hi := BucketBounds(1000)
+	if lo != 992 || hi != 1023 {
+		t.Fatalf("BucketBounds(1000) = [%d, %d], want [992, 1023]", lo, hi)
+	}
+	// Mean stays exact even though the quantile rounds up.
+	if got := h.Mean(); got != 1000 {
+		t.Fatalf("Mean = %v, want 1000", got)
+	}
+}
+
+func TestQuantileKnownFill(t *testing.T) {
+	h := New()
+	// 100 copies of 1, then one copy of 1<<20. p50/p95 sit in the value-1
+	// bucket; p99 rank is ceil(0.99*101) = 100, still value 1; max is the
+	// upper bound of the 1<<20 bucket (exactly a power of two: sub=0, so
+	// upper = 17<<16 - 1).
+	for i := 0; i < 100; i++ {
+		h.RecordValue(1)
+	}
+	h.RecordValue(1 << 20)
+	if got := h.Quantile(0.50); got != 1 {
+		t.Fatalf("p50 = %d, want 1", got)
+	}
+	if got := h.Quantile(0.99); got != 1 {
+		t.Fatalf("p99 = %d, want 1", got)
+	}
+	wantMax := int64(17<<16 - 1)
+	if got := h.Quantile(1); got != wantMax {
+		t.Fatalf("max = %d, want %d", got, wantMax)
+	}
+}
+
+func TestNegativeClampsToZero(t *testing.T) {
+	h := New()
+	h.RecordValue(-5)
+	h.Record(-3 * time.Nanosecond)
+	if got := h.Count(); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+	if got := h.Quantile(1); got != 0 {
+		t.Fatalf("max = %d, want 0", got)
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h := New()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	if s := h.Summarize(); s != nil {
+		t.Fatalf("Summarize of empty = %+v, want nil", s)
+	}
+	if got := (*Summary)(nil).String(); got != "empty" {
+		t.Fatalf("nil Summary.String() = %q", got)
+	}
+}
+
+func TestMergeAssociativity(t *testing.T) {
+	fill := func(h *Histogram, seed int64, n int) {
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < n; i++ {
+			h.RecordValue(r.Int63n(1 << 30))
+		}
+	}
+	// (a ⊕ b) ⊕ c  must equal  a ⊕ (b ⊕ c).
+	mk := func(seed int64) *Histogram { h := New(); fill(h, seed, 500); return h }
+
+	left := New()
+	left.Merge(mk(1))
+	left.Merge(mk(2))
+	left.Merge(mk(3))
+
+	bc := mk(2)
+	bc.Merge(mk(3))
+	right := mk(1)
+	right.Merge(bc)
+
+	if left.Count() != right.Count() {
+		t.Fatalf("counts differ: %d vs %d", left.Count(), right.Count())
+	}
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+		if l, r := left.Quantile(q), right.Quantile(q); l != r {
+			t.Fatalf("Quantile(%v): %d vs %d", q, l, r)
+		}
+	}
+	if l, r := left.Mean(), right.Mean(); math.Abs(l-r) > 1e-6 {
+		t.Fatalf("means differ: %v vs %v", l, r)
+	}
+	// Self- and nil-merge are no-ops.
+	before := left.Count()
+	left.Merge(left)
+	left.Merge(nil)
+	if left.Count() != before {
+		t.Fatalf("self/nil merge changed count: %d -> %d", before, left.Count())
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	const workers = 8
+	const perWorker = 5000
+	h := New()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				h.RecordValue(r.Int63n(1 << 40))
+			}
+		}(int64(w + 1))
+	}
+	// Concurrent readers must not race with recorders.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = h.Quantile(0.99)
+			_ = h.Summarize()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("Count = %d, want %d", got, workers*perWorker)
+	}
+	s := h.Summarize()
+	if s == nil || s.P50 > s.P95 || s.P95 > s.P99 || s.P99 > s.Max {
+		t.Fatalf("quantiles not monotone: %s", s)
+	}
+}
+
+func TestBucketBoundsQuickCheck(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	check := func(v int64) {
+		lo, hi := BucketBounds(v)
+		if v < lo || v > hi {
+			t.Fatalf("value %d outside its bucket [%d, %d]", v, lo, hi)
+		}
+		if lo > hi {
+			t.Fatalf("inverted bucket [%d, %d] for %d", lo, hi, v)
+		}
+		// Relative error contract: the reported quantile (hi) overshoots
+		// the recorded value by at most 1/16 ≈ 6.25%.
+		if v >= 16 && float64(hi-v) > float64(v)/16 {
+			t.Fatalf("bucket upper %d overshoots %d by more than 1/16", hi, v)
+		}
+	}
+	// Edges: zero, exact-bucket boundary, powers of two and neighbors, max.
+	for _, v := range []int64{0, 1, 15, 16, 17, 31, 32, 959, 960, 1023,
+		1 << 20, 1<<20 - 1, 1<<20 + 1, math.MaxInt64, math.MaxInt64 - 1} {
+		check(v)
+	}
+	for i := 0; i < 20000; i++ {
+		// Bias across magnitudes: pick a random bit width, then a value.
+		width := uint(r.Intn(63)) + 1
+		check(r.Int63() & (1<<width - 1))
+	}
+	// Every recorded value's quantile report stays inside its own bucket.
+	h := New()
+	for i := 0; i < 1000; i++ {
+		v := r.Int63n(1 << 35)
+		h2 := New()
+		h2.RecordValue(v)
+		_, hi := BucketBounds(v)
+		if got := h2.Quantile(1); got != hi {
+			t.Fatalf("singleton Quantile(1) of %d = %d, want bucket upper %d", v, got, hi)
+		}
+		_ = h
+	}
+}
+
+func TestRecordDuration(t *testing.T) {
+	h := New()
+	h.Record(500 * time.Microsecond)
+	lo, hi := BucketBounds(int64(500 * time.Microsecond))
+	if got := h.QuantileDuration(0.99); int64(got) != hi {
+		t.Fatalf("QuantileDuration = %v, want bucket upper %v (bucket [%d, %d])",
+			got, time.Duration(hi), lo, hi)
+	}
+}

@@ -78,7 +78,7 @@ func TestE2EAdaptMigratesUnderTraffic(t *testing.T) {
 			for i := 0; !stop.Load(); i++ {
 				k := adaptKey{author: int64(1000 + c), post: int64(c*1_000_000 + i)}
 				issued[c][k] = true
-				applied, err := cl.Insert("posts",
+				applied, err := cl.Insert(context.Background(), "posts",
 					map[string]any{"author": k.author, "post": k.post},
 					map[string]any{"ts": int64(i)})
 				if err != nil {
@@ -92,7 +92,7 @@ func TestE2EAdaptMigratesUnderTraffic(t *testing.T) {
 				acked[c][k] = true
 				ackTotal.Add(1)
 				for r := 0; r < readsPerIns; r++ {
-					if _, err := cl.Count("posts", map[string]any{"author": k.author}); err != nil {
+					if _, err := cl.Count(context.Background(), "posts", map[string]any{"author": k.author}); err != nil {
 						t.Errorf("client %d count: %v", c, err)
 						return
 					}
@@ -238,7 +238,7 @@ func TestE2EKillDuringMigrationChurn(t *testing.T) {
 			for i := 0; ; i++ {
 				k := adaptKey{author: int64(1000 + c), post: int64(c*1_000_000 + i)}
 				issued[c][k] = true
-				applied, err := cl.Insert("posts",
+				applied, err := cl.Insert(context.Background(), "posts",
 					map[string]any{"author": k.author, "post": k.post},
 					map[string]any{"ts": int64(i)})
 				if err != nil {
@@ -263,7 +263,7 @@ func TestE2EKillDuringMigrationChurn(t *testing.T) {
 			t.Fatalf("child not churning: %d acks", ackTotal.Load())
 		}
 		if ackTotal.Load() >= clients*minAcked {
-			if st, err := statsCl.Stats(); err == nil &&
+			if st, err := statsCl.Stats(context.Background()); err == nil &&
 				st.Registry != nil && len(st.Registry.Migrations) >= minMigrations {
 				break
 			}

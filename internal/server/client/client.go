@@ -1,12 +1,19 @@
 // Package client is the Go client of the crsd wire protocol: a thin
 // typed wrapper over the HTTP+JSON endpoints of internal/server, used by
-// the e2e tests and the crsbench -wire benchmark. One Client is safe for
-// concurrent use by many goroutines (it shares one http.Client and its
-// connection pool).
+// the e2e tests and the crsbench -wire/-openloop benchmarks. One Client
+// is safe for concurrent use by many goroutines (it shares one
+// http.Client and its connection pool).
+//
+// Construction follows the options vocabulary (client.New(base,
+// client.WithTimeout(...))) and every method takes a context.Context
+// first, so open-loop callers can enforce per-request deadlines without
+// giving up the shared connection pool. The pre-context signatures
+// survive as deprecated shims on the Legacy view.
 package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -16,41 +23,65 @@ import (
 	"repro/internal/server"
 )
 
+// DefaultTimeout is the per-request timeout New installs when no option
+// overrides it — generous, because group commits deliberately delay
+// replies by the window.
+const DefaultTimeout = 30 * time.Second
+
 // Client talks to one crsd server.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:7070".
 	BaseURL string
-	// HTTP is the underlying client; nil uses a default with a generous
-	// timeout (group commits deliberately delay replies by the window).
+	// HTTP is the underlying client; nil uses http.DefaultClient.
 	HTTP *http.Client
 }
 
-// New returns a client for the server at baseURL.
-func New(baseURL string) *Client {
-	return &Client{
-		BaseURL: baseURL,
-		HTTP:    &http.Client{Timeout: 30 * time.Second},
+// Option configures a Client at construction time.
+type Option func(*Client)
+
+// WithTimeout sets the per-request timeout of the client's default
+// http.Client. It is ignored if WithHTTPClient later replaces the
+// transport wholesale; per-request deadlines via context take precedence
+// either way.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) {
+		if c.HTTP != nil {
+			c.HTTP.Timeout = d
+		}
 	}
 }
 
+// WithHTTPClient replaces the underlying http.Client wholesale — for
+// custom transports, connection-pool tuning, or test doubles.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.HTTP = h }
+}
+
+// New returns a client for the server at baseURL, configured by opts in
+// order. With no options it behaves like the original constructor: a
+// fresh http.Client with DefaultTimeout.
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		BaseURL: baseURL,
+		HTTP:    &http.Client{Timeout: DefaultTimeout},
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
 // Do submits a multi-op transaction and returns its committed response.
-// A non-2xx status becomes an error carrying the server's message.
-func (c *Client) Do(req *server.Request) (*server.Response, error) {
+// A non-2xx status becomes an error carrying the server's message; ctx
+// cancellation or deadline expiry aborts the request.
+func (c *Client) Do(ctx context.Context, req *server.Request) (*server.Response, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
 	}
-	httpResp, err := c.client().Post(c.BaseURL+"/v1/txn", "application/json", bytes.NewReader(body))
+	data, err := c.post(ctx, "/v1/txn", body)
 	if err != nil {
 		return nil, err
-	}
-	defer httpResp.Body.Close()
-	data, err := io.ReadAll(httpResp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if httpResp.StatusCode != http.StatusOK {
-		return nil, decodeError(httpResp.StatusCode, data)
 	}
 	var resp server.Response
 	if err := unmarshalNumbers(data, &resp); err != nil {
@@ -61,8 +92,8 @@ func (c *Client) Do(req *server.Request) (*server.Response, error) {
 
 // Insert submits insert rel s t as a one-op transaction and reports the
 // put-if-absent outcome.
-func (c *Client) Insert(rel string, s, t map[string]any) (bool, error) {
-	resp, err := c.Do(&server.Request{Ops: []server.Op{{Kind: server.OpInsert, Rel: rel, S: s, T: t}}})
+func (c *Client) Insert(ctx context.Context, rel string, s, t map[string]any) (bool, error) {
+	resp, err := c.Do(ctx, &server.Request{Ops: []server.Op{{Kind: server.OpInsert, Rel: rel, S: s, T: t}}})
 	if err != nil {
 		return false, err
 	}
@@ -70,8 +101,8 @@ func (c *Client) Insert(rel string, s, t map[string]any) (bool, error) {
 }
 
 // Remove submits remove rel s and reports whether anything existed.
-func (c *Client) Remove(rel string, s map[string]any) (bool, error) {
-	resp, err := c.Do(&server.Request{Ops: []server.Op{{Kind: server.OpRemove, Rel: rel, S: s}}})
+func (c *Client) Remove(ctx context.Context, rel string, s map[string]any) (bool, error) {
+	resp, err := c.Do(ctx, &server.Request{Ops: []server.Op{{Kind: server.OpRemove, Rel: rel, S: s}}})
 	if err != nil {
 		return false, err
 	}
@@ -79,8 +110,8 @@ func (c *Client) Remove(rel string, s map[string]any) (bool, error) {
 }
 
 // Count submits |query rel s| and returns the cardinality.
-func (c *Client) Count(rel string, s map[string]any) (int, error) {
-	resp, err := c.Do(&server.Request{Ops: []server.Op{{Kind: server.OpCount, Rel: rel, S: s}}})
+func (c *Client) Count(ctx context.Context, rel string, s map[string]any) (int, error) {
+	resp, err := c.Do(ctx, &server.Request{Ops: []server.Op{{Kind: server.OpCount, Rel: rel, S: s}}})
 	if err != nil {
 		return 0, err
 	}
@@ -88,17 +119,126 @@ func (c *Client) Count(rel string, s map[string]any) (int, error) {
 }
 
 // Query submits query rel s out and returns the projected rows.
-func (c *Client) Query(rel string, s map[string]any, out ...string) ([]map[string]any, error) {
-	resp, err := c.Do(&server.Request{Ops: []server.Op{{Kind: server.OpQuery, Rel: rel, S: s, Out: out}}})
+func (c *Client) Query(ctx context.Context, rel string, s map[string]any, out ...string) ([]map[string]any, error) {
+	resp, err := c.Do(ctx, &server.Request{Ops: []server.Op{{Kind: server.OpQuery, Rel: rel, S: s, Out: out}}})
 	if err != nil {
 		return nil, err
 	}
 	return resp.Results[0].Rows, nil
 }
 
-// Stats fetches the dispatcher's coalescing counters.
-func (c *Client) Stats() (*server.Stats, error) {
-	httpResp, err := c.client().Get(c.BaseURL + "/v1/stats")
+// Stats fetches the dispatcher's coalescing and latency counters.
+func (c *Client) Stats(ctx context.Context) (*server.Stats, error) {
+	data, err := c.get(ctx, "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	var s server.Stats
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Healthy reports whether the server answers its liveness probe.
+func (c *Client) Healthy(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body) // drain for pool reuse
+	return resp.StatusCode == http.StatusOK
+}
+
+// Legacy is the pre-context view of a Client: the original signatures,
+// kept as thin shims over the context methods with context.Background().
+//
+// Deprecated: use the context methods on Client directly.
+type Legacy struct {
+	c *Client
+}
+
+// Legacy returns the pre-context view of c.
+//
+// Deprecated: use the context methods on Client directly.
+func (c *Client) Legacy() Legacy { return Legacy{c: c} }
+
+// Do submits a multi-op transaction without a caller deadline.
+//
+// Deprecated: use Client.Do with a context.
+func (l Legacy) Do(req *server.Request) (*server.Response, error) {
+	return l.c.Do(context.Background(), req)
+}
+
+// Insert submits insert rel s t without a caller deadline.
+//
+// Deprecated: use Client.Insert with a context.
+func (l Legacy) Insert(rel string, s, t map[string]any) (bool, error) {
+	return l.c.Insert(context.Background(), rel, s, t)
+}
+
+// Remove submits remove rel s without a caller deadline.
+//
+// Deprecated: use Client.Remove with a context.
+func (l Legacy) Remove(rel string, s map[string]any) (bool, error) {
+	return l.c.Remove(context.Background(), rel, s)
+}
+
+// Count submits |query rel s| without a caller deadline.
+//
+// Deprecated: use Client.Count with a context.
+func (l Legacy) Count(rel string, s map[string]any) (int, error) {
+	return l.c.Count(context.Background(), rel, s)
+}
+
+// Query submits query rel s out without a caller deadline.
+//
+// Deprecated: use Client.Query with a context.
+func (l Legacy) Query(rel string, s map[string]any, out ...string) ([]map[string]any, error) {
+	return l.c.Query(context.Background(), rel, s, out...)
+}
+
+// Stats fetches the dispatcher counters without a caller deadline.
+//
+// Deprecated: use Client.Stats with a context.
+func (l Legacy) Stats() (*server.Stats, error) {
+	return l.c.Stats(context.Background())
+}
+
+// Healthy probes liveness without a caller deadline.
+//
+// Deprecated: use Client.Healthy with a context.
+func (l Legacy) Healthy() bool {
+	return l.c.Healthy(context.Background())
+}
+
+// post issues a context-bound POST and returns the 200 body.
+func (c *Client) post(ctx context.Context, path string, body []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.roundTrip(req)
+}
+
+// get issues a context-bound GET and returns the 200 body.
+func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.roundTrip(req)
+}
+
+// roundTrip executes the request and maps non-200 replies to errors.
+func (c *Client) roundTrip(req *http.Request) ([]byte, error) {
+	httpResp, err := c.client().Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -110,21 +250,7 @@ func (c *Client) Stats() (*server.Stats, error) {
 	if httpResp.StatusCode != http.StatusOK {
 		return nil, decodeError(httpResp.StatusCode, data)
 	}
-	var s server.Stats
-	if err := json.Unmarshal(data, &s); err != nil {
-		return nil, err
-	}
-	return &s, nil
-}
-
-// Healthy reports whether the server answers its liveness probe.
-func (c *Client) Healthy() bool {
-	resp, err := c.client().Get(c.BaseURL + "/healthz")
-	if err != nil {
-		return false
-	}
-	defer resp.Body.Close()
-	return resp.StatusCode == http.StatusOK
+	return data, nil
 }
 
 // client applies the HTTP default.

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/latency"
 	"repro/internal/wal"
 	"repro/internal/workload"
 )
@@ -118,15 +119,31 @@ type Stats struct {
 	// -adapt advisor appends to. /v1/stats re-serializes exactly this
 	// document — crstune -live consumes it.
 	Registry *core.Counters `json:"registry,omitempty"`
+	// CommitLatency digests the server-side commit latency in
+	// nanoseconds: per request, from arrival at the dispatcher to its
+	// group's acknowledgment (so it includes the window wait and, when
+	// durable, the group fsync). Open-loop clients cross-check their
+	// coordinated-omission-free measurements against this server view.
+	// Nil until a request commits.
+	CommitLatency *latency.Summary `json:"commit_latency_ns,omitempty"`
+	// WindowOccupancy digests how many requests each closed window
+	// carried (dimensionless; mean equals MeanBatchSize). Where
+	// MeanBatchSize is one number, the occupancy quantiles show the
+	// SHAPE of coalescing — under bursty arrivals p95 occupancy grows
+	// with the window while p50 may stay at 1. Nil until a window
+	// commits.
+	WindowOccupancy *latency.Summary `json:"window_occupancy,omitempty"`
 }
 
-// call is one parked request: the compiled ops and the channel its
-// submitter blocks on.
+// call is one parked request: the compiled ops, its arrival time (the
+// commit-latency clock starts when the request reaches the dispatcher),
+// and the channel its submitter blocks on.
 type call struct {
-	req  *compiledReq
-	resp *Response
-	err  error
-	done chan struct{}
+	req     *compiledReq
+	arrived time.Time
+	resp    *Response
+	err     error
+	done    chan struct{}
 }
 
 // Dispatcher coalesces concurrently submitted requests into group
@@ -150,6 +167,13 @@ type Dispatcher struct {
 	multiBatches atomic.Uint64
 	maxBatch     atomic.Uint64
 	degraded     atomic.Uint64
+
+	// commitLatency records per-request arrival→acknowledgment time in
+	// nanoseconds; occupancy records per-window committed batch sizes.
+	// Both are lock-free (see internal/latency) so the commit path stays
+	// allocation-free.
+	commitLatency latency.Histogram
+	occupancy     latency.Histogram
 }
 
 // windowHook, when non-nil, replaces the batching policy: it is invoked
@@ -158,6 +182,15 @@ type Dispatcher struct {
 // is armed and MaxBatch is ignored. Tests use it to force deterministic
 // window boundaries.
 var windowHook func(pending int) bool
+
+// SetWindowHook installs (or, with nil, removes) the deterministic
+// window policy hook: invoked under the dispatcher lock after each
+// arrival with the number of parked requests, closing the window exactly
+// when it returns true — no timer is armed and MaxBatch is ignored while
+// installed. It is a test seam (the open-loop driver's -race stress pins
+// window boundaries with it), global to the package; callers must remove
+// it (SetWindowHook(nil)) before dispatchers configured without it run.
+func SetWindowHook(f func(pending int) bool) { windowHook = f }
 
 // NewDispatcher returns a dispatcher committing against reg.
 func NewDispatcher(reg *core.Registry, cfg Config) *Dispatcher {
@@ -181,7 +214,7 @@ func (d *Dispatcher) Submit(req *Request) (*Response, error) {
 
 // submitCompiled parks an already-validated request; see Submit.
 func (d *Dispatcher) submitCompiled(creq *compiledReq) (*Response, error) {
-	c := &call{req: creq, done: make(chan struct{})}
+	c := &call{req: creq, arrived: time.Now(), done: make(chan struct{})}
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -308,6 +341,8 @@ func (d *Dispatcher) Stats() Stats {
 	}
 	rc := d.reg.Harvest()
 	s.Registry = &rc
+	s.CommitLatency = d.commitLatency.Summarize()
+	s.WindowOccupancy = d.occupancy.Summarize()
 	return s
 }
 
@@ -367,6 +402,7 @@ func (d *Dispatcher) commitGroup(batch []*call) {
 			BatchSize: size,
 			BatchPos:  i,
 		}
+		d.commitLatency.Record(time.Since(c.arrived))
 		close(c.done)
 	}
 }
@@ -411,6 +447,7 @@ func (d *Dispatcher) commitEach(batch []*call) {
 			BatchSize: 1,
 			BatchPos:  0,
 		}
+		d.commitLatency.Record(time.Since(c.arrived))
 		close(c.done)
 	}
 }
@@ -427,8 +464,10 @@ func (d *Dispatcher) syncWAL() error {
 	return nil
 }
 
-// recordBatch folds one committed group into the batch-size counters.
+// recordBatch folds one committed group into the batch-size counters and
+// the window-occupancy histogram.
 func (d *Dispatcher) recordBatch(size int) {
+	d.occupancy.RecordValue(int64(size))
 	d.batches.Add(1)
 	if size > 1 {
 		d.multiBatches.Add(1)

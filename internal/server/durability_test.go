@@ -17,6 +17,7 @@ package server_test
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"os"
 	"os/exec"
@@ -197,7 +198,7 @@ func TestE2EKillRecoverQuiescent(t *testing.T) {
 			cl := client.New(cs.base)
 			gen := trafficFor(c, clients)
 			for i := 0; i < rounds; i++ {
-				if _, err := cl.Do(gen.Next()); err != nil {
+				if _, err := cl.Do(context.Background(), gen.Next()); err != nil {
 					t.Errorf("client %d round %d: %v", c, i, err)
 					return
 				}
@@ -227,7 +228,7 @@ func TestE2EKillRecoverQuiescent(t *testing.T) {
 	for c := 0; c < clients; c++ {
 		gen := trafficFor(c, clients)
 		for i := 0; i < rounds; i++ {
-			if _, err := oCl.Do(gen.Next()); err != nil {
+			if _, err := oCl.Do(context.Background(), gen.Next()); err != nil {
 				t.Fatalf("oracle client %d round %d: %v", c, i, err)
 			}
 		}
@@ -271,7 +272,7 @@ func TestE2EKillMidFlightUniqueKeys(t *testing.T) {
 			for i := 0; ; i++ {
 				k := key{author: int64(1000 + c), post: int64(c*1_000_000 + i)}
 				issued[c][k] = true
-				applied, err := cl.Insert("posts",
+				applied, err := cl.Insert(context.Background(), "posts",
 					map[string]any{"author": k.author, "post": k.post},
 					map[string]any{"ts": int64(i)})
 				if err != nil {

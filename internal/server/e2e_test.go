@@ -63,7 +63,7 @@ func TestE2ELockstepOracle(t *testing.T) {
 			gen := trafficFor(c, clients)
 			log := make([]string, 0, rounds)
 			for i := 0; i < rounds; i++ {
-				resp, err := cl.Do(gen.Next())
+				resp, err := cl.Do(context.Background(), gen.Next())
 				if err != nil {
 					t.Errorf("client %d round %d: %v", c, i, err)
 					return
@@ -107,7 +107,7 @@ func TestE2ELockstepOracle(t *testing.T) {
 	for c := 0; c < clients; c++ {
 		gen := trafficFor(c, clients)
 		for i := 0; i < rounds; i++ {
-			resp, err := oCl.Do(gen.Next())
+			resp, err := oCl.Do(context.Background(), gen.Next())
 			if err != nil {
 				t.Fatalf("oracle client %d round %d: %v", c, i, err)
 			}
@@ -140,35 +140,36 @@ func TestE2ELockstepOracle(t *testing.T) {
 // introspection through the Go client against a live server.
 func TestE2ESingleOpEndpoints(t *testing.T) {
 	_, base := startServer(t, server.Config{Window: 100 * time.Microsecond})
-	cl := client.New(base)
+	cl := client.New(base, client.WithTimeout(15*time.Second))
+	ctx := context.Background()
 
-	if !cl.Healthy() {
+	if !cl.Healthy(ctx) {
 		t.Fatal("healthz failed")
 	}
-	applied, err := cl.Insert("posts", map[string]any{"author": 1, "post": 10}, map[string]any{"ts": 111})
+	applied, err := cl.Insert(ctx, "posts", map[string]any{"author": 1, "post": 10}, map[string]any{"ts": 111})
 	if err != nil || !applied {
 		t.Fatalf("insert: applied=%v err=%v", applied, err)
 	}
-	applied, err = cl.Insert("posts", map[string]any{"author": 1, "post": 10}, map[string]any{"ts": 111})
+	applied, err = cl.Insert(ctx, "posts", map[string]any{"author": 1, "post": 10}, map[string]any{"ts": 111})
 	if err != nil || applied {
 		t.Fatalf("duplicate insert: applied=%v err=%v (want put-if-absent false)", applied, err)
 	}
-	n, err := cl.Count("posts", map[string]any{"author": 1})
+	n, err := cl.Count(ctx, "posts", map[string]any{"author": 1})
 	if err != nil || n != 1 {
 		t.Fatalf("count: %d err=%v, want 1", n, err)
 	}
-	rows, err := cl.Query("posts", map[string]any{"author": 1}, "post", "ts")
+	rows, err := cl.Query(ctx, "posts", map[string]any{"author": 1}, "post", "ts")
 	if err != nil || len(rows) != 1 {
 		t.Fatalf("query: %v err=%v, want one row", rows, err)
 	}
 	if ts, ok := rows[0]["ts"].(json.Number); !ok || ts.String() != "111" {
 		t.Fatalf("query row ts = %#v, want 111", rows[0]["ts"])
 	}
-	applied, err = cl.Remove("posts", map[string]any{"author": 1, "post": 10})
+	applied, err = cl.Remove(ctx, "posts", map[string]any{"author": 1, "post": 10})
 	if err != nil || !applied {
 		t.Fatalf("remove: applied=%v err=%v", applied, err)
 	}
-	st, err := cl.Stats()
+	st, err := cl.Stats(ctx)
 	if err != nil {
 		t.Fatalf("stats: %v", err)
 	}
@@ -178,7 +179,7 @@ func TestE2ESingleOpEndpoints(t *testing.T) {
 
 	// Multi-op transaction with sequential semantics: the count sees the
 	// insert that precedes it in the same request.
-	resp, err := cl.Do(server.AddPostRequest(2, 20, 5))
+	resp, err := cl.Do(ctx, server.AddPostRequest(2, 20, 5))
 	if err != nil {
 		t.Fatalf("txn: %v", err)
 	}
@@ -187,8 +188,54 @@ func TestE2ESingleOpEndpoints(t *testing.T) {
 	}
 
 	// Validation errors surface as client errors, not hangs.
-	if _, err := cl.Count("nope", map[string]any{"user": 1}); err == nil {
+	if _, err := cl.Count(ctx, "nope", map[string]any{"user": 1}); err == nil {
 		t.Fatal("count on unknown relation succeeded")
+	}
+
+	// A context that is already expired aborts before the server replies.
+	expired, cancel := context.WithDeadline(ctx, time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := cl.Count(expired, "posts", map[string]any{"author": 2}); err == nil {
+		t.Fatal("expired context did not abort the request")
+	}
+}
+
+// TestE2ELegacyClientShims pins that the deprecated pre-context
+// signatures still compile and behave identically to the context
+// methods they wrap.
+func TestE2ELegacyClientShims(t *testing.T) {
+	_, base := startServer(t, server.Config{Window: 100 * time.Microsecond})
+	//lint:ignore SA1019 the deprecated shims must keep working until removed.
+	cl := client.New(base).Legacy()
+
+	if !cl.Healthy() {
+		t.Fatal("healthz failed")
+	}
+	applied, err := cl.Insert("posts", map[string]any{"author": 7, "post": 70}, map[string]any{"ts": 700})
+	if err != nil || !applied {
+		t.Fatalf("legacy insert: applied=%v err=%v", applied, err)
+	}
+	n, err := cl.Count("posts", map[string]any{"author": 7})
+	if err != nil || n != 1 {
+		t.Fatalf("legacy count: %d err=%v, want 1", n, err)
+	}
+	rows, err := cl.Query("posts", map[string]any{"author": 7}, "post")
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("legacy query: %v err=%v, want one row", rows, err)
+	}
+	if _, err := cl.Do(server.AddPostRequest(8, 80, 1)); err != nil {
+		t.Fatalf("legacy txn: %v", err)
+	}
+	applied, err = cl.Remove("posts", map[string]any{"author": 7, "post": 70})
+	if err != nil || !applied {
+		t.Fatalf("legacy remove: applied=%v err=%v", applied, err)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatalf("legacy stats: %v", err)
+	}
+	if st.Requests != 5 {
+		t.Fatalf("legacy stats counted %d requests, want 5", st.Requests)
 	}
 }
 
@@ -210,7 +257,7 @@ func TestE2EGracefulShutdown(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			cl := client.New(base)
-			resp, err := cl.Do(server.AddPostRequest(int64(c), int64(100+c), int64(c)))
+			resp, err := cl.Do(context.Background(), server.AddPostRequest(int64(c), int64(100+c), int64(c)))
 			if err != nil {
 				errs[c] = err
 				return
@@ -254,7 +301,7 @@ func TestE2EGracefulShutdown(t *testing.T) {
 
 	// After shutdown the listener is gone (connection error) or the
 	// dispatcher refuses (503 → client error): either way, an error.
-	if _, err := client.New(base).Do(server.SnapshotRequest(1)); err == nil {
+	if _, err := client.New(base).Do(context.Background(), server.SnapshotRequest(1)); err == nil {
 		t.Fatal("request succeeded after shutdown")
 	}
 	if _, err := http.Get(base + "/healthz"); err == nil {

@@ -1,0 +1,211 @@
+// Package openloop is the arrival-driven load driver for crsd: K HTTP
+// clients each fire requests on their own ArrivalGen schedule instead of
+// blocking on round-trips. That open-loop discipline is what makes tail
+// latency honest — a closed-loop (lockstep) client stops generating load
+// the moment the server slows down, silently excusing the stall from the
+// measurement (coordinated omission). Here every request has a SCHEDULED
+// arrival time fixed by the generator alone; latency is measured from
+// that scheduled instant to completion, so a slow reply also charges the
+// requests queued behind it.
+//
+// Overload never silently re-closes the loop: each client caps its
+// in-flight requests, and an arrival that finds the cap exhausted is
+// counted as a dropped send — visible in Result.Dropped — rather than
+// blocking the schedule. Offered vs achieved throughput plus the drop
+// and error counts make saturation explicit in every report.
+package openloop
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/latency"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/workload"
+)
+
+// Config parameterizes one open-loop run.
+type Config struct {
+	// BaseURL is the crsd server root the clients fire at.
+	BaseURL string
+	// Clients is how many independent open-loop clients run (K).
+	Clients int
+	// Requests is the schedule length per client.
+	Requests int
+	// InFlight caps each client's concurrent outstanding requests; an
+	// arrival past the cap is dropped (and counted), never queued. Zero
+	// means 1.
+	InFlight int
+	// Timeout bounds each request via its context; zero means no
+	// per-request deadline beyond the HTTP client's own.
+	Timeout time.Duration
+	// NewArrivals builds client c's arrival schedule. The generator is
+	// Reset and replayed internally, so it must be freshly seeded (or
+	// reset) when handed over.
+	NewArrivals func(c int) workload.ArrivalGen
+	// NewTraffic builds client c's deterministic request stream.
+	NewTraffic func(c int) *server.SocialTraffic
+}
+
+// Result is one run's account: the schedule (offered) side and the
+// completion (achieved) side, plus the coordinated-omission-free latency
+// histogram merged across clients.
+type Result struct {
+	// Elapsed is the wall time from first scheduled arrival to last
+	// completion.
+	Elapsed time.Duration
+	// Scheduled is Clients×Requests — every arrival the generators
+	// produced, sent or not.
+	Scheduled int
+	// Sent is how many arrivals acquired an in-flight slot and went out.
+	Sent int
+	// Dropped is how many arrivals found the in-flight cap exhausted.
+	// Scheduled = Sent + Dropped always.
+	Dropped int
+	// Errors is how many sent requests failed (timeout, refused, 5xx).
+	Errors int
+	// Checksum folds every successful reply (server.FoldResponse). The
+	// fold is order-independent, but reply CONTENTS can vary run to run:
+	// a client with InFlight > 1 races itself, so its own requests may
+	// commit out of schedule order. The checksum is a liveness
+	// cross-check (work really committed), not an oracle.
+	Checksum uint64
+	// OfferedPerSec is the schedule's aggregate arrival rate: per
+	// client, Requests divided by the schedule span the generator
+	// dictates, summed over clients — a property of the generators, not
+	// of the server.
+	OfferedPerSec float64
+	// AchievedPerSec is successful completions divided by Elapsed.
+	AchievedPerSec float64
+	// Latency is the merged histogram of completion − scheduled-arrival
+	// times (nanoseconds) for successful requests. Scheduled time, not
+	// send time: a request delayed by the cap or by the scheduler still
+	// charges its full lateness.
+	Latency *latency.Histogram
+}
+
+// Run executes one open-loop pass and blocks until every in-flight
+// request resolves. The schedule replays deterministically (generators
+// are Reset before use); completions and drops depend on server timing.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Clients <= 0 || cfg.Requests <= 0 {
+		return nil, fmt.Errorf("openloop: need positive Clients and Requests, got %d×%d", cfg.Clients, cfg.Requests)
+	}
+	if cfg.NewArrivals == nil || cfg.NewTraffic == nil {
+		return nil, fmt.Errorf("openloop: NewArrivals and NewTraffic are required")
+	}
+	inflight := cfg.InFlight
+	if inflight <= 0 {
+		inflight = 1
+	}
+
+	// Offered load is a pre-pass over each schedule: sum the gaps, Reset,
+	// and replay the identical schedule live.
+	gens := make([]workload.ArrivalGen, cfg.Clients)
+	var offered float64
+	for c := range gens {
+		gens[c] = cfg.NewArrivals(c)
+		var span time.Duration
+		for i := 0; i < cfg.Requests; i++ {
+			span += gens[c].Next()
+		}
+		gens[c].Reset()
+		if span > 0 {
+			offered += float64(cfg.Requests) / span.Seconds()
+		}
+	}
+
+	var (
+		wg       sync.WaitGroup
+		sent     atomic.Int64
+		dropped  atomic.Int64
+		errors   atomic.Int64
+		checksum atomic.Uint64
+	)
+	hists := make([]*latency.Histogram, cfg.Clients)
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		hists[c] = latency.New()
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := client.New(cfg.BaseURL)
+			gen := gens[c]
+			traffic := cfg.NewTraffic(c)
+			hist := hists[c]
+			slots := make(chan struct{}, inflight)
+			var reqs sync.WaitGroup
+			sched := start
+			for i := 0; i < cfg.Requests; i++ {
+				sched = sched.Add(gen.Next())
+				// The request stream advances on EVERY scheduled arrival,
+				// sent or dropped, so which payloads go out never depends
+				// on timing — only whether they go out does.
+				req := traffic.Next()
+				if d := time.Until(sched); d > 0 {
+					time.Sleep(d)
+				}
+				select {
+				case slots <- struct{}{}:
+				default:
+					// Cap exhausted: an open-loop client drops the send
+					// rather than blocking its schedule (which would
+					// re-close the loop and hide the overload).
+					dropped.Add(1)
+					continue
+				}
+				sent.Add(1)
+				reqs.Add(1)
+				go func(sched time.Time, req *server.Request) {
+					defer reqs.Done()
+					defer func() { <-slots }()
+					ctx := context.Background()
+					if cfg.Timeout > 0 {
+						var cancel context.CancelFunc
+						ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+						defer cancel()
+					}
+					resp, err := cl.Do(ctx, req)
+					if err != nil {
+						errors.Add(1)
+						return
+					}
+					// Latency from the SCHEDULED arrival, not the send:
+					// the coordinated-omission-free clock.
+					hist.Record(time.Since(sched))
+					checksum.Add(server.FoldResponse(0, resp))
+				}(sched, req)
+			}
+			reqs.Wait()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	merged := latency.New()
+	for _, h := range hists {
+		merged.Merge(h)
+	}
+	res := &Result{
+		Elapsed:       elapsed,
+		Scheduled:     cfg.Clients * cfg.Requests,
+		Sent:          int(sent.Load()),
+		Dropped:       int(dropped.Load()),
+		Errors:        int(errors.Load()),
+		Checksum:      checksum.Load(),
+		OfferedPerSec: offered,
+		Latency:       merged,
+	}
+	if elapsed > 0 {
+		res.AchievedPerSec = float64(int64(merged.Count())) / elapsed.Seconds()
+	}
+	if res.Sent+res.Dropped != res.Scheduled {
+		return nil, fmt.Errorf("openloop: accounting broke: %d sent + %d dropped != %d scheduled",
+			res.Sent, res.Dropped, res.Scheduled)
+	}
+	return res, nil
+}

@@ -1,0 +1,192 @@
+package openloop_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/server/openloop"
+	"repro/internal/workload"
+)
+
+// startServer runs a crsd over a fresh social registry on a random port.
+func startServer(t *testing.T, cfg server.Config) (*server.Server, string) {
+	t.Helper()
+	srv := server.New(workload.MustSocial().Reg, cfg)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	return srv, "http://" + srv.Addr()
+}
+
+// config builds the standard test run: Poisson arrivals, disjoint
+// per-client key partitions.
+func config(base string, clients, requests int, mean time.Duration) openloop.Config {
+	return openloop.Config{
+		BaseURL:  base,
+		Clients:  clients,
+		Requests: requests,
+		InFlight: 32,
+		NewArrivals: func(c int) workload.ArrivalGen {
+			return workload.NewPoissonArrivals(uint64(c+1), mean)
+		},
+		NewTraffic: func(c int) *server.SocialTraffic {
+			return server.NewSocialTraffic(uint64(c+1), workload.DefaultSocialMix(), 24, int64(clients), int64(c))
+		},
+	}
+}
+
+// TestOpenLoopCompletesAll pins the healthy path: an uncontended server
+// completes every scheduled arrival, the accounting identity holds, and
+// the client-side histogram counts exactly the successes. The server's
+// own commit-latency count, fetched over /v1/stats, must match the
+// client's send count — the cross-check the Stats counters exist for.
+func TestOpenLoopCompletesAll(t *testing.T) {
+	const clients, requests = 3, 25
+	_, base := startServer(t, server.Config{Window: 200 * time.Microsecond, MaxBatch: 16})
+	res, err := openloop.Run(config(base, clients, requests, 300*time.Microsecond))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	st, err := client.New(base).Stats(context.Background())
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+
+	if res.Scheduled != clients*requests {
+		t.Fatalf("scheduled %d, want %d", res.Scheduled, clients*requests)
+	}
+	if res.Dropped != 0 || res.Errors != 0 {
+		t.Fatalf("uncontended run dropped %d, errored %d", res.Dropped, res.Errors)
+	}
+	if res.Sent != res.Scheduled {
+		t.Fatalf("sent %d of %d scheduled", res.Sent, res.Scheduled)
+	}
+	if got := res.Latency.Count(); got != uint64(res.Sent) {
+		t.Fatalf("latency histogram holds %d samples, want %d", got, res.Sent)
+	}
+	if res.OfferedPerSec <= 0 || res.AchievedPerSec <= 0 {
+		t.Fatalf("throughput not reported: offered %.0f achieved %.0f", res.OfferedPerSec, res.AchievedPerSec)
+	}
+
+	// Server-side cross-check over the wire: the dispatcher committed
+	// exactly the sent requests, its commit-latency histogram saw each
+	// one, and the occupancy digest agrees with the batch counters.
+	if st.Requests != uint64(res.Sent) {
+		t.Fatalf("server committed %d, client sent %d", st.Requests, res.Sent)
+	}
+	if st.CommitLatency == nil || st.CommitLatency.Count != uint64(res.Sent) {
+		t.Fatalf("server commit-latency digest %v, want count %d", st.CommitLatency, res.Sent)
+	}
+	if st.WindowOccupancy == nil || st.WindowOccupancy.Count != st.Batches {
+		t.Fatalf("window-occupancy digest %v, want one sample per batch (%d)", st.WindowOccupancy, st.Batches)
+	}
+	occMean := st.WindowOccupancy.Mean
+	if diff := occMean - st.MeanBatchSize; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("occupancy mean %.4f != mean batch size %.4f", occMean, st.MeanBatchSize)
+	}
+	// Server-side commit latency can never exceed the client's view of
+	// the same requests (the client clock starts at the scheduled
+	// arrival, before the request even reaches the dispatcher).
+	if cp99, sp99 := res.Latency.Quantile(0.99), st.CommitLatency.P99; sp99 > 4*cp99 && cp99 > 0 {
+		t.Fatalf("server p99 %dns wildly above client p99 %dns", sp99, cp99)
+	}
+	if res.Checksum == 0 {
+		t.Fatal("no reply folded into the checksum — did anything commit?")
+	}
+}
+
+// TestOpenLoopDropAccounting forces overload: an in-flight cap of 1
+// against a window that outlives the per-request timeout. The schedule
+// must keep firing — arrivals past the cap are dropped, not queued — and
+// Scheduled = Sent + Dropped must hold exactly, with the timed-out sends
+// visible as errors rather than silent stalls.
+func TestOpenLoopDropAccounting(t *testing.T) {
+	// A window far longer than the client timeout, MaxBatch too high to
+	// close on count: every sent request parks until its context expires.
+	_, base := startServer(t, server.Config{Window: 30 * time.Second, MaxBatch: 1000})
+	cfg := config(base, 1, 20, 50*time.Microsecond)
+	cfg.InFlight = 1
+	cfg.Timeout = 100 * time.Millisecond
+	res, err := openloop.Run(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Sent+res.Dropped != res.Scheduled {
+		t.Fatalf("accounting: %d sent + %d dropped != %d scheduled", res.Sent, res.Dropped, res.Scheduled)
+	}
+	if res.Dropped == 0 {
+		t.Fatal("cap 1 against a parked window dropped nothing — the driver is closed-loop")
+	}
+	if res.Errors == 0 {
+		t.Fatal("requests parked past their deadline reported no errors")
+	}
+	if got := res.Latency.Count(); got != uint64(res.Sent-res.Errors) {
+		t.Fatalf("latency histogram holds %d samples, want successes only (%d)", got, res.Sent-res.Errors)
+	}
+}
+
+// TestOpenLoopWindowHookStress is the -race stress: deterministic window
+// boundaries via server.SetWindowHook (close at exactly 4 parked), a
+// background flusher releasing stragglers, bursty arrivals, and every
+// accounting identity checked at the end.
+func TestOpenLoopWindowHookStress(t *testing.T) {
+	const clients, requests = 4, 40
+	server.SetWindowHook(func(pending int) bool { return pending >= 4 })
+	defer server.SetWindowHook(nil)
+
+	srv, base := startServer(t, server.Config{})
+	// The hook arms no timer, so a tail of fewer than 4 parked requests
+	// would wait forever; the flusher is their release valve.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				srv.Dispatcher().Flush()
+			}
+		}
+	}()
+
+	cfg := openloop.Config{
+		BaseURL:  base,
+		Clients:  clients,
+		Requests: requests,
+		InFlight: 16,
+		NewArrivals: func(c int) workload.ArrivalGen {
+			return workload.NewBurstyArrivals(uint64(c+1), 8, 2*time.Millisecond)
+		},
+		NewTraffic: func(c int) *server.SocialTraffic {
+			return server.NewSocialTraffic(uint64(c+1), workload.DefaultSocialMix(), 24, int64(clients), int64(c))
+		},
+	}
+	res, err := openloop.Run(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Sent+res.Dropped != res.Scheduled {
+		t.Fatalf("accounting: %d sent + %d dropped != %d scheduled", res.Sent, res.Dropped, res.Scheduled)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("healthy stress errored %d times", res.Errors)
+	}
+	if got := res.Latency.Count(); got != uint64(res.Sent) {
+		t.Fatalf("latency histogram holds %d samples, want %d", got, res.Sent)
+	}
+	st := srv.Dispatcher().Stats()
+	if st.Requests != uint64(res.Sent) {
+		t.Fatalf("server committed %d, client sent %d", st.Requests, res.Sent)
+	}
+}

@@ -127,7 +127,7 @@ func TestStressServerShutdownUnderLoad(t *testing.T) {
 					return
 				default:
 				}
-				if _, err := cl.Do(gen.Next()); err == nil {
+				if _, err := cl.Do(context.Background(), gen.Next()); err == nil {
 					committed.Add(1)
 				}
 				// Errors after shutdown begins are expected; the loop keeps

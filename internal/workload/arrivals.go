@@ -25,6 +25,11 @@ import (
 type ArrivalGen interface {
 	// Next returns the gap preceding the next arrival.
 	Next() time.Duration
+	// Reset rewinds the generator to its initial state so the exact
+	// sequence of gaps replays — a counting pass can sum the schedule's
+	// offered load and a measurement pass can then fire on the identical
+	// schedule without reconstructing the generator.
+	Reset()
 }
 
 // uniform01 maps one SplitMix64 draw onto (0, 1]: the open lower bound
@@ -40,8 +45,10 @@ func uniform01(state *uint64) float64 {
 type PoissonArrivals struct {
 	// Mean is the mean inter-arrival gap (1/λ).
 	Mean time.Duration
-	// state is the SplitMix64 draw state.
+	// state is the SplitMix64 draw state; init remembers its initial
+	// value for Reset.
 	state uint64
+	init  uint64
 }
 
 // NewPoissonArrivals returns a Poisson process with the given mean gap.
@@ -49,8 +56,12 @@ func NewPoissonArrivals(seed uint64, mean time.Duration) *PoissonArrivals {
 	if mean <= 0 {
 		panic(fmt.Sprintf("workload: poisson mean %v must be positive", mean))
 	}
-	return &PoissonArrivals{Mean: mean, state: seed*0x9e3779b97f4a7c15 + 1}
+	s := seed*0x9e3779b97f4a7c15 + 1
+	return &PoissonArrivals{Mean: mean, state: s, init: s}
 }
+
+// Reset rewinds the process to its initial seed state.
+func (p *PoissonArrivals) Reset() { p.state = p.init }
 
 // Next draws the next exponential gap.
 func (p *PoissonArrivals) Next() time.Duration {
@@ -69,9 +80,11 @@ type BurstyArrivals struct {
 	MeanBurst float64
 	// MeanGap is the mean idle gap between bursts.
 	MeanGap time.Duration
-	// state is the SplitMix64 draw state; left counts the remaining
-	// arrivals of the current burst.
+	// state is the SplitMix64 draw state; init remembers its initial
+	// value for Reset; left counts the remaining arrivals of the
+	// current burst.
 	state uint64
+	init  uint64
 	left  int
 }
 
@@ -84,7 +97,15 @@ func NewBurstyArrivals(seed uint64, meanBurst float64, meanGap time.Duration) *B
 	if meanGap <= 0 {
 		panic(fmt.Sprintf("workload: mean gap %v must be positive", meanGap))
 	}
-	return &BurstyArrivals{MeanBurst: meanBurst, MeanGap: meanGap, state: seed*0x9e3779b97f4a7c15 + 1}
+	s := seed*0x9e3779b97f4a7c15 + 1
+	return &BurstyArrivals{MeanBurst: meanBurst, MeanGap: meanGap, state: s, init: s}
+}
+
+// Reset rewinds the process to its initial seed state, discarding any
+// in-progress burst.
+func (b *BurstyArrivals) Reset() {
+	b.state = b.init
+	b.left = 0
 }
 
 // burstSize draws a geometric burst size with mean MeanBurst: success

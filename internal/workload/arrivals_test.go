@@ -119,6 +119,47 @@ func TestBurstyMeanBurstOne(t *testing.T) {
 	}
 }
 
+// TestArrivalReset pins that Reset rewinds a generator to its initial
+// state: the replayed gap sequence is identical draw for draw, even when
+// Reset lands mid-burst for the bursty process.
+func TestArrivalReset(t *testing.T) {
+	gens := []struct {
+		name string
+		gen  ArrivalGen
+	}{
+		{"poisson", NewPoissonArrivals(42, time.Millisecond)},
+		{"bursty", NewBurstyArrivals(42, 4, time.Millisecond)},
+	}
+	for _, tc := range gens {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 500
+			first := make([]time.Duration, n)
+			for i := range first {
+				first[i] = tc.gen.Next()
+			}
+			// Rewind from a clean end-of-sequence point...
+			tc.gen.Reset()
+			for i := 0; i < n; i++ {
+				if got := tc.gen.Next(); got != first[i] {
+					t.Fatalf("after Reset, draw %d = %v, want %v", i, got, first[i])
+				}
+			}
+			// ...and from an arbitrary mid-sequence point (for bursty this
+			// can land inside a burst; Reset must discard the burst tail).
+			tc.gen.Reset()
+			for i := 0; i < n/3; i++ {
+				tc.gen.Next()
+			}
+			tc.gen.Reset()
+			for i := 0; i < n; i++ {
+				if got := tc.gen.Next(); got != first[i] {
+					t.Fatalf("after mid-sequence Reset, draw %d = %v, want %v", i, got, first[i])
+				}
+			}
+		})
+	}
+}
+
 // TestArrivalValidation pins constructor panics on nonsense parameters.
 func TestArrivalValidation(t *testing.T) {
 	cases := []struct {
